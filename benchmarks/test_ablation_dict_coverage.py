@@ -1,0 +1,83 @@
+"""Appendix-A ablation — dictionary coverage 10% vs 20% vs 40%.
+
+The extended version of the paper reports extraction results at 10%
+dictionary coverage next to the main 20% setting: quality degrades
+gracefully, it does not collapse.  This bench sweeps the coverage knob on
+one clean source per domain.
+"""
+
+from benchmarks.harness import (
+    BENCH_SCALE,
+    DOMAIN_ORDER,
+    domain_spec,
+    grade_source,
+    knowledge_for,
+    pages_for,
+    source_for,
+)
+from repro.core import ObjectRunnerSystem
+from repro.datasets import catalog_entries
+from repro.datasets.knowledge import completion_entries
+
+COVERAGES = (0.1, 0.2, 0.4)
+
+#: One representative clean source per domain.
+SOURCES = {
+    "concerts": "eventorb-list",
+    "albums": "towerrecords",
+    "books": "bookdepository",
+    "publications": "citebase",
+    "cars": "usedcars",
+}
+
+
+def _run(coverage: float) -> dict[str, float]:
+    precision = {}
+    entries = {e.spec.name: e for e in catalog_entries(scale=BENCH_SCALE)}
+    for domain_name in DOMAIN_ORDER:
+        entry = entries[SOURCES[domain_name]]
+        domain = domain_spec(domain_name)
+        source = source_for(entry)
+        pages = pages_for(entry)
+        knowledge = knowledge_for(domain_name, coverage)
+        extra = completion_entries(
+            domain, source.gold, coverage=coverage,
+            seed=("completion", entry.spec.name),
+        )
+        system = ObjectRunnerSystem(
+            ontology=knowledge.ontology,
+            corpus=knowledge.corpus,
+            gazetteer_classes=domain.gazetteer_classes,
+            extra_gazetteer_entries=extra,
+        )
+        output = system.run(entry.spec.name, pages, domain.sod)
+        evaluation = grade_source(domain, source.gold, output)
+        precision[domain_name] = evaluation.precision_correct
+    return precision
+
+
+def test_dictionary_coverage_ablation(benchmark):
+    def sweep():
+        return {coverage: _run(coverage) for coverage in COVERAGES}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"APPENDIX A (scale={BENCH_SCALE}) — Pc vs dictionary coverage")
+    print("=" * 60)
+    header = f"{'domain':<14}" + "".join(f"{c:>10.0%}" for c in COVERAGES)
+    print(header)
+    for domain in DOMAIN_ORDER:
+        row = f"{domain:<14}"
+        for coverage in COVERAGES:
+            row += f"{results[coverage][domain]:>10.2f}"
+        print(row)
+
+    # Graceful behaviour: 20% coverage already achieves what 40% does on
+    # most domains, and 10% is not catastrophically worse overall.
+    mean = {
+        coverage: sum(results[coverage].values()) / len(DOMAIN_ORDER)
+        for coverage in COVERAGES
+    }
+    assert mean[0.2] >= mean[0.1] - 1e-9
+    assert mean[0.4] >= mean[0.2] - 0.15
+    assert mean[0.2] >= 0.6  # the paper's main setting works

@@ -1,0 +1,105 @@
+"""Ablation — the pipeline's two headline thresholds.
+
+DESIGN.md calls out two tunables the paper fixes empirically:
+
+- the block annotation-rate gate ``alpha`` (0.5): too low and junk sources
+  slip through to produce garbage; too high and legitimate sources with
+  20%-coverage dictionaries get discarded;
+- the annotation generalization threshold (0.7): too low and conflicting
+  slots get labelled; too high and incomplete dictionaries can't label
+  anything.
+
+This bench sweeps both around the paper's values on a probe set containing
+clean sources and the unstructured one.
+"""
+
+from benchmarks.harness import (
+    BENCH_SCALE,
+    domain_spec,
+    grade_source,
+    make_system,
+    pages_for,
+    source_for,
+)
+from repro.core import RunParams
+from repro.datasets import catalog_entries
+
+PROBE_SOURCES = ("towerrecords", "eventorb-list", "bookdepository", "emusic")
+
+ALPHAS = (0.1, 0.5, 3.0)
+THRESHOLDS = (0.5, 0.7, 0.95)
+
+
+def _run_probe(params: RunParams) -> dict[str, tuple[bool, float]]:
+    """source -> (discarded, Pc) under the given parameters."""
+    entries = {e.spec.name: e for e in catalog_entries(scale=BENCH_SCALE)}
+    results = {}
+    for name in PROBE_SOURCES:
+        entry = entries[name]
+        domain = domain_spec(entry.spec.domain)
+        source = source_for(entry)
+        pages = pages_for(entry)
+        system = make_system("objectrunner", entry, params=params)
+        output = system.run(entry.spec.name, pages, domain.sod)
+        evaluation = grade_source(domain, source.gold, output)
+        results[name] = (evaluation.discarded, evaluation.precision_correct)
+    return results
+
+
+def test_threshold_ablation(benchmark):
+    def sweep():
+        by_alpha = {
+            alpha: _run_probe(RunParams(alpha=alpha)) for alpha in ALPHAS
+        }
+        by_threshold = {
+            threshold: _run_probe(
+                RunParams(generalization_threshold=threshold)
+            )
+            for threshold in THRESHOLDS
+        }
+        return by_alpha, by_threshold
+
+    by_alpha, by_threshold = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print()
+    print(f"THRESHOLD ABLATION (scale={BENCH_SCALE})")
+    print("=" * 64)
+    print("alpha sweep (paper: 0.5)  [discarded / Pc per probe source]")
+    for alpha, results in by_alpha.items():
+        row = f"  alpha={alpha:<5}"
+        for name in PROBE_SOURCES:
+            discarded, pc = results[name]
+            row += f"  {name.split('-')[0]}:{'DISC' if discarded else f'{pc:.2f}'}"
+        print(row)
+    print("generalization threshold sweep (paper: 0.7)")
+    for threshold, results in by_threshold.items():
+        row = f"  thr={threshold:<6}"
+        for name in PROBE_SOURCES:
+            discarded, pc = results[name]
+            row += f"  {name.split('-')[0]}:{'DISC' if discarded else f'{pc:.2f}'}"
+        print(row)
+
+    # At the paper's settings: clean probes extract perfectly, junk is
+    # discarded.
+    paper = _run_probe(RunParams())
+    for name in PROBE_SOURCES:
+        discarded, pc = paper[name]
+        if name == "emusic":
+            assert discarded
+        else:
+            assert not discarded and pc >= 0.9, name
+    # The junk source fails the gate at every alpha in the sweep: its
+    # pages carry essentially no annotations, so the separation the gate
+    # provides is robust to the exact threshold — which is why the paper
+    # could fix it at 50% without tuning.
+    for alpha, results in by_alpha.items():
+        assert results["emusic"][0], alpha
+        for name in PROBE_SOURCES:
+            if name != "emusic":
+                assert not results[name][0], (alpha, name)
+    # The generalization threshold tolerates the sweep on clean sources
+    # (annotations there are consistent, so dominance is insensitive).
+    for threshold, results in by_threshold.items():
+        for name in PROBE_SOURCES:
+            if name != "emusic":
+                assert results[name][1] >= 0.8, (threshold, name)

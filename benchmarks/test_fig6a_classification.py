@@ -1,0 +1,55 @@
+"""Figure 6(a) — object classification rates per system and domain.
+
+For each (system, domain): the fraction of correct, partially correct and
+incorrect objects.  The reproduced shape: ObjectRunner's correct bar is
+the tallest in every domain; RoadRunner's mass sits in partial/incorrect.
+"""
+
+from benchmarks.harness import BENCH_SCALE, DOMAIN_ORDER, domain_metrics
+
+SYSTEMS = ("objectrunner", "exalg", "roadrunner")
+
+
+def _render(rates) -> str:
+    lines = [
+        "",
+        f"FIGURE 6(a) (scale={BENCH_SCALE}) — object classification rates",
+        "=" * 70,
+        f"{'domain':<14}{'system':<14}{'correct':>10}{'partial':>10}{'incorrect':>11}",
+    ]
+    for domain in DOMAIN_ORDER:
+        for system in SYSTEMS:
+            correct, partial, incorrect = rates[(domain, system)]
+            lines.append(
+                f"{domain:<14}{system:<14}{correct:>9.2f} {partial:>9.2f} "
+                f"{incorrect:>10.2f}"
+            )
+    return "\n".join(lines)
+
+
+def test_fig6a_object_classification(benchmark):
+    def run_all():
+        rates = {}
+        for system in SYSTEMS:
+            for metrics in domain_metrics(system):
+                rates[(metrics.domain, system)] = (
+                    metrics.correct_rate,
+                    metrics.partial_rate,
+                    metrics.incorrect_rate,
+                )
+        return rates
+
+    rates = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print(_render(rates))
+
+    for domain in DOMAIN_ORDER:
+        our_correct = rates[(domain, "objectrunner")][0]
+        for baseline in ("exalg", "roadrunner"):
+            assert our_correct >= rates[(domain, baseline)][0] - 1e-9, (
+                domain,
+                baseline,
+            )
+        # Rates are a distribution.
+        for system in SYSTEMS:
+            correct, partial, incorrect = rates[(domain, system)]
+            assert abs(correct + partial + incorrect - 1.0) < 1e-6

@@ -1,0 +1,59 @@
+"""Table I — ObjectRunner extraction results over all 49 sources.
+
+Regenerates the per-source attribute/object tallies (Ac/Ap/Ai, Oc/Op/Oi)
+and prints them beside the published row.  The expected *shape*: clean
+sources fully correct, the partial-inline sources partial, the
+mixed-structure sources incorrect, emusic discarded.
+"""
+
+from benchmarks.harness import BENCH_SCALE, run_catalog
+from repro.eval.report import format_table1_row
+
+
+def _render(runs) -> str:
+    lines = ["", f"TABLE I (scale={BENCH_SCALE}) — ObjectRunner per source", "=" * 78]
+    domain = None
+    for run in runs:
+        if run.entry.spec.domain != domain:
+            domain = run.entry.spec.domain
+            lines.append(f"-- {domain} --")
+        lines.append(format_table1_row(run.entry, run.evaluation))
+    return "\n".join(lines)
+
+
+def test_table1_objectrunner_extraction(benchmark):
+    runs = benchmark.pedantic(
+        lambda: run_catalog("objectrunner"), rounds=1, iterations=1
+    )
+    print(_render(runs))
+
+    # Shape assertions mirroring the paper's Table I.
+    by_name = {run.entry.spec.name: run for run in runs}
+    # emusic (unstructured) is discarded.
+    assert by_name["emusic"].evaluation.discarded
+    # Clean sources extract with fully-correct objects.
+    clean = [
+        run
+        for run in runs
+        if run.entry.spec.archetype == "clean" and not run.evaluation.discarded
+    ]
+    assert clean
+    fully_correct = sum(
+        1 for run in clean if run.evaluation.precision_correct >= 0.9
+    )
+    assert fully_correct / len(clean) >= 0.8
+    # Partial-inline sources yield partially-correct objects.
+    partial = [
+        run
+        for run in runs
+        if run.entry.spec.archetype.startswith("partial_inline")
+    ]
+    assert all(run.evaluation.precision_correct <= 0.2 for run in partial)
+    assert sum(
+        1 for run in partial if run.evaluation.precision_partial >= 0.8
+    ) >= len(partial) - 1
+    # Mixed-structure sources yield incorrect attributes.
+    mixed = [
+        run for run in runs if run.entry.spec.archetype == "mixed_structure"
+    ]
+    assert all(run.evaluation.attrs_incorrect >= 1 for run in mixed)

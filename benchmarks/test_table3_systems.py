@@ -1,0 +1,62 @@
+"""Table III — ObjectRunner vs ExAlg vs RoadRunner (Pc/Pp per domain).
+
+The reproduction target is the published *ordering*: OR dominates both
+baselines on precision-for-correctness in every domain, ExAlg generally
+beats RoadRunner, and RoadRunner collapses on the "too regular" book and
+publication lists (Pc ~ 0 with a large partial mass).
+"""
+
+from benchmarks.harness import (
+    BENCH_SCALE,
+    DOMAIN_ORDER,
+    PAPER_TABLE3,
+    domain_metrics,
+)
+from repro.eval.report import render_comparison_table
+
+SYSTEMS = ("objectrunner", "exalg", "roadrunner")
+
+
+def test_table3_system_comparison(benchmark):
+    def run_all():
+        return {name: domain_metrics(name) for name in SYSTEMS}
+
+    metrics_by_system = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(
+        render_comparison_table(
+            f"TABLE III (scale={BENCH_SCALE}) — Pc / Pp per system and domain",
+            metrics_by_system,
+            paper_rows=PAPER_TABLE3,
+        )
+    )
+
+    by_domain = {
+        system: {m.domain: m for m in metrics}
+        for system, metrics in metrics_by_system.items()
+    }
+    for domain in DOMAIN_ORDER:
+        ours = by_domain["objectrunner"][domain]
+        exalg = by_domain["exalg"][domain]
+        roadrunner = by_domain["roadrunner"][domain]
+        # ObjectRunner never loses on correctness (the paper's headline).
+        assert ours.precision_correct >= exalg.precision_correct - 1e-9, domain
+        assert ours.precision_correct >= roadrunner.precision_correct - 1e-9, domain
+    # RoadRunner collapses on the too-regular list domains: low Pc and a
+    # wide Pc/Pp gap (objects extracted, but split over separate fields).
+    # The per-record optional attributes in our pages hand RoadRunner a
+    # little repetition evidence real pages would also give it, so the
+    # bound is "collapses", not "exactly zero".
+    for domain in ("books", "publications"):
+        roadrunner = by_domain["roadrunner"][domain]
+        ours = by_domain["objectrunner"][domain]
+        assert roadrunner.precision_correct <= 0.3, domain
+        assert ours.precision_correct - roadrunner.precision_correct >= 0.4, domain
+    # ObjectRunner's overall margin over RoadRunner is large (paper: ~60%).
+    our_mean = sum(
+        by_domain["objectrunner"][d].precision_correct for d in DOMAIN_ORDER
+    ) / len(DOMAIN_ORDER)
+    rr_mean = sum(
+        by_domain["roadrunner"][d].precision_correct for d in DOMAIN_ORDER
+    ) / len(DOMAIN_ORDER)
+    assert our_mean - rr_mean >= 0.3

@@ -1,0 +1,74 @@
+"""System comparison: ObjectRunner vs ExAlg vs RoadRunner on one source.
+
+A miniature of the paper's Table III experiment.  All three systems wrap
+the same pages; the evaluator grades each against the golden standard
+with the paper's attribute/object classes and prints Pc/Pp.
+
+Try different archetypes to see each system's characteristic failures::
+
+    python examples/compare_systems.py clean
+    python examples/compare_systems.py partial_inline
+    python examples/compare_systems.py mixed_structure
+"""
+
+import sys
+
+from repro.baselines import ExAlgSystem, RoadRunnerSystem
+from repro.core import ObjectRunnerSystem
+from repro.datasets import build_knowledge, domain_spec, generate_source
+from repro.datasets.sites import SiteSpec
+from repro.eval import grade_source
+from repro.htmlkit import clean_tree, tidy
+
+
+def main(archetype: str = "clean") -> None:
+    domain = domain_spec("albums")
+    knowledge = build_knowledge(domain, coverage=0.2)
+    spec = SiteSpec(
+        name=f"albumstore-{archetype}",
+        domain="albums",
+        archetype=archetype,
+        total_objects=100,
+        seed=("compare", archetype),
+    )
+    source = generate_source(spec, domain)
+    pages = [clean_tree(tidy(raw)) for raw in source.pages]
+    print(f"Source {spec.name}: {len(pages)} pages, {len(source.gold)} gold "
+          f"objects, archetype={archetype}\n")
+
+    systems = [
+        ObjectRunnerSystem(
+            ontology=knowledge.ontology,
+            corpus=knowledge.corpus,
+            gazetteer_classes=domain.gazetteer_classes,
+        ),
+        ExAlgSystem(),
+        RoadRunnerSystem(),
+    ]
+
+    print(f"{'system':<14}{'Ac/Ap/Ai':>10}{'Oc':>7}{'Op':>7}{'Oi':>7}"
+          f"{'Pc':>8}{'Pp':>8}{'wrap':>9}")
+    for system in systems:
+        output = system.run(spec.name, pages, domain.sod)
+        evaluation = grade_source(domain, source.gold, output)
+        attrs = (f"{evaluation.attrs_correct}/{evaluation.attrs_partial}/"
+                 f"{evaluation.attrs_incorrect}")
+        print(
+            f"{system.name:<14}{attrs:>10}"
+            f"{evaluation.objects_correct:>7}{evaluation.objects_partial:>7}"
+            f"{evaluation.objects_incorrect:>7}"
+            f"{evaluation.precision_correct:>8.2f}"
+            f"{evaluation.precision_partial:>8.2f}"
+            f"{output.wrap_seconds * 1000:>7.0f}ms"
+        )
+
+    print(
+        "\nReading guide: ObjectRunner uses the SOD's domain knowledge, so it"
+        "\nextracts only targeted attributes and keeps them apart.  ExAlg sees"
+        "\nonly structure; RoadRunner additionally fails when pages are 'too"
+        "\nregular' (constant record counts give it no repetition evidence)."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "clean")

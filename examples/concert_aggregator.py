@@ -1,0 +1,84 @@
+"""Concert aggregator: the full knowledge-driven pipeline on one source.
+
+This is the scenario the paper's introduction motivates: a user wants
+concert objects (artist, date, venue, address) from event sites.  We
+
+1. build the domain knowledge — a YAGO-like ontology where artists are
+   typed under Band/Singer (the semantic-neighborhood case) plus a Web
+   corpus mined with Hearst patterns;
+2. let ObjectRunner construct the isInstanceOf dictionaries on the fly;
+3. run the pipeline on a generated event site;
+4. feed the extracted values back into the dictionaries (Eq. 4) and show
+   how the artist gazetteer grows — the self-improving loop the paper
+   describes.
+
+Run with::
+
+    python examples/concert_aggregator.py
+"""
+
+from repro.core import ObjectRunner, RunParams
+from repro.datasets import build_knowledge, domain_spec, generate_source
+from repro.datasets.sites import SiteSpec
+
+
+def main() -> None:
+    domain = domain_spec("concerts")
+    print(f"SOD: {domain.sod}")
+
+    # Domain knowledge with the paper's 20% dictionary coverage.
+    knowledge = build_knowledge(domain, coverage=0.2)
+    print(
+        f"Knowledge: {len(knowledge.ontology)} ontology facts, "
+        f"{len(knowledge.corpus)} corpus sentences"
+    )
+
+    # A synthetic event site (the paper crawled zvents/eventful/...).
+    spec = SiteSpec(
+        name="megaevents.example",
+        domain="concerts",
+        archetype="clean",
+        total_objects=120,
+        seed="concert-aggregator",
+    )
+    source = generate_source(spec, domain)
+    print(f"Source: {len(source.pages)} list pages, {len(source.gold)} concerts\n")
+
+    runner = ObjectRunner(
+        domain.sod,
+        ontology=knowledge.ontology,
+        corpus=knowledge.corpus,
+        gazetteer_classes=domain.gazetteer_classes,
+        params=RunParams(enrich_dictionaries=True),
+    )
+    artist_dictionary = runner.gazetteers()["artist"]
+    before = len(artist_dictionary)
+
+    result = runner.run_source(spec.name, source.pages)
+    if result.discarded:
+        print(f"source discarded at {result.discard_stage}: {result.discard_reason}")
+        return
+
+    print(f"Wrapper: record <{result.wrapper.record_tag}> at "
+          f"{result.wrapper.record_path}")
+    print(f"Support used: {result.support_used}, conflicting annotations: "
+          f"{result.conflicts}")
+    print(f"Stage timings: preprocess {result.timings.preprocess:.2f}s, "
+          f"annotation {result.timings.annotation:.2f}s, "
+          f"wrapping {result.timings.wrapping:.2f}s, "
+          f"extraction {result.timings.extraction:.2f}s\n")
+
+    print(f"First five of {len(result.objects)} extracted concerts:")
+    for instance in result.objects[:5]:
+        location = instance.values.get("location", {})
+        print(f"  {instance.values.get('artist', '?'):<26} "
+              f"{instance.values.get('date', '?'):<34} "
+              f"{location.get('theater', '?')}")
+
+    after = len(artist_dictionary)
+    print(f"\nDictionary enrichment (Eq. 4): artist gazetteer grew "
+          f"{before} -> {after} entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Manual smoke test: one generated source through all three systems."""
+
+import sys
+
+from repro.baselines import ExAlgSystem, RoadRunnerSystem
+from repro.core import ObjectRunnerSystem
+from repro.datasets import (
+    build_knowledge,
+    domain_spec,
+    generate_source,
+    SiteSpec,
+)
+from repro.eval import grade_source
+from repro.htmlkit import clean_tree, tidy
+
+
+def run_one(archetype: str, domain_name: str = "albums", **spec_kwargs) -> None:
+    domain = domain_spec(domain_name)
+    spec = SiteSpec(
+        name=f"smoke-{domain_name}-{archetype}",
+        domain=domain_name,
+        archetype=archetype,
+        total_objects=60,
+        seed=("smoke", archetype),
+        **spec_kwargs,
+    )
+    source = generate_source(spec, domain)
+    print(f"== {spec.name}: {len(source.pages)} pages, {len(source.gold)} gold")
+    knowledge = build_knowledge(domain, coverage=0.2)
+    pages = [clean_tree(tidy(raw)) for raw in source.pages]
+
+    systems = [
+        ObjectRunnerSystem(
+            ontology=knowledge.ontology,
+            corpus=knowledge.corpus,
+            gazetteer_classes=domain.gazetteer_classes,
+        ),
+        ExAlgSystem(),
+        RoadRunnerSystem(),
+    ]
+    for system in systems:
+        output = system.run(spec.name, pages, domain.sod)
+        evaluation = grade_source(domain, source.gold, output)
+        print(
+            f"  {system.name:<14} failed={output.failed!s:<5} "
+            f"A {evaluation.attrs_correct}/{evaluation.attrs_partial}/"
+            f"{evaluation.attrs_incorrect} "
+            f"O {evaluation.objects_correct}/{evaluation.objects_partial}/"
+            f"{evaluation.objects_incorrect} of {evaluation.objects_total} "
+            f"Pc={evaluation.precision_correct:.2f} Pp={evaluation.precision_partial:.2f}"
+        )
+        if output.objects:
+            print("    sample:", output.objects[0].values)
+
+
+if __name__ == "__main__":
+    which = sys.argv[1] if len(sys.argv) > 1 else "clean"
+    if which == "all":
+        for archetype in ("clean", "partial_inline", "mixed_structure"):
+            run_one(archetype)
+        run_one("clean", "books", constant_record_count=10)
+        run_one("clean", "concerts")
+        run_one("clean", "cars")
+        run_one("clean", "publications", constant_record_count=10)
+    else:
+        run_one(which)

@@ -1,0 +1,99 @@
+"""Manual smoke test: the paper's Figure 3 running example, end to end."""
+
+from repro.annotation import annotate_page
+from repro.htmlkit import tidy
+from repro.recognizers import GazetteerRecognizer, predefined_recognizer
+from repro.sod import parse_sod
+from repro.wrapper import extract_objects, generate_wrapper
+from repro.wrapper.generate import WrapperConfig
+
+P1 = """
+<html><body><li>
+<div>Metallica</div>
+<div>Monday May 11, 8:00pm</div>
+<div>
+ <span><a>Madison Square Garden</a></span>
+ <span>237 West 42nd street</span>
+ <span>New York City</span>
+ <span>New York</span>
+ <span>10036</span>
+</div></li></body></html>
+"""
+
+P2 = """
+<html><body><li>
+<div>Coldplay</div>
+<div>Saturday August 8, 2010 8:00pm</div>
+<div>
+ <span><a>Bowery Ballroom</a></span>
+ <span>Delancey St</span>
+ <span>New York City</span>
+ <span>New York</span>
+ <span>10002</span>
+</div></li></body></html>
+"""
+
+P3 = """
+<html><body>
+<li>
+<div>Madonna</div>
+<div>Saturday May 29 7:00p</div>
+<div>
+ <span><a>The Town Hall</a></span>
+ <span>131 W 55th St</span>
+ <span>New York City</span>
+ <span>New York</span>
+ <span>10019</span>
+</div></li>
+<li>
+<div>Muse</div>
+<div>Friday June 19 7:00p</div>
+<div>
+ <span><a>B.B King Blues and Grill</a></span>
+ <span>4 Penn Plaza</span>
+ <span>New York City</span>
+ <span>New York</span>
+ <span>10001</span>
+</div></li>
+</body></html>
+"""
+
+
+def main() -> None:
+    pages = [tidy(p) for p in (P1, P2, P3)]
+    artist = GazetteerRecognizer(
+        "artist", ["Metallica", "Coldplay", "Madonna", "Muse"]
+    )
+    theater = GazetteerRecognizer(
+        "theater",
+        ["Madison Square Garden", "Bowery Ballroom", "The Town Hall"],
+    )
+    date = predefined_recognizer("date", type_name="date")
+    address = predefined_recognizer("address", type_name="address")
+    recognizers = [artist, theater, date, address]
+
+    annotated = [annotate_page(page, recognizers, index=i) for i, page in enumerate(pages)]
+    for page in annotated:
+        print(f"page {page.index}: annotations {sorted(page.annotated_types())}, "
+              f"count={page.annotation_count()}")
+
+    sod = parse_sod(
+        "concert(artist, date<kind=predefined>, "
+        "location(theater, address<kind=predefined>?))"
+    )
+    wrapper = generate_wrapper(
+        "figure3", pages, sod, WrapperConfig(support=2)
+    )
+    print("record:", wrapper.record_tag, "path:", wrapper.record_path,
+          "single:", wrapper.record_single_element, "list:", wrapper.is_list_source)
+    print(wrapper.template.describe())
+    print("match:", wrapper.match.matched, wrapper.match.entity_to_slots,
+          "missing:", wrapper.match.missing)
+
+    objects = extract_objects(wrapper, pages, source="figure3")
+    for obj in objects:
+        print(obj.values)
+
+
+if __name__ == "__main__":
+    main()

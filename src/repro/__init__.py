@@ -1,0 +1,52 @@
+"""ObjectRunner reproduction: targeted extraction of structured Web data.
+
+Reproduces Derouiche, Cautis & Abdessalem, *Automatic Extraction of
+Structured Web Data with Domain Knowledge* (ICDE 2012): the ObjectRunner
+system, its substrates (HTML toolkit, render-model segmentation, YAGO-like
+ontology, Hearst-pattern corpus mining), the ExAlg and RoadRunner
+baselines, the synthetic structured-Web datasets, and the evaluation
+harness regenerating the paper's tables and figures.
+
+Quickstart::
+
+    from repro import ObjectRunner, parse_sod
+
+    sod = parse_sod("concert(artist, date<kind=predefined>, "
+                    "location(theater, address<kind=predefined>?))")
+    runner = ObjectRunner(sod, ontology=my_ontology)
+    result = runner.run_source("mysite", html_pages)
+"""
+
+from repro.core.objectrunner import ObjectRunner, ObjectRunnerSystem
+from repro.core.params import RunParams
+from repro.core.results import SourceResult
+from repro.errors import ReproError, SodError, SourceDiscardedError
+from repro.sod.dsl import parse_sod
+from repro.sod.instances import ObjectInstance
+from repro.sod.types import (
+    DisjunctionType,
+    EntityType,
+    Multiplicity,
+    SetType,
+    TupleType,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ObjectRunner",
+    "ObjectRunnerSystem",
+    "RunParams",
+    "SourceResult",
+    "ObjectInstance",
+    "parse_sod",
+    "EntityType",
+    "SetType",
+    "TupleType",
+    "DisjunctionType",
+    "Multiplicity",
+    "ReproError",
+    "SodError",
+    "SourceDiscardedError",
+    "__version__",
+]

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+- ``extract`` — wrap a set of HTML files with an SOD and print extracted
+  objects as JSON lines::
+
+      python -m repro extract \
+          --sod "album(title, artist, price<kind=predefined>)" \
+          --dict artist=artists.txt --dict title=titles.txt \
+          pages/*.html
+
+  Dictionary files hold one instance per line.  Predefined recognizer
+  types (date, price, address, phone, isbn, year, email, url) need no
+  dictionary.
+
+- ``describe`` — parse an SOD and print its structure, canonical form and
+  entity types (useful while authoring SODs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.objectrunner import ObjectRunner
+from repro.errors import ReproError
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.recognizers.registry import RecognizerRegistry
+from repro.sod.canonical import canonicalize
+from repro.sod.dsl import parse_sod
+from repro.sod.types import entity_types
+
+
+def _load_dictionary(path: str) -> list[str]:
+    return [
+        line.strip()
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+def _cmd_extract(args: argparse.Namespace) -> int:
+    sod = parse_sod(args.sod)
+    registry = RecognizerRegistry()
+    for spec in args.dict or []:
+        if "=" not in spec:
+            print(f"--dict expects TYPE=FILE, got {spec!r}", file=sys.stderr)
+            return 2
+        type_name, __, path = spec.partition("=")
+        registry.register(
+            GazetteerRecognizer(type_name, _load_dictionary(path))
+        )
+    pages = [Path(page).read_text(encoding="utf-8") for page in args.pages]
+    runner = ObjectRunner(sod, registry=registry)
+    result = runner.run_source(args.source_name, pages)
+    if result.discarded:
+        print(
+            f"source discarded at {result.discard_stage}: {result.discard_reason}",
+            file=sys.stderr,
+        )
+        return 1
+    for instance in result.objects:
+        print(json.dumps(instance.values, ensure_ascii=False))
+    print(
+        f"extracted {len(result.objects)} objects "
+        f"(wrapping {result.timings.wrapping * 1000:.0f} ms, "
+        f"support {result.support_used}, conflicts {result.conflicts})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    sod = parse_sod(args.sod)
+    print(f"SOD:        {sod}")
+    print(f"canonical:  {canonicalize(sod)}")
+    print("entity types:")
+    for entity in entity_types(sod):
+        optional = " (optional)" if entity.optional else ""
+        print(f"  {entity.name:<16} kind={entity.kind:<14} "
+              f"recognizer={entity.recognizer}{optional}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ObjectRunner: targeted extraction of structured Web data",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    extract = subparsers.add_parser(
+        "extract", help="wrap HTML files with an SOD and print JSON objects"
+    )
+    extract.add_argument("--sod", required=True, help="SOD in the DSL syntax")
+    extract.add_argument(
+        "--dict",
+        action="append",
+        metavar="TYPE=FILE",
+        help="dictionary file for an isInstanceOf type (one value per line)",
+    )
+    extract.add_argument(
+        "--source-name", default="cli-source", help="label for this source"
+    )
+    extract.add_argument("pages", nargs="+", help="HTML files of one source")
+    extract.set_defaults(func=_cmd_extract)
+
+    describe = subparsers.add_parser(
+        "describe", help="parse an SOD and show its structure"
+    )
+    describe.add_argument("sod", help="SOD in the DSL syntax")
+    describe.set_defaults(func=_cmd_describe)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Annotation and page-sample selection (paper Algorithm 1).
+
+Entity-type instances are located in page text and attached to DOM nodes as
+semantic annotations; types are processed in decreasing selectivity order
+(Eq. 2); after each round only the best-scoring pages (Eq. 3) stay in the
+running, and the final sample is the top-k most annotated pages.  A source
+whose visual blocks never reach the annotation-rate threshold ``alpha`` is
+discarded (paper Section III-E, first gate).
+"""
+
+from repro.annotation.annotator import AnnotatedPage, PageAnnotator, annotate_page
+from repro.annotation.propagation import propagate_annotations
+from repro.annotation.sampling import (
+    AnnotationRun,
+    SampleSelectionConfig,
+    select_sample,
+)
+from repro.annotation.selectivity import page_score, type_selectivity
+
+__all__ = [
+    "AnnotatedPage",
+    "PageAnnotator",
+    "annotate_page",
+    "propagate_annotations",
+    "AnnotationRun",
+    "SampleSelectionConfig",
+    "select_sample",
+    "page_score",
+    "type_selectivity",
+]

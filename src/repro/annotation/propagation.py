@@ -1,0 +1,60 @@
+"""Upward propagation of annotations in the DOM.
+
+Per the paper, an annotation assigned to a node propagates to its ancestors
+as long as those ancestors sit on a linear path (single child) or all their
+children carry the same annotation.  This lets annotations reach the tag
+level at which the template repeats (e.g. the ``<div>`` wrapping an artist
+name), where the wrapper algorithm consumes them.
+"""
+
+from __future__ import annotations
+
+from repro.htmlkit.dom import Element, Node, Text
+
+
+def _child_annotation_sets(element: Element) -> list[set[str]]:
+    """Annotation sets of children that carry content (text or elements)."""
+    sets: list[set[str]] = []
+    for child in element.children:
+        if isinstance(child, Text):
+            if child.text_content():
+                sets.append(child.annotations)
+        else:
+            assert isinstance(child, Element)
+            sets.append(child.annotations)
+    return sets
+
+
+def propagate_annotations(root: Element) -> None:
+    """Propagate annotations upward throughout the subtree of ``root``.
+
+    Bottom-up pass: an element inherits annotation ``t`` if it has exactly
+    one content-bearing child annotated ``t`` (linear path), or if *all*
+    its content-bearing children are annotated ``t``.
+    """
+
+    def visit(element: Element) -> None:
+        for child in element.children:
+            if isinstance(child, Element):
+                visit(child)
+        child_sets = _child_annotation_sets(element)
+        if not child_sets:
+            return
+        if len(child_sets) == 1:
+            element.annotations |= child_sets[0]
+            return
+        common = set(child_sets[0])
+        for annotations in child_sets[1:]:
+            common &= annotations
+            if not common:
+                return
+        element.annotations |= common
+
+    visit(root)
+
+
+def clear_annotations(root: Element) -> None:
+    """Remove every annotation in the subtree (used between re-runs)."""
+    for node in root.iter():
+        if isinstance(node, (Element, Text)):
+            node.annotations.clear()

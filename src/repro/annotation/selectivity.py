@@ -1,0 +1,70 @@
+"""Selectivity and page-score estimates (paper Eq. 2 and Eq. 3).
+
+Type selectivity (Eq. 2) orders the annotation rounds: types with few,
+distinctive witness instances are matched first, so unpromising pages fall
+out of the running cheaply.  Page scores (Eq. 3) sum instance confidences
+damped by term frequency; the sample keeps pages whose *minimum* score over
+the processed types is highest.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.recognizers.base import Match, Recognizer
+from repro.recognizers.gazetteer import GazetteerRecognizer
+
+#: Looks up term frequency for a surface string (defaults to 1.0).
+TermFrequency = Callable[[str], float]
+
+
+def _default_tf(_value: str) -> float:
+    return 1.0
+
+
+def type_selectivity(
+    recognizer: Recognizer, term_frequency: TermFrequency | None = None
+) -> float:
+    """Eq. 2: ``score(t) = sum_i score(i, t) / tf(i)`` for gazetteer types.
+
+    For dictionary-backed types we can evaluate the formula literally over
+    the dictionary.  For regex/predefined types there is no instance list,
+    so we fall back to the recognizer's calibrated selectivity weight —
+    exactly the role the estimate plays in Algorithm 1 (a sort key).
+    """
+    term_frequency = term_frequency or _default_tf
+    if isinstance(recognizer, GazetteerRecognizer):
+        entries = recognizer.entries()
+        if not entries:
+            return 0.0
+        total = sum(
+            confidence / max(term_frequency(value), 1e-9)
+            for value, confidence in entries.items()
+        )
+        # Normalize by dictionary size so huge dictionaries of common
+        # strings do not look more selective than small sharp ones.
+        return total / len(entries)
+    return recognizer.selectivity_weight()
+
+
+def page_score(
+    matches: list[Match], term_frequency: TermFrequency | None = None
+) -> float:
+    """Eq. 3: ``score(page/t) = sum_{i in page} score(i, t) / tf(i)``."""
+    term_frequency = term_frequency or _default_tf
+    return sum(
+        match.confidence / max(term_frequency(match.value), 1e-9)
+        for match in matches
+    )
+
+
+def min_page_score(scores: dict[str, float], processed_types: list[str]) -> float:
+    """The page ordering key: minimum score over the processed types.
+
+    Pages missing a processed type entirely score 0 for it, which sends
+    them to the back of the ordering — the desired behaviour, since a page
+    without any instance of a required type cannot train the wrapper.
+    """
+    if not processed_types:
+        return 0.0
+    return min(scores.get(type_name, 0.0) for type_name in processed_types)

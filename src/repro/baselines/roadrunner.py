@@ -1,0 +1,607 @@
+"""RoadRunner reimplementation (Crescenzi, Mecca & Merialdo, VLDB 2001).
+
+RoadRunner infers a *union-free regular expression* wrapper by aligning
+pages pairwise: the wrapper starts as the first page's token sequence and
+is generalized at every mismatch —
+
+- **string mismatch** -> the position becomes a ``#PCDATA`` field;
+- **tag mismatch** -> try *iterator discovery* (a repeated "square" of
+  tokens delimited by the mismatch position) or *optional discovery*
+  (a chunk present on only one side).
+
+The well-known limitation the paper exploits: an iterator is only
+discovered when the repetition count actually *differs* between the two
+sides of some comparison.  List pages with a constant number of records
+per page never produce that evidence, so each record's data lands in its
+own distinct fields — "RoadRunner fails to handle list pages that are too
+regular".  This implementation reproduces that behaviour because it is
+inherent to the algorithm, not simulated.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.baselines.interface import SystemOutput, TableRecord
+from repro.htmlkit.dom import Element, Node, Text
+from repro.sod.types import SodType
+
+# -- wrapper expression model ------------------------------------------------
+
+
+@dataclass
+class RToken:
+    """A literal token: a tag or a constant string."""
+
+    kind: str  # "open" | "close" | "text"
+    value: str
+
+    def key(self) -> tuple[str, str]:
+        return (self.kind, self.value)
+
+
+@dataclass
+class RField:
+    """A ``#PCDATA`` data field."""
+
+    field_id: int
+
+
+@dataclass
+class RPlus:
+    """An iterator: ``(unit)+`` (zero repetitions tolerated on alignment)."""
+
+    unit: list["RItem"]
+
+
+@dataclass
+class ROpt:
+    """An optional chunk: ``(sub)?``."""
+
+    sub: list["RItem"]
+
+
+RItem = Union[RToken, RField, RPlus, ROpt]
+
+
+def _first_literal(items: list[RItem]) -> RToken | None:
+    """The first literal token of an expression (descending into + and ?)."""
+    for item in items:
+        if isinstance(item, RToken):
+            return item
+        if isinstance(item, RField):
+            return None
+        if isinstance(item, RPlus):
+            inner = _first_literal(item.unit)
+            if inner is not None:
+                return inner
+        if isinstance(item, ROpt):
+            inner = _first_literal(item.sub)
+            if inner is not None:
+                return inner
+    return None
+
+
+# -- page tokenization -----------------------------------------------------
+
+
+def tokenize_page(root: Element) -> list[RToken]:
+    """Flatten a page into RoadRunner tokens (tags + whole text nodes)."""
+    tokens: list[RToken] = []
+
+    def visit(node: Node) -> None:
+        if isinstance(node, Text):
+            text = node.text_content()
+            if text:
+                tokens.append(RToken("text", text))
+            return
+        assert isinstance(node, Element)
+        tokens.append(RToken("open", node.tag))
+        for child in node.children:
+            visit(child)
+        tokens.append(RToken("close", node.tag))
+
+    body = root.find("body") or root
+    visit(body)
+    return tokens
+
+
+def _balanced_chunk(tokens: list[RToken], start: int) -> int | None:
+    """End index (exclusive) of the balanced chunk opening at ``start``."""
+    if start >= len(tokens) or tokens[start].kind != "open":
+        return None
+    tag = tokens[start].value
+    depth = 0
+    for index in range(start, len(tokens)):
+        token = tokens[index]
+        if token.kind == "open" and token.value == tag:
+            depth += 1
+        elif token.kind == "close" and token.value == tag:
+            depth -= 1
+            if depth == 0:
+                return index + 1
+    return None
+
+
+def _trailing_chunk(out: list[RItem]) -> int | None:
+    """Start index in ``out`` of a trailing balanced literal chunk."""
+    if not out or not isinstance(out[-1], RToken) or out[-1].kind != "close":
+        return None
+    tag = out[-1].value
+    depth = 0
+    for index in range(len(out) - 1, -1, -1):
+        item = out[index]
+        if isinstance(item, RToken) and item.value == tag:
+            if item.kind == "close":
+                depth += 1
+            elif item.kind == "open":
+                depth -= 1
+                if depth == 0:
+                    return index
+    return None
+
+
+class _FieldCounter:
+    def __init__(self, start: int = 0):
+        self.next_id = start
+
+    def new(self) -> RField:
+        field_obj = RField(self.next_id)
+        self.next_id += 1
+        return field_obj
+
+
+def _tokens_to_items(tokens: list[RToken], counter: _FieldCounter) -> list[RItem]:
+    """Lift raw page tokens into wrapper items (text -> literal for now)."""
+    return [RToken(token.kind, token.value) for token in tokens]
+
+
+# -- the matching engine ------------------------------------------------------
+
+
+class RoadRunnerWrapperInducer:
+    """Generalizes a wrapper expression over a sequence of sample pages."""
+
+    def __init__(self, max_sample: int = 10):
+        self._max_sample = max_sample
+        self._counter = _FieldCounter()
+
+    def induce(self, pages: list[list[RToken]]) -> list[RItem]:
+        """Learn the wrapper from the token sequences of sample pages."""
+        if not pages:
+            return []
+        wrapper = _tokens_to_items(pages[0], self._counter)
+        for tokens in pages[1 : self._max_sample]:
+            wrapper = self._generalize(wrapper, tokens)
+        return wrapper
+
+    # -- core alignment ----------------------------------------------------
+
+    def _generalize(self, wrapper: list[RItem], s: list[RToken]) -> list[RItem]:
+        out: list[RItem] = []
+        i = 0
+        j = 0
+        while i < len(wrapper) and j < len(s):
+            item = wrapper[i]
+            token = s[j]
+            if isinstance(item, RField):
+                out.append(item)
+                i += 1
+                if token.kind == "text":
+                    j += 1
+                continue
+            if isinstance(item, RPlus):
+                j = self._match_plus(item, s, j)
+                out.append(item)
+                i += 1
+                continue
+            if isinstance(item, ROpt):
+                first = _first_literal(item.sub)
+                if first is not None and token.key() == first.key():
+                    sub, j = self._consume_sub(item.sub, s, j)
+                    out.append(ROpt(sub))
+                else:
+                    out.append(item)
+                i += 1
+                continue
+            assert isinstance(item, RToken)
+            if item.kind == "text" and token.kind == "text":
+                if item.value == token.value:
+                    out.append(item)
+                else:
+                    out.append(self._counter.new())
+                i += 1
+                j += 1
+                continue
+            if item.key() == token.key():
+                out.append(item)
+                i += 1
+                j += 1
+                continue
+            # Field vs tag: a text literal with no counterpart becomes an
+            # optional field.
+            if item.kind == "text":
+                out.append(ROpt([self._counter.new()]))
+                i += 1
+                continue
+            if token.kind == "text":
+                out.append(ROpt([self._counter.new()]))
+                j += 1
+                continue
+            # Tag mismatch: iterator discovery, then optional discovery.
+            advanced = self._try_iterator_on_sample(out, item, s, j)
+            if advanced is not None:
+                j = advanced
+                continue
+            advanced_wrapper = self._try_iterator_on_wrapper(out, wrapper, i, token)
+            if advanced_wrapper is not None:
+                i = advanced_wrapper
+                continue
+            skipped = self._try_optional_on_wrapper(out, wrapper, i, token)
+            if skipped is not None:
+                i = skipped
+                continue
+            skipped_sample = self._try_optional_on_sample(out, item, s, j)
+            if skipped_sample is not None:
+                j = skipped_sample
+                continue
+            # Unresolvable: consume both sides into a wildcard field.
+            out.append(self._counter.new())
+            i += 1
+            j += 1
+        while i < len(wrapper):
+            leftover = wrapper[i]
+            if isinstance(leftover, (RPlus, ROpt)):
+                out.append(leftover)
+            else:
+                out.append(ROpt([leftover]))
+            i += 1
+        if j < len(s):
+            tail: list[RItem] = []
+            for token in s[j:]:
+                if token.kind == "text":
+                    tail.append(self._counter.new())
+                else:
+                    tail.append(RToken(token.kind, token.value))
+            out.append(ROpt(tail))
+        return out
+
+    def _match_plus(self, plus: RPlus, s: list[RToken], j: int) -> int:
+        """Consume as many unit repetitions from ``s`` as possible."""
+        first = _first_literal(plus.unit)
+        if first is None:
+            return j
+        while j < len(s) and s[j].key() == first.key():
+            end = _balanced_chunk(s, j) if first.kind == "open" else j + 1
+            if end is None:
+                break
+            chunk = s[j:end]
+            plus.unit = self._generalize(plus.unit, chunk)
+            j = end
+        return j
+
+    def _consume_sub(
+        self, sub: list[RItem], s: list[RToken], j: int
+    ) -> tuple[list[RItem], int]:
+        """Align an optional sub-expression against the matching chunk."""
+        end = _balanced_chunk(s, j)
+        if end is None:
+            end = j + 1
+        chunk = s[j:end]
+        return self._generalize(sub, chunk), end
+
+    def _try_iterator_on_sample(
+        self, out: list[RItem], item: RToken, s: list[RToken], j: int
+    ) -> int | None:
+        """Sample has extra repetitions: ``out`` ends with the unit chunk."""
+        token = s[j]
+        if token.kind != "open":
+            return None
+        start = _trailing_chunk(out)
+        if start is None:
+            return None
+        first = out[start]
+        if not (isinstance(first, RToken) and first.value == token.value):
+            return None
+        unit = out[start:]
+        del out[start:]
+        plus = RPlus(unit)
+        self._absorb_preceding_chunks(out, plus, token.value)
+        j = self._match_plus(plus, s, j)
+        out.append(plus)
+        return j
+
+    def _absorb_preceding_chunks(
+        self, out: list[RItem], plus: RPlus, tag: str
+    ) -> None:
+        """Fold earlier adjacent repetitions of the unit into the iterator.
+
+        When the square is discovered at the tail, the preceding identical
+        chunks (the earlier list records) belong to the same iterator.
+        """
+        while True:
+            start = _trailing_chunk(out)
+            if start is None:
+                return
+            first = out[start]
+            if not (isinstance(first, RToken) and first.value == tag):
+                return
+            chunk = out[start:]
+            del out[start:]
+            plus.unit = self._generalize(plus.unit, self._literalize(chunk))
+
+    def _try_iterator_on_wrapper(
+        self, out: list[RItem], wrapper: list[RItem], i: int, token: RToken
+    ) -> int | None:
+        """Wrapper has extra repetitions of the chunk just emitted."""
+        item = wrapper[i]
+        if not (isinstance(item, RToken) and item.kind == "open"):
+            return None
+        start = _trailing_chunk(out)
+        if start is None:
+            return None
+        first = out[start]
+        if not (isinstance(first, RToken) and first.value == item.value):
+            return None
+        unit = out[start:]
+        del out[start:]
+        plus = RPlus(unit)
+        self._absorb_preceding_chunks(out, plus, item.value)
+        # Consume repeated chunks from the wrapper side.
+        while i < len(wrapper):
+            lead = wrapper[i]
+            if not (
+                isinstance(lead, RToken)
+                and lead.kind == "open"
+                and lead.value == item.value
+            ):
+                break
+            end = self._wrapper_chunk_end(wrapper, i)
+            if end is None:
+                break
+            chunk_tokens = self._literalize(wrapper[i:end])
+            plus.unit = self._generalize(plus.unit, chunk_tokens)
+            i = end
+        out.append(plus)
+        return i
+
+    def _wrapper_chunk_end(self, wrapper: list[RItem], start: int) -> int | None:
+        lead = wrapper[start]
+        assert isinstance(lead, RToken) and lead.kind == "open"
+        depth = 0
+        for index in range(start, len(wrapper)):
+            item = wrapper[index]
+            if isinstance(item, RToken) and item.value == lead.value:
+                if item.kind == "open":
+                    depth += 1
+                elif item.kind == "close":
+                    depth -= 1
+                    if depth == 0:
+                        return index + 1
+        return None
+
+    def _literalize(self, items: list[RItem]) -> list[RToken]:
+        """Best-effort flattening of wrapper items back to tokens."""
+        tokens: list[RToken] = []
+        for item in items:
+            if isinstance(item, RToken):
+                tokens.append(item)
+            elif isinstance(item, RField):
+                tokens.append(RToken("text", f"#PCDATA{item.field_id}"))
+            elif isinstance(item, (RPlus, ROpt)):
+                tokens.extend(
+                    self._literalize(item.unit if isinstance(item, RPlus) else item.sub)
+                )
+        return tokens
+
+    def _try_optional_on_wrapper(
+        self, out: list[RItem], wrapper: list[RItem], i: int, token: RToken
+    ) -> int | None:
+        """Wrapper chunk missing from the sample: wrap it in an optional."""
+        item = wrapper[i]
+        if not (isinstance(item, RToken) and item.kind == "open"):
+            return None
+        end = self._wrapper_chunk_end(wrapper, i)
+        if end is None:
+            return None
+        # Does the wrapper resync with the sample right after the chunk?
+        resync = end < len(wrapper) and (
+            isinstance(wrapper[end], RToken)
+            and wrapper[end].key() == token.key()
+        )
+        following_close = token.kind == "close"
+        if not (resync or following_close):
+            return None
+        out.append(ROpt(list(wrapper[i:end])))
+        return end
+
+    def _try_optional_on_sample(
+        self, out: list[RItem], item: RToken, s: list[RToken], j: int
+    ) -> int | None:
+        """Sample chunk missing from the wrapper: record it as optional."""
+        token = s[j]
+        if token.kind != "open":
+            return None
+        end = _balanced_chunk(s, j)
+        if end is None:
+            return None
+        resync = end < len(s) and (
+            isinstance(item, RToken) and s[end].key() == item.key()
+        )
+        following_close = item.kind == "close"
+        if not (resync or following_close):
+            return None
+        sub: list[RItem] = []
+        for chunk_token in s[j:end]:
+            if chunk_token.kind == "text":
+                sub.append(self._counter.new())
+            else:
+                sub.append(RToken(chunk_token.kind, chunk_token.value))
+        out.append(ROpt(sub))
+        return end
+
+
+# -- extraction ---------------------------------------------------------------
+
+
+@dataclass
+class _Extraction:
+    """Field values collected from one page by one wrapper pass."""
+
+    page_fields: dict[int, list[str]] = field(default_factory=dict)
+    plus_instances: list[dict[int, list[str]]] = field(default_factory=list)
+
+
+class RoadRunnerExtractor:
+    """Aligns the learned wrapper against a page and reads fields."""
+
+    def __init__(self, wrapper: list[RItem]):
+        self._wrapper = wrapper
+        self._record_plus = self._pick_record_plus(wrapper)
+
+    @staticmethod
+    def _fields_in(items: list[RItem]) -> int:
+        count = 0
+        for item in items:
+            if isinstance(item, RField):
+                count += 1
+            elif isinstance(item, RPlus):
+                count += RoadRunnerExtractor._fields_in(item.unit)
+            elif isinstance(item, ROpt):
+                count += RoadRunnerExtractor._fields_in(item.sub)
+        return count
+
+    @classmethod
+    def _pick_record_plus(cls, items: list[RItem]) -> RPlus | None:
+        best: RPlus | None = None
+        best_fields = 0
+
+        def walk(nodes: list[RItem]) -> None:
+            nonlocal best, best_fields
+            for node in nodes:
+                if isinstance(node, RPlus):
+                    count = cls._fields_in(node.unit)
+                    if count > best_fields:
+                        best = node
+                        best_fields = count
+                    walk(node.unit)
+                elif isinstance(node, ROpt):
+                    walk(node.sub)
+
+        walk(items)
+        return best
+
+    def extract(self, tokens: list[RToken], page_index: int) -> list[TableRecord]:
+        """Align the wrapper against one page and return its data rows."""
+        state = _Extraction()
+        self._walk(self._wrapper, tokens, 0, state, inside_record=False)
+        if self._record_plus is not None and state.plus_instances:
+            records = []
+            for instance in state.plus_instances:
+                columns = dict(instance)
+                for column, values in state.page_fields.items():
+                    columns.setdefault(column, []).extend(values)
+                records.append(TableRecord(columns=columns, page_index=page_index))
+            return records
+        if state.page_fields:
+            return [TableRecord(columns=state.page_fields, page_index=page_index)]
+        return []
+
+    def _walk(
+        self,
+        items: list[RItem],
+        tokens: list[RToken],
+        j: int,
+        state: _Extraction,
+        inside_record: bool,
+        sink: dict[int, list[str]] | None = None,
+    ) -> int:
+        for item in items:
+            if j > len(tokens):
+                break
+            if isinstance(item, RToken):
+                if j < len(tokens) and tokens[j].key() == item.key():
+                    j += 1
+                continue
+            if isinstance(item, RField):
+                if j < len(tokens) and tokens[j].kind == "text":
+                    target = sink if sink is not None else state.page_fields
+                    target.setdefault(item.field_id, []).append(tokens[j].value)
+                    j += 1
+                continue
+            if isinstance(item, ROpt):
+                first = _first_literal(item.sub)
+                if (
+                    first is not None
+                    and j < len(tokens)
+                    and tokens[j].key() == first.key()
+                ):
+                    j = self._walk(item.sub, tokens, j, state, inside_record, sink)
+                continue
+            assert isinstance(item, RPlus)
+            first = _first_literal(item.unit)
+            if first is None:
+                continue
+            while j < len(tokens) and tokens[j].key() == first.key():
+                end = (
+                    _balanced_chunk(tokens, j)
+                    if first.kind == "open"
+                    else j + 1
+                )
+                if end is None:
+                    break
+                if item is self._record_plus:
+                    instance: dict[int, list[str]] = {}
+                    self._walk(
+                        item.unit, tokens, j, state, inside_record=True, sink=instance
+                    )
+                    if instance:
+                        state.plus_instances.append(instance)
+                else:
+                    self._walk(item.unit, tokens, j, state, inside_record, sink)
+                j = end
+        return j
+
+
+class RoadRunnerSystem:
+    """The RoadRunner baseline behind the common system interface."""
+
+    def __init__(self, sample_size: int = 10):
+        self._sample_size = sample_size
+
+    @property
+    def name(self) -> str:
+        return "roadrunner"
+
+    def run(
+        self, source: str, pages: list[Element], sod: SodType
+    ) -> SystemOutput:
+        """Induce the union-free RE wrapper; extract every PCDATA field.
+
+        ``sod`` is ignored — RoadRunner is schema-blind by design.
+        """
+        __ = sod
+        token_pages = [tokenize_page(page) for page in pages]
+        started = time.perf_counter()
+        inducer = RoadRunnerWrapperInducer(max_sample=self._sample_size)
+        wrapper = inducer.induce(token_pages[: self._sample_size])
+        wrap_seconds = time.perf_counter() - started
+        if not wrapper:
+            return SystemOutput(
+                system=self.name,
+                source=source,
+                failed=True,
+                failure_reason="empty wrapper",
+            )
+        extractor = RoadRunnerExtractor(wrapper)
+        records: list[TableRecord] = []
+        for page_index, tokens in enumerate(token_pages):
+            records.extend(extractor.extract(tokens, page_index))
+        return SystemOutput(
+            system=self.name,
+            source=source,
+            records=records,
+            wrap_seconds=wrap_seconds,
+        )

@@ -1,0 +1,24 @@
+"""The ObjectRunner pipeline: the paper's primary contribution, end to end.
+
+:class:`~repro.core.objectrunner.ObjectRunner` runs, per source: page
+tidying and cleaning, VIPS-style central-block selection, recognizer setup
+(building isInstanceOf gazetteers on the fly), annotation with Algorithm-1
+sample selection, wrapper generation with the automatic parameter-
+variation loop, extraction, and optional dictionary enrichment.
+"""
+
+from repro.core.dedup import DedupConfig, DedupResult, deduplicate
+from repro.core.objectrunner import ObjectRunner, ObjectRunnerSystem
+from repro.core.params import RunParams
+from repro.core.results import MultiSourceResult, SourceResult
+
+__all__ = [
+    "ObjectRunner",
+    "ObjectRunnerSystem",
+    "RunParams",
+    "SourceResult",
+    "MultiSourceResult",
+    "DedupConfig",
+    "DedupResult",
+    "deduplicate",
+]

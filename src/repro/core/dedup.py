@@ -1,0 +1,153 @@
+"""De-duplication of extracted objects (the Figure 1 pipeline stage).
+
+The Web is redundant — the paper leans on that redundancy ("the objects
+that are lost could very likely be found in another source as well") and
+its architecture diagram routes extracted data through a de-duplication
+step before integration.  This module implements it: near-duplicate
+objects, within one source or across sources, are merged, keeping the most
+complete representative.
+
+Matching is fuzzy in the way Web data demands: values are compared after
+normalization, and two objects are duplicates when their *identifying*
+attributes agree and no shared attribute disagrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sod.instances import ObjectInstance
+from repro.utils.text import normalize_text
+
+
+@dataclass(frozen=True)
+class DedupConfig:
+    """Tuning of the duplicate test.
+
+    ``key_attributes`` identify an object (e.g. ``("artist", "date")`` for
+    concerts; title for books).  When empty, all shared attributes must
+    agree.  ``allow_value_containment`` treats "Hamlet" and
+    "Hamlet (Penguin Classics)" as the same value — common across sources.
+    """
+
+    key_attributes: tuple[str, ...] = ()
+    allow_value_containment: bool = True
+
+
+@dataclass
+class DedupResult:
+    """Outcome of one de-duplication pass."""
+
+    objects: list[ObjectInstance]
+    merged: int = 0
+    groups: list[list[ObjectInstance]] = field(default_factory=list)
+
+    @property
+    def kept(self) -> int:
+        return len(self.objects)
+
+
+def _values_match(
+    left: list[str], right: list[str], containment: bool
+) -> bool:
+    left_norm = sorted(normalize_text(v) for v in left)
+    right_norm = sorted(normalize_text(v) for v in right)
+    if left_norm == right_norm:
+        return True
+    if not containment:
+        return False
+    if len(left_norm) != len(right_norm):
+        return False
+    return all(
+        a in b or b in a for a, b in zip(left_norm, right_norm)
+    )
+
+
+def _is_duplicate(
+    left: dict[str, list[str]],
+    right: dict[str, list[str]],
+    config: DedupConfig,
+) -> bool:
+    keys = config.key_attributes or tuple(set(left) & set(right))
+    if not keys:
+        return False
+    for key in keys:
+        left_values = left.get(key)
+        right_values = right.get(key)
+        if not left_values or not right_values:
+            return False
+        if not _values_match(
+            left_values, right_values, config.allow_value_containment
+        ):
+            return False
+    # Shared non-key attributes must not contradict each other.
+    for attribute in set(left) & set(right):
+        if attribute in keys:
+            continue
+        if not _values_match(
+            left[attribute], right[attribute], config.allow_value_containment
+        ):
+            return False
+    return True
+
+
+def _completeness(instance: ObjectInstance) -> tuple[int, int]:
+    flat = instance.flat()
+    attributes = len(flat)
+    mass = sum(len(value) for values in flat.values() for value in values)
+    return (attributes, mass)
+
+
+def deduplicate(
+    objects: list[ObjectInstance],
+    config: DedupConfig | None = None,
+) -> DedupResult:
+    """Merge near-duplicate objects, keeping the most complete of each group.
+
+    Quadratic in the worst case but bucketed by the first key attribute's
+    normalized value, which keeps realistic workloads linear-ish.
+    """
+    config = config or DedupConfig()
+    flats = [instance.normalized_flat() for instance in objects]
+
+    def bucket_key(flat: dict[str, list[str]]) -> str:
+        if config.key_attributes:
+            values = flat.get(config.key_attributes[0], [])
+            if values:
+                # First word survives containment variants.
+                return values[0].split(" ", 1)[0]
+        return ""
+
+    buckets: dict[str, list[int]] = {}
+    for index, flat in enumerate(flats):
+        buckets.setdefault(bucket_key(flat), []).append(index)
+
+    group_of: dict[int, int] = {}
+    groups: list[list[int]] = []
+    for indexes in buckets.values():
+        for position, index in enumerate(indexes):
+            if index in group_of:
+                continue
+            group = [index]
+            group_of[index] = len(groups)
+            for other in indexes[position + 1 :]:
+                if other in group_of:
+                    continue
+                if _is_duplicate(flats[index], flats[other], config):
+                    group.append(other)
+                    group_of[other] = len(groups)
+            groups.append(group)
+
+    kept: list[ObjectInstance] = []
+    group_objects: list[list[ObjectInstance]] = []
+    merged = 0
+    for group in groups:
+        members = [objects[i] for i in group]
+        members.sort(key=_completeness, reverse=True)
+        kept.append(members[0])
+        group_objects.append(members)
+        merged += len(members) - 1
+    # Preserve original ordering of the kept representatives.
+    order = {id(instance): index for index, instance in enumerate(objects)}
+    kept.sort(key=lambda instance: order[id(instance)])
+    return DedupResult(objects=kept, merged=merged, groups=group_objects)

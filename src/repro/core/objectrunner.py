@@ -1,0 +1,417 @@
+"""The ObjectRunner pipeline façade.
+
+Typical use::
+
+    runner = ObjectRunner(
+        sod=parse_sod("concert(artist, date<kind=predefined>, ...)"),
+        ontology=ontology,
+        corpus=corpus,
+        gazetteer_classes={"artist": "Artist", "theater": "Theater"},
+    )
+    result = runner.run_source("zvents", raw_html_pages)
+    for instance in result.objects:
+        print(instance.values)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.annotation.annotator import AnnotatedPage, PageAnnotator
+from repro.annotation.sampling import SampleSelectionConfig, select_sample
+from repro.baselines.interface import SystemOutput
+from repro.core.params import RunParams
+from repro.core.results import MultiSourceResult, SourceResult, StageTimings
+from repro.corpus.store import Corpus
+from repro.errors import SodError, SourceDiscardedError
+from repro.htmlkit.clean import clean_tree
+from repro.htmlkit.dom import Element
+from repro.htmlkit.tidy import tidy
+from repro.kb.ontology import Ontology
+from repro.recognizers.base import Recognizer
+from repro.recognizers.build import DictionaryBuilder
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.recognizers.predefined import predefined_names, predefined_recognizer
+from repro.recognizers.registry import RecognizerRegistry
+from repro.recognizers.rules import FullNodeRecognizer
+from repro.sod.types import (
+    KIND_IS_INSTANCE_OF,
+    KIND_PREDEFINED,
+    KIND_REGEX,
+    SodType,
+    entity_types,
+)
+from repro.utils.rng import DeterministicRng
+from repro.vision.segmentation import (
+    BlockTree,
+    find_block_by_signature,
+    main_content_block,
+    segment_page,
+)
+from repro.wrapper.enrichment import enrich_dictionary
+from repro.wrapper.extraction import extract_objects
+from repro.wrapper.generate import Wrapper, WrapperConfig, generate_wrapper
+
+
+class ObjectRunner:
+    """Targeted extraction for one SOD over any number of sources."""
+
+    def __init__(
+        self,
+        sod: SodType,
+        registry: RecognizerRegistry | None = None,
+        ontology: Ontology | None = None,
+        corpus: Corpus | None = None,
+        gazetteer_classes: dict[str, str] | None = None,
+        params: RunParams | None = None,
+        extra_gazetteer_entries: dict[str, dict[str, float]] | None = None,
+    ):
+        self.sod = sod
+        self.params = params or RunParams()
+        self.registry = registry or RecognizerRegistry()
+        self._ontology = ontology
+        self._corpus = corpus
+        self._gazetteer_classes = dict(gazetteer_classes or {})
+        #: Per-source dictionary completion (paper Section IV-A): extra
+        #: entries merged into each built gazetteer, keyed by type name.
+        self._extra_gazetteer_entries = dict(extra_gazetteer_entries or {})
+        self._setup_recognizers()
+
+    # -- recognizer setup -------------------------------------------------
+
+    def _setup_recognizers(self) -> None:
+        """Resolve a recognizer for every entity type of the SOD.
+
+        Predefined kinds instantiate the built-in recognizers; isInstanceOf
+        kinds build gazetteers on the fly from the ontology/corpus; regex
+        kinds must already be registered by the caller.
+        """
+        builder = DictionaryBuilder(
+            ontology=self._ontology,
+            corpus=self._corpus,
+            neighborhood_radius=self.params.neighborhood_radius,
+        )
+        self.recognizers: list[Recognizer] = []
+        for entity in entity_types(self.sod):
+            key = entity.name.lower()
+            if self.registry.names() and key in self.registry.names():
+                recognizer = self.registry.get(entity.name)
+                if entity.cover_node and not isinstance(
+                    recognizer, FullNodeRecognizer
+                ):
+                    recognizer = FullNodeRecognizer(recognizer)
+                    self.registry.register(recognizer, name=entity.name)
+                self.recognizers.append(recognizer)
+                continue
+            if entity.kind == KIND_PREDEFINED:
+                base = entity.recognizer or entity.name
+                if base.lower() not in predefined_names():
+                    raise SodError(
+                        f"entity {entity.name!r} declares predefined recognizer "
+                        f"{base!r}, which does not exist"
+                    )
+                recognizer = predefined_recognizer(base, type_name=entity.name)
+            elif entity.kind == KIND_IS_INSTANCE_OF:
+                class_name = self._gazetteer_classes.get(
+                    entity.name, entity.name.capitalize()
+                )
+                recognizer = builder.build(class_name, type_name=entity.name)
+                for value, confidence in self._extra_gazetteer_entries.get(
+                    entity.name, {}
+                ).items():
+                    recognizer.add(value, confidence)
+            elif entity.kind == KIND_REGEX:
+                recognizer = self.registry.get(entity.name)
+            else:  # pragma: no cover - kinds validated by the SOD layer
+                raise SodError(f"unknown recognizer kind {entity.kind!r}")
+            if entity.cover_node:
+                recognizer = FullNodeRecognizer(recognizer)
+            self.registry.register(recognizer, name=entity.name)
+            self.recognizers.append(recognizer)
+
+    def gazetteers(self) -> dict[str, GazetteerRecognizer]:
+        """The gazetteer recognizers in use, by entity-type name."""
+        return {
+            recognizer.type_name: recognizer
+            for recognizer in self.recognizers
+            if isinstance(recognizer, GazetteerRecognizer)
+        }
+
+    # -- pipeline ---------------------------------------------------------
+
+    def prepare_pages(self, raw_pages: list[str]) -> list[Element]:
+        """Tidy and clean raw HTML pages."""
+        return [clean_tree(tidy(raw)) for raw in raw_pages]
+
+    def run_source(self, source: str, raw_pages: list[str]) -> SourceResult:
+        """Run the full pipeline on raw HTML pages of one source.
+
+        With ``enrich_dictionaries`` and ``enrichment_passes > 1`` the
+        whole pipeline re-runs on fresh copies of the pages: every pass
+        annotates with the dictionaries the previous pass grew, so
+        coverage — and with it the wrapper — improves (the paper's
+        "use current annotations to discover new annotations" loop).
+        """
+        passes = max(1, self.params.enrichment_passes)
+        if not self.params.enrich_dictionaries:
+            passes = 1
+        result = SourceResult(source=source)
+        for pass_index in range(passes):
+            result = SourceResult(source=source)
+            started = time.perf_counter()
+            pages = self.prepare_pages(raw_pages)
+            result.timings.preprocess = time.perf_counter() - started
+            result = self._run_prepared(source, pages, result)
+            if result.discarded:
+                break
+            __ = pass_index
+        return result
+
+    def run_source_prepared(
+        self, source: str, pages: list[Element]
+    ) -> SourceResult:
+        """Run on already tidied/cleaned pages (shared-harness entry)."""
+        return self._run_prepared(source, pages, SourceResult(source=source))
+
+    def extract_with(self, wrapper: Wrapper, raw_pages: list[str]) -> SourceResult:
+        """Apply an existing (possibly persisted) wrapper to fresh pages.
+
+        Wrapping is the expensive step; this is the wrap-once /
+        extract-often path: load a wrapper with
+        :func:`repro.wrapper.serialize.wrapper_from_dict` and run it over a
+        re-crawl without re-annotating or re-inferring anything.
+        """
+        result = SourceResult(source=wrapper.source)
+        started = time.perf_counter()
+        pages = self.prepare_pages(raw_pages)
+        result.timings.preprocess = time.perf_counter() - started
+        started = time.perf_counter()
+        result.wrapper = wrapper
+        result.support_used = wrapper.support
+        result.conflicts = wrapper.conflicts
+        result.objects = extract_objects(wrapper, pages, source=wrapper.source)
+        result.timings.extraction = time.perf_counter() - started
+        return result
+
+    def run_sources(
+        self,
+        sources: dict[str, list[str]],
+        deduplicate_across: bool = False,
+        dedup_keys: tuple[str, ...] = (),
+    ) -> "MultiSourceResult":
+        """Run the pipeline over several sources of the same domain.
+
+        With ``deduplicate_across=True``, the pooled objects pass through
+        the de-duplication stage of the paper's Figure 1 architecture —
+        the Web's redundancy means the same real-world item often appears
+        on several sources.  ``dedup_keys`` names the identifying
+        attributes (defaults to exact agreement on all shared attributes).
+        """
+        from repro.core.dedup import DedupConfig, deduplicate
+
+        results: dict[str, SourceResult] = {}
+        pooled = []
+        for source, raw_pages in sources.items():
+            result = self.run_source(source, raw_pages)
+            results[source] = result
+            pooled.extend(result.objects)
+        merged = 0
+        if deduplicate_across:
+            outcome = deduplicate(
+                pooled, DedupConfig(key_attributes=dedup_keys)
+            )
+            pooled = outcome.objects
+            merged = outcome.merged
+        return MultiSourceResult(
+            results=results, objects=pooled, duplicates_merged=merged
+        )
+
+    def _run_prepared(
+        self, source: str, pages: list[Element], result: SourceResult
+    ) -> SourceResult:
+        params = self.params
+        started = time.perf_counter()
+        block_trees: list[BlockTree] | None = None
+        regions: list[Element] = pages
+        if params.use_segmentation:
+            block_trees = [segment_page(page) for page in pages]
+            signature = main_content_block(block_trees)
+            if signature is not None:
+                resolved: list[Element] = []
+                for page, tree in zip(pages, block_trees):
+                    block = find_block_by_signature(tree, signature)
+                    resolved.append(block.element if block else page)
+                regions = resolved
+        result.timings.preprocess += time.perf_counter() - started
+
+        # Annotation + sample selection (Algorithm 1, or the random
+        # baseline of Table II).
+        started = time.perf_counter()
+        term_frequency = None
+        if self._ontology is not None:
+            term_frequency = self._ontology.term_frequency
+        try:
+            sample_regions, sample_indexes = self._select_sample(
+                source, regions, block_trees, term_frequency
+            )
+        except SourceDiscardedError as exc:
+            result.discarded = True
+            result.discard_stage = exc.stage
+            result.discard_reason = exc.reason
+            result.timings.annotation = time.perf_counter() - started
+            return result
+        result.sample_page_indexes = sample_indexes
+        result.timings.annotation = time.perf_counter() - started
+
+        # Wrapper generation with automatic parameter variation: try each
+        # support value, keep the matched wrapper with fewest conflicting
+        # annotations (the self-validation loop of Section IV).
+        started = time.perf_counter()
+        best: Wrapper | None = None
+        last_error: SourceDiscardedError | None = None
+        for support in params.support_values:
+            config = WrapperConfig(
+                support=support,
+                use_annotations=True,
+                generalization_threshold=params.generalization_threshold,
+                chaos_ratio=params.chaos_ratio,
+            )
+            try:
+                wrapper = generate_wrapper(source, sample_regions, self.sod, config)
+            except SourceDiscardedError as exc:
+                last_error = exc
+                continue
+            if best is None or _wrapper_preference(wrapper) > _wrapper_preference(best):
+                best = wrapper
+            if best.match.matched and best.conflicts == 0:
+                break
+        result.timings.wrapping = time.perf_counter() - started
+        if best is None:
+            assert last_error is not None
+            result.discarded = True
+            result.discard_stage = last_error.stage
+            result.discard_reason = last_error.reason
+            return result
+
+        result.wrapper = best
+        result.support_used = best.support
+        result.conflicts = best.conflicts
+
+        started = time.perf_counter()
+        result.objects = extract_objects(best, pages, source=source)
+        result.timings.extraction = time.perf_counter() - started
+
+        if params.enrich_dictionaries:
+            self._enrich(best, result)
+        return result
+
+    # -- helpers ----------------------------------------------------------
+
+    def _select_sample(
+        self,
+        source: str,
+        regions: list[Element],
+        block_trees: list[BlockTree] | None,
+        term_frequency,
+    ) -> tuple[list[Element], list[int]]:
+        params = self.params
+        if params.sod_based_sampling:
+            run = select_sample(
+                source,
+                regions,
+                self.recognizers,
+                config=SampleSelectionConfig(
+                    sample_size=params.sample_size,
+                    alpha=params.alpha,
+                    enforce_alpha=params.enforce_alpha,
+                ),
+                term_frequency=term_frequency,
+                block_trees=block_trees,
+            )
+            return (
+                [page.root for page in run.sample],
+                [page.index for page in run.sample],
+            )
+        # Random-selection baseline: annotate a random page subset.
+        rng = DeterministicRng(params.sampling_seed).fork("random-sample", source)
+        indexes = sorted(
+            rng.sample(list(range(len(regions))), params.sample_size)
+        )
+        annotator = PageAnnotator()
+        sample: list[Element] = []
+        for index in indexes:
+            page = AnnotatedPage(root=regions[index], index=index)
+            for recognizer in self.recognizers:
+                annotator.annotate(page, recognizer)
+            sample.append(page.root)
+        return sample, indexes
+
+    def _enrich(self, wrapper: Wrapper, result: SourceResult) -> None:
+        """Feed extracted values back into the gazetteers (Eq. 4)."""
+        gazetteers = self.gazetteers()
+        values_by_type: dict[str, list[str]] = {}
+        for instance in result.objects:
+            for attribute, values in instance.flat().items():
+                values_by_type.setdefault(attribute, []).extend(values)
+        for type_name, gazetteer in gazetteers.items():
+            values = values_by_type.get(type_name, [])
+            if values:
+                enrich_dictionary(gazetteer, values, wrapper)
+
+
+def _wrapper_preference(wrapper: Wrapper) -> tuple[int, int, int]:
+    """Ordering key: matched first, then fewer conflicts, then more slots."""
+    return (
+        1 if wrapper.match.matched else 0,
+        -wrapper.conflicts,
+        len(wrapper.template.field_slots()),
+    )
+
+
+class ObjectRunnerSystem:
+    """Adapter exposing ObjectRunner behind the comparison interface."""
+
+    def __init__(
+        self,
+        ontology: Ontology | None = None,
+        corpus: Corpus | None = None,
+        gazetteer_classes: dict[str, str] | None = None,
+        params: RunParams | None = None,
+        extra_gazetteer_entries: dict[str, dict[str, float]] | None = None,
+    ):
+        self._ontology = ontology
+        self._corpus = corpus
+        self._gazetteer_classes = gazetteer_classes
+        self._params = params
+        self._extra_gazetteer_entries = extra_gazetteer_entries
+
+    @property
+    def name(self) -> str:
+        return "objectrunner"
+
+    def run(
+        self, source: str, pages: list[Element], sod: SodType
+    ) -> SystemOutput:
+        """Run the full pipeline on prepared pages of one source."""
+        runner = ObjectRunner(
+            sod=sod,
+            ontology=self._ontology,
+            corpus=self._corpus,
+            gazetteer_classes=self._gazetteer_classes,
+            params=self._params,
+            extra_gazetteer_entries=self._extra_gazetteer_entries,
+        )
+        result = runner.run_source_prepared(source, pages)
+        if result.discarded:
+            return SystemOutput(
+                system=self.name,
+                source=source,
+                failed=True,
+                failure_reason=result.discard_reason,
+            )
+        return SystemOutput(
+            system=self.name,
+            source=source,
+            objects=result.objects,
+            wrap_seconds=result.timings.wrapping,
+        )

@@ -1,0 +1,58 @@
+"""Run parameters of the full pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RunParams:
+    """Everything tunable about one ObjectRunner run.
+
+    Defaults follow the paper's experimental setup: sample of ~20 pages,
+    annotation-rate threshold alpha = 0.5, generalization threshold 0.7,
+    support varied automatically between 3 and 5.
+    """
+
+    sample_size: int = 20
+    alpha: float = 0.5
+    enforce_alpha: bool = True
+    generalization_threshold: float = 0.7
+    #: Support values tried by the automatic parameter-variation loop, in
+    #: order of preference.
+    support_values: tuple[int, ...] = (3, 4, 5)
+    #: Use the VIPS-style central-block simplification.
+    use_segmentation: bool = True
+    #: Select the wrapper sample by annotation scores (Algorithm 1); False
+    #: gives the random-selection baseline of Table II.
+    sod_based_sampling: bool = True
+    #: Enrich gazetteers from extraction results (Eq. 4).
+    enrich_dictionaries: bool = False
+    #: With enrichment on, run the whole pipeline this many times per
+    #: source: each pass re-annotates with the dictionaries the previous
+    #: pass grew (the paper's self-improving loop).
+    enrichment_passes: int = 1
+    #: Neighborhood radius for ontology lookups.
+    neighborhood_radius: int = 2
+    #: Random seed for the random-sampling baseline.
+    sampling_seed: int = 7
+    chaos_ratio: float = 0.5
+
+    def with_overrides(self, **kwargs) -> "RunParams":
+        """A copy with some fields replaced."""
+        data = {
+            "sample_size": self.sample_size,
+            "alpha": self.alpha,
+            "enforce_alpha": self.enforce_alpha,
+            "generalization_threshold": self.generalization_threshold,
+            "support_values": self.support_values,
+            "use_segmentation": self.use_segmentation,
+            "sod_based_sampling": self.sod_based_sampling,
+            "enrich_dictionaries": self.enrich_dictionaries,
+            "enrichment_passes": self.enrichment_passes,
+            "neighborhood_radius": self.neighborhood_radius,
+            "sampling_seed": self.sampling_seed,
+            "chaos_ratio": self.chaos_ratio,
+        }
+        data.update(kwargs)
+        return RunParams(**data)

@@ -1,0 +1,59 @@
+"""Result objects of a pipeline run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sod.instances import ObjectInstance
+from repro.wrapper.generate import Wrapper
+
+
+@dataclass
+class StageTimings:
+    """Wall-clock seconds per pipeline stage for one source."""
+
+    preprocess: float = 0.0
+    annotation: float = 0.0
+    wrapping: float = 0.0
+    extraction: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.preprocess + self.annotation + self.wrapping + self.extraction
+
+
+@dataclass
+class MultiSourceResult:
+    """Pooled outcome of a multi-source run (optionally de-duplicated)."""
+
+    results: dict[str, "SourceResult"] = field(default_factory=dict)
+    objects: list[ObjectInstance] = field(default_factory=list)
+    duplicates_merged: int = 0
+
+    @property
+    def sources_ok(self) -> int:
+        return sum(1 for result in self.results.values() if result.ok)
+
+    @property
+    def sources_discarded(self) -> int:
+        return sum(1 for result in self.results.values() if result.discarded)
+
+
+@dataclass
+class SourceResult:
+    """Everything ObjectRunner produced for one source."""
+
+    source: str
+    objects: list[ObjectInstance] = field(default_factory=list)
+    wrapper: Wrapper | None = None
+    discarded: bool = False
+    discard_stage: str = ""
+    discard_reason: str = ""
+    support_used: int = 0
+    conflicts: int = 0
+    timings: StageTimings = field(default_factory=StageTimings)
+    sample_page_indexes: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.discarded and self.wrapper is not None

@@ -1,0 +1,88 @@
+"""Deterministic synthetic Web-text corpus (ClueWeb stand-in).
+
+Generates sentences that mention entity-pool instances in Hearst contexts
+("Bands such as X performed"), in non-pattern contexts (raising
+``count(i)``) and pure distractor sentences, so the Str-ICNorm-Thresh
+statistics behave as they would over real Web text: redundant, correct
+pairs score high; rare or ambiguous strings are damped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.corpus.store import Corpus
+from repro.utils.rng import DeterministicRng
+
+_HEARST_TEMPLATES = [
+    "{type}s such as {x} are widely known.",
+    "Many {type}s including {x} appeared last year.",
+    "{x} and other {type}s were mentioned in the press.",
+    "{x} is a {type} with a large following.",
+    "Popular {type}s like {x} draw big crowds.",
+]
+
+_PLAIN_TEMPLATES = [
+    "Yesterday {x} was discussed on the radio.",
+    "The article about {x} ran for two pages.",
+    "Fans of {x} gathered downtown.",
+    "{x} made headlines again this week.",
+]
+
+_DISTRACTOR_SENTENCES = [
+    "The weather report predicted rain for the weekend.",
+    "Local traffic was heavy on the bridge this morning.",
+    "The committee postponed its vote until next month.",
+    "A new bakery opened near the station.",
+    "Officials announced changes to the bus schedule.",
+    "The library extended its opening hours.",
+    "Volunteers cleaned the riverside park on Sunday.",
+    "The museum unveiled a renovated east wing.",
+]
+
+
+@dataclass
+class CorpusSpec:
+    """What the synthetic corpus should contain.
+
+    ``type_instances`` maps a type name (e.g. ``"Band"``) to its true
+    instances.  ``pattern_rate`` controls how many Hearst-context sentences
+    each instance gets; ``mention_rate`` the plain mentions; ``noise``
+    the number of distractor sentences; ``false_pairs`` optional wrong
+    (instance, type) mentions that exercise the damping in Eq. 1.
+    """
+
+    type_instances: dict[str, list[str]]
+    pattern_rate: int = 3
+    mention_rate: int = 2
+    noise: int = 50
+    false_pairs: list[tuple[str, str]] = field(default_factory=list)
+    seed: int | str = "corpus"
+
+
+class CorpusGenerator:
+    """Builds a :class:`Corpus` from a :class:`CorpusSpec`, deterministically."""
+
+    def __init__(self, spec: CorpusSpec):
+        self._spec = spec
+        self._rng = DeterministicRng(spec.seed)
+
+    def build(self) -> Corpus:
+        """Generate all sentences and return the indexed corpus."""
+        corpus = Corpus()
+        rng = self._rng.fork("sentences")
+        for type_name in sorted(self._spec.type_instances):
+            instances = self._spec.type_instances[type_name]
+            for instance in instances:
+                for _ in range(self._spec.pattern_rate):
+                    template = rng.choice(_HEARST_TEMPLATES)
+                    corpus.add(template.format(type=type_name, x=instance))
+                for _ in range(self._spec.mention_rate):
+                    template = rng.choice(_PLAIN_TEMPLATES)
+                    corpus.add(template.format(x=instance))
+        for instance, type_name in self._spec.false_pairs:
+            template = rng.choice(_HEARST_TEMPLATES)
+            corpus.add(template.format(type=type_name, x=instance))
+        for _ in range(self._spec.noise):
+            corpus.add(rng.choice(_DISTRACTOR_SENTENCES))
+        return corpus

@@ -1,0 +1,110 @@
+"""Hearst patterns: parameterized textual patterns finding class instances.
+
+Patterns are of the form ``{type} such as {X}`` or ``{X} is a {type}``;
+matching a pattern against corpus sentences yields candidate instances for
+the type.  The classic pattern set (Hearst, COLING 1992) is provided by
+:func:`default_patterns`; users can add their own.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.corpus.store import Corpus
+
+#: What an instance mention may look like: 1-6 capitalized-ish words,
+#: allowing digits and inner punctuation (e.g. "B.B King Blues and Grill").
+#: The ``(?-i:...)`` scope keeps capitalization significant even though the
+#: surrounding pattern is compiled case-insensitively.
+_INSTANCE_RE = (
+    r"(?-i:[A-Z0-9][\w.'&-]*"
+    r"(?:(?:,\s+|\s+)(?:of|the|and|in|for|[A-Z0-9][\w.'&-]*)){0,8})"
+)
+
+
+@dataclass(frozen=True)
+class HearstPattern:
+    """One parameterized pattern.
+
+    ``template`` contains the placeholders ``{type}`` and ``{x}``; e.g.
+    ``"{type} such as {x}"``.  ``name`` identifies the pattern in the hit
+    counts of Eq. 1 (the ``p`` index of ``count(i, t, p)``).
+    """
+
+    name: str
+    template: str
+
+    def compile(self, type_name: str) -> re.Pattern[str]:
+        """Compile the pattern for a concrete type name."""
+        escaped = re.escape(type_name)
+        # The type name may appear pluralized ("Artists such as ...").
+        type_re = f"{escaped}e?s?"
+        body = re.escape(self.template)
+        body = body.replace(re.escape("{type}"), type_re)
+        body = body.replace(re.escape("{x}"), f"(?P<x>{_INSTANCE_RE})")
+        return re.compile(body, re.IGNORECASE)
+
+
+def default_patterns() -> list[HearstPattern]:
+    """The classic Hearst pattern set plus copular variants."""
+    return [
+        HearstPattern("such-as", "{type} such as {x}"),
+        HearstPattern("including", "{type} including {x}"),
+        HearstPattern("especially", "{type} especially {x}"),
+        HearstPattern("and-other", "{x} and other {type}"),
+        HearstPattern("or-other", "{x} or other {type}"),
+        HearstPattern("is-a", "{x} is a {type}"),
+        HearstPattern("is-an", "{x} is an {type}"),
+        HearstPattern("like", "{type} like {x}"),
+    ]
+
+
+@dataclass(frozen=True)
+class HearstMatch:
+    """One instance mention found by one pattern in one sentence."""
+
+    instance: str
+    type_name: str
+    pattern: str
+    sentence: str
+
+
+def _split_conjunction(candidate: str) -> list[str]:
+    """Split "X, Y and Z" enumerations into individual instances."""
+    parts = re.split(r",\s*|\s+and\s+|\s+or\s+", candidate)
+    return [part.strip() for part in parts if part.strip()]
+
+
+def find_matches(
+    corpus: Corpus,
+    type_name: str,
+    patterns: list[HearstPattern] | None = None,
+    split_enumerations: bool = True,
+) -> list[HearstMatch]:
+    """Run all patterns for ``type_name`` over the corpus.
+
+    Only sentences containing the type name are scanned (via the corpus
+    index), which keeps this linear in the number of *relevant* sentences.
+    """
+    patterns = patterns if patterns is not None else default_patterns()
+    matches: list[HearstMatch] = []
+    relevant = corpus.sentences_with_phrase(type_name)
+    for pattern in patterns:
+        compiled = pattern.compile(type_name)
+        for sentence in relevant:
+            for hit in compiled.finditer(sentence):
+                raw = hit.group("x")
+                candidates = _split_conjunction(raw) if split_enumerations else [raw]
+                for candidate in candidates:
+                    if not candidate or candidate.lower() == type_name.lower():
+                        continue
+                    matches.append(
+                        HearstMatch(
+                            instance=candidate,
+                            type_name=type_name,
+                            pattern=pattern.name,
+                            sentence=sentence,
+                        )
+                    )
+    return matches

@@ -1,0 +1,104 @@
+"""An indexed sentence corpus with hit counting.
+
+The Str-ICNorm-Thresh metric needs three statistics from the corpus:
+``count(i, t, p)`` (hits of instance/type pair under pattern p),
+``count(i)`` (hits of the instance string anywhere) and ``count(t)``
+(hits of the type name).  The store keeps a token-level inverted index so
+these counts stay fast even for large synthetic corpora.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.utils.text import collapse_whitespace, tokenize_words
+
+
+def _stems(word: str) -> set[str]:
+    """Light plural stems so "bands"/"venues" are findable via their singular.
+
+    Both the indexer and the query expand through this, so any shared stem
+    connects them ("venues" -> {venues, venue, venu}; query "venue" ->
+    {venue, venu}).
+    """
+    stems = {word}
+    if len(word) > 2 and word.endswith("s"):
+        stems.add(word[:-1])
+    if len(word) > 3 and word.endswith("es"):
+        stems.add(word[:-2])
+    return stems
+
+
+class Corpus:
+    """A collection of sentences with an inverted token index."""
+
+    def __init__(self, sentences: Iterable[str] = ()):
+        self._sentences: list[str] = []
+        self._lower: list[str] = []
+        self._index: dict[str, set[int]] = defaultdict(set)
+        for sentence in sentences:
+            self.add(sentence)
+
+    def add(self, sentence: str) -> None:
+        """Add one sentence to the corpus."""
+        sentence = collapse_whitespace(sentence)
+        if not sentence:
+            return
+        position = len(self._sentences)
+        self._sentences.append(sentence)
+        self._lower.append(sentence.lower())
+        for word in set(tokenize_words(sentence.lower())):
+            for stem in _stems(word):
+                self._index[stem].add(position)
+
+    def __len__(self) -> int:
+        return len(self._sentences)
+
+    def sentences(self) -> Iterator[str]:
+        return iter(self._sentences)
+
+    # -- lookups -----------------------------------------------------------
+
+    def candidate_sentence_ids(self, phrase: str) -> set[int]:
+        """Sentence ids that contain every word of ``phrase`` (superset of hits)."""
+        words = tokenize_words(phrase.lower())
+        if not words:
+            return set()
+        posting_lists = []
+        for word in words:
+            postings: set[int] = set()
+            for stem in _stems(word):
+                postings |= self._index.get(stem, set())
+            posting_lists.append(postings)
+        smallest = min(posting_lists, key=len)
+        result = set(smallest)
+        for postings in posting_lists:
+            result &= postings
+            if not result:
+                break
+        return result
+
+    def count_phrase(self, phrase: str) -> int:
+        """Number of sentences containing ``phrase`` as a substring.
+
+        Case-insensitive; this is the ``count(i)`` / ``count(t)`` statistic
+        of Eq. 1.
+        """
+        phrase_lower = collapse_whitespace(phrase).lower()
+        if not phrase_lower:
+            return 0
+        return sum(
+            1
+            for sid in self.candidate_sentence_ids(phrase_lower)
+            if phrase_lower in self._lower[sid]
+        )
+
+    def sentences_with_phrase(self, phrase: str) -> list[str]:
+        """The sentences containing ``phrase`` (case-insensitive substring)."""
+        phrase_lower = collapse_whitespace(phrase).lower()
+        return [
+            self._sentences[sid]
+            for sid in sorted(self.candidate_sentence_ids(phrase_lower))
+            if phrase_lower in self._lower[sid]
+        ]

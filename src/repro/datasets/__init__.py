@@ -1,0 +1,47 @@
+"""Synthetic structured-Web datasets (the paper's 5 domains, 49 sources).
+
+The paper evaluated on live Web sites from five domains (concerts, albums,
+books, publications, cars), selected through Mechanical Turk.  Those pages
+no longer exist; per DESIGN.md we substitute a deterministic generator that
+reproduces the structural phenomena the paper's outcomes hinge on:
+
+- template-based list and detail pages with chrome and noise;
+- optional attributes present or absent per source;
+- "too regular" lists (constant record count) that defeat RoadRunner;
+- inline-concatenated attributes (partial extractions);
+- structurally inconsistent attribute placement (incorrect extractions);
+- one unstructured source that the annotation gate should discard.
+
+Modules: :mod:`pools` (entity pools), :mod:`golden` (gold objects),
+:mod:`sites` (site specs + HTML rendering), :mod:`knowledge` (ontology and
+corpus seeding with a dictionary-coverage knob), :mod:`catalog` (the 49
+sources of Table I with the paper's reported numbers).
+"""
+
+from repro.datasets.catalog import (
+    CatalogEntry,
+    PaperNumbers,
+    catalog_entries,
+    entries_for_domain,
+)
+from repro.datasets.domains import DOMAINS, DomainSpec, domain_spec
+from repro.datasets.golden import GoldObject, generate_gold
+from repro.datasets.knowledge import DomainKnowledge, build_knowledge
+from repro.datasets.sites import GeneratedSource, SiteSpec, generate_source
+
+__all__ = [
+    "CatalogEntry",
+    "PaperNumbers",
+    "catalog_entries",
+    "entries_for_domain",
+    "DOMAINS",
+    "DomainSpec",
+    "domain_spec",
+    "GoldObject",
+    "generate_gold",
+    "DomainKnowledge",
+    "build_knowledge",
+    "GeneratedSource",
+    "SiteSpec",
+    "generate_source",
+]

@@ -1,0 +1,121 @@
+"""The five evaluation domains and their SODs (paper Section IV-A).
+
+Each :class:`DomainSpec` carries the SOD (exactly as the paper describes
+it), the flat attribute names used by evaluation, which attribute is
+optional, and which entity types are open (*isInstanceOf*, dictionary-
+built) versus predefined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sod.dsl import parse_sod
+from repro.sod.types import SodType
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One evaluation domain."""
+
+    name: str
+    sod_text: str
+    #: Flat attribute names in gold/eval order.
+    attributes: tuple[str, ...]
+    #: The attribute the paper marks optional for this domain.
+    optional_attribute: str | None
+    #: Entity types resolved by gazetteer (isInstanceOf); the rest are
+    #: predefined recognizers.
+    gazetteer_types: tuple[str, ...]
+    #: Ontology class each gazetteer type draws from.
+    gazetteer_classes: dict[str, str] = field(default_factory=dict)
+    #: Flat-attribute key holding each gazetteer type's values in gold
+    #: objects (differs from the type name for set members, e.g. the
+    #: ``author`` entity type's values live under the ``authors`` key).
+    gazetteer_flat_keys: dict[str, str] = field(default_factory=dict)
+
+    def flat_key(self, type_name: str) -> str:
+        return self.gazetteer_flat_keys.get(type_name, type_name)
+
+    @property
+    def sod(self) -> SodType:
+        return parse_sod(self.sod_text)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+
+#: Concerts: tuple(artist, date, location(theater, address?)) — two-level.
+_CONCERTS = DomainSpec(
+    name="concerts",
+    sod_text=(
+        "concert(artist, date<kind=predefined>, "
+        "location(theater, address<kind=predefined>?))"
+    ),
+    attributes=("artist", "date", "theater", "address"),
+    optional_attribute="address",
+    gazetteer_types=("artist", "theater"),
+    gazetteer_classes={"artist": "Artist", "theater": "Theater"},
+)
+
+#: Albums: tuple(title, artist, price, date?) — flat.
+_ALBUMS = DomainSpec(
+    name="albums",
+    sod_text=(
+        "album(title, artist, price<kind=predefined>, "
+        "date<kind=predefined,recognizer=date>?)"
+    ),
+    attributes=("title", "artist", "price", "date"),
+    optional_attribute="date",
+    gazetteer_types=("title", "artist"),
+    gazetteer_classes={"title": "Album", "artist": "Artist"},
+)
+
+#: Books: tuple(title, price, date?, authors:{author}+) — two-level.
+_BOOKS = DomainSpec(
+    name="books",
+    sod_text=(
+        "book(title, price<kind=predefined>, "
+        "date<kind=predefined,recognizer=date>?, authors:{author}+)"
+    ),
+    attributes=("title", "price", "date", "authors"),
+    optional_attribute="date",
+    gazetteer_types=("title", "author"),
+    gazetteer_classes={"title": "Book", "author": "Author"},
+    gazetteer_flat_keys={"author": "authors"},
+)
+
+#: Publications: tuple(title, date?, authors:{author}+) — two-level.
+_PUBLICATIONS = DomainSpec(
+    name="publications",
+    sod_text=(
+        "publication(title, date<kind=predefined,recognizer=date>?, "
+        "authors:{author}+)"
+    ),
+    attributes=("title", "date", "authors"),
+    optional_attribute="date",
+    gazetteer_types=("title", "author"),
+    gazetteer_classes={"title": "Publication", "author": "Author"},
+    gazetteer_flat_keys={"author": "authors"},
+)
+
+#: Cars: tuple(brand, price) — flat.
+_CARS = DomainSpec(
+    name="cars",
+    sod_text="car(brand, price<kind=predefined>)",
+    attributes=("brand", "price"),
+    optional_attribute=None,
+    gazetteer_types=("brand",),
+    gazetteer_classes={"brand": "CarBrand"},
+)
+
+DOMAINS: dict[str, DomainSpec] = {
+    spec.name: spec
+    for spec in (_CONCERTS, _ALBUMS, _BOOKS, _PUBLICATIONS, _CARS)
+}
+
+
+def domain_spec(name: str) -> DomainSpec:
+    """Look up a domain by name."""
+    return DOMAINS[name]

@@ -1,0 +1,78 @@
+"""Exporting generated sources to disk.
+
+Writes a :class:`~repro.datasets.sites.GeneratedSource` as a directory of
+HTML files plus the golden standard and the dictionary files the CLI's
+``--dict`` flag consumes — so the whole Table I corpus can exist as plain
+files for external tools (or for ``python -m repro extract``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.datasets.domains import domain_spec
+from repro.datasets.knowledge import completion_entries
+from repro.datasets.sites import GeneratedSource
+
+
+def export_source(
+    source: GeneratedSource,
+    directory: str | Path,
+    dictionary_coverage: float = 0.2,
+) -> Path:
+    """Write one source to ``directory``; returns the directory path.
+
+    Layout::
+
+        <dir>/pages/page-000.html ...
+        <dir>/gold.jsonl                 one gold object per line
+        <dir>/dicts/<type>.txt           per-source completed dictionaries
+        <dir>/source.json                spec metadata + the domain's SOD
+    """
+    directory = Path(directory)
+    pages_dir = directory / "pages"
+    dicts_dir = directory / "dicts"
+    pages_dir.mkdir(parents=True, exist_ok=True)
+    dicts_dir.mkdir(parents=True, exist_ok=True)
+
+    for index, page in enumerate(source.pages):
+        (pages_dir / f"page-{index:03d}.html").write_text(page, encoding="utf-8")
+
+    with open(directory / "gold.jsonl", "w", encoding="utf-8") as handle:
+        for gold in source.gold:
+            handle.write(
+                json.dumps(
+                    {"page": gold.page_index, "values": gold.values},
+                    ensure_ascii=False,
+                )
+                + "\n"
+            )
+
+    domain = domain_spec(source.spec.domain)
+    completion = completion_entries(
+        domain,
+        source.gold,
+        coverage=dictionary_coverage,
+        seed=("completion", source.spec.name),
+    )
+    for type_name, entries in completion.items():
+        (dicts_dir / f"{type_name}.txt").write_text(
+            "\n".join(sorted(entries)) + "\n", encoding="utf-8"
+        )
+
+    (directory / "source.json").write_text(
+        json.dumps(
+            {
+                "name": source.spec.name,
+                "domain": source.spec.domain,
+                "page_type": source.spec.page_type,
+                "archetype": source.spec.archetype,
+                "total_objects": source.spec.total_objects,
+                "sod": domain.sod_text,
+            },
+            indent=2,
+        ),
+        encoding="utf-8",
+    )
+    return directory

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library throws with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class HtmlParseError(ReproError):
+    """Raised when HTML input is so malformed that not even tidying helps."""
+
+
+class SodError(ReproError):
+    """Raised for invalid Structured Object Descriptions."""
+
+
+class SodSyntaxError(SodError):
+    """Raised when the SOD DSL text cannot be parsed."""
+
+
+class RecognizerError(ReproError):
+    """Raised for recognizer configuration problems (e.g. bad regexes)."""
+
+
+class UnknownTypeError(RecognizerError):
+    """Raised when an entity type has no registered recognizer."""
+
+
+class AnnotationError(ReproError):
+    """Raised when the annotation stage is misconfigured."""
+
+
+class SourceDiscardedError(ReproError):
+    """Raised when a source fails a quality gate and is discarded.
+
+    The paper's pipeline discards sources with unsatisfactory annotation
+    levels (threshold ``alpha`` over visual blocks) or whose equivalence-class
+    hierarchy can no longer match the SOD.  The ``stage`` attribute records
+    which gate fired.
+    """
+
+    def __init__(self, source: str, stage: str, reason: str):
+        super().__init__(f"source {source!r} discarded at {stage}: {reason}")
+        self.source = source
+        self.stage = stage
+        self.reason = reason
+
+
+class WrapperError(ReproError):
+    """Raised when wrapper generation fails for internal reasons."""
+
+
+class MatchingError(WrapperError):
+    """Raised when the SOD cannot be matched against the template tree."""
+
+
+class DatasetError(ReproError):
+    """Raised for dataset-generation configuration problems."""
+
+
+class EvaluationError(ReproError):
+    """Raised when evaluation inputs are inconsistent (e.g. missing gold)."""

@@ -1,0 +1,30 @@
+"""Golden-standard evaluation (paper Section IV-B).
+
+Implements the paper's grading scheme mechanically:
+
+- attributes are *correct* (values match the gold), *partially correct*
+  (values of several attributes extracted together as displayed, or one
+  attribute's values spread over separate fields), or *incorrect* (mixed
+  values of distinct attributes);
+- objects inherit the worst class of their attributes;
+- ``Pc = Oc / No`` and ``Pp = (Oc + Op) / No``.
+
+Baseline outputs are unlabelled rows, so :mod:`repro.eval.columns` first
+maps columns to SOD attributes against the gold (the mechanical analogue
+of the paper's manual grading of baseline output).
+"""
+
+from repro.eval.classify import SourceEvaluation, grade_source
+from repro.eval.columns import map_columns
+from repro.eval.metrics import DomainMetrics, aggregate_domain
+from repro.eval.report import format_table1_row, render_comparison_table
+
+__all__ = [
+    "SourceEvaluation",
+    "grade_source",
+    "map_columns",
+    "DomainMetrics",
+    "aggregate_domain",
+    "format_table1_row",
+    "render_comparison_table",
+]

@@ -1,0 +1,110 @@
+"""Mapping unlabelled output columns onto SOD attributes.
+
+The paper's authors graded ExAlg/RoadRunner output by hand.  The
+mechanical analogue: score every output column against every attribute by
+how often its values coincide with the gold values of that attribute on
+the same page, then keep every (column, attribute) pairing above a
+threshold.  Several columns may map to one attribute — that is precisely
+the "values of the same entity type extracted as instances of separate
+fields" situation the paper classifies as partially correct.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.baselines.interface import TableRecord
+from repro.datasets.domains import DomainSpec
+from repro.datasets.golden import GoldObject
+from repro.utils.text import normalize_text
+
+#: Minimum agreement for a column to be assigned to an attribute.
+ASSIGNMENT_THRESHOLD = 0.35
+
+
+def _gold_values_by_page(
+    gold: list[GoldObject],
+) -> dict[int, dict[str, set[str]]]:
+    by_page: dict[int, dict[str, set[str]]] = defaultdict(lambda: defaultdict(set))
+    for gold_object in gold:
+        for attribute, values in gold_object.normalized_flat().items():
+            by_page[gold_object.page_index][attribute].update(values)
+    return by_page
+
+
+def _value_matches(value: str, gold_values: set[str]) -> float:
+    """1.0 for an exact gold value, 0.5 on containment either way.
+
+    The half-score covers both a column that concatenates an attribute with
+    something else (value contains gold) and a column holding only a
+    component of a composite attribute (gold contains value, e.g. the
+    street field of a street+zip address).
+    """
+    if value in gold_values:
+        return 1.0
+    for gold_value in gold_values:
+        if not gold_value:
+            continue
+        if gold_value in value or (value and value in gold_value):
+            return 0.5
+    return 0.0
+
+
+def map_columns(
+    records: list[TableRecord],
+    gold: list[GoldObject],
+    domain: DomainSpec,
+    threshold: float = ASSIGNMENT_THRESHOLD,
+) -> dict[int, str]:
+    """Column id -> attribute name, for every column above the threshold."""
+    gold_by_page = _gold_values_by_page(gold)
+    scores: dict[int, dict[str, float]] = defaultdict(lambda: defaultdict(float))
+    counts: dict[int, int] = defaultdict(int)
+    for record in records:
+        page_gold = gold_by_page.get(record.page_index, {})
+        for column, values in record.columns.items():
+            counts[column] += 1
+            for attribute in domain.attributes:
+                gold_values = page_gold.get(attribute, set())
+                if not gold_values:
+                    continue
+                best = max(
+                    (
+                        _value_matches(normalize_text(value), gold_values)
+                        for value in values
+                    ),
+                    default=0.0,
+                )
+                scores[column][attribute] += best
+    mapping: dict[int, str] = {}
+    for column, attribute_scores in scores.items():
+        total = counts[column]
+        if not total:
+            continue
+        attribute, score = max(
+            attribute_scores.items(), key=lambda item: (item[1], item[0])
+        )
+        if score / total >= threshold:
+            mapping[column] = attribute
+    return mapping
+
+
+def records_to_attribute_rows(
+    records: list[TableRecord],
+    mapping: dict[int, str],
+) -> list[tuple[int, dict[str, list[str]]]]:
+    """Project records through the column mapping.
+
+    Returns ``(page_index, attribute -> raw values)`` rows; unmapped
+    columns are dropped (they are data outside the targeted SOD).
+    """
+    rows: list[tuple[int, dict[str, list[str]]]] = []
+    for record in records:
+        attributes: dict[str, list[str]] = defaultdict(list)
+        for column, values in record.columns.items():
+            attribute = mapping.get(column)
+            if attribute is not None:
+                attributes[attribute].extend(values)
+        if attributes:
+            rows.append((record.page_index, dict(attributes)))
+    return rows

@@ -1,0 +1,93 @@
+"""Domain-level aggregation of source evaluations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.classify import SourceEvaluation
+
+
+@dataclass
+class DomainMetrics:
+    """Aggregates over a domain's sources (Table II/III rows, Figure 6)."""
+
+    domain: str
+    system: str
+    evaluations: list[SourceEvaluation] = field(default_factory=list)
+
+    @property
+    def objects_total(self) -> int:
+        return sum(e.objects_total for e in self.evaluations)
+
+    @property
+    def objects_correct(self) -> int:
+        return sum(e.objects_correct for e in self.evaluations)
+
+    @property
+    def objects_partial(self) -> int:
+        return sum(e.objects_partial for e in self.evaluations)
+
+    @property
+    def objects_incorrect(self) -> int:
+        return sum(e.objects_incorrect for e in self.evaluations)
+
+    @property
+    def precision_correct(self) -> float:
+        """Pc over the whole domain (objects pooled across sources)."""
+        total = self.objects_total
+        return self.objects_correct / total if total else 0.0
+
+    @property
+    def precision_partial(self) -> float:
+        """Pp over the whole domain."""
+        total = self.objects_total
+        if not total:
+            return 0.0
+        return (self.objects_correct + self.objects_partial) / total
+
+    @property
+    def correct_rate(self) -> float:
+        """Figure 6(a): rate of correct objects."""
+        return self.precision_correct
+
+    @property
+    def partial_rate(self) -> float:
+        """Figure 6(a): rate of partially correct objects."""
+        total = self.objects_total
+        return self.objects_partial / total if total else 0.0
+
+    @property
+    def incorrect_rate(self) -> float:
+        """Figure 6(a): rate of incorrect (or missed) objects."""
+        total = self.objects_total
+        if not total:
+            return 0.0
+        missed = total - self.objects_correct - self.objects_partial - self.objects_incorrect
+        return (self.objects_incorrect + max(0, missed)) / total
+
+    @property
+    def incomplete_source_rate(self) -> float:
+        """Figure 6(b): fraction of sources with any partial/incorrect attribute.
+
+        Sources with no gold objects (the unstructured ones every sensible
+        system should discard) are excluded from the denominator — there is
+        nothing there to manage completely or incompletely.
+        """
+        graded = [e for e in self.evaluations if e.objects_total > 0]
+        if not graded:
+            return 0.0
+        incomplete = sum(
+            1
+            for evaluation in graded
+            if evaluation.discarded
+            or evaluation.attrs_partial > 0
+            or evaluation.attrs_incorrect > 0
+        )
+        return incomplete / len(graded)
+
+
+def aggregate_domain(
+    domain: str, system: str, evaluations: list[SourceEvaluation]
+) -> DomainMetrics:
+    """Bundle per-source evaluations into domain metrics."""
+    return DomainMetrics(domain=domain, system=system, evaluations=list(evaluations))

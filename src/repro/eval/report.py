@@ -1,0 +1,84 @@
+"""Plain-text rendering of the paper's tables for the benchmark harness."""
+
+from __future__ import annotations
+
+from repro.datasets.catalog import CatalogEntry
+from repro.eval.classify import SourceEvaluation
+from repro.eval.metrics import DomainMetrics
+
+
+def format_table1_row(
+    entry: CatalogEntry, evaluation: SourceEvaluation | None
+) -> str:
+    """One Table I row: paper numbers next to measured ones."""
+    paper = entry.paper
+    name = entry.spec.name
+    if paper.discarded:
+        paper_part = "discarded"
+    else:
+        paper_part = (
+            f"A {paper.attrs_correct}/{paper.attrs_partial}/"
+            f"{paper.attrs_incorrect} of {paper.attrs_total}  "
+            f"O {paper.objects_correct}/{paper.objects_partial}/"
+            f"{paper.objects_incorrect} of {paper.objects_total}"
+        )
+    if evaluation is None:
+        measured_part = "not run"
+    elif evaluation.discarded:
+        measured_part = "discarded"
+    else:
+        measured_part = (
+            f"A {evaluation.attrs_correct}/{evaluation.attrs_partial}/"
+            f"{evaluation.attrs_incorrect}  "
+            f"O {evaluation.objects_correct}/{evaluation.objects_partial}/"
+            f"{evaluation.objects_incorrect} of {evaluation.objects_total}"
+        )
+    return f"{entry.row:>2}. {name:<24} paper[{paper_part}]  measured[{measured_part}]"
+
+
+def render_comparison_table(
+    title: str,
+    metrics_by_system: dict[str, list[DomainMetrics]],
+    paper_rows: dict[str, dict[str, tuple[float, float]]] | None = None,
+) -> str:
+    """A Table III-style block: per domain, Pc/Pp per system.
+
+    ``paper_rows`` optionally supplies the published numbers as
+    ``domain -> system -> (Pc, Pp)`` (percentages) for side-by-side
+    comparison.
+    """
+    lines = [title, "=" * len(title)]
+    systems = list(metrics_by_system)  # caller's ordering (OR first reads best)
+    domains: list[str] = []
+    for metrics_list in metrics_by_system.values():
+        for metrics in metrics_list:
+            if metrics.domain not in domains:
+                domains.append(metrics.domain)
+    header = f"{'domain':<14}" + "".join(
+        f"{system + ' Pc':>12}{system + ' Pp':>12}" for system in systems
+    )
+    lines.append(header)
+    for domain in domains:
+        row = f"{domain:<14}"
+        for system in systems:
+            metrics = next(
+                (m for m in metrics_by_system[system] if m.domain == domain), None
+            )
+            if metrics is None:
+                row += f"{'-':>12}{'-':>12}"
+            else:
+                row += (
+                    f"{100 * metrics.precision_correct:>11.1f}%"
+                    f"{100 * metrics.precision_partial:>11.1f}%"
+                )
+        lines.append(row)
+        if paper_rows and domain in paper_rows:
+            row = f"{'  (paper)':<14}"
+            for system in systems:
+                numbers = paper_rows[domain].get(system)
+                if numbers is None:
+                    row += f"{'-':>12}{'-':>12}"
+                else:
+                    row += f"{numbers[0]:>11.1f}%{numbers[1]:>11.1f}%"
+            lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Tolerant tree builder: token stream -> DOM, tag soup allowed.
+
+The builder applies browser-like recovery rules (auto-closing ``<li>``,
+``<p>``, table parts; ignoring stray end tags; closing open elements at end
+of input).  The output tree is already structurally sound; :mod:`tidy`
+wraps this with whole-document normalization (ensuring html/body, etc.).
+"""
+
+from __future__ import annotations
+
+from repro.htmlkit.dom import Element, Node, Text
+from repro.htmlkit.tokenizer import tokenize_html
+from repro.htmlkit.tokens import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+)
+
+#: Elements that never have content (HTML void elements).
+VOID_ELEMENTS = frozenset(
+    {
+        "area", "base", "br", "col", "embed", "hr", "img", "input",
+        "link", "meta", "param", "source", "track", "wbr",
+    }
+)
+
+#: opening tag -> set of open tags it implicitly closes.
+_IMPLICIT_CLOSERS: dict[str, frozenset[str]] = {
+    "li": frozenset({"li"}),
+    "p": frozenset({"p"}),
+    "option": frozenset({"option"}),
+    "tr": frozenset({"tr", "td", "th"}),
+    "td": frozenset({"td", "th"}),
+    "th": frozenset({"td", "th"}),
+    "dt": frozenset({"dt", "dd"}),
+    "dd": frozenset({"dt", "dd"}),
+    "thead": frozenset({"thead", "tbody", "tfoot"}),
+    "tbody": frozenset({"thead", "tbody", "tfoot"}),
+    "tfoot": frozenset({"thead", "tbody", "tfoot"}),
+}
+
+#: Elements whose end tag may legitimately be omitted; when a mismatched end
+#: tag arrives we may close through them.
+_CLOSABLE_THROUGH = frozenset(
+    {"li", "p", "option", "tr", "td", "th", "dt", "dd", "tbody", "thead", "tfoot", "span", "a", "b", "i", "em", "strong", "small", "div"}
+)
+
+
+def parse_html(source: str) -> Element:
+    """Parse HTML text into a DOM tree rooted at a synthetic ``#document``.
+
+    Never raises on malformed markup.  The returned root is an element with
+    tag ``#document``; its children are the top-level nodes found in the
+    input (typically a single ``<html>`` element after tidying).
+    """
+    root = Element("#document")
+    stack: list[Element] = [root]
+
+    def current() -> Element:
+        return stack[-1]
+
+    def open_tags() -> list[str]:
+        return [element.tag for element in stack[1:]]
+
+    for token in tokenize_html(source):
+        if isinstance(token, (CommentToken, DoctypeToken)):
+            # Comments and doctypes carry no data for extraction; the paper's
+            # cleaning step drops them, we simply never materialize them.
+            continue
+        if isinstance(token, TextToken):
+            if token.text:
+                current().append(Text(token.text))
+            continue
+        if isinstance(token, StartTagToken):
+            closers = _IMPLICIT_CLOSERS.get(token.name)
+            if closers:
+                while len(stack) > 1 and current().tag in closers:
+                    stack.pop()
+            element = Element(token.name, dict(token.attributes))
+            current().append(element)
+            if token.name not in VOID_ELEMENTS and not token.self_closing:
+                stack.append(element)
+            continue
+        if isinstance(token, EndTagToken):
+            name = token.name
+            if name in VOID_ELEMENTS:
+                continue
+            tags = open_tags()
+            if name not in tags:
+                # Stray end tag: ignore, like browsers do.
+                continue
+            # Close up to and including the matching open element, but only
+            # pop through elements whose end tags are omissible; if we would
+            # have to force-close something structural (e.g. a <table> to
+            # match a stray </div> outside it), give up and ignore the tag.
+            depth = len(stack) - 1 - open_tags()[::-1].index(name)
+            for intermediate in stack[depth + 1 :]:
+                if intermediate.tag not in _CLOSABLE_THROUGH:
+                    break
+            else:
+                del stack[depth:]
+                continue
+            # Unpoppable intermediate: ignore the end tag.
+            continue
+    return root

@@ -1,0 +1,52 @@
+"""Serialize a DOM back to HTML text (used by examples, datasets and tests)."""
+
+from __future__ import annotations
+
+import html as _htmlmod
+
+from repro.htmlkit.dom import Element, Node, Text
+from repro.htmlkit.parser import VOID_ELEMENTS
+
+
+def _escape_text(text: str) -> str:
+    return _htmlmod.escape(text, quote=False)
+
+
+def _escape_attr(value: str) -> str:
+    return _htmlmod.escape(value, quote=True)
+
+
+def _serialize(node: Node, parts: list[str], indent: int, pretty: bool) -> None:
+    pad = "  " * indent if pretty else ""
+    newline = "\n" if pretty else ""
+    if isinstance(node, Text):
+        text = _escape_text(node.text)
+        if text.strip() or not pretty:
+            parts.append(f"{pad}{text.strip() if pretty else text}{newline}")
+        return
+    assert isinstance(node, Element)
+    if node.tag == "#document":
+        for child in node.children:
+            _serialize(child, parts, indent, pretty)
+        return
+    attrs = "".join(
+        f' {key}="{_escape_attr(value)}"' for key, value in node.attributes.items()
+    )
+    if node.tag in VOID_ELEMENTS:
+        parts.append(f"{pad}<{node.tag}{attrs}/>{newline}")
+        return
+    parts.append(f"{pad}<{node.tag}{attrs}>{newline}")
+    for child in node.children:
+        _serialize(child, parts, indent + 1, pretty)
+    parts.append(f"{pad}</{node.tag}>{newline}")
+
+
+def to_html(node: Node, pretty: bool = False) -> str:
+    """Render a DOM subtree as HTML text.
+
+    With ``pretty=True`` the output is indented one level per tree depth,
+    which is convenient for debugging and for golden files in tests.
+    """
+    parts: list[str] = []
+    _serialize(node, parts, 0, pretty)
+    return "".join(parts)

@@ -1,0 +1,126 @@
+"""JTidy-style document normalization.
+
+The paper runs JTidy to turn often-malformed HTML into well-formed XML
+before extraction.  :func:`tidy` plays that role here: it parses with the
+tolerant tree builder, then normalizes the document shape so downstream
+stages can assume a canonical ``html > body > ...`` tree:
+
+- guarantees a single ``<html>`` root with a ``<body>``;
+- hoists stray top-level nodes into the body;
+- merges adjacent text nodes;
+- drops pure-whitespace text nodes between block elements.
+"""
+
+from __future__ import annotations
+
+from repro.htmlkit.dom import Element, Node, Text
+from repro.htmlkit.parser import parse_html
+
+#: Block-level elements between which whitespace-only text is insignificant.
+_BLOCK_ELEMENTS = frozenset(
+    {
+        "html", "body", "head", "div", "ul", "ol", "li", "table", "thead",
+        "tbody", "tfoot", "tr", "td", "th", "p", "h1", "h2", "h3", "h4",
+        "h5", "h6", "section", "article", "nav", "header", "footer", "form",
+        "dl", "dt", "dd", "blockquote", "pre",
+    }
+)
+
+_HEAD_ONLY = frozenset({"title", "meta", "link", "base", "style"})
+
+
+def _merge_text_nodes(element: Element) -> None:
+    merged: list[Node] = []
+    for child in element.children:
+        if (
+            isinstance(child, Text)
+            and merged
+            and isinstance(merged[-1], Text)
+        ):
+            merged[-1] = Text(merged[-1].text + child.text)
+        else:
+            merged.append(child)
+    element.replace_children(merged)
+    for child in element.children:
+        if isinstance(child, Element):
+            _merge_text_nodes(child)
+
+
+def _strip_interblock_whitespace(element: Element) -> None:
+    keep: list[Node] = []
+    for child in element.children:
+        if isinstance(child, Text) and not child.text.strip():
+            if element.tag in _BLOCK_ELEMENTS:
+                continue
+        keep.append(child)
+    element.replace_children(keep)
+    for child in element.children:
+        if isinstance(child, Element):
+            _strip_interblock_whitespace(child)
+
+
+def tidy(source: str) -> Element:
+    """Parse and normalize an HTML document.
+
+    Returns the ``<html>`` element of a well-formed tree.  Whatever the
+    input looked like, the result has exactly one ``<body>`` containing all
+    content nodes, with head-only elements collected under ``<head>``.
+    """
+    document = parse_html(source)
+
+    html = None
+    loose: list[Node] = []
+    for child in list(document.children):
+        if isinstance(child, Element) and child.tag == "html":
+            if html is None:
+                html = child
+            else:
+                loose.extend(child.children)
+        else:
+            loose.append(child)
+    if html is None:
+        html = Element("html")
+
+    head = html.find("head")
+    body = None
+    for child in html.children:
+        if isinstance(child, Element) and child.tag == "body":
+            body = child
+            break
+    if head is None:
+        head = Element("head")
+        html.insert(0, head)
+    if body is None:
+        body = Element("body")
+        # Everything directly under <html> that is not the head moves into
+        # the body.
+        strays = [
+            child
+            for child in list(html.children)
+            if child is not head and child is not body
+        ]
+        for stray in strays:
+            html.remove(stray)
+        html.append(body)
+        for stray in strays:
+            body.append(stray)
+
+    # Unwrap stray body/head wrappers (from duplicate <html> roots) so the
+    # document keeps exactly one of each.
+    flattened: list[Node] = []
+    for node in loose:
+        if isinstance(node, Element) and node.tag in ("body", "head"):
+            flattened.extend(node.children)
+        else:
+            flattened.append(node)
+    for node in flattened:
+        if isinstance(node, Element) and node.tag in _HEAD_ONLY:
+            head.append(node)
+        elif isinstance(node, Text) and not node.text.strip():
+            continue
+        else:
+            body.append(node)
+
+    _merge_text_nodes(html)
+    _strip_interblock_whitespace(html)
+    return html

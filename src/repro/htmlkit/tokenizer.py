@@ -1,0 +1,164 @@
+"""A streaming, tolerant HTML lexer.
+
+Turns raw HTML text into a sequence of :mod:`repro.htmlkit.tokens`.  The
+lexer never raises on malformed input; it recovers the way browsers do
+(a stray ``<`` that does not start a tag is emitted as text, unterminated
+tags are closed at end of input, etc.).  Structural repair (nesting) is the
+job of :mod:`repro.htmlkit.tidy`, not the lexer.
+"""
+
+from __future__ import annotations
+
+import html as _htmlmod
+import re
+from typing import Iterator
+
+from repro.htmlkit.tokens import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    MarkupToken,
+    StartTagToken,
+    TextToken,
+)
+
+_TAG_NAME_RE = re.compile(r"[A-Za-z][-A-Za-z0-9:]*")
+_ATTR_RE = re.compile(
+    r"""
+    \s*
+    (?P<name>[^\s=/>"'][^\s=/>]*)           # attribute name
+    (?:
+        \s*=\s*
+        (?P<value>
+            "(?P<dq>[^"]*)"                 # double-quoted
+          | '(?P<sq>[^']*)'                 # single-quoted
+          | (?P<uq>[^\s>]*)                 # unquoted
+        )
+    )?
+    """,
+    re.VERBOSE,
+)
+
+#: Elements whose content is raw text until the matching end tag.
+RAWTEXT_ELEMENTS = frozenset({"script", "style", "textarea", "title"})
+
+
+def _decode(text: str) -> str:
+    """Decode HTML entities (&amp;, &#65;, ...) into characters."""
+    if "&" not in text:
+        return text
+    return _htmlmod.unescape(text)
+
+
+def tokenize_html(source: str) -> Iterator[MarkupToken]:
+    """Yield markup tokens for ``source``.
+
+    The lexer handles comments, doctypes, CDATA-ish blocks, rawtext elements
+    (``<script>``/``<style>`` content is one text token), quoted/unquoted
+    attributes and self-closing tags.  It is deliberately permissive: any
+    byte sequence produces *some* token stream.
+    """
+    pos = 0
+    length = len(source)
+    while pos < length:
+        lt = source.find("<", pos)
+        if lt == -1:
+            yield TextToken(pos, text=_decode(source[pos:]))
+            return
+        if lt > pos:
+            yield TextToken(pos, text=_decode(source[pos:lt]))
+        pos = lt
+        # Comment?
+        if source.startswith("<!--", pos):
+            end = source.find("-->", pos + 4)
+            if end == -1:
+                yield CommentToken(pos, text=source[pos + 4 :])
+                return
+            yield CommentToken(pos, text=source[pos + 4 : end])
+            pos = end + 3
+            continue
+        # Doctype / other declarations?
+        if source.startswith("<!", pos):
+            end = source.find(">", pos + 2)
+            if end == -1:
+                yield DoctypeToken(pos, text=source[pos + 2 :])
+                return
+            yield DoctypeToken(pos, text=source[pos + 2 : end])
+            pos = end + 1
+            continue
+        # Processing instruction (<? ... ?>) — skip like browsers treat bogus
+        # comments.
+        if source.startswith("<?", pos):
+            end = source.find(">", pos + 2)
+            if end == -1:
+                return
+            pos = end + 1
+            continue
+        # End tag?
+        if source.startswith("</", pos):
+            match = _TAG_NAME_RE.match(source, pos + 2)
+            if match is None:
+                # "</ " or similar garbage: emit "<" as text, move on.
+                yield TextToken(pos, text="<")
+                pos += 1
+                continue
+            name = match.group(0).lower()
+            end = source.find(">", match.end())
+            if end == -1:
+                yield EndTagToken(pos, name=name)
+                return
+            yield EndTagToken(pos, name=name)
+            pos = end + 1
+            continue
+        # Start tag?
+        match = _TAG_NAME_RE.match(source, pos + 1)
+        if match is None:
+            # A lone "<" that does not begin a tag: literal text.
+            yield TextToken(pos, text="<")
+            pos += 1
+            continue
+        name = match.group(0).lower()
+        cursor = match.end()
+        attributes: list[tuple[str, str]] = []
+        self_closing = False
+        while cursor < length:
+            if source[cursor] == ">":
+                cursor += 1
+                break
+            if source.startswith("/>", cursor):
+                self_closing = True
+                cursor += 2
+                break
+            attr_match = _ATTR_RE.match(source, cursor)
+            if attr_match is None or attr_match.end() == cursor:
+                cursor += 1
+                continue
+            attr_name = attr_match.group("name").lower()
+            raw_value = (
+                attr_match.group("dq")
+                if attr_match.group("dq") is not None
+                else attr_match.group("sq")
+                if attr_match.group("sq") is not None
+                else attr_match.group("uq") or ""
+            )
+            attributes.append((attr_name, _decode(raw_value)))
+            cursor = attr_match.end()
+        yield StartTagToken(
+            pos,
+            name=name,
+            attributes=tuple(attributes),
+            self_closing=self_closing,
+        )
+        pos = cursor
+        # Rawtext elements swallow everything up to their end tag.
+        if name in RAWTEXT_ELEMENTS and not self_closing:
+            close_re = re.compile(rf"</{name}\s*>", re.IGNORECASE)
+            close = close_re.search(source, pos)
+            if close is None:
+                yield TextToken(pos, text=source[pos:])
+                yield EndTagToken(length, name=name)
+                return
+            if close.start() > pos:
+                yield TextToken(pos, text=source[pos : close.start()])
+            yield EndTagToken(close.start(), name=name)
+            pos = close.end()

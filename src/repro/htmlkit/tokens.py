@@ -1,0 +1,60 @@
+"""Lexical token types produced by the HTML tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class MarkupToken:
+    """Base class for all markup tokens.
+
+    ``position`` is the character offset of the token start in the source,
+    kept so error messages and debugging output can point back to the input.
+    """
+
+    position: int
+
+
+@dataclass(frozen=True)
+class StartTagToken(MarkupToken):
+    """An opening tag like ``<div class="x">`` (or self-closing ``<br/>``)."""
+
+    name: str = ""
+    attributes: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+    self_closing: bool = False
+
+    def attribute(self, name: str, default: str | None = None) -> str | None:
+        """Return the value of attribute ``name`` (first occurrence)."""
+        for key, value in self.attributes:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class EndTagToken(MarkupToken):
+    """A closing tag like ``</div>``."""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class TextToken(MarkupToken):
+    """A run of character data between tags (entities already decoded)."""
+
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class CommentToken(MarkupToken):
+    """An HTML comment ``<!-- ... -->``."""
+
+    text: str = ""
+
+
+@dataclass(frozen=True)
+class DoctypeToken(MarkupToken):
+    """A ``<!DOCTYPE ...>`` declaration."""
+
+    text: str = ""

@@ -1,0 +1,98 @@
+"""Ontology I/O in YAGO's TSV fact format.
+
+YAGO distributes its knowledge as tab-separated ``subject  relation
+object  confidence`` rows; this module reads and writes that shape so
+external fact collections can feed the recognizer builder directly::
+
+    Metallica\tisInstanceOf\tBand\t0.95
+    Band\tsubClassOf\tArtist\t1.0
+    #termFrequency lines record corpus frequencies:
+    Metallica\ttermFrequency\t2.5
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.errors import ReproError
+from repro.kb.ontology import Fact, Ontology
+
+_TERM_FREQUENCY = "termFrequency"
+
+
+def parse_facts(lines: Iterable[str]) -> tuple[list[Fact], dict[str, float]]:
+    """Parse TSV fact lines; returns (facts, term frequencies).
+
+    Blank lines and ``#`` comments are skipped.  Raises
+    :class:`~repro.errors.ReproError` with a line number on malformed rows.
+    """
+    facts: list[Fact] = []
+    frequencies: dict[str, float] = {}
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        parts = line.split("\t")
+        if len(parts) == 3 and parts[1] == _TERM_FREQUENCY:
+            try:
+                frequencies[parts[0]] = float(parts[2])
+            except ValueError as exc:
+                raise ReproError(
+                    f"line {line_number}: bad term frequency {parts[2]!r}"
+                ) from exc
+            continue
+        if len(parts) not in (3, 4):
+            raise ReproError(
+                f"line {line_number}: expected 3-4 tab-separated fields, "
+                f"got {len(parts)}"
+            )
+        confidence = 1.0
+        if len(parts) == 4:
+            try:
+                confidence = float(parts[3])
+            except ValueError as exc:
+                raise ReproError(
+                    f"line {line_number}: bad confidence {parts[3]!r}"
+                ) from exc
+        subject, relation, obj = parts[0], parts[1], parts[2]
+        if not subject or not relation or not obj:
+            raise ReproError(f"line {line_number}: empty field")
+        facts.append(Fact(subject, relation, obj, confidence))
+    return facts, frequencies
+
+
+def load_ontology(path: str | Path) -> Ontology:
+    """Load an ontology from a TSV fact file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        facts, frequencies = parse_facts(handle)
+    ontology = Ontology()
+    ontology.bulk_load(facts)
+    for entity, frequency in frequencies.items():
+        ontology.set_term_frequency(entity, frequency)
+    return ontology
+
+
+def dump_ontology(ontology: Ontology, target: str | Path | TextIO) -> None:
+    """Write an ontology's facts as TSV (term frequencies excluded —
+    :class:`Ontology` does not enumerate them)."""
+    if hasattr(target, "write"):
+        _write_facts(ontology, target)  # type: ignore[arg-type]
+        return
+    with open(target, "w", encoding="utf-8") as handle:
+        _write_facts(ontology, handle)
+
+
+def _write_facts(ontology: Ontology, handle: TextIO) -> None:
+    for fact in ontology.facts():
+        handle.write(
+            f"{fact.subject}\t{fact.relation}\t{fact.obj}\t{fact.confidence}\n"
+        )
+
+
+def load_corpus_file(path: str | Path):
+    """Load a sentence-per-line text file as a :class:`Corpus`."""
+    from repro.corpus.store import Corpus
+
+    with open(path, "r", encoding="utf-8") as handle:
+        return Corpus(line.strip() for line in handle if line.strip())

@@ -1,0 +1,127 @@
+"""An in-memory ontology with YAGO-flavoured relations.
+
+Stores ``isInstanceOf(entity, class)`` and ``subClassOf(class, class)``
+facts, each with a confidence value (YAGO facts carry confidences, which
+the paper reuses directly as gazetteer scores), plus per-entity term
+frequencies used by the selectivity estimate (paper Eq. 2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class Fact:
+    """One ontology fact: ``subject --relation--> obj`` with a confidence."""
+
+    subject: str
+    relation: str
+    obj: str
+    confidence: float = 1.0
+
+
+IS_INSTANCE_OF = "isInstanceOf"
+SUB_CLASS_OF = "subClassOf"
+RELATED_TO = "relatedTo"
+
+
+class Ontology:
+    """Fact store with instance/class indexes.
+
+    Class names are case-insensitive (``Artist`` == ``artist``); entity
+    names keep their surface form, since that is what must be matched in
+    page text.
+    """
+
+    def __init__(self) -> None:
+        self._facts: list[Fact] = []
+        self._instances_by_class: dict[str, dict[str, float]] = defaultdict(dict)
+        self._classes_by_instance: dict[str, set[str]] = defaultdict(set)
+        self._superclasses: dict[str, set[str]] = defaultdict(set)
+        self._subclasses: dict[str, set[str]] = defaultdict(set)
+        self._related: dict[str, set[str]] = defaultdict(set)
+        self._term_frequency: dict[str, float] = {}
+
+    # -- loading -----------------------------------------------------------
+
+    def add_fact(self, fact: Fact) -> None:
+        """Index one fact."""
+        self._facts.append(fact)
+        if fact.relation == IS_INSTANCE_OF:
+            class_name = fact.obj.lower()
+            existing = self._instances_by_class[class_name].get(fact.subject, 0.0)
+            self._instances_by_class[class_name][fact.subject] = max(
+                existing, fact.confidence
+            )
+            self._classes_by_instance[fact.subject].add(class_name)
+        elif fact.relation == SUB_CLASS_OF:
+            self._superclasses[fact.subject.lower()].add(fact.obj.lower())
+            self._subclasses[fact.obj.lower()].add(fact.subject.lower())
+        elif fact.relation == RELATED_TO:
+            self._related[fact.subject.lower()].add(fact.obj.lower())
+            self._related[fact.obj.lower()].add(fact.subject.lower())
+
+    def add_instance(
+        self, entity: str, class_name: str, confidence: float = 1.0
+    ) -> None:
+        """Convenience for ``isInstanceOf`` facts."""
+        self.add_fact(Fact(entity, IS_INSTANCE_OF, class_name, confidence))
+
+    def add_subclass(
+        self, subclass: str, superclass: str, confidence: float = 1.0
+    ) -> None:
+        """Convenience for ``subClassOf`` facts."""
+        self.add_fact(Fact(subclass, SUB_CLASS_OF, superclass, confidence))
+
+    def add_related(self, class_a: str, class_b: str) -> None:
+        """Mark two classes as semantically close (undirected)."""
+        self.add_fact(Fact(class_a, RELATED_TO, class_b))
+
+    def set_term_frequency(self, entity: str, frequency: float) -> None:
+        """Record how common the entity string is in general text."""
+        self._term_frequency[entity] = frequency
+
+    def bulk_load(self, facts: Iterable[Fact]) -> None:
+        """Index many facts."""
+        for fact in facts:
+            self.add_fact(fact)
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def facts(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def classes(self) -> set[str]:
+        """All class names seen in any fact."""
+        names = set(self._instances_by_class)
+        names.update(self._superclasses)
+        names.update(self._subclasses)
+        names.update(self._related)
+        return names
+
+    def instances_of(self, class_name: str) -> dict[str, float]:
+        """Direct instances of a class: entity -> confidence."""
+        return dict(self._instances_by_class.get(class_name.lower(), {}))
+
+    def classes_of(self, entity: str) -> set[str]:
+        """Direct classes of an entity."""
+        return set(self._classes_by_instance.get(entity, set()))
+
+    def superclasses_of(self, class_name: str) -> set[str]:
+        return set(self._superclasses.get(class_name.lower(), set()))
+
+    def subclasses_of(self, class_name: str) -> set[str]:
+        return set(self._subclasses.get(class_name.lower(), set()))
+
+    def related_classes(self, class_name: str) -> set[str]:
+        return set(self._related.get(class_name.lower(), set()))
+
+    def term_frequency(self, entity: str, default: float = 1.0) -> float:
+        """Term frequency of an entity string (1.0 if unknown)."""
+        return self._term_frequency.get(entity, default)

@@ -1,0 +1,253 @@
+"""Phase-two querying over extracted objects (Figure 1's query interface).
+
+The paper's thesis is a *two-phase* querying of the Web: phase one states
+the SOD and harvests objects; phase two queries the harvested collection.
+This module provides the minimal phase-two engine: predicate filtering,
+ordering and projection over :class:`~repro.sod.instances.ObjectInstance`
+collections, with value coercion for the string-typed attributes extraction
+produces (prices compare numerically, dates chronologically).
+
+Example::
+
+    cheap = (
+        Query(result.objects)
+        .where("price", "<", 20)
+        .where("artist", "contains", "crimson")
+        .order_by("price")
+        .limit(5)
+        .select("title", "artist", "price")
+    )
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable
+
+from repro.errors import ReproError
+from repro.sod.instances import ObjectInstance
+from repro.utils.text import normalize_text
+
+_NUMBER_RE = re.compile(r"-?\d{1,3}(?:,\d{3})*(?:\.\d+)?|-?\d+(?:\.\d+)?")
+
+_MONTHS = {
+    name: index + 1
+    for index, name in enumerate(
+        [
+            "january", "february", "march", "april", "may", "june", "july",
+            "august", "september", "october", "november", "december",
+        ]
+    )
+}
+_DATE_RE = re.compile(
+    r"(?P<month>[A-Za-z]+)\s+(?P<day>\d{1,2})(?:\s*,\s*(?P<year>\d{4}))?",
+)
+
+
+def coerce_number(value: str) -> float | None:
+    """The first number in a string, commas tolerated ("$1,250.00" -> 1250.0)."""
+    match = _NUMBER_RE.search(value)
+    if match is None:
+        return None
+    return float(match.group(0).replace(",", ""))
+
+
+def coerce_date(value: str) -> tuple[int, int, int] | None:
+    """A sortable (year, month, day) from our textual date formats.
+
+    Dates without a year sort before dated ones (year 0) rather than
+    failing — phase-two ordering must tolerate extraction's looseness.
+    """
+    match = _DATE_RE.search(value)
+    if match is None:
+        return None
+    month = _MONTHS.get(match.group("month").lower())
+    if month is None:
+        return None
+    year = int(match.group("year")) if match.group("year") else 0
+    return (year, month, int(match.group("day")))
+
+
+def _first_value(instance: ObjectInstance, attribute: str) -> str | None:
+    values = instance.flat().get(attribute)
+    return values[0] if values else None
+
+
+def _all_values(instance: ObjectInstance, attribute: str) -> list[str]:
+    return instance.flat().get(attribute, [])
+
+
+_Predicate = Callable[[ObjectInstance], bool]
+
+
+def _comparison(attribute: str, op: str, operand) -> _Predicate:
+    def numeric(instance: ObjectInstance) -> bool:
+        value = _first_value(instance, attribute)
+        if value is None:
+            return False
+        number = coerce_number(value)
+        if number is None:
+            return False
+        if op == "<":
+            return number < float(operand)
+        if op == "<=":
+            return number <= float(operand)
+        if op == ">":
+            return number > float(operand)
+        return number >= float(operand)
+
+    return numeric
+
+
+def _make_predicate(attribute: str, op: str, operand) -> _Predicate:
+    op = op.strip()
+    if op in ("<", "<=", ">", ">="):
+        return _comparison(attribute, op, operand)
+    if op in ("=", "=="):
+        target = normalize_text(str(operand))
+        return lambda instance: any(
+            normalize_text(value) == target
+            for value in _all_values(instance, attribute)
+        )
+    if op == "!=":
+        target = normalize_text(str(operand))
+        return lambda instance: all(
+            normalize_text(value) != target
+            for value in _all_values(instance, attribute)
+        )
+    if op == "contains":
+        needle = normalize_text(str(operand))
+        return lambda instance: any(
+            needle in normalize_text(value)
+            for value in _all_values(instance, attribute)
+        )
+    if op == "exists":
+        return lambda instance: bool(_all_values(instance, attribute))
+    raise ReproError(f"unknown query operator {op!r}")
+
+
+class Query:
+    """A fluent, immutable query over extracted objects.
+
+    Every clause returns a new :class:`Query`; terminal methods
+    (:meth:`all`, :meth:`select`, :meth:`count`, :meth:`first`) evaluate.
+    """
+
+    def __init__(self, objects: Iterable[ObjectInstance]):
+        self._objects = list(objects)
+        self._predicates: list[_Predicate] = []
+        self._order: tuple[str, bool] | None = None
+        self._limit: int | None = None
+
+    def _clone(self) -> "Query":
+        clone = Query(self._objects)
+        clone._predicates = list(self._predicates)
+        clone._order = self._order
+        clone._limit = self._limit
+        return clone
+
+    # -- clauses -----------------------------------------------------------
+
+    def where(self, attribute: str, op: str, operand=None) -> "Query":
+        """Filter by a predicate: ``=``, ``!=``, ``<``/``<=``/``>``/``>=``
+        (numeric coercion), ``contains`` (normalized substring) or
+        ``exists``."""
+        clone = self._clone()
+        clone._predicates.append(_make_predicate(attribute, op, operand))
+        return clone
+
+    def order_by(self, attribute: str, descending: bool = False) -> "Query":
+        """Order results by an attribute (numbers and dates sort natively)."""
+        clone = self._clone()
+        clone._order = (attribute, descending)
+        return clone
+
+    def limit(self, count: int) -> "Query":
+        """Keep at most ``count`` results."""
+        clone = self._clone()
+        clone._limit = count
+        return clone
+
+    # -- terminals ---------------------------------------------------------
+
+    def all(self) -> list[ObjectInstance]:
+        """Evaluate and return the matching instances."""
+        matched = [
+            instance
+            for instance in self._objects
+            if all(predicate(instance) for predicate in self._predicates)
+        ]
+        if self._order is not None:
+            attribute, descending = self._order
+            matched.sort(
+                key=lambda instance: _sort_key(instance, attribute),
+                reverse=descending,
+            )
+        if self._limit is not None:
+            matched = matched[: self._limit]
+        return matched
+
+    def count(self) -> int:
+        """Number of matching instances."""
+        return len(self.all())
+
+    def first(self) -> ObjectInstance | None:
+        """The first matching instance, or None."""
+        matched = self.all()
+        return matched[0] if matched else None
+
+    def select(self, *attributes: str) -> list[dict[str, str | list[str]]]:
+        """Project matching instances onto the named attributes."""
+        rows = []
+        for instance in self.all():
+            flat = instance.flat()
+            row: dict[str, str | list[str]] = {}
+            for attribute in attributes:
+                values = flat.get(attribute, [])
+                row[attribute] = values[0] if len(values) == 1 else values
+            rows.append(row)
+        return rows
+
+    def distinct(self, attribute: str) -> list[str]:
+        """The distinct (normalized-deduplicated) values of an attribute.
+
+        Surface forms are preserved; the first spelling of each normalized
+        value wins.
+        """
+        seen: set[str] = set()
+        out: list[str] = []
+        for instance in self.all():
+            for value in _all_values(instance, attribute):
+                key = normalize_text(value)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(value)
+        return out
+
+    def group_by(self, attribute: str) -> dict[str, list[ObjectInstance]]:
+        """Group matching instances by an attribute's normalized value.
+
+        Instances lacking the attribute group under the empty string.
+        Useful for phase-two aggregates::
+
+            {artist: len(albums) for artist, albums in query.group_by("artist").items()}
+        """
+        groups: dict[str, list[ObjectInstance]] = {}
+        for instance in self.all():
+            value = _first_value(instance, attribute)
+            key = normalize_text(value) if value is not None else ""
+            groups.setdefault(key, []).append(instance)
+        return groups
+
+
+def _sort_key(instance: ObjectInstance, attribute: str):
+    value = _first_value(instance, attribute)
+    if value is None:
+        return (3, "")
+    date = coerce_date(value)
+    if date is not None:
+        return (0, date)
+    number = coerce_number(value)
+    if number is not None:
+        return (1, number)
+    return (2, normalize_text(value))

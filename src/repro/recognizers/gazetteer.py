@@ -1,0 +1,148 @@
+"""Dictionary-based (isInstanceOf) recognizers.
+
+A gazetteer maps instance surface forms to confidences.  Matching is done
+over word boundaries with a longest-match-first strategy, using a token
+index so that scanning a page is linear in the page length rather than the
+dictionary size.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Mapping
+
+from repro.recognizers.base import Match
+from repro.utils.text import collapse_whitespace
+
+
+def _entry_key(value: str) -> str:
+    return collapse_whitespace(value).lower()
+
+
+class GazetteerRecognizer:
+    """A recognizer backed by a dictionary of instances with confidences.
+
+    ``selectivity`` defaults to the paper's intuition for open types: a
+    dictionary with few, long, distinctive entries is highly selective; a
+    huge one of short strings is not.  It can be overridden.
+    """
+
+    def __init__(
+        self,
+        type_name: str,
+        entries: Mapping[str, float] | Iterable[str],
+        selectivity: float | None = None,
+        case_sensitive: bool = False,
+    ):
+        if not isinstance(entries, Mapping):
+            entries = {entry: 1.0 for entry in entries}
+        self._type_name = type_name
+        self._case_sensitive = case_sensitive
+        self._entries: dict[str, float] = {}
+        self._surface: dict[str, str] = {}
+        for value, confidence in entries.items():
+            self.add(value, confidence)
+        self._explicit_selectivity = selectivity
+
+    # -- dictionary management -------------------------------------------
+
+    def add(self, value: str, confidence: float = 1.0) -> None:
+        """Add (or raise the confidence of) one dictionary entry."""
+        surface = collapse_whitespace(value)
+        if not surface:
+            return
+        key = surface if self._case_sensitive else _entry_key(surface)
+        if confidence >= self._entries.get(key, 0.0):
+            self._entries[key] = confidence
+            self._surface[key] = surface
+
+    def remove(self, value: str) -> None:
+        """Drop an entry if present."""
+        key = value if self._case_sensitive else _entry_key(value)
+        self._entries.pop(key, None)
+        self._surface.pop(key, None)
+
+    def entries(self) -> dict[str, float]:
+        """Surface form -> confidence for every entry."""
+        return {self._surface[key]: conf for key, conf in self._entries.items()}
+
+    def confidence_of(self, value: str) -> float:
+        """Confidence of ``value`` (0.0 if absent)."""
+        key = value if self._case_sensitive else _entry_key(value)
+        return self._entries.get(key, 0.0)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, value: str) -> bool:
+        key = value if self._case_sensitive else _entry_key(value)
+        return key in self._entries
+
+    # -- Recognizer protocol ----------------------------------------------
+
+    @property
+    def type_name(self) -> str:
+        return self._type_name
+
+    def find(self, text: str) -> list[Match]:
+        """All dictionary hits in ``text``, longest match first per offset."""
+        if not self._entries:
+            return []
+        haystack = text if self._case_sensitive else text.lower()
+        # Group entries by their first word for a cheap candidate filter.
+        matches: list[Match] = []
+        word_re = re.compile(r"[\w$€£]+")
+        words = list(word_re.finditer(haystack))
+        # Precompute: first token of each entry -> entry keys.
+        first_token_index: dict[str, list[str]] = {}
+        for key in self._entries:
+            first = word_re.search(key)
+            if first is None:
+                continue
+            first_token_index.setdefault(first.group(0), []).append(key)
+        taken_until = -1
+        for word in words:
+            candidates = first_token_index.get(word.group(0))
+            if not candidates:
+                continue
+            best: tuple[int, str] | None = None
+            for key in candidates:
+                end = word.start() + len(key)
+                if haystack[word.start() : end] != key:
+                    continue
+                # Word-boundary check on the right side.
+                if end < len(haystack) and (haystack[end].isalnum() or haystack[end] == "_"):
+                    continue
+                if best is None or end > best[0]:
+                    best = (end, key)
+            if best is None:
+                continue
+            end, key = best
+            if word.start() < taken_until:
+                continue  # inside a previous (longer) match of this type
+            taken_until = end
+            value = text[word.start() : end]
+            matches.append(
+                Match(
+                    start=word.start(),
+                    end=end,
+                    value=value,
+                    type_name=self._type_name,
+                    confidence=self._entries[key],
+                )
+            )
+        return matches
+
+    def accepts(self, text: str) -> bool:
+        return text.strip() != "" and (text.strip() in self)
+
+    def selectivity_weight(self) -> float:
+        """Eq. 2-style estimate: long distinctive entries are selective."""
+        if self._explicit_selectivity is not None:
+            return self._explicit_selectivity
+        if not self._entries:
+            return 0.0
+        average_length = sum(len(key) for key in self._entries) / len(self._entries)
+        # Long multi-word entries are distinctive; huge dictionaries less so.
+        size_penalty = 1.0 + len(self._entries) / 10_000.0
+        return average_length / (8.0 * size_penalty)

@@ -1,0 +1,107 @@
+"""System-predefined recognizers: dates, addresses, prices, phones, etc.
+
+These mirror the paper's "system predefined" recognizer kind.  Each factory
+returns a fresh :class:`RegexRecognizer` with calibrated confidence and
+selectivity.  The patterns are deliberately tolerant — the paper stresses
+that recognizers are neither precise nor complete, and the wrapper stage is
+designed to absorb that.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import UnknownTypeError
+from repro.recognizers.regexes import RegexRecognizer
+
+_MONTH = (
+    r"(?:Jan(?:uary)?|Feb(?:ruary)?|Mar(?:ch)?|Apr(?:il)?|May|Jun(?:e)?|"
+    r"Jul(?:y)?|Aug(?:ust)?|Sep(?:t(?:ember)?)?|Oct(?:ober)?|Nov(?:ember)?|"
+    r"Dec(?:ember)?)"
+)
+_WEEKDAY = (
+    r"(?:Mon(?:day)?|Tue(?:s(?:day)?)?|Wed(?:nesday)?|Thu(?:r(?:s(?:day)?)?)?|"
+    r"Fri(?:day)?|Sat(?:urday)?|Sun(?:day)?)"
+)
+_TIME = r"(?:[01]?\d|2[0-3])[:.][0-5]\d\s*(?:[ap]\.?m\.?|[ap])?|(?:[01]?\d)\s*[ap]\.?m\.?"
+
+#: Textual dates: "Saturday August 8, 2010 8:00pm", "May 11, 8:00pm",
+#: "June 19 7:00p", "12/05/2010", "2010-08-08".
+_DATE_PATTERNS = [
+    rf"{_WEEKDAY},?\s+{_MONTH}\s+\d{{1,2}}(?:\s*,\s*\d{{4}})?(?:\s+(?:{_TIME}))?",
+    rf"{_MONTH}\s+\d{{1,2}}(?:\s*,\s*\d{{4}})?(?:\s+(?:{_TIME}))?",
+    rf"\d{{1,2}}\s+{_MONTH}\s+\d{{4}}",
+    r"\d{4}-\d{2}-\d{2}",
+    r"\d{1,2}/\d{1,2}/\d{2,4}",
+]
+
+#: Street addresses: "237 West 42nd street", "4 Penn Plaza", "Delancey St".
+_STREET_SUFFIX = (
+    r"(?:St(?:reet)?|Ave(?:nue)?|Blvd|Boulevard|Rd|Road|Dr(?:ive)?|Plaza|"
+    r"Pl(?:ace)?|Ln|Lane|Way|Ct|Court|Sq(?:uare)?|Terrace|Pkwy|Parkway)"
+)
+_ADDRESS_PATTERNS = [
+    rf"\d{{1,5}}\s+(?:[NSEW]\.?\s+|West\s+|East\s+|North\s+|South\s+)?"
+    rf"[A-Z0-9][\w.'-]*(?:\s+[A-Z0-9][\w.'-]*){{0,3}}\s+{_STREET_SUFFIX}\.?",
+    rf"[A-Z][\w.'-]+(?:\s+[A-Z][\w.'-]+){{0,2}}\s+{_STREET_SUFFIX}\.?",
+    r"\b\d{5}(?:-\d{4})?\b",  # zip codes
+]
+
+_PRICE_PATTERNS = [
+    r"(?:\$|USD\s?|EUR\s?|€|£)\s?\d{1,3}(?:,\d{3})*(?:\.\d{2})?",
+    r"\d{1,3}(?:,\d{3})*(?:\.\d{2})?\s?(?:dollars|euros)",
+]
+
+_PHONE_PATTERNS = [
+    r"(?:\+?1[\s.-]?)?\(?\d{3}\)?[\s.-]\d{3}[\s.-]\d{4}",
+]
+
+_ISBN_PATTERNS = [
+    r"(?:97[89][- ]?)?\d{1,5}[- ]?\d{1,7}[- ]?\d{1,7}[- ]?[\dX]\b",
+]
+
+_YEAR_PATTERNS = [r"\b(?:19|20)\d{2}\b"]
+
+_EMAIL_PATTERNS = [r"[\w.+-]+@[\w-]+\.[\w.]+"]
+
+_URL_PATTERNS = [r"https?://[^\s<>\"]+|www\.[^\s<>\"]+"]
+
+#: name -> (patterns, confidence, selectivity).  Selectivity is the paper's
+#: "types with likely few witness pages/instances first" ordering weight:
+#: prices/years are everywhere (low), ISBNs or phone numbers rare (high).
+_PREDEFINED: dict[str, tuple[list[str], float, float]] = {
+    "date": (_DATE_PATTERNS, 0.9, 2.0),
+    "address": (_ADDRESS_PATTERNS, 0.75, 1.5),
+    "price": (_PRICE_PATTERNS, 0.95, 1.0),
+    "phone": (_PHONE_PATTERNS, 0.95, 4.0),
+    "isbn": (_ISBN_PATTERNS, 0.85, 5.0),
+    "year": (_YEAR_PATTERNS, 0.7, 0.8),
+    "email": (_EMAIL_PATTERNS, 0.98, 4.0),
+    "url": (_URL_PATTERNS, 0.98, 3.0),
+}
+
+
+def predefined_names() -> list[str]:
+    """Names of all predefined recognizers."""
+    return sorted(_PREDEFINED)
+
+
+def predefined_recognizer(name: str, type_name: str | None = None) -> RegexRecognizer:
+    """Instantiate a predefined recognizer.
+
+    ``type_name`` overrides the emitted type label, so an SOD can bind an
+    entity type called e.g. ``release_date`` to the ``date`` recognizer.
+    """
+    key = name.lower()
+    if key not in _PREDEFINED:
+        raise UnknownTypeError(
+            f"no predefined recognizer {name!r}; known: {predefined_names()}"
+        )
+    patterns, confidence, selectivity = _PREDEFINED[key]
+    return RegexRecognizer(
+        type_name or name,
+        patterns,
+        confidence=confidence,
+        selectivity=selectivity,
+        flags=re.IGNORECASE,
+    )

@@ -1,0 +1,75 @@
+"""Regex-backed recognizers (user-defined kind)."""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import RecognizerError
+from repro.recognizers.base import Match
+
+
+class RegexRecognizer:
+    """A recognizer defined by one or more regular expressions.
+
+    ``selectivity`` expresses how rare matches of this type are expected to
+    be; predefined types ship calibrated values, user types default to 1.0.
+    """
+
+    def __init__(
+        self,
+        type_name: str,
+        patterns: str | list[str],
+        confidence: float = 0.9,
+        selectivity: float = 1.0,
+        flags: int = re.IGNORECASE,
+    ):
+        if isinstance(patterns, str):
+            patterns = [patterns]
+        if not patterns:
+            raise RecognizerError(f"recognizer {type_name!r} needs >= 1 pattern")
+        self._type_name = type_name
+        self._confidence = confidence
+        self._selectivity = selectivity
+        try:
+            self._patterns = [re.compile(pattern, flags) for pattern in patterns]
+        except re.error as exc:
+            raise RecognizerError(
+                f"invalid pattern for type {type_name!r}: {exc}"
+            ) from exc
+
+    @property
+    def type_name(self) -> str:
+        return self._type_name
+
+    def find(self, text: str) -> list[Match]:
+        """All word-boundary-respecting pattern matches, in text order."""
+        matches = []
+        for pattern in self._patterns:
+            for hit in pattern.finditer(text):
+                if hit.start() == hit.end():
+                    continue
+                # Word-boundary guard: a match that starts or stops in the
+                # middle of a word ("In St|ock") is a false positive of the
+                # pattern, not an entity mention.
+                if hit.start() > 0 and text[hit.start() - 1].isalnum():
+                    continue
+                if hit.end() < len(text) and text[hit.end()].isalnum():
+                    continue
+                matches.append(
+                    Match(
+                        start=hit.start(),
+                        end=hit.end(),
+                        value=hit.group(0),
+                        type_name=self._type_name,
+                        confidence=self._confidence,
+                    )
+                )
+        return sorted(matches, key=lambda m: (m.start, m.end))
+
+    def accepts(self, text: str) -> bool:
+        """True if the whole (stripped) text matches one pattern."""
+        text = text.strip()
+        return any(pattern.fullmatch(text) for pattern in self._patterns)
+
+    def selectivity_weight(self) -> float:
+        return self._selectivity

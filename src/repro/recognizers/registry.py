@@ -1,0 +1,53 @@
+"""Registry mapping SOD entity-type names to recognizer instances."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import UnknownTypeError
+from repro.recognizers.base import Recognizer
+from repro.recognizers.predefined import predefined_names, predefined_recognizer
+
+
+class RecognizerRegistry:
+    """Holds the recognizers serving one extraction run.
+
+    Lookup falls back to the predefined recognizers (``date``, ``price``,
+    ...) so an SOD can use those names without registering anything.
+    """
+
+    def __init__(self) -> None:
+        self._recognizers: dict[str, Recognizer] = {}
+
+    def register(self, recognizer: Recognizer, name: str | None = None) -> None:
+        """Register a recognizer under ``name`` (default: its type name)."""
+        self._recognizers[(name or recognizer.type_name).lower()] = recognizer
+
+    def get(self, type_name: str) -> Recognizer:
+        """Resolve a recognizer, falling back to the predefined set."""
+        key = type_name.lower()
+        if key in self._recognizers:
+            return self._recognizers[key]
+        if key in predefined_names():
+            recognizer = predefined_recognizer(key, type_name=type_name)
+            self._recognizers[key] = recognizer
+            return recognizer
+        raise UnknownTypeError(
+            f"no recognizer registered for entity type {type_name!r}"
+        )
+
+    def has(self, type_name: str) -> bool:
+        return (
+            type_name.lower() in self._recognizers
+            or type_name.lower() in predefined_names()
+        )
+
+    def names(self) -> list[str]:
+        """All explicitly registered names."""
+        return sorted(self._recognizers)
+
+    def __iter__(self) -> Iterator[Recognizer]:
+        return iter(self._recognizers.values())
+
+    def __len__(self) -> int:
+        return len(self._recognizers)

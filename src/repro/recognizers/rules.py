@@ -1,0 +1,79 @@
+"""Value/textual rules layered over recognizers (paper footnote 1).
+
+"These could allow one to say that a certain entity type has to cover the
+entire textual content of an HTML node or a textual region delimited by
+consecutive HTML tags.  Or to require that two date types have to be in a
+certain order relationship..."
+
+This module provides rule-wrapped recognizers:
+
+- :class:`FullNodeRecognizer` — only matches covering an entire scanned
+  text survive (the ``cover=node`` rule of the SOD DSL);
+- :class:`ValueFilterRecognizer` — a predicate over the matched value
+  (range checks, vocabulary restrictions, custom validation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.recognizers.base import Match, Recognizer
+
+
+class FullNodeRecognizer:
+    """Keeps only matches that span the whole (stripped) text."""
+
+    def __init__(self, base: Recognizer):
+        self._base = base
+
+    @property
+    def type_name(self) -> str:
+        return self._base.type_name
+
+    def find(self, text: str) -> list[Match]:
+        """Base matches that cover the entire stripped text."""
+        stripped = text.strip()
+        if not stripped:
+            return []
+        offset = text.find(stripped)
+        full_span = (offset, offset + len(stripped))
+        return [
+            match
+            for match in self._base.find(text)
+            if (match.start, match.end) == full_span
+        ]
+
+    def accepts(self, text: str) -> bool:
+        return self._base.accepts(text)
+
+    def selectivity_weight(self) -> float:
+        # Full-node coverage makes the type strictly more selective.
+        return self._base.selectivity_weight() * 1.5
+
+
+class ValueFilterRecognizer:
+    """Drops matches whose value fails a predicate.
+
+    The predicate receives the matched surface string; use it for range
+    rules ("a particular address has to be in a certain range of
+    coordinates") or any domain-specific validity check.
+    """
+
+    def __init__(self, base: Recognizer, predicate: Callable[[str], bool]):
+        self._base = base
+        self._predicate = predicate
+
+    @property
+    def type_name(self) -> str:
+        return self._base.type_name
+
+    def find(self, text: str) -> list[Match]:
+        return [
+            match for match in self._base.find(text) if self._predicate(match.value)
+        ]
+
+    def accepts(self, text: str) -> bool:
+        return self._base.accepts(text) and self._predicate(text.strip())
+
+    def selectivity_weight(self) -> float:
+        return self._base.selectivity_weight()

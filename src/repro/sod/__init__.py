@@ -1,0 +1,38 @@
+"""Structured Object Descriptions: the typing formalism of ObjectRunner.
+
+An SOD is a complex type built from entity (atomic) types with recognizers,
+set types with multiplicity constraints, unordered tuple types and
+disjunction types (paper Section II-A).  This package provides:
+
+- :mod:`repro.sod.types` — the type algebra and multiplicities;
+- :mod:`repro.sod.dsl` — a compact textual syntax for SODs;
+- :mod:`repro.sod.canonical` — the canonical form used by template
+  matching (tuple-reachable atoms grouped together, Figure 4);
+- :mod:`repro.sod.instances` — instance trees and validation.
+"""
+
+from repro.sod.canonical import canonicalize
+from repro.sod.dsl import parse_sod
+from repro.sod.instances import InstanceNode, ObjectInstance, validate_instance
+from repro.sod.types import (
+    DisjunctionType,
+    EntityType,
+    Multiplicity,
+    SetType,
+    SodType,
+    TupleType,
+)
+
+__all__ = [
+    "EntityType",
+    "SetType",
+    "TupleType",
+    "DisjunctionType",
+    "SodType",
+    "Multiplicity",
+    "parse_sod",
+    "canonicalize",
+    "InstanceNode",
+    "ObjectInstance",
+    "validate_instance",
+]

@@ -1,0 +1,232 @@
+"""A compact textual syntax for SODs.
+
+Grammar (whitespace-insensitive)::
+
+    sod        := tuple
+    tuple      := NAME "(" component ("," component)* ")"
+    component  := entity | set | tuple | disjunction
+    set        := NAME ":" "{" component "}" mult?
+    disjunction:= NAME "(" component "|" component ")"
+    entity     := NAME annotations?
+    annotations:= "<" key "=" value ("," key "=" value)* ">" | "?"
+    mult       := "*" | "+" | "?" | "1" | INT "-" INT
+
+Examples::
+
+    concert(artist<kind=isInstanceOf>, date<kind=predefined>,
+            location(theater<kind=isInstanceOf>, address<kind=predefined>?))
+
+    book(title, price<kind=predefined>, date<kind=predefined>?,
+         authors:{author}+)
+
+An entity's ``<...>`` block may set ``kind`` (regex / predefined /
+isInstanceOf) and ``recognizer`` (the registry name to bind, when different
+from the attribute name).  A trailing ``?`` marks the component optional.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import SodSyntaxError
+from repro.sod.types import (
+    DisjunctionType,
+    EntityType,
+    Multiplicity,
+    SetType,
+    SodType,
+    TupleType,
+)
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<name>[A-Za-z_][\w-]*)|(?P<int>\d+)|(?P<sym>[(){}<>,:|=*+?-]))"
+)
+
+
+class _Lexer:
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self.tokens: list[tuple[str, str, int]] = []
+        while self._pos < len(text):
+            match = _TOKEN_RE.match(text, self._pos)
+            if match is None:
+                remainder = text[self._pos :].strip()
+                if not remainder:
+                    break
+                raise SodSyntaxError(
+                    f"unexpected character {remainder[0]!r} at offset {self._pos}"
+                )
+            if match.group("name") is not None:
+                self.tokens.append(("name", match.group("name"), match.start()))
+            elif match.group("int") is not None:
+                self.tokens.append(("int", match.group("int"), match.start()))
+            else:
+                self.tokens.append(("sym", match.group("sym"), match.start()))
+            self._pos = match.end()
+        self.index = 0
+
+    def peek(self) -> tuple[str, str, int] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, str, int]:
+        token = self.peek()
+        if token is None:
+            raise SodSyntaxError("unexpected end of SOD text")
+        self.index += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> tuple[str, str, int]:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            want = value if value is not None else kind
+            raise SodSyntaxError(
+                f"expected {want!r} at offset {token[2]}, found {token[1]!r}"
+            )
+        return token
+
+    def accept_symbol(self, value: str) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == "sym" and token[1] == value:
+            self.index += 1
+            return True
+        return False
+
+
+def _parse_annotations(lexer: _Lexer) -> dict[str, str]:
+    annotations: dict[str, str] = {}
+    if not lexer.accept_symbol("<"):
+        return annotations
+    while True:
+        key = lexer.expect("name")[1]
+        lexer.expect("sym", "=")
+        token = lexer.next()
+        if token[0] not in ("name", "int"):
+            raise SodSyntaxError(
+                f"expected annotation value at offset {token[2]}, found {token[1]!r}"
+            )
+        annotations[key] = token[1]
+        if lexer.accept_symbol(">"):
+            return annotations
+        lexer.expect("sym", ",")
+
+
+def _parse_multiplicity(lexer: _Lexer) -> Multiplicity:
+    token = lexer.peek()
+    if token is None:
+        return Multiplicity.plus()
+    kind, value, __ = token
+    if kind == "sym" and value in ("*", "+", "?"):
+        lexer.next()
+        if value == "*":
+            return Multiplicity.star()
+        if value == "+":
+            return Multiplicity.plus()
+        return Multiplicity.optional()
+    if kind == "int":
+        lexer.next()
+        low = int(value)
+        if lexer.accept_symbol("-"):
+            high = int(lexer.expect("int")[1])
+            return Multiplicity.range(low, high)
+        if lexer.accept_symbol("+"):
+            return Multiplicity(low, None)
+        if low == 1:
+            return Multiplicity.exactly_one()
+        return Multiplicity.range(low, low)
+    return Multiplicity.plus()
+
+
+def _parse_component(lexer: _Lexer) -> SodType:
+    name = lexer.expect("name")[1]
+    token = lexer.peek()
+    if token is not None and token[0] == "sym" and token[1] == ":":
+        lexer.next()
+        lexer.expect("sym", "{")
+        inner = _parse_component(lexer)
+        lexer.expect("sym", "}")
+        multiplicity = _parse_multiplicity(lexer)
+        return SetType(name=name, inner=inner, multiplicity=multiplicity)
+    if token is not None and token[0] == "sym" and token[1] == "(":
+        lexer.next()
+        components = [_parse_component(lexer)]
+        is_disjunction = False
+        while True:
+            if lexer.accept_symbol(","):
+                components.append(_parse_component(lexer))
+                continue
+            if lexer.accept_symbol("|"):
+                is_disjunction = True
+                components.append(_parse_component(lexer))
+                continue
+            lexer.expect("sym", ")")
+            break
+        if is_disjunction:
+            if len(components) != 2:
+                raise SodSyntaxError(
+                    f"disjunction {name!r} must have exactly two branches"
+                )
+            return DisjunctionType(name=name, left=components[0], right=components[1])
+        tuple_type = TupleType(name=name, components=tuple(components))
+        return tuple_type
+    # Entity type with optional annotations / optional marker.
+    annotations = _parse_annotations(lexer)
+    optional = lexer.accept_symbol("?")
+    kind = annotations.get("kind", "isInstanceOf")
+    recognizer = annotations.get("recognizer", "")
+    cover_node = annotations.get("cover", "") == "node"
+    return EntityType(
+        name=name,
+        recognizer=recognizer,
+        kind=kind,
+        optional=optional,
+        cover_node=cover_node,
+    )
+
+
+def parse_sod(text: str) -> SodType:
+    """Parse SOD DSL text into a type tree.
+
+    Raises :class:`~repro.errors.SodSyntaxError` with an offset on invalid
+    input.
+    """
+    lexer = _Lexer(text)
+    sod = _parse_component(lexer)
+    leftover = lexer.peek()
+    if leftover is not None:
+        raise SodSyntaxError(
+            f"trailing input at offset {leftover[2]}: {leftover[1]!r}"
+        )
+    return sod
+
+
+def format_sod(sod: SodType) -> str:
+    """Render a type tree back to DSL text.
+
+    ``parse_sod(format_sod(sod))`` reproduces ``sod`` structurally, which
+    makes SODs serializable (e.g. to configuration files).
+    """
+    if isinstance(sod, EntityType):
+        annotations = []
+        if sod.kind != "isInstanceOf":
+            annotations.append(f"kind={sod.kind}")
+        if sod.recognizer and sod.recognizer != sod.name:
+            annotations.append(f"recognizer={sod.recognizer}")
+        if sod.cover_node:
+            annotations.append("cover=node")
+        rendered = sod.name
+        if annotations:
+            rendered += "<" + ",".join(annotations) + ">"
+        if sod.optional:
+            rendered += "?"
+        return rendered
+    if isinstance(sod, SetType):
+        multiplicity = str(sod.multiplicity)
+        return f"{sod.name}:{{{format_sod(sod.inner)}}}{multiplicity}"
+    if isinstance(sod, TupleType):
+        inner = ", ".join(format_sod(component) for component in sod.components)
+        return f"{sod.name}({inner})"
+    assert isinstance(sod, DisjunctionType)
+    return f"{sod.name}({format_sod(sod.left)} | {format_sod(sod.right)})"

@@ -1,0 +1,169 @@
+"""Instance trees of an SOD and validation against the type.
+
+An instance of an entity type is a string accepted by its recognizer; an
+instance of a complex type is a finite tree whose internal nodes mirror
+the type constructors (paper Section II-A).  Extraction results are
+represented as :class:`ObjectInstance` values, which evaluation then
+compares against the golden standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.sod.types import (
+    DisjunctionType,
+    EntityType,
+    SetType,
+    SodType,
+    TupleType,
+)
+from repro.utils.text import normalize_text
+
+#: A leaf value, a mapping (tuple instance), or a list (set instance).
+InstanceNode = Union[str, dict, list]
+
+
+@dataclass
+class ObjectInstance:
+    """One extracted object: the instance tree plus provenance.
+
+    ``values`` maps the structure of the SOD: entity names to strings,
+    set names to lists, nested tuples to dicts.  ``page_index`` and
+    ``source`` identify where it came from.
+    """
+
+    values: dict[str, InstanceNode]
+    source: str = ""
+    page_index: int = -1
+
+    def flat(self) -> dict[str, list[str]]:
+        """Flatten to attribute name -> list of leaf strings.
+
+        Nested structure is projected away; useful for evaluation, which
+        classifies per attribute.
+        """
+        out: dict[str, list[str]] = {}
+
+        def walk(name: str, node: InstanceNode) -> None:
+            if isinstance(node, str):
+                out.setdefault(name, []).append(node)
+            elif isinstance(node, list):
+                for item in node:
+                    walk(name, item)
+            elif isinstance(node, dict):
+                for key, value in node.items():
+                    walk(key, value)
+
+        for key, value in self.values.items():
+            walk(key, value)
+        return out
+
+    def normalized_flat(self) -> dict[str, list[str]]:
+        """Like :meth:`flat` but with values normalized for comparison."""
+        return {
+            key: [normalize_text(value) for value in values]
+            for key, values in self.flat().items()
+        }
+
+
+@dataclass
+class ValidationIssue:
+    """One violation found when validating an instance against its SOD."""
+
+    path: str
+    message: str
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_instance`."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def add(self, path: str, message: str) -> None:
+        """Record one violation at ``path``."""
+        self.issues.append(ValidationIssue(path=path, message=message))
+
+
+def _validate(
+    sod: SodType, node: InstanceNode | None, path: str, report: ValidationReport
+) -> None:
+    if isinstance(sod, EntityType):
+        if node is None:
+            if not sod.optional:
+                report.add(path, f"missing required entity {sod.name!r}")
+            return
+        if not isinstance(node, str):
+            report.add(path, f"entity {sod.name!r} must be a string")
+        elif not node.strip():
+            report.add(path, f"entity {sod.name!r} is empty")
+        return
+    if isinstance(sod, SetType):
+        if node is None:
+            if not sod.multiplicity.optional_allowed:
+                report.add(path, f"missing required set {sod.name!r}")
+            return
+        if not isinstance(node, list):
+            report.add(path, f"set {sod.name!r} must be a list")
+            return
+        if not sod.multiplicity.admits(len(node)):
+            report.add(
+                path,
+                f"set {sod.name!r} has {len(node)} items, multiplicity "
+                f"{sod.multiplicity} violated",
+            )
+        for index, item in enumerate(node):
+            _validate(sod.inner, item, f"{path}/{sod.name}[{index}]", report)
+        return
+    if isinstance(sod, TupleType):
+        if node is None:
+            report.add(path, f"missing tuple {sod.name!r}")
+            return
+        if not isinstance(node, dict):
+            report.add(path, f"tuple {sod.name!r} must be a mapping")
+            return
+        for component in sod.components:
+            _validate(
+                component,
+                node.get(component.name),
+                f"{path}/{component.name}",
+                report,
+            )
+        known = {component.name for component in sod.components}
+        for key in node:
+            if key not in known:
+                report.add(path, f"unexpected field {key!r} in tuple {sod.name!r}")
+        return
+    assert isinstance(sod, DisjunctionType)
+    if node is None:
+        report.add(path, f"missing disjunction {sod.name!r}")
+        return
+    left_report = ValidationReport()
+    _validate(sod.left, node, path, left_report)
+    right_report = ValidationReport()
+    _validate(sod.right, node, path, right_report)
+    if not left_report.ok and not right_report.ok:
+        report.add(
+            path,
+            f"value fits neither branch of disjunction {sod.name!r}",
+        )
+
+
+def validate_instance(sod: SodType, instance: ObjectInstance) -> ValidationReport:
+    """Check an extracted object against its SOD.
+
+    The top-level SOD is conventionally a tuple; its fields are looked up
+    in ``instance.values``.
+    """
+    report = ValidationReport()
+    if isinstance(sod, TupleType):
+        _validate(sod, instance.values, sod.name, report)
+    else:
+        _validate(sod, instance.values.get(sod.name), sod.name, report)
+    return report

@@ -1,0 +1,17 @@
+"""Simulated Mechanical Turk source selection.
+
+The paper asked ten workers per domain for ranked lists of ten browsable
+sources, then kept the sources appearing most often.  We simulate that
+independent, noisy channel: each worker has private preference noise over
+a candidate pool with latent relevance, produces a ranked list, and the
+requester aggregates with Borda counting.
+"""
+
+from repro.turk.workers import (
+    SimulatedWorker,
+    TurkCampaign,
+    WorkerResponse,
+    run_campaign,
+)
+
+__all__ = ["SimulatedWorker", "TurkCampaign", "WorkerResponse", "run_campaign"]

@@ -1,0 +1,60 @@
+"""Source selection over the catalog via the simulated Turk campaign.
+
+The paper's sources were not hand-picked: Mechanical Turk workers ranked
+browsable sites per domain and the top ten were used.  This module closes
+that loop for the synthetic catalog — the domain's catalog sources compete
+against distractor candidates (low-relevance junk sites), workers vote,
+and the selected set is what an experiment would run on.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.catalog import CatalogEntry, entries_for_domain
+from repro.turk.workers import TurkCampaign, run_campaign
+from repro.utils.rng import DeterministicRng
+
+#: Distractor sites mixed into every campaign's candidate pool.
+_DISTRACTOR_NAMES = [
+    "random-blog", "linkfarm-2000", "parked-domain", "pressrelease-mirror",
+    "foruns-archive", "scanned-flyers", "defunct-portal", "ring-of-banners",
+]
+
+
+def select_catalog_sources(
+    domain: str,
+    scale: float = 0.1,
+    workers: int = 10,
+    keep: int = 10,
+    seed: int | str = "turk-selection",
+) -> tuple[list[CatalogEntry], TurkCampaign]:
+    """Run a simulated campaign and return the selected catalog entries.
+
+    Catalog sources carry high latent relevance (they really do serve the
+    domain's records); distractors low relevance.  The campaign's noisy
+    aggregation decides what actually gets wrapped — as in the paper,
+    the experimenter never hand-picks.
+    """
+    entries = entries_for_domain(domain, scale=scale)
+    rng = DeterministicRng(seed).fork("relevance", domain)
+    candidates: dict[str, float] = {}
+    for entry in entries:
+        # Real domain sources: high relevance with mild variation; the
+        # unstructured one is plausible-looking to workers too (they judge
+        # topicality, not template quality) — which is exactly why the
+        # pipeline needs its own discard gates.
+        candidates[entry.spec.name] = rng.uniform(4.0, 6.0)
+    for name in _DISTRACTOR_NAMES:
+        candidates[f"{domain}-{name}"] = rng.uniform(0.0, 1.5)
+
+    campaign = run_campaign(
+        domain,
+        candidates,
+        workers=workers,
+        keep=keep,
+        seed=(seed, domain),
+    )
+    by_name = {entry.spec.name: entry for entry in entries}
+    selected = [
+        by_name[name] for name in campaign.selected if name in by_name
+    ]
+    return selected, campaign

@@ -1,0 +1,86 @@
+"""Worker simulation and rank aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class WorkerResponse:
+    """One worker's ranked list of sources."""
+
+    worker_id: int
+    ranking: list[str]
+
+
+@dataclass
+class SimulatedWorker:
+    """A worker with private noise over the latent source relevance.
+
+    ``diligence`` in (0, 1] scales how closely the worker's perceived
+    relevance tracks the latent one; careless workers effectively shuffle.
+    """
+
+    worker_id: int
+    diligence: float = 0.8
+
+    def rank(
+        self,
+        candidates: dict[str, float],
+        list_length: int,
+        rng: DeterministicRng,
+    ) -> WorkerResponse:
+        """Produce a ranked list of ``list_length`` sources."""
+        perceived: list[tuple[float, str]] = []
+        for source, relevance in candidates.items():
+            noise = rng.gauss(0.0, 1.0 - self.diligence + 0.05)
+            perceived.append((relevance * self.diligence + noise, source))
+        perceived.sort(reverse=True)
+        ranking = [source for __, source in perceived[:list_length]]
+        return WorkerResponse(worker_id=self.worker_id, ranking=ranking)
+
+
+@dataclass
+class TurkCampaign:
+    """Aggregated outcome of one domain's source-selection campaign."""
+
+    domain: str
+    responses: list[WorkerResponse] = field(default_factory=list)
+    selected: list[str] = field(default_factory=list)
+    borda: dict[str, int] = field(default_factory=dict)
+
+
+def run_campaign(
+    domain: str,
+    candidates: dict[str, float],
+    workers: int = 10,
+    list_length: int = 10,
+    keep: int = 10,
+    seed: int | str = "turk",
+) -> TurkCampaign:
+    """Run one simulated campaign and keep the top-``keep`` sources.
+
+    ``candidates`` maps source name to latent relevance.  Aggregation is
+    Borda: position ``i`` in a list of length ``L`` contributes ``L - i``
+    points.  Ties break alphabetically for determinism.
+    """
+    rng = DeterministicRng(seed).fork("campaign", domain)
+    campaign = TurkCampaign(domain=domain)
+    scores: dict[str, int] = {}
+    for worker_id in range(workers):
+        diligence = rng.uniform(0.55, 0.95)
+        worker = SimulatedWorker(worker_id=worker_id, diligence=diligence)
+        response = worker.rank(candidates, list_length, rng.fork("worker", worker_id))
+        campaign.responses.append(response)
+        for position, source in enumerate(response.ranking):
+            scores[source] = scores.get(source, 0) + (list_length - position)
+    campaign.borda = scores
+    campaign.selected = [
+        source
+        for source, __ in sorted(scores.items(), key=lambda item: (-item[1], item[0]))[
+            :keep
+        ]
+    ]
+    return campaign

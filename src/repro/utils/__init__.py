@@ -1,0 +1,16 @@
+"""Small shared utilities: deterministic RNG helpers and text normalization."""
+
+from repro.utils.rng import DeterministicRng, derive_seed
+from repro.utils.text import (
+    collapse_whitespace,
+    normalize_text,
+    tokenize_words,
+)
+
+__all__ = [
+    "DeterministicRng",
+    "derive_seed",
+    "collapse_whitespace",
+    "normalize_text",
+    "tokenize_words",
+]

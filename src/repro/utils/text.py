@@ -1,0 +1,34 @@
+"""Text normalization shared by the tokenizer, recognizers and evaluation."""
+
+from __future__ import annotations
+
+import re
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_WORD_RE = re.compile(r"[A-Za-z0-9]+(?:[.'&-][A-Za-z0-9]+)*")
+
+
+def collapse_whitespace(text: str) -> str:
+    """Replace every run of whitespace by a single space and strip ends."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def normalize_text(text: str) -> str:
+    """Normalization used when comparing extracted values to the gold set.
+
+    Lower-cases and reduces the text to its word tokens, so cosmetic
+    template differences (separator punctuation, currency symbols,
+    capitalisation, whitespace) do not count as extraction errors:
+    ``"January 14, 1997"`` and ``"january 14 1997"`` compare equal.
+    """
+    return " ".join(_WORD_RE.findall(text.lower()))
+
+
+def tokenize_words(text: str) -> list[str]:
+    """Split text into word tokens (letters/digits with inner punctuation).
+
+    This is the word notion used for occurrence vectors: ``"May 11, 8:00pm"``
+    becomes ``["May", "11", "8", "00pm"]``-style tokens, matching how the
+    ExAlg-family algorithms treat page text.
+    """
+    return _WORD_RE.findall(text)

@@ -1,0 +1,33 @@
+"""Render-model substrate: VIPS-style page segmentation without a browser.
+
+The paper relies on a rendering engine plus a VIPS/ViNTs-style block
+segmentation to find the page's "central" content segment.  We have no
+browser here, so :mod:`repro.vision.layout` implements a deterministic box
+model that estimates, for every DOM element, a rectangle on an abstract
+canvas (from text mass, tag semantics and document structure), and
+:mod:`repro.vision.segmentation` builds the block tree and applies the
+paper's largest-most-central heuristic.  The substitution is documented in
+DESIGN.md: the heuristic only consumes relative geometry, which the box
+model supplies.
+"""
+
+from repro.vision.boxes import Rect
+from repro.vision.layout import LayoutEngine, LayoutResult
+from repro.vision.segmentation import (
+    Block,
+    BlockTree,
+    main_content_block,
+    segment_page,
+    select_central_block,
+)
+
+__all__ = [
+    "Rect",
+    "LayoutEngine",
+    "LayoutResult",
+    "Block",
+    "BlockTree",
+    "segment_page",
+    "select_central_block",
+    "main_content_block",
+]

@@ -1,0 +1,66 @@
+"""Rectangles on the abstract render canvas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle: ``(x, y)`` top-left corner plus size."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    @property
+    def area(self) -> float:
+        """Width times height."""
+        return self.width * self.height
+
+    @property
+    def center_x(self) -> float:
+        return self.x + self.width / 2.0
+
+    @property
+    def center_y(self) -> float:
+        return self.y + self.height / 2.0
+
+    @property
+    def right(self) -> float:
+        return self.x + self.width
+
+    @property
+    def bottom(self) -> float:
+        return self.y + self.height
+
+    def contains(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely within this rectangle."""
+        return (
+            other.x >= self.x
+            and other.y >= self.y
+            and other.right <= self.right
+            and other.bottom <= self.bottom
+        )
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of the overlap between the two rectangles (0 if disjoint)."""
+        dx = min(self.right, other.right) - max(self.x, other.x)
+        dy = min(self.bottom, other.bottom) - max(self.y, other.y)
+        if dx <= 0 or dy <= 0:
+            return 0.0
+        return dx * dy
+
+    def centrality(self, canvas: "Rect") -> float:
+        """How central this rectangle is within ``canvas``, in [0, 1].
+
+        1.0 means the centers coincide; the score decays linearly with the
+        normalized distance between centers.  Used by the paper's
+        "largest and most central rectangle" heuristic.
+        """
+        if canvas.width <= 0 or canvas.height <= 0:
+            return 0.0
+        dx = abs(self.center_x - canvas.center_x) / canvas.width
+        dy = abs(self.center_y - canvas.center_y) / canvas.height
+        return max(0.0, 1.0 - (dx + dy))

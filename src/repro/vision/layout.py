@@ -1,0 +1,215 @@
+"""A deterministic box-model layout estimator.
+
+Assigns every element a rectangle on an abstract 1000x(variable) canvas.
+The model is intentionally simple — it only needs to rank blocks by size
+and centrality the way a real renderer would:
+
+- block-level elements stack vertically and take their parent's width
+  (minus padding for semantic side regions such as ``nav``/``aside``);
+- inline elements flow horizontally, width proportional to text length;
+- element height grows with the text mass it contains;
+- known chrome regions (``header``, ``footer``, ``nav``, ``aside``) are
+  pinned to the edges, so the main content naturally ends up largest and
+  most central, as on real pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.htmlkit.dom import Element, Node, Text
+from repro.vision.boxes import Rect
+
+#: Canvas width in abstract pixels (a typical page viewport).
+CANVAS_WIDTH = 1000.0
+#: Height of one text line in abstract pixels.
+LINE_HEIGHT = 18.0
+#: Average character width in abstract pixels.
+CHAR_WIDTH = 7.0
+
+_INLINE_TAGS = frozenset(
+    {
+        "a", "span", "b", "i", "em", "strong", "small", "u", "sub", "sup",
+        "abbr", "cite", "code", "label", "time",
+    }
+)
+
+#: Fraction of parent width taken by side chrome.
+_SIDE_FRACTION = 0.18
+_SIDE_TAGS = frozenset({"nav", "aside"})
+_TOP_TAGS = frozenset({"header"})
+_BOTTOM_TAGS = frozenset({"footer"})
+
+
+@dataclass
+class LayoutResult:
+    """Output of a layout pass: element -> rect, plus the page canvas."""
+
+    boxes: dict[int, Rect]
+    canvas: Rect
+    _elements: dict[int, Element]
+
+    def rect_of(self, element: Element) -> Rect:
+        """The rectangle computed for ``element``."""
+        return self.boxes[id(element)]
+
+    def has(self, element: Element) -> bool:
+        return id(element) in self.boxes
+
+    def elements(self) -> list[Element]:
+        """All laid-out elements."""
+        return list(self._elements.values())
+
+
+def _text_mass(node: Node) -> int:
+    """Total number of characters of collapsed text under ``node``."""
+    if isinstance(node, Text):
+        return len(node.text_content())
+    assert isinstance(node, Element)
+    return sum(_text_mass(child) for child in node.children)
+
+
+def _estimate_height(element: Element, width: float) -> float:
+    """Rough height: text mass wrapped at ``width``, one line minimum."""
+    mass = _text_mass(element)
+    chars_per_line = max(1.0, width / CHAR_WIDTH)
+    lines = max(1.0, mass / chars_per_line) if mass else 1.0
+    return lines * LINE_HEIGHT
+
+
+class LayoutEngine:
+    """Computes rectangles for every element of a page."""
+
+    def layout(self, root: Element) -> LayoutResult:
+        """Lay out the tree under ``root`` and return the box map.
+
+        ``root`` is typically the ``<html>`` element from :func:`tidy`.
+        """
+        boxes: dict[int, Rect] = {}
+        elements: dict[int, Element] = {}
+        body = root.find("body") or root
+        total_height = self._layout_block(
+            body, x=0.0, y=0.0, width=CANVAS_WIDTH, boxes=boxes, elements=elements
+        )
+        canvas = Rect(0.0, 0.0, CANVAS_WIDTH, max(total_height, LINE_HEIGHT))
+        boxes[id(root)] = canvas
+        elements[id(root)] = root
+        # Non-rendered elements (head and friends) get a zero-area box so
+        # every element of the tree is addressable in the layout.
+        for element in root.iter_elements():
+            if id(element) not in boxes:
+                boxes[id(element)] = Rect(0.0, 0.0, 0.0, 0.0)
+                elements[id(element)] = element
+        return LayoutResult(boxes=boxes, canvas=canvas, _elements=elements)
+
+    # -- internals -----------------------------------------------------------
+
+    def _layout_block(
+        self,
+        element: Element,
+        x: float,
+        y: float,
+        width: float,
+        boxes: dict[int, Rect],
+        elements: dict[int, Element],
+    ) -> float:
+        """Lay out ``element`` at (x, y) and return its height."""
+        element_children = [c for c in element.children if isinstance(c, Element)]
+        side_children = [c for c in element_children if c.tag in _SIDE_TAGS]
+        flow_children = [c for c in element_children if c.tag not in _SIDE_TAGS]
+
+        content_x = x
+        content_width = width
+        if side_children:
+            side_width = width * _SIDE_FRACTION
+            content_width = width - side_width * len(side_children)
+            content_x = x + side_width * sum(
+                1 for c in side_children if c.index_in_parent() < (
+                    flow_children[0].index_in_parent() if flow_children else 1 << 30
+                )
+            )
+
+        cursor_y = y
+        inline_x = content_x
+        inline_row_height = 0.0
+
+        def flush_inline_row() -> None:
+            nonlocal cursor_y, inline_x, inline_row_height
+            if inline_row_height > 0:
+                cursor_y += inline_row_height
+            inline_x = content_x
+            inline_row_height = 0.0
+
+        for child in element.children:
+            if isinstance(child, Text):
+                text = child.text_content()
+                if not text:
+                    continue
+                total_width = len(text) * CHAR_WIDTH
+                if total_width > content_width:
+                    # Long text wraps over several rows.
+                    flush_inline_row()
+                    rows = max(1, int(total_width // content_width))
+                    cursor_y += rows * LINE_HEIGHT
+                    inline_x = content_x + (total_width % content_width)
+                    inline_row_height = LINE_HEIGHT
+                    continue
+                if inline_x + total_width > content_x + content_width:
+                    flush_inline_row()
+                inline_x += total_width
+                inline_row_height = max(inline_row_height, LINE_HEIGHT)
+                continue
+            assert isinstance(child, Element)
+            if child.tag in _SIDE_TAGS:
+                continue  # handled after flow
+            if child.tag in _INLINE_TAGS:
+                child_width = min(
+                    content_width,
+                    max(CHAR_WIDTH, len(child.text_content()) * CHAR_WIDTH),
+                )
+                if inline_x + child_width > content_x + content_width:
+                    flush_inline_row()
+                child_height = _estimate_height(child, child_width)
+                boxes[id(child)] = Rect(inline_x, cursor_y, child_width, child_height)
+                elements[id(child)] = child
+                self._layout_inline_descendants(child, boxes, elements)
+                inline_x += child_width
+                inline_row_height = max(inline_row_height, child_height)
+                continue
+            flush_inline_row()
+            child_height = self._layout_block(
+                child, content_x, cursor_y, content_width, boxes, elements
+            )
+            cursor_y += child_height
+        flush_inline_row()
+
+        height = max(cursor_y - y, LINE_HEIGHT)
+        # Side chrome spans the full height of the parent, pinned to an edge.
+        side_x = x + width
+        for side in side_children:
+            side_width = width * _SIDE_FRACTION
+            side_x -= side_width
+            boxes[id(side)] = Rect(side_x, y, side_width, height)
+            elements[id(side)] = side
+            self._layout_inline_descendants(side, boxes, elements)
+
+        boxes[id(element)] = Rect(x, y, width, height)
+        elements[id(element)] = element
+        return height
+
+    def _layout_inline_descendants(
+        self,
+        element: Element,
+        boxes: dict[int, Rect],
+        elements: dict[int, Element],
+    ) -> None:
+        """Give descendants of inline/side elements their parent's box.
+
+        Precise inline sub-geometry is irrelevant for block selection, so
+        descendants simply inherit the container rectangle.
+        """
+        container = boxes[id(element)]
+        for descendant in element.iter_elements():
+            if id(descendant) not in boxes:
+                boxes[id(descendant)] = container
+                elements[id(descendant)] = descendant

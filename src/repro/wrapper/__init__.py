@@ -1,0 +1,44 @@
+"""Wrapper generation: the core of ObjectRunner (paper Section III-C/D/E).
+
+The stack, bottom-up:
+
+- :mod:`repro.wrapper.tokens` — flat page-token sequences (tags + words)
+  carrying DOM paths and annotations;
+- :mod:`repro.wrapper.occurrence` — occurrence vectors per token role;
+- :mod:`repro.wrapper.equivalence` — equivalence classes, validity
+  (ordered/nested), invalid-class handling;
+- :mod:`repro.wrapper.records` — record-level EQ selection and record-span
+  segmentation of pages;
+- :mod:`repro.wrapper.repeats` — tandem-repeat (iterator) discovery inside
+  records, yielding the set levels of the template;
+- :mod:`repro.wrapper.alignment` — progressive multiple alignment of
+  records into a slot template (the role-differentiation engine: HTML
+  features, EQ positions, then annotations — Algorithm 2);
+- :mod:`repro.wrapper.template` — the annotated template tree;
+- :mod:`repro.wrapper.matching` — bottom-up canonical-SOD matching;
+- :mod:`repro.wrapper.extraction` — applying a matched wrapper to pages;
+- :mod:`repro.wrapper.generate` — the orchestrating generator with the
+  early-stop gates;
+- :mod:`repro.wrapper.enrichment` — dictionary enrichment (Eq. 4).
+"""
+
+from repro.wrapper.extraction import extract_objects
+from repro.wrapper.generate import Wrapper, WrapperConfig, generate_wrapper
+from repro.wrapper.matching import MatchResult, match_sod
+from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
+from repro.wrapper.template import FieldSlot, IteratorSlot, StaticSlot, Template
+
+__all__ = [
+    "Wrapper",
+    "WrapperConfig",
+    "generate_wrapper",
+    "extract_objects",
+    "MatchResult",
+    "match_sod",
+    "Template",
+    "FieldSlot",
+    "IteratorSlot",
+    "StaticSlot",
+    "wrapper_to_dict",
+    "wrapper_from_dict",
+]

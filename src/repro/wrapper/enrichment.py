@@ -1,0 +1,89 @@
+"""Dictionary enrichment from extraction results (paper Eq. 4).
+
+Instances discovered during extraction feed back into the gazetteers with
+a confidence combining the wrapper's own quality and the overlap between
+the extracted set and the existing dictionary::
+
+    score(c) = f(wrapper_score(c), sum_{D cap I} score(i, c) / count(I))
+
+A good wrapper (few conflicting annotations) or a strong overlap with the
+known values both push new entries in confidently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.wrapper.generate import Wrapper
+
+
+def wrapper_score(wrapper: Wrapper) -> float:
+    """Wrapper quality in [0, 1]: decays with conflicting annotations.
+
+    "A good wrapper (in short, one built with no or very few conflicting
+    annotations)."
+    """
+    slots = max(1, len(wrapper.template.field_slots()))
+    return max(0.0, 1.0 - wrapper.conflicts / slots)
+
+
+@dataclass
+class EnrichmentResult:
+    """What one enrichment pass did."""
+
+    type_name: str
+    added: dict[str, float]
+    updated: dict[str, float]
+    overlap: float
+    score: float
+
+
+def enrich_dictionary(
+    gazetteer: GazetteerRecognizer,
+    extracted_values: list[str],
+    wrapper: Wrapper,
+    min_confidence: float = 0.3,
+    blend: float = 0.5,
+) -> EnrichmentResult:
+    """Add extracted values to a gazetteer per Eq. 4.
+
+    ``blend`` is the ``f`` combiner: a convex combination of the wrapper
+    score and the normalized overlap confidence.  Values below
+    ``min_confidence`` are not added.  Existing entries that were
+    re-extracted get their confidence raised toward the new score
+    ("we can update the scores on existing dictionary values after each
+    source is processed").
+    """
+    values = [value for value in extracted_values if value and value.strip()]
+    if not values:
+        return EnrichmentResult(
+            type_name=gazetteer.type_name, added={}, updated={}, overlap=0.0, score=0.0
+        )
+    overlap_mass = sum(
+        gazetteer.confidence_of(value) for value in values if value in gazetteer
+    )
+    overlap = overlap_mass / len(values)
+    quality = wrapper_score(wrapper)
+    score = blend * quality + (1.0 - blend) * min(1.0, overlap * 2.0)
+
+    added: dict[str, float] = {}
+    updated: dict[str, float] = {}
+    if score >= min_confidence:
+        for value in values:
+            if value in gazetteer:
+                previous = gazetteer.confidence_of(value)
+                raised = max(previous, min(1.0, (previous + score) / 2.0 + 0.05))
+                if raised > previous:
+                    gazetteer.add(value, raised)
+                    updated[value] = raised
+            else:
+                gazetteer.add(value, score)
+                added[value] = score
+    return EnrichmentResult(
+        type_name=gazetteer.type_name,
+        added=added,
+        updated=updated,
+        overlap=overlap,
+        score=score,
+    )

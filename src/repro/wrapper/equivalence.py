@@ -1,0 +1,160 @@
+"""Equivalence classes of token roles and their validity checks.
+
+An equivalence class (EQ) is a set of roles sharing an occurrence vector.
+A *valid* EQ is **ordered** — on every page, the i-th occurrences of its
+roles appear in the same relative order — and any two valid EQs must be
+**nested or non-overlapping** (paper Section III-C, following ExAlg).
+Invalid classes are discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wrapper.occurrence import (
+    OccurrenceVector,
+    RoleKey,
+    group_by_vector,
+    occurrence_vectors,
+)
+from repro.wrapper.tokens import KIND_OPEN, TokenizedPage
+
+
+@dataclass
+class EquivalenceClass:
+    """A candidate equivalence class with its validity diagnosis."""
+
+    vector: OccurrenceVector
+    roles: list[RoleKey]
+    ordered_roles: list[RoleKey] = field(default_factory=list)
+    valid: bool = False
+    invalid_reason: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.roles)
+
+    @property
+    def occurrences_per_page(self) -> float:
+        return self.vector.per_page_mean
+
+    def spans(self, page: TokenizedPage) -> list[tuple[int, int]]:
+        """The token spans of this EQ's repetitions on one page.
+
+        Each repetition runs from one occurrence of the first ordered role
+        to just before the next one (the last span extends to the last
+        occurrence of the final role, inclusive).
+        """
+        if not self.ordered_roles:
+            return []
+        first_role = self.ordered_roles[0]
+        last_role = self.ordered_roles[-1]
+        starts = [
+            index
+            for index, token in enumerate(page.tokens)
+            if token.role_key == first_role
+        ]
+        if not starts:
+            return []
+        ends = [
+            index
+            for index, token in enumerate(page.tokens)
+            if token.role_key == last_role
+        ]
+        spans: list[tuple[int, int]] = []
+        for i, start in enumerate(starts):
+            next_start = starts[i + 1] if i + 1 < len(starts) else len(page.tokens)
+            # Close at the last occurrence of the final role before the
+            # next repetition begins.
+            closing = [end for end in ends if start <= end < next_start]
+            stop = (closing[-1] + 1) if closing else next_start
+            spans.append((start, stop))
+        return spans
+
+
+def _check_ordered(
+    roles: list[RoleKey], pages: list[TokenizedPage]
+) -> tuple[bool, list[RoleKey]]:
+    """Check the 'ordered' property; return (ok, roles in document order).
+
+    For every page we list the first-occurrence order of the roles; all
+    pages (that contain them) must agree, and the i-th occurrence blocks
+    must not interleave inconsistently.  We verify agreement on the
+    first-occurrence order, which is the practically binding criterion.
+    """
+    reference: list[RoleKey] | None = None
+    role_set = set(roles)
+    for page in pages:
+        seen: list[RoleKey] = []
+        seen_set: set[RoleKey] = set()
+        for token in page.tokens:
+            key = token.role_key
+            if key in role_set and key not in seen_set:
+                seen.append(key)
+                seen_set.add(key)
+        if len(seen) != len(role_set):
+            continue  # role absent here (support filter allows gaps)
+        if reference is None:
+            reference = seen
+        elif seen != reference:
+            return False, []
+    if reference is None:
+        return False, []
+    return True, reference
+
+
+def find_equivalence_classes(
+    pages: list[TokenizedPage],
+    min_support: int = 3,
+    min_size: int = 1,
+) -> list[EquivalenceClass]:
+    """Compute all EQs over the sample, marking validity.
+
+    Returns classes sorted by (valid first, occurrences desc, size desc).
+    The nested/non-overlapping property across classes is enforced later,
+    when the record class is chosen and the template tree is assembled;
+    here each class is checked for internal order-consistency.
+    """
+    vectors = occurrence_vectors(pages, min_support=min_support)
+    groups = group_by_vector(vectors)
+    classes: list[EquivalenceClass] = []
+    for vector, roles in groups.items():
+        if len(roles) < min_size:
+            continue
+        eq = EquivalenceClass(vector=vector, roles=roles)
+        ok, ordered = _check_ordered(roles, pages)
+        if ok:
+            eq.valid = True
+            eq.ordered_roles = ordered
+        else:
+            eq.invalid_reason = "roles not consistently ordered across pages"
+        classes.append(eq)
+    classes.sort(
+        key=lambda eq: (
+            not eq.valid,
+            -eq.vector.per_page_mean,
+            -eq.size,
+        )
+    )
+    return classes
+
+
+def record_class_candidates(
+    classes: list[EquivalenceClass],
+) -> list[EquivalenceClass]:
+    """Valid EQs that could delimit data records.
+
+    A record EQ must contain at least one opening-tag role (records are
+    tag-delimited in template pages) and occur at least once per page on
+    average.
+    """
+    out = []
+    for eq in classes:
+        if not eq.valid:
+            continue
+        if eq.vector.per_page_mean < 1.0:
+            continue
+        if not any(role[0] == KIND_OPEN for role in eq.roles):
+            continue
+        out.append(eq)
+    return out

@@ -1,0 +1,262 @@
+"""Applying a generated wrapper to pages: record values -> object instances.
+
+Extraction re-runs the record segmentation on each page (using the record
+identity learned from the sample), aligns every record against the
+template, reads the field-slot values, and assembles them into instance
+trees shaped like the original (non-canonical) SOD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.htmlkit.dom import Element, Node, Text
+from repro.sod.canonical import canonicalize
+from repro.sod.instances import InstanceNode, ObjectInstance
+from repro.sod.types import (
+    DisjunctionType,
+    EntityType,
+    SetType,
+    SodType,
+    TupleType,
+)
+from repro.wrapper.alignment import _items_of, _lcs_align, strip_affixes
+from repro.wrapper.matching import MatchResult
+from repro.wrapper.template import (
+    ElementTemplate,
+    FieldSlot,
+    IteratorSlot,
+    StaticSlot,
+    Template,
+    TemplateNode,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.wrapper.generate import Wrapper
+
+
+@dataclass
+class RecordValues:
+    """Raw values read from one record: slot id -> values, iterators nested."""
+
+    fields: dict[int, list[str]] = field(default_factory=dict)
+    iterators: dict[int, list["RecordValues"]] = field(default_factory=dict)
+
+
+def _template_shape(node: TemplateNode) -> tuple:
+    if isinstance(node, (StaticSlot, FieldSlot)):
+        return ("text",)
+    if isinstance(node, ElementTemplate):
+        return ("elem", node.tag, node.attr_class)
+    assert isinstance(node, IteratorSlot)
+    unit = node.unit
+    if isinstance(unit, ElementTemplate):
+        return ("iter", "elem", unit.tag, unit.attr_class)
+    return ("iter", "text")
+
+
+def _collapse_for_template(
+    items: list, template_children: list[TemplateNode]
+) -> list:
+    """Collapse item runs matching this level's iterator unit shapes."""
+    iterator_shapes = set()
+    for node in template_children:
+        if isinstance(node, IteratorSlot):
+            shape = _template_shape(node)
+            iterator_shapes.add(shape[1:])  # strip the 'iter' marker
+    if not iterator_shapes:
+        return items
+    from repro.wrapper.alignment import _collapse_iterators
+
+    return _collapse_iterators(items, iterator_shapes)
+
+
+def _level_text(nodes: list[Node]) -> str:
+    parts = [node.text_content() for node in nodes]
+    return " ".join(part for part in parts if part)
+
+
+def _extract_level(
+    template_children: list[TemplateNode],
+    nodes: list[Node],
+    out: RecordValues,
+) -> None:
+    # Whole-content-field levels (the collapsed-container rule) grab
+    # everything under them, whatever markup this record happens to use.
+    if len(template_children) == 1 and isinstance(template_children[0], FieldSlot):
+        slot = template_children[0]
+        text = _level_text(nodes)
+        if text:
+            value = strip_affixes(text, slot.strip_prefix, slot.strip_suffix)
+            if value:
+                out.fields.setdefault(slot.slot_id, []).append(value)
+        return
+
+    items = _collapse_for_template(_items_of(nodes), template_children)
+    template_shapes = [_template_shape(node) for node in template_children]
+    item_shapes = [item.shape for item in items]
+    pairs = _lcs_align(template_shapes, item_shapes)
+    for template_index, item_index in pairs:
+        if template_index is None or item_index is None:
+            continue
+        node = template_children[template_index]
+        item = items[item_index]
+        if isinstance(node, StaticSlot):
+            continue
+        if isinstance(node, FieldSlot):
+            text_node = item.nodes[0]
+            assert isinstance(text_node, Text)
+            value = strip_affixes(
+                text_node.text_content(), node.strip_prefix, node.strip_suffix
+            )
+            if value:
+                out.fields.setdefault(node.slot_id, []).append(value)
+            continue
+        if isinstance(node, ElementTemplate):
+            element = item.nodes[0]
+            assert isinstance(element, Element)
+            _extract_level(node.children, list(element.children), out)
+            continue
+        assert isinstance(node, IteratorSlot)
+        units = out.iterators.setdefault(node.slot_id, [])
+        unit_template = node.unit
+        for unit_node in item.nodes:
+            if not isinstance(unit_node, Element):
+                continue
+            unit_values = RecordValues()
+            if isinstance(unit_template, ElementTemplate):
+                _extract_level(unit_template.children, list(unit_node.children), unit_values)
+            else:
+                _extract_level([unit_template], [unit_node], unit_values)
+            units.append(unit_values)
+
+
+def extract_record(template: Template, record_nodes: list[Node]) -> RecordValues:
+    """Align one record against the template and read its values."""
+    values = RecordValues()
+    _extract_level(template.roots, record_nodes, values)
+    return values
+
+
+# -- assembling SOD-shaped instances --------------------------------------
+
+
+def _entity_value(
+    slot_ids: list[int], fields: dict[int, list[str]]
+) -> str | None:
+    parts: list[str] = []
+    for slot_id in slot_ids:
+        parts.extend(fields.get(slot_id, []))
+    joined = " ".join(part for part in parts if part).strip()
+    return joined or None
+
+
+def _assemble(
+    node: SodType, match: MatchResult, record: RecordValues
+) -> InstanceNode | None:
+    if isinstance(node, EntityType):
+        slot_ids = match.entity_to_slots.get(node.name, [])
+        return _entity_value(slot_ids, record.fields)
+    if isinstance(node, TupleType):
+        values: dict[str, InstanceNode] = {}
+        for component in node.components:
+            value = _assemble(component, match, record)
+            if value is not None:
+                values[component.name] = value
+        return values or None
+    if isinstance(node, SetType):
+        inner = canonicalize(node.inner)
+        iterator_id = match.set_to_iterator.get(node.name)
+        if iterator_id is not None:
+            inner_map = match.set_inner_slots.get(node.name, {})
+            units = record.iterators.get(iterator_id, [])
+            collected: list[InstanceNode] = []
+            for unit in units:
+                if isinstance(inner, EntityType):
+                    value = _entity_value(inner_map.get(inner.name, []), unit.fields)
+                    if value is not None:
+                        collected.append(value)
+                elif isinstance(inner, TupleType):
+                    item: dict[str, InstanceNode] = {}
+                    for component in inner.components:
+                        if isinstance(component, EntityType):
+                            value = _entity_value(
+                                inner_map.get(component.name, []), unit.fields
+                            )
+                            if value is not None:
+                                item[component.name] = value
+                    if item:
+                        collected.append(item)
+            return collected or None
+        fallback = match.set_fallback_slots.get(node.name)
+        if fallback:
+            if isinstance(inner, EntityType):
+                value = _entity_value(fallback.get(inner.name, []), record.fields)
+                return [value] if value is not None else None
+            if isinstance(inner, TupleType):
+                item = {}
+                for component in inner.components:
+                    if isinstance(component, EntityType):
+                        value = _entity_value(
+                            fallback.get(component.name, []), record.fields
+                        )
+                        if value is not None:
+                            item[component.name] = value
+                return [item] if item else None
+        return None
+    assert isinstance(node, DisjunctionType)
+    left = _assemble(node.left, match, record)
+    if left:
+        return left
+    return _assemble(node.right, match, record)
+
+
+def assemble_instance(
+    sod: SodType,
+    match: MatchResult,
+    record: RecordValues,
+    source: str = "",
+    page_index: int = -1,
+) -> ObjectInstance | None:
+    """Build an :class:`ObjectInstance` from one record's raw values.
+
+    Returns ``None`` for records yielding no values at all (chrome rows the
+    segmentation swept in).
+    """
+    if isinstance(sod, TupleType):
+        values = _assemble(sod, match, record)
+        if not values:
+            return None
+        assert isinstance(values, dict)
+        return ObjectInstance(values=values, source=source, page_index=page_index)
+    value = _assemble(sod, match, record)
+    if value is None:
+        return None
+    return ObjectInstance(
+        values={getattr(sod, "name", "value"): value},
+        source=source,
+        page_index=page_index,
+    )
+
+
+def extract_objects(
+    wrapper: "Wrapper",
+    pages: list[Element],
+    source: str = "",
+) -> list[ObjectInstance]:
+    """Extract every SOD instance from ``pages`` using ``wrapper``."""
+    objects: list[ObjectInstance] = []
+    for page_index, page in enumerate(pages):
+        for record_nodes in wrapper.segment_page(page):
+            record = extract_record(wrapper.template, record_nodes)
+            instance = assemble_instance(
+                wrapper.sod,
+                wrapper.match,
+                record,
+                source=source,
+                page_index=page_index,
+            )
+            if instance is not None:
+                objects.append(instance)
+    return objects

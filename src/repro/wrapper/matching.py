@@ -1,0 +1,317 @@
+"""Matching the canonical SOD against the template tree (paper III-D).
+
+Bottom-up: the atoms of the canonical tuple must map to tuple-level field
+slots bearing their annotations (several adjacent slots may serve one atom,
+e.g. an address split over ``<span>`` fields); each set type must map to an
+iterator slot whose unit carries the inner types' annotations.  The result
+records the mapping used by extraction, plus what is missing — the partial-
+match information driving the early-stop gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sod.canonical import canonicalize
+from repro.sod.types import (
+    DisjunctionType,
+    EntityType,
+    SetType,
+    SodType,
+    TupleType,
+)
+from repro.wrapper.template import (
+    FieldSlot,
+    GENERALIZATION_THRESHOLD,
+    IteratorSlot,
+    Template,
+)
+
+
+@dataclass
+class MatchResult:
+    """Outcome of SOD/template matching.
+
+    ``entity_to_slots`` maps tuple-level entity names to the field-slot ids
+    serving them; ``set_to_iterator`` maps set names to iterator slot ids;
+    ``set_inner_slots`` maps set names to the inner mapping (entity name ->
+    unit slot ids).  ``set_fallback_slots`` holds sets served by plain
+    tuple-level slots (single-valued sources).  ``missing`` lists required
+    entity names with no slot; ``matched`` is True when nothing required is
+    missing.
+    """
+
+    entity_to_slots: dict[str, list[int]] = field(default_factory=dict)
+    set_to_iterator: dict[str, int] = field(default_factory=dict)
+    set_inner_slots: dict[str, dict[str, list[int]]] = field(default_factory=dict)
+    set_fallback_slots: dict[str, dict[str, list[int]]] = field(default_factory=dict)
+    missing: list[str] = field(default_factory=list)
+    matched: bool = False
+
+    @property
+    def mapped_entities(self) -> set[str]:
+        """Every entity name served by some slot, set members included."""
+        names = set(self.entity_to_slots)
+        for inner in self.set_inner_slots.values():
+            names.update(inner)
+        for inner in self.set_fallback_slots.values():
+            names.update(inner)
+        return names
+
+
+def _slots_for(
+    slots: list[FieldSlot],
+    type_name: str,
+    taken: set[int],
+    threshold: float,
+) -> list[int]:
+    """Field slots whose generalized annotation is ``type_name``.
+
+    Adjacent slots with the same dominant annotation all serve the type
+    (the multi-span address case).
+    """
+    return [
+        slot.slot_id
+        for slot in slots
+        if slot.slot_id not in taken
+        and slot.dominant_annotation(threshold) == type_name
+    ]
+
+
+def match_sod(
+    sod: SodType,
+    template: Template,
+    threshold: float = GENERALIZATION_THRESHOLD,
+) -> MatchResult:
+    """Match ``sod`` (any form; canonicalized internally) to ``template``."""
+    canonical = canonicalize(sod)
+    result = MatchResult()
+    taken: set[int] = set()
+    tuple_fields = template.tuple_level_fields()
+    set_fields = template.set_level_fields()
+    iterators = {it.slot_id: it for it in template.iterator_slots()}
+
+    def match_entity(entity: EntityType, fields: list[FieldSlot]) -> list[int]:
+        slot_ids = _slots_for(fields, entity.name, taken, threshold)
+        taken.update(slot_ids)
+        return slot_ids
+
+    def match_set(set_type: SetType) -> bool:
+        inner = canonicalize(set_type.inner)
+        inner_entities: list[EntityType]
+        if isinstance(inner, EntityType):
+            inner_entities = [inner]
+        elif isinstance(inner, TupleType):
+            inner_entities = [
+                component
+                for component in inner.components
+                if isinstance(component, EntityType)
+            ]
+        else:
+            return False  # nested sets-of-sets are out of template scope
+        # Preferred: an iterator slot whose unit covers the inner entities.
+        best_iterator: int | None = None
+        best_mapping: dict[str, list[int]] = {}
+        for iterator_id, fields in set_fields.items():
+            if iterator_id in result.set_to_iterator.values():
+                continue
+            mapping: dict[str, list[int]] = {}
+            for entity in inner_entities:
+                slot_ids = _slots_for(fields, entity.name, set(), threshold)
+                if slot_ids:
+                    mapping[entity.name] = slot_ids
+            required = [e for e in inner_entities if not e.optional]
+            if required and all(e.name in mapping for e in required):
+                if best_iterator is None or len(mapping) > len(best_mapping):
+                    best_iterator = iterator_id
+                    best_mapping = mapping
+        if best_iterator is not None:
+            result.set_to_iterator[set_type.name] = best_iterator
+            result.set_inner_slots[set_type.name] = best_mapping
+            return True
+        # Fallback: tuple-level slots can serve a set when the source lists
+        # a single element (multiplicity permitting one).
+        if set_type.multiplicity.admits(1):
+            mapping = {}
+            for entity in inner_entities:
+                slot_ids = match_entity(entity, tuple_fields)
+                if slot_ids:
+                    mapping[entity.name] = slot_ids
+            required = [e for e in inner_entities if not e.optional]
+            if required and all(e.name in mapping for e in required):
+                result.set_fallback_slots[set_type.name] = mapping
+                return True
+        return bool(set_type.multiplicity.optional_allowed)
+
+    def match_node(node: SodType) -> None:
+        if isinstance(node, EntityType):
+            slot_ids = match_entity(node, tuple_fields)
+            if slot_ids:
+                result.entity_to_slots[node.name] = slot_ids
+            elif not node.optional:
+                result.missing.append(node.name)
+            return
+        if isinstance(node, SetType):
+            if not match_set(node):
+                result.missing.append(node.name)
+            return
+        if isinstance(node, TupleType):
+            for component in node.components:
+                match_node(component)
+            return
+        assert isinstance(node, DisjunctionType)
+        # Try the left branch on a scratch result; fall back to the right.
+        checkpoint = _snapshot(result, taken)
+        match_node(node.left)
+        if result.missing:
+            _restore(result, taken, checkpoint)
+            match_node(node.right)
+
+    match_node(canonical)
+
+    # Second pass — Algorithm 2 differentiates with *conflicting*
+    # annotations only after the non-conflicting fixpoint.  Entities still
+    # missing get the single slot where their annotation share is largest
+    # (several entities may share one slot, e.g. "TITLE by AUTHOR" rendered
+    # in one text node: both map there, and evaluation will grade the
+    # extraction partially correct, exactly as the paper describes).
+    if result.missing:
+        entity_index = {
+            entity.name: entity
+            for entity in _entities_of(canonical)
+        }
+        set_index = {
+            node.name: node for node in _sets_of(canonical)
+        }
+        still_missing: list[str] = []
+        for name in result.missing:
+            if name in entity_index:
+                slot_id = _best_conflicting_slot(tuple_fields, name)
+                if slot_id is not None:
+                    result.entity_to_slots[name] = [slot_id]
+                    continue
+            elif name in set_index:
+                set_type = set_index[name]
+                inner = canonicalize(set_type.inner)
+                inner_names = (
+                    [inner.name]
+                    if isinstance(inner, EntityType)
+                    else [
+                        component.name
+                        for component in inner.components
+                        if isinstance(component, EntityType)
+                        and not component.optional
+                    ]
+                    if isinstance(inner, TupleType)
+                    else []
+                )
+                mapping: dict[str, list[int]] = {}
+                for inner_name in inner_names:
+                    slot_id = _best_conflicting_slot(tuple_fields, inner_name)
+                    if slot_id is not None:
+                        mapping[inner_name] = [slot_id]
+                if inner_names and len(mapping) == len(inner_names):
+                    result.set_fallback_slots[name] = mapping
+                    continue
+            still_missing.append(name)
+        result.missing = still_missing
+
+    result.matched = not result.missing
+    __ = iterators  # referenced for clarity; mapping ids point into it
+    return result
+
+
+def _entities_of(node: SodType) -> list[EntityType]:
+    if isinstance(node, EntityType):
+        return [node]
+    if isinstance(node, TupleType):
+        out: list[EntityType] = []
+        for component in node.components:
+            out.extend(_entities_of(component))
+        return out
+    if isinstance(node, DisjunctionType):
+        return _entities_of(node.left) + _entities_of(node.right)
+    return []
+
+
+def _sets_of(node: SodType) -> list[SetType]:
+    if isinstance(node, SetType):
+        return [node]
+    if isinstance(node, TupleType):
+        out: list[SetType] = []
+        for component in node.components:
+            out.extend(_sets_of(component))
+        return out
+    if isinstance(node, DisjunctionType):
+        return _sets_of(node.left) + _sets_of(node.right)
+    return []
+
+
+def _best_conflicting_slot(
+    slots: list[FieldSlot], type_name: str, min_share: float = 0.1
+) -> int | None:
+    """The slot where ``type_name``'s annotation density is largest.
+
+    Density is measured against the slot's total occurrences (not against
+    competing annotations, which would let a fully-annotated co-resident
+    type drown out a 20%-coverage dictionary type sharing the same text).
+    """
+    best: tuple[float, int] | None = None
+    for slot in slots:
+        if not slot.occurrences:
+            continue
+        share = slot.annotation_counts.get(type_name, 0) / slot.occurrences
+        if share >= min_share and (best is None or share > best[0]):
+            best = (share, slot.slot_id)
+    return best[1] if best else None
+
+
+def _snapshot(result: MatchResult, taken: set[int]):
+    return (
+        dict(result.entity_to_slots),
+        dict(result.set_to_iterator),
+        {k: dict(v) for k, v in result.set_inner_slots.items()},
+        {k: dict(v) for k, v in result.set_fallback_slots.items()},
+        list(result.missing),
+        set(taken),
+    )
+
+
+def _restore(result: MatchResult, taken: set[int], checkpoint) -> None:
+    (
+        result.entity_to_slots,
+        result.set_to_iterator,
+        result.set_inner_slots,
+        result.set_fallback_slots,
+        result.missing,
+        saved_taken,
+    ) = (
+        dict(checkpoint[0]),
+        dict(checkpoint[1]),
+        {k: dict(v) for k, v in checkpoint[2].items()},
+        {k: dict(v) for k, v in checkpoint[3].items()},
+        list(checkpoint[4]),
+        checkpoint[5],
+    )
+    taken.clear()
+    taken.update(saved_taken)
+
+
+def partially_matchable(
+    sod: SodType,
+    template: Template,
+    page_annotation_types: set[str],
+    threshold: float = GENERALIZATION_THRESHOLD,
+) -> bool:
+    """The early-stop test of Section III-E (wrapper-generation phase).
+
+    True when a partial matching exists: whatever required types are not
+    yet served by slots still have *some* annotated token on the pages
+    (``page_annotation_types``) that could complete the match later (e.g.
+    after a parameter variation).  False means no completion is possible
+    and the generation process should stop.
+    """
+    result = match_sod(sod, template, threshold)
+    if result.matched:
+        return True
+    return all(name in page_annotation_types for name in result.missing)

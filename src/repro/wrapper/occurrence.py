@@ -1,0 +1,105 @@
+"""Occurrence vectors: per-role counts across the sample pages.
+
+For a token role ``r`` and sample pages ``p_1..p_n``, the occurrence
+vector is ``<count(r, p_1), ..., count(r, p_n)>``.  Roles sharing a vector
+form candidate equivalence classes (paper Section III-C; the ``<3,3,6>``
+example for ``<div>``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+from repro.wrapper.tokens import PageToken, TokenizedPage
+
+RoleKey = tuple[str, str, str, str]
+
+
+@dataclass(frozen=True)
+class OccurrenceVector:
+    """The counts of one role across the sample pages."""
+
+    counts: tuple[int, ...]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    @property
+    def support(self) -> int:
+        """Number of pages in which the role occurs at least once."""
+        return sum(1 for count in self.counts if count > 0)
+
+    @property
+    def constant(self) -> bool:
+        """True if the count is identical on every page (and nonzero)."""
+        nonzero = [count for count in self.counts if count > 0]
+        if len(nonzero) != len(self.counts):
+            return False
+        return len(set(nonzero)) == 1
+
+    @property
+    def per_page_mean(self) -> float:
+        """Average occurrences per sample page."""
+        if not self.counts:
+            return 0.0
+        return self.total / len(self.counts)
+
+
+def occurrence_vectors(
+    pages: list[TokenizedPage], min_support: int = 3
+) -> dict[RoleKey, OccurrenceVector]:
+    """Compute occurrence vectors for every role with enough support.
+
+    ``min_support`` is the paper's *support* parameter (3-5 in the
+    experiments): roles appearing in fewer pages are left out of the
+    equivalence-class analysis (they are either data or noise).  Support is
+    clamped to the sample size so tiny samples still work.
+    """
+    min_support = min(min_support, len(pages)) if pages else min_support
+    per_page_counts: list[Counter] = []
+    for page in pages:
+        counter: Counter = Counter()
+        for token in page.tokens:
+            counter[token.role_key] += 1
+        per_page_counts.append(counter)
+
+    all_roles: set[RoleKey] = set()
+    for counter in per_page_counts:
+        all_roles.update(counter)
+
+    vectors: dict[RoleKey, OccurrenceVector] = {}
+    for role in all_roles:
+        counts = tuple(counter.get(role, 0) for counter in per_page_counts)
+        vector = OccurrenceVector(counts)
+        if vector.support >= min_support:
+            vectors[role] = vector
+    return vectors
+
+
+def group_by_vector(
+    vectors: dict[RoleKey, OccurrenceVector]
+) -> dict[OccurrenceVector, list[RoleKey]]:
+    """Group roles by identical occurrence vectors (raw EQ candidates)."""
+    groups: dict[OccurrenceVector, list[RoleKey]] = defaultdict(list)
+    for role, vector in vectors.items():
+        groups[vector].append(role)
+    for roles in groups.values():
+        roles.sort()
+    return dict(groups)
+
+
+def role_positions(
+    pages: list[TokenizedPage], roles: set[RoleKey]
+) -> list[list[tuple[int, RoleKey]]]:
+    """Per page, the ordered positions of tokens belonging to ``roles``."""
+    positions: list[list[tuple[int, RoleKey]]] = []
+    for page in pages:
+        page_positions = [
+            (index, token.role_key)
+            for index, token in enumerate(page.tokens)
+            if token.role_key in roles
+        ]
+        positions.append(page_positions)
+    return positions

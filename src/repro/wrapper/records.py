@@ -1,0 +1,164 @@
+"""Record detection: choosing the record-level equivalence class.
+
+On a list page, the tokens that occur once per data record (``<li>``, the
+record's ``<div>`` skeleton, ...) share an occurrence vector and form the
+*record EQ*; its spans are the record instances.  On a detail page the
+record EQ has vector ``<1, 1, ..., 1>`` and its single span per page is
+the record.  Among candidate EQs we pick the one whose spans are most
+template-like: they should cover much of the region and strongly resemble
+each other.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.wrapper.equivalence import (
+    EquivalenceClass,
+    find_equivalence_classes,
+    record_class_candidates,
+)
+from repro.wrapper.tokens import PageToken, TokenizedPage
+
+
+@dataclass
+class RecordSegmentation:
+    """The chosen record EQ plus per-page record token spans."""
+
+    record_class: EquivalenceClass
+    #: per page: list of (start, stop) token index spans.
+    spans_per_page: list[list[tuple[int, int]]]
+    is_list_source: bool
+
+    def record_sequences(self, pages: list[TokenizedPage]) -> list[list[PageToken]]:
+        """All record token subsequences, across all pages, in order."""
+        sequences: list[list[PageToken]] = []
+        for page, spans in zip(pages, self.spans_per_page):
+            for start, stop in spans:
+                sequences.append(page.tokens[start:stop])
+        return sequences
+
+
+def _tag_profile(tokens: list[PageToken]) -> Counter:
+    """Multiset of tag role keys in a span (words ignored — they are data)."""
+    return Counter(token.role_key for token in tokens if token.is_tag)
+
+
+def _similarity(a: Counter, b: Counter) -> float:
+    """Multiset Jaccard similarity of two tag profiles."""
+    if not a and not b:
+        return 1.0
+    intersection = sum((a & b).values())
+    union = sum((a | b).values())
+    return intersection / union if union else 0.0
+
+
+@dataclass
+class _CandidateStats:
+    """Measured quality of one candidate record EQ."""
+
+    eq: EquivalenceClass
+    spans_per_page: list[list[tuple[int, int]]]
+    coverage: float
+    similarity: float
+    depth: int
+
+
+def _measure_candidate(
+    eq: EquivalenceClass, pages: list[TokenizedPage]
+) -> _CandidateStats:
+    """Coverage, span self-similarity and nesting depth of one candidate."""
+    spans_per_page = [eq.spans(page) for page in pages]
+    total_tokens = sum(len(page.tokens) for page in pages)
+    covered = sum(
+        stop - start for spans in spans_per_page for start, stop in spans
+    )
+    coverage = covered / total_tokens if total_tokens else 0.0
+
+    profiles = [
+        _tag_profile(page.tokens[start:stop])
+        for page, spans in zip(pages, spans_per_page)
+        for start, stop in spans
+    ]
+    if len(profiles) < 2:
+        similarity = 1.0 if profiles else 0.0
+    else:
+        # Lower-quartile similarity to the reference: true records are all
+        # alike, whereas a field sequence mistaken for records (artist p,
+        # date p, location p, ...) is bimodal — some spans match the
+        # reference, the rest do not.  The 25th percentile exposes that.
+        reference = profiles[0]
+        similarities = sorted(
+            _similarity(reference, profile) for profile in profiles[1:]
+        )
+        quartile_index = max(0, (len(similarities) + 3) // 4 - 1)
+        p25 = similarities[quartile_index]
+        mean = sum(similarities) / len(similarities)
+        similarity = 0.25 * mean + 0.75 * p25
+
+    first_role = eq.ordered_roles[0] if eq.ordered_roles else ("", "", "", "")
+    depth = first_role[2].count("/")
+    return _CandidateStats(
+        eq=eq,
+        spans_per_page=spans_per_page,
+        coverage=coverage,
+        similarity=similarity,
+        depth=depth,
+    )
+
+
+def segment_records(
+    pages: list[TokenizedPage],
+    min_support: int = 3,
+    min_similarity: float = 0.4,
+    min_coverage: float = 0.15,
+    record_coverage: float = 0.55,
+) -> RecordSegmentation | None:
+    """Find the record EQ and segment every page into record spans.
+
+    Selection follows the equivalence-class hierarchy: among acceptable
+    candidates (similar spans, enough coverage), a *repeating* EQ whose
+    spans tile most of the region (``record_coverage``) is preferred, and
+    among those the **outermost** (smallest DOM depth) wins — that is the
+    data-record level of the class hierarchy.  The coverage requirement
+    keeps leaf repetitions (a run of address ``<span>`` fields) from
+    masquerading as records on detail pages.  Pages whose records appear
+    once per page (detail pages) fall back to the best single-occurrence
+    EQ.  Returns ``None`` when nothing qualifies — the signature of an
+    unstructured source.
+    """
+    classes = find_equivalence_classes(pages, min_support=min_support)
+    candidates = record_class_candidates(classes)
+    if not candidates:
+        return None
+
+    acceptable: list[_CandidateStats] = []
+    for eq in candidates[:32]:  # candidates are pre-sorted; cap the search
+        stats = _measure_candidate(eq, pages)
+        if stats.similarity < min_similarity:
+            continue
+        if stats.coverage < min_coverage:
+            continue
+        acceptable.append(stats)
+    if not acceptable:
+        return None
+
+    repeating = [
+        stats
+        for stats in acceptable
+        if stats.eq.vector.counts
+        and max(stats.eq.vector.counts) >= 2
+        and stats.coverage >= record_coverage
+    ]
+    if repeating:
+        best = min(repeating, key=lambda s: (s.depth, -s.coverage, -s.similarity))
+        is_list = True
+    else:
+        best = max(acceptable, key=lambda s: (s.coverage * s.similarity))
+        is_list = best.eq.vector.per_page_mean >= 2.0
+    return RecordSegmentation(
+        record_class=best.eq,
+        spans_per_page=best.spans_per_page,
+        is_list_source=is_list,
+    )

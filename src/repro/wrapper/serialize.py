@@ -1,0 +1,172 @@
+"""Wrapper persistence: templates and SOD mappings as JSON.
+
+Wrapping a source costs seconds; extraction is pennies.  A production
+deployment therefore wraps once and re-extracts as the source refreshes.
+:func:`wrapper_to_dict` / :func:`wrapper_from_dict` serialize everything a
+wrapper needs to run again — the template tree, the SOD, the SOD-to-slot
+mapping and the record identity — as plain JSON-compatible data.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any
+
+from repro.errors import WrapperError
+from repro.sod.dsl import format_sod, parse_sod
+from repro.wrapper.generate import Wrapper
+from repro.wrapper.matching import MatchResult
+from repro.wrapper.template import (
+    ElementTemplate,
+    FieldSlot,
+    IteratorSlot,
+    StaticSlot,
+    Template,
+    TemplateNode,
+)
+
+FORMAT_VERSION = 1
+
+
+def _node_to_dict(node: TemplateNode) -> dict[str, Any]:
+    if isinstance(node, FieldSlot):
+        return {
+            "kind": "field",
+            "slot_id": node.slot_id,
+            "annotation_counts": dict(node.annotation_counts),
+            "occurrences": node.occurrences,
+            "optional": node.optional,
+            "examples": list(node.examples),
+            "strip_prefix": node.strip_prefix,
+            "strip_suffix": node.strip_suffix,
+        }
+    if isinstance(node, StaticSlot):
+        return {"kind": "static", "text": node.text}
+    if isinstance(node, IteratorSlot):
+        return {
+            "kind": "iterator",
+            "slot_id": node.slot_id,
+            "unit": _node_to_dict(node.unit),
+            "min_repeats": node.min_repeats,
+            "max_repeats": node.max_repeats,
+        }
+    assert isinstance(node, ElementTemplate)
+    return {
+        "kind": "element",
+        "tag": node.tag,
+        "attr_class": node.attr_class,
+        "optional": node.optional,
+        "annotation_counts": dict(node.annotation_counts),
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def _node_from_dict(data: dict[str, Any]) -> TemplateNode:
+    kind = data.get("kind")
+    if kind == "field":
+        slot = FieldSlot(slot_id=data["slot_id"])
+        slot.annotation_counts = Counter(data.get("annotation_counts", {}))
+        slot.occurrences = data.get("occurrences", 0)
+        slot.optional = data.get("optional", False)
+        slot.examples = list(data.get("examples", []))
+        slot.strip_prefix = data.get("strip_prefix", 0)
+        slot.strip_suffix = data.get("strip_suffix", 0)
+        return slot
+    if kind == "static":
+        return StaticSlot(text=data["text"])
+    if kind == "iterator":
+        return IteratorSlot(
+            slot_id=data["slot_id"],
+            unit=_node_from_dict(data["unit"]),
+            min_repeats=data.get("min_repeats", 0),
+            max_repeats=data.get("max_repeats", 0),
+        )
+    if kind == "element":
+        return ElementTemplate(
+            tag=data["tag"],
+            attr_class=data.get("attr_class", ""),
+            optional=data.get("optional", False),
+            annotation_counts=Counter(data.get("annotation_counts", {})),
+            children=[_node_from_dict(child) for child in data.get("children", [])],
+        )
+    raise WrapperError(f"unknown template node kind {kind!r}")
+
+
+def wrapper_to_dict(wrapper: Wrapper) -> dict[str, Any]:
+    """Serialize a wrapper to JSON-compatible data."""
+    match = wrapper.match
+    return {
+        "version": FORMAT_VERSION,
+        "source": wrapper.source,
+        "sod": format_sod(wrapper.sod),
+        "template": {
+            "roots": [_node_to_dict(node) for node in wrapper.template.roots],
+            "conflicts": wrapper.template.conflicts,
+            "sample_records": wrapper.template.sample_records,
+        },
+        "match": {
+            "entity_to_slots": match.entity_to_slots,
+            "set_to_iterator": match.set_to_iterator,
+            "set_inner_slots": match.set_inner_slots,
+            "set_fallback_slots": match.set_fallback_slots,
+            "missing": match.missing,
+            "matched": match.matched,
+        },
+        "record": {
+            "tag": wrapper.record_tag,
+            "path": wrapper.record_path,
+            "class": wrapper.record_class_attr,
+            "single_element": wrapper.record_single_element,
+            "is_list_source": wrapper.is_list_source,
+        },
+        "support": wrapper.support,
+        "conflicts": wrapper.conflicts,
+        "annotation_types_seen": sorted(wrapper.annotation_types_seen),
+    }
+
+
+def wrapper_from_dict(data: dict[str, Any]) -> Wrapper:
+    """Rebuild a wrapper from :func:`wrapper_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise WrapperError(
+            f"unsupported wrapper format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    template = Template(
+        roots=[_node_from_dict(node) for node in data["template"]["roots"]],
+        conflicts=data["template"].get("conflicts", 0),
+        sample_records=data["template"].get("sample_records", 0),
+    )
+    match_data = data["match"]
+    match = MatchResult(
+        entity_to_slots={
+            key: list(value) for key, value in match_data["entity_to_slots"].items()
+        },
+        set_to_iterator=dict(match_data["set_to_iterator"]),
+        set_inner_slots={
+            key: {k: list(v) for k, v in value.items()}
+            for key, value in match_data["set_inner_slots"].items()
+        },
+        set_fallback_slots={
+            key: {k: list(v) for k, v in value.items()}
+            for key, value in match_data["set_fallback_slots"].items()
+        },
+        missing=list(match_data.get("missing", [])),
+        matched=match_data.get("matched", False),
+    )
+    record = data["record"]
+    return Wrapper(
+        source=data["source"],
+        sod=parse_sod(data["sod"]),
+        template=template,
+        match=match,
+        record_tag=record["tag"],
+        record_path=record["path"],
+        record_class_attr=record.get("class", ""),
+        record_single_element=record["single_element"],
+        is_list_source=record["is_list_source"],
+        support=data.get("support", 3),
+        conflicts=data.get("conflicts", 0),
+        annotation_types_seen=set(data.get("annotation_types_seen", [])),
+    )

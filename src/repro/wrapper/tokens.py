@@ -1,0 +1,122 @@
+"""Flat token sequences over pages.
+
+The ExAlg family reasons over page *tokens*: HTML tags and words.  Each
+token occurrence keeps its DOM path (the initial role criterion — "tokens
+having the same value and the same path in the DOM will have the same
+role"), the annotations of its enclosing node, and a link back to the DOM
+text node for extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.htmlkit.dom import Element, Node, Text
+from repro.utils.text import tokenize_words
+
+KIND_OPEN = "open"
+KIND_CLOSE = "close"
+KIND_WORD = "word"
+
+
+@dataclass
+class PageToken:
+    """One token occurrence on a page."""
+
+    kind: str
+    value: str
+    path: str
+    annotations: frozenset[str] = frozenset()
+    #: The text node a word token came from (None for tags).
+    text_node: Text | None = None
+    #: The element a tag token came from (None for words).
+    element: Element | None = None
+    #: The element's class attribute (tags only) — part of the role, so
+    #: ``<div class=title>`` and ``<div class=price>`` play different roles.
+    attr_class: str = ""
+
+    @property
+    def role_key(self) -> tuple[str, str, str, str]:
+        """The initial role: kind, value, DOM path, class (HTML features)."""
+        return (self.kind, self.value, self.path, self.attr_class)
+
+    @property
+    def is_tag(self) -> bool:
+        return self.kind in (KIND_OPEN, KIND_CLOSE)
+
+    def display(self) -> str:
+        """Human-readable form, used in template dumps."""
+        if self.kind == KIND_OPEN:
+            return f"<{self.value}>"
+        if self.kind == KIND_CLOSE:
+            return f"</{self.value}>"
+        return self.value
+
+
+@dataclass
+class TokenizedPage:
+    """The token sequence of one page (or one page region)."""
+
+    tokens: list[PageToken] = field(default_factory=list)
+    page_index: int = -1
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def tag_tokens(self) -> list[PageToken]:
+        return [token for token in self.tokens if token.is_tag]
+
+
+def tokenize_element(
+    element: Element, page_index: int = -1, include_words: bool = True
+) -> TokenizedPage:
+    """Flatten a DOM subtree into a token sequence.
+
+    Tag tokens carry their element's annotations; word tokens carry their
+    text node's annotations.  Word tokens remember their source text node
+    so the extractor can recover exact values later.
+    """
+    tokens: list[PageToken] = []
+
+    def visit(node: Node) -> None:
+        if isinstance(node, Text):
+            if not include_words:
+                return
+            for word in tokenize_words(node.text):
+                tokens.append(
+                    PageToken(
+                        kind=KIND_WORD,
+                        value=word,
+                        path=node.parent.dom_path() if node.parent else "",
+                        annotations=frozenset(node.annotations),
+                        text_node=node,
+                    )
+                )
+            return
+        assert isinstance(node, Element)
+        attr_class = node.attributes.get("class", "")
+        tokens.append(
+            PageToken(
+                kind=KIND_OPEN,
+                value=node.tag,
+                path=node.dom_path(),
+                annotations=frozenset(node.annotations),
+                element=node,
+                attr_class=attr_class,
+            )
+        )
+        for child in node.children:
+            visit(child)
+        tokens.append(
+            PageToken(
+                kind=KIND_CLOSE,
+                value=node.tag,
+                path=node.dom_path(),
+                annotations=frozenset(node.annotations),
+                element=node,
+                attr_class=attr_class,
+            )
+        )
+
+    visit(element)
+    return TokenizedPage(tokens=tokens, page_index=page_index)

@@ -1,0 +1,96 @@
+"""Tests for the DOM annotator."""
+
+from repro.annotation.annotator import AnnotatedPage, PageAnnotator, annotate_page
+from repro.htmlkit.tidy import tidy
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.recognizers.predefined import predefined_recognizer
+
+PAGE = """
+<html><body><li>
+<div>Metallica</div>
+<div>Monday May 11, 8:00pm</div>
+<div><span><a>Madison Square Garden</a></span><span>237 West 42nd street</span></div>
+</li></body></html>
+"""
+
+
+def artist_gazetteer():
+    return GazetteerRecognizer("artist", ["Metallica", "Muse"])
+
+
+class TestAnnotate:
+    def test_text_node_annotated(self):
+        page = AnnotatedPage(root=tidy(PAGE))
+        PageAnnotator().annotate(page, artist_gazetteer())
+        artist_div = page.root.find_all("div")[0]
+        text_node = next(artist_div.iter_text_nodes())
+        assert "artist" in text_node.annotations
+
+    def test_parent_element_annotated(self):
+        page = AnnotatedPage(root=tidy(PAGE))
+        PageAnnotator().annotate(page, artist_gazetteer())
+        artist_div = page.root.find_all("div")[0]
+        assert "artist" in artist_div.annotations
+
+    def test_matches_recorded(self):
+        page = AnnotatedPage(root=tidy(PAGE))
+        found = PageAnnotator().annotate(page, artist_gazetteer())
+        assert [m.value for m in found] == ["Metallica"]
+        assert page.annotation_count("artist") == 1
+
+    def test_full_node_match_gets_bonus(self):
+        page = AnnotatedPage(root=tidy("<body><div>Metallica</div></body>"))
+        found = PageAnnotator(full_node_bonus=0.1).annotate(page, artist_gazetteer())
+        assert found[0].confidence > GazetteerRecognizer(
+            "artist", {"Metallica": 1.0}
+        ).entries().get("Metallica", 0) - 0.2  # bonus applied, capped at 1.0
+        assert found[0].confidence == 1.0
+
+    def test_partial_node_match_no_bonus(self):
+        page = AnnotatedPage(
+            root=tidy("<body><div>Tonight Metallica plays</div></body>")
+        )
+        gazetteer = GazetteerRecognizer("artist", {"Metallica": 0.8})
+        found = PageAnnotator().annotate(page, gazetteer)
+        assert found[0].confidence == 0.8
+
+    def test_scope_restriction(self):
+        page = AnnotatedPage(
+            root=tidy(
+                "<body><div id='a'>Metallica</div><div id='b'>Muse</div></body>"
+            )
+        )
+        scope = page.root.find_all("div")[0]
+        found = PageAnnotator().annotate(page, artist_gazetteer(), within=scope)
+        assert [m.value for m in found] == ["Metallica"]
+
+    def test_multiple_annotations_per_node(self):
+        page = AnnotatedPage(root=tidy("<body><div>May 11, 2010</div></body>"))
+        annotator = PageAnnotator()
+        annotator.annotate(page, predefined_recognizer("date"))
+        annotator.annotate(page, predefined_recognizer("year"))
+        text_node = next(page.root.find("div").iter_text_nodes())
+        assert {"date", "year"} <= text_node.annotations
+
+
+class TestConvenience:
+    def test_annotate_page_runs_all(self):
+        page = annotate_page(
+            tidy(PAGE),
+            [
+                artist_gazetteer(),
+                predefined_recognizer("date"),
+                predefined_recognizer("address"),
+            ],
+            index=3,
+        )
+        assert page.index == 3
+        assert page.annotated_types() == {"artist", "date", "address"}
+
+    def test_annotation_count_total(self):
+        page = annotate_page(
+            tidy(PAGE), [artist_gazetteer(), predefined_recognizer("date")]
+        )
+        assert page.annotation_count() == page.annotation_count(
+            "artist"
+        ) + page.annotation_count("date")

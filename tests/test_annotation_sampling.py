@@ -1,0 +1,114 @@
+"""Tests for Algorithm 1: sample selection with the alpha gate."""
+
+import pytest
+
+from repro.annotation.sampling import SampleSelectionConfig, select_sample
+from repro.errors import SourceDiscardedError
+from repro.htmlkit.tidy import tidy
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.recognizers.predefined import predefined_recognizer
+
+
+def rich_page(artist):
+    return tidy(
+        f"<body><div id='main'><li><div>{artist}</div>"
+        f"<div>Monday May 11, 8:00pm</div></li></div></body>"
+    )
+
+
+def poor_page():
+    return tidy("<body><div id='main'><p>nothing relevant here</p></div></body>")
+
+
+def recognizers():
+    return [
+        GazetteerRecognizer("artist", ["Muse", "Coldplay", "Madonna"]),
+        predefined_recognizer("date", type_name="date"),
+    ]
+
+
+class TestSampleSelection:
+    def test_rich_pages_preferred(self):
+        pages = [poor_page(), rich_page("Muse"), rich_page("Coldplay"), poor_page()]
+        run = select_sample(
+            "test",
+            pages,
+            recognizers(),
+            config=SampleSelectionConfig(sample_size=2, enforce_alpha=False),
+        )
+        assert [page.index for page in run.sample] == [1, 2]
+
+    def test_sample_size_respected(self):
+        pages = [rich_page(f"Muse") for __ in range(10)]
+        run = select_sample(
+            "test",
+            pages,
+            recognizers(),
+            config=SampleSelectionConfig(sample_size=4, enforce_alpha=False),
+        )
+        assert len(run.sample) == 4
+
+    def test_gazetteers_processed_before_predefined(self):
+        pages = [rich_page("Muse")]
+        run = select_sample(
+            "test",
+            pages,
+            recognizers(),
+            config=SampleSelectionConfig(sample_size=1, enforce_alpha=False),
+        )
+        assert run.type_order.index("artist") < run.type_order.index("date")
+
+    def test_all_pages_annotated_in_result(self):
+        pages = [rich_page("Muse"), rich_page("Coldplay")]
+        run = select_sample(
+            "test",
+            pages,
+            recognizers(),
+            config=SampleSelectionConfig(sample_size=2, enforce_alpha=False),
+        )
+        assert len(run.all_pages) == 2
+
+    def test_sample_pages_carry_annotations(self):
+        pages = [rich_page("Muse")]
+        run = select_sample(
+            "test",
+            pages,
+            recognizers(),
+            config=SampleSelectionConfig(sample_size=1, enforce_alpha=False),
+        )
+        assert run.sample[0].annotated_types() == {"artist", "date"}
+
+
+class TestAlphaGate:
+    def test_unannotatable_source_discarded(self):
+        pages = [poor_page() for __ in range(5)]
+        with pytest.raises(SourceDiscardedError) as excinfo:
+            select_sample(
+                "emusic",
+                pages,
+                recognizers(),
+                config=SampleSelectionConfig(sample_size=3, alpha=0.5),
+            )
+        assert excinfo.value.stage == "annotation"
+        assert excinfo.value.source == "emusic"
+
+    def test_rich_source_passes_gate(self):
+        pages = [rich_page("Muse") for __ in range(5)]
+        run = select_sample(
+            "zvents",
+            pages,
+            recognizers(),
+            config=SampleSelectionConfig(sample_size=3, alpha=0.5),
+        )
+        assert not run.discarded
+        assert run.block_rates  # gate evaluated and recorded
+
+    def test_gate_disabled(self):
+        pages = [poor_page() for __ in range(5)]
+        run = select_sample(
+            "anything",
+            pages,
+            recognizers(),
+            config=SampleSelectionConfig(sample_size=3, enforce_alpha=False),
+        )
+        assert len(run.sample) == 3

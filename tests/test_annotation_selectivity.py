@@ -1,0 +1,60 @@
+"""Tests for selectivity and page-score estimates (Eq. 2 / Eq. 3)."""
+
+from repro.annotation.selectivity import (
+    min_page_score,
+    page_score,
+    type_selectivity,
+)
+from repro.recognizers.base import Match
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.recognizers.predefined import predefined_recognizer
+
+
+def match(value, confidence=1.0, type_name="t"):
+    return Match(0, len(value), value, type_name, confidence)
+
+
+class TestTypeSelectivity:
+    def test_gazetteer_uses_eq2(self):
+        gazetteer = GazetteerRecognizer("artist", {"A": 1.0, "B": 0.5})
+        # (1.0/1 + 0.5/1) / 2 entries
+        assert type_selectivity(gazetteer) == 0.75
+
+    def test_term_frequency_damps(self):
+        gazetteer = GazetteerRecognizer("artist", {"Common": 1.0})
+        high_tf = type_selectivity(gazetteer, term_frequency=lambda v: 10.0)
+        low_tf = type_selectivity(gazetteer, term_frequency=lambda v: 1.0)
+        assert high_tf < low_tf
+
+    def test_empty_gazetteer_zero(self):
+        assert type_selectivity(GazetteerRecognizer("t", {})) == 0.0
+
+    def test_regex_recognizer_uses_weight(self):
+        recognizer = predefined_recognizer("isbn")
+        assert type_selectivity(recognizer) == recognizer.selectivity_weight()
+
+
+class TestPageScore:
+    def test_sums_confidences(self):
+        matches = [match("A", 0.5), match("B", 0.7)]
+        assert page_score(matches) == 1.2
+
+    def test_term_frequency_division(self):
+        matches = [match("Common", 1.0)]
+        assert page_score(matches, term_frequency=lambda v: 4.0) == 0.25
+
+    def test_empty(self):
+        assert page_score([]) == 0.0
+
+
+class TestMinPageScore:
+    def test_minimum_over_types(self):
+        scores = {"artist": 3.0, "date": 1.0}
+        assert min_page_score(scores, ["artist", "date"]) == 1.0
+
+    def test_missing_type_scores_zero(self):
+        scores = {"artist": 3.0}
+        assert min_page_score(scores, ["artist", "date"]) == 0.0
+
+    def test_no_processed_types(self):
+        assert min_page_score({"artist": 3.0}, []) == 0.0

@@ -1,0 +1,70 @@
+"""The public API surface: every documented entry point imports and exists."""
+
+import importlib
+
+import pytest
+
+PUBLIC_MODULES = [
+    "repro",
+    "repro.annotation",
+    "repro.baselines",
+    "repro.core",
+    "repro.corpus",
+    "repro.datasets",
+    "repro.errors",
+    "repro.eval",
+    "repro.htmlkit",
+    "repro.kb",
+    "repro.recognizers",
+    "repro.sod",
+    "repro.turk",
+    "repro.utils",
+    "repro.vision",
+    "repro.wrapper",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_all_names_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    @pytest.mark.parametrize("module_name", PUBLIC_MODULES)
+    def test_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip()
+
+
+class TestTopLevelApi:
+    def test_headline_names(self):
+        import repro
+
+        for name in (
+            "ObjectRunner",
+            "parse_sod",
+            "RunParams",
+            "SourceResult",
+            "ObjectInstance",
+            "SourceDiscardedError",
+        ):
+            assert name in repro.__all__
+            assert hasattr(repro, name)
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_public_callables_documented(self):
+        import repro
+
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, type(Exception)):
+                assert obj.__doc__, f"repro.{name} lacks a docstring"

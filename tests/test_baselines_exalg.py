@@ -1,0 +1,100 @@
+"""Tests for the ExAlg baseline."""
+
+from repro.baselines.exalg import ExAlgSystem
+from repro.htmlkit.tidy import tidy
+from repro.sod.dsl import parse_sod
+
+SOD = parse_sod("t(a, b)")
+
+
+def pages_from(sources):
+    return [tidy(source) for source in sources]
+
+
+def list_page(rows):
+    records = "".join(
+        f"<li><div class='x'>{a}</div><div class='y'>{b}</div></li>"
+        for a, b in rows
+    )
+    return f"<body><div id='main'>{records}</div></body>"
+
+
+class TestExAlg:
+    def test_extracts_one_row_per_record(self):
+        pages = pages_from(
+            [
+                list_page([("a1", "b1"), ("a2", "b2")]),
+                list_page([("a3", "b3"), ("a4", "b4"), ("a5", "b5")]),
+            ]
+        )
+        output = ExAlgSystem(support=2).run("s", pages, SOD)
+        assert not output.failed
+        assert len(output.records) == 5
+
+    def test_columns_hold_aligned_values(self):
+        pages = pages_from(
+            [list_page([("alpha", "beta")]), list_page([("gamma", "delta")])]
+        )
+        output = ExAlgSystem(support=2).run("s", pages, SOD)
+        columns = [sorted(v[0] for v in record.columns.values()) for record in output.records]
+        assert columns == [["alpha", "beta"], ["delta", "gamma"]]
+
+    def test_ignores_annotations_entirely(self):
+        # Same pages, with annotations present: identical output.
+        from repro.annotation.annotator import annotate_page
+        from repro.recognizers.gazetteer import GazetteerRecognizer
+
+        raw = [list_page([("alpha", "beta"), ("gamma", "delta")])] * 2
+        plain_pages = pages_from(raw)
+        annotated_pages = pages_from(raw)
+        for page in annotated_pages:
+            annotate_page(page, [GazetteerRecognizer("x", ["alpha", "gamma"])])
+        plain = ExAlgSystem(support=2).run("s", plain_pages, SOD)
+        annotated = ExAlgSystem(support=2).run("s", annotated_pages, SOD)
+        assert len(plain.records) == len(annotated.records)
+        assert [r.columns for r in plain.records] == [
+            r.columns for r in annotated.records
+        ]
+
+    def test_unstructured_source_degenerates(self):
+        # On template-less pages ExAlg at best infers a trivial page-level
+        # wrapper: one row per page, never a crash.
+        pages = pages_from(
+            [
+                "<body><p>random prose</p></body>",
+                "<body><div><b>other stuff</b></div></body>",
+            ]
+        )
+        output = ExAlgSystem(support=2).run("s", pages, SOD)
+        assert output.failed or len(output.records) <= len(pages)
+
+    def test_wrap_time_measured(self):
+        pages = pages_from([list_page([("a", "b")])] * 3)
+        output = ExAlgSystem(support=2).run("s", pages, SOD)
+        assert output.wrap_seconds > 0
+
+    def test_page_index_recorded(self):
+        pages = pages_from(
+            [list_page([("a1", "b1")]), list_page([("a2", "b2")])]
+        )
+        output = ExAlgSystem(support=2).run("s", pages, SOD)
+        assert [record.page_index for record in output.records] == [0, 1]
+
+    def test_multivalued_columns_from_iterators(self):
+        def authored(n):
+            spans = "".join(f"<span class='a'>name{j}</span>" for j in range(n))
+            return f"<li><div class='t'>title</div>{spans}</li>"
+
+        pages = pages_from(
+            [
+                f"<body><div id='m'>{authored(1)}{authored(2)}</div></body>",
+                f"<body><div id='m'>{authored(3)}{authored(1)}</div></body>",
+            ]
+        )
+        output = ExAlgSystem(support=2).run("s", pages, SOD)
+        assert not output.failed
+        counts = [
+            max(len(values) for values in record.columns.values())
+            for record in output.records
+        ]
+        assert max(counts) >= 2  # some record carries a multi-valued column

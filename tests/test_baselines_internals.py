@@ -1,0 +1,111 @@
+"""Tests for baseline internals: RoadRunner chunk helpers, ExAlg flatten."""
+
+from repro.baselines.exalg import _flatten_record
+from repro.baselines.roadrunner import (
+    RField,
+    ROpt,
+    RPlus,
+    RToken,
+    _balanced_chunk,
+    _first_literal,
+    _trailing_chunk,
+)
+from repro.wrapper.extraction import RecordValues
+
+
+def tokens(*specs):
+    out = []
+    for spec in specs:
+        if spec.startswith("</"):
+            out.append(RToken("close", spec[2:-1]))
+        elif spec.startswith("<"):
+            out.append(RToken("open", spec[1:-1]))
+        else:
+            out.append(RToken("text", spec))
+    return out
+
+
+class TestBalancedChunk:
+    def test_simple(self):
+        toks = tokens("<li>", "x", "</li>", "<li>", "y", "</li>")
+        assert _balanced_chunk(toks, 0) == 3
+        assert _balanced_chunk(toks, 3) == 6
+
+    def test_nested_same_tag(self):
+        toks = tokens("<div>", "<div>", "x", "</div>", "</div>")
+        assert _balanced_chunk(toks, 0) == 5
+        assert _balanced_chunk(toks, 1) == 4
+
+    def test_not_an_open_tag(self):
+        toks = tokens("x", "<li>", "</li>")
+        assert _balanced_chunk(toks, 0) is None
+
+    def test_unterminated(self):
+        toks = tokens("<li>", "x")
+        assert _balanced_chunk(toks, 0) is None
+
+
+class TestTrailingChunk:
+    def test_finds_last_balanced(self):
+        items = tokens("<ul>", "<li>", "x", "</li>")
+        assert _trailing_chunk(items) == 1
+
+    def test_none_when_tail_is_text(self):
+        items = tokens("<li>", "</li>", "x")
+        assert _trailing_chunk(items) is None
+
+    def test_skips_fields_inside(self):
+        items = [RToken("open", "li"), RField(0), RToken("close", "li")]
+        assert _trailing_chunk(items) == 0
+
+
+class TestFirstLiteral:
+    def test_plain_token(self):
+        assert _first_literal(tokens("<li>", "x")).value == "li"
+
+    def test_descends_into_plus(self):
+        plus = RPlus(tokens("<li>", "</li>"))
+        assert _first_literal([plus]).value == "li"
+
+    def test_descends_into_optional(self):
+        opt = ROpt(tokens("<p>", "</p>"))
+        assert _first_literal([opt]).value == "p"
+
+    def test_field_first_yields_none(self):
+        assert _first_literal([RField(0), RToken("open", "li")]) is None
+
+    def test_empty(self):
+        assert _first_literal([]) is None
+
+
+class TestExAlgFlatten:
+    def test_fields_become_columns(self):
+        values = RecordValues(fields={0: ["a"], 2: ["b", "c"]})
+        columns = _flatten_record(values)
+        assert columns == {0: ["a"], 2: ["b", "c"]}
+
+    def test_iterator_units_offset(self):
+        values = RecordValues(
+            fields={0: ["page-level"]},
+            iterators={
+                1: [
+                    RecordValues(fields={5: ["u1"]}),
+                    RecordValues(fields={5: ["u2"]}),
+                ]
+            },
+        )
+        columns = _flatten_record(values)
+        assert columns[0] == ["page-level"]
+        iterator_column = next(k for k in columns if k >= 10_000)
+        assert columns[iterator_column] == ["u1", "u2"]
+
+    def test_nested_iterators_distinct_columns(self):
+        inner = RecordValues(fields={1: ["deep"]})
+        values = RecordValues(
+            iterators={0: [RecordValues(iterators={2: [inner]})]}
+        )
+        columns = _flatten_record(values)
+        assert ["deep"] in columns.values()
+
+    def test_empty(self):
+        assert _flatten_record(RecordValues()) == {}

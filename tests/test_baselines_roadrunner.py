@@ -1,0 +1,103 @@
+"""Tests for the RoadRunner baseline."""
+
+from repro.baselines.roadrunner import (
+    RoadRunnerSystem,
+    RoadRunnerWrapperInducer,
+    RField,
+    RPlus,
+    tokenize_page,
+)
+from repro.htmlkit.tidy import tidy
+from repro.sod.dsl import parse_sod
+
+SOD = parse_sod("t(a)")
+
+
+def page(records):
+    body = "".join(f"<li><div>{value}</div></li>" for value in records)
+    return tidy(f"<body><ul>{body}</ul></body>")
+
+
+def induce(pages):
+    return RoadRunnerWrapperInducer().induce([tokenize_page(p) for p in pages])
+
+
+def flatten_types(items):
+    out = []
+    for item in items:
+        out.append(type(item).__name__)
+        if isinstance(item, RPlus):
+            out.extend(flatten_types(item.unit))
+    return out
+
+
+class TestInduction:
+    def test_string_mismatch_becomes_field(self):
+        wrapper = induce([page(["alpha"]), page(["beta"])])
+        assert any(isinstance(item, RField) for item in wrapper)
+
+    def test_equal_strings_stay_literal(self):
+        wrapper = induce([page(["same"]), page(["same"])])
+        assert not any(isinstance(item, RField) for item in wrapper)
+
+    def test_iterator_discovered_on_count_mismatch(self):
+        wrapper = induce([page(["a", "b"]), page(["c", "d", "e"])])
+        assert any(isinstance(item, RPlus) for item in wrapper)
+
+    def test_no_iterator_on_constant_counts(self):
+        # The documented RoadRunner failure: constant record counts give no
+        # repetition evidence, so no iterator is learned.
+        wrapper = induce([page(["a", "b"]), page(["c", "d"])])
+        assert not any("RPlus" in t for t in flatten_types(wrapper))
+
+    def test_single_page_wrapper_is_literal(self):
+        wrapper = induce([page(["a"])])
+        assert not any(isinstance(item, RField) for item in wrapper)
+
+
+class TestExtraction:
+    def test_varying_lists_extract_per_record(self):
+        pages = [page(["a", "b"]), page(["c", "d", "e"]), page(["f"])]
+        output = RoadRunnerSystem().run("s", pages, SOD)
+        assert not output.failed
+        assert len(output.records) == 6  # one per <li> record
+
+    def test_constant_lists_extract_per_page(self):
+        pages = [page(["a", "b"]), page(["c", "d"]), page(["e", "f"])]
+        output = RoadRunnerSystem().run("s", pages, SOD)
+        # No iterator -> one row per page with both values in separate
+        # fields: the partially-correct signature from the paper.
+        assert len(output.records) == 3
+        assert all(len(record.columns) >= 2 for record in output.records)
+
+    def test_optional_chunk_tolerated(self):
+        with_extra = tidy(
+            "<body><ul><li><div>a</div><p>extra</p></li>"
+            "<li><div>b</div></li></ul></body>"
+        )
+        without = tidy("<body><ul><li><div>c</div></li></ul></body>")
+        output = RoadRunnerSystem().run("s", [with_extra, without], SOD)
+        assert not output.failed
+
+    def test_schema_blind(self):
+        # The SOD argument must not influence RoadRunner's output.
+        pages = [page(["a", "b"]), page(["c", "d", "e"])]
+        one = RoadRunnerSystem().run("s", pages, parse_sod("t(a)"))
+        two = RoadRunnerSystem().run("s", pages, parse_sod("u(x, y)"))
+        assert len(one.records) == len(two.records)
+
+    def test_all_pcdata_extracted(self):
+        # RoadRunner extracts everything, including chrome text fields.
+        pages = [
+            tidy(f"<body><h1>banner {i}</h1><ul><li><div>v{i}</div></li>"
+                 f"<li><div>w{i}</div></li><li><div>u{i}</div></li></ul></body>")
+            for i in range(3)
+        ]
+        output = RoadRunnerSystem().run("s", pages, SOD)
+        values = [
+            value
+            for record in output.records
+            for column_values in record.columns.values()
+            for value in column_values
+        ]
+        assert any("banner" in value for value in values)

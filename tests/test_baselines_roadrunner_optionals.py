@@ -1,0 +1,113 @@
+"""RoadRunner optional/field discovery paths in detail."""
+
+from repro.baselines.roadrunner import (
+    RField,
+    ROpt,
+    RPlus,
+    RoadRunnerSystem,
+    RoadRunnerWrapperInducer,
+    tokenize_page,
+)
+from repro.htmlkit.tidy import tidy
+from repro.sod.dsl import parse_sod
+
+SOD = parse_sod("t(a)")
+
+
+def induce(sources):
+    pages = [tokenize_page(tidy(source)) for source in sources]
+    return RoadRunnerWrapperInducer().induce(pages)
+
+
+def kinds(items):
+    return [type(item).__name__ for item in items]
+
+
+class TestOptionalDiscovery:
+    def test_optional_on_wrapper_side(self):
+        # First page has an extra chunk the second lacks.
+        wrapper = induce(
+            [
+                "<body><div>x</div><p>extra</p><b>tail</b></body>",
+                "<body><div>x</div><b>tail</b></body>",
+            ]
+        )
+        assert any(isinstance(item, ROpt) for item in wrapper)
+
+    def test_optional_on_sample_side(self):
+        wrapper = induce(
+            [
+                "<body><div>x</div><b>tail</b></body>",
+                "<body><div>x</div><p>extra</p><b>tail</b></body>",
+            ]
+        )
+        assert any(isinstance(item, ROpt) for item in wrapper)
+
+    def test_optional_matched_when_present_again(self):
+        # Third page has the optional chunk again: alignment must follow
+        # into the optional subexpression, not desync.
+        wrapper = induce(
+            [
+                "<body><div>x</div><p>extra one</p><b>tail</b></body>",
+                "<body><div>x</div><b>tail</b></body>",
+                "<body><div>x</div><p>extra two</p><b>tail</b></body>",
+            ]
+        )
+        optionals = [item for item in wrapper if isinstance(item, ROpt)]
+        assert optionals
+        # The optional's text became a field after seeing two variants.
+        assert any(
+            any(isinstance(sub, RField) for sub in opt.sub) for opt in optionals
+        )
+
+    def test_extraction_with_optional_field(self):
+        pages = [
+            tidy("<body><div>alpha</div><p>note one</p><b>t</b></body>"),
+            tidy("<body><div>beta</div><b>t</b></body>"),
+            tidy("<body><div>gamma</div><p>note two</p><b>t</b></body>"),
+        ]
+        output = RoadRunnerSystem().run("s", pages, SOD)
+        assert not output.failed
+        assert len(output.records) == 3
+        values = [
+            value
+            for record in output.records
+            for column in record.columns.values()
+            for value in column
+        ]
+        assert "alpha" in values and "beta" in values and "gamma" in values
+
+
+class TestIteratorEdges:
+    def test_zero_repetitions_tolerated(self):
+        # A page with no records at all must still align against a Plus.
+        pages = [
+            tidy("<body><ul><li><div>a</div></li><li><div>b</div></li>"
+                 "<li><div>c</div></li></ul></body>"),
+            tidy("<body><ul><li><div>d</div></li></ul></body>"),
+            tidy("<body><ul></ul></body>"),
+        ]
+        output = RoadRunnerSystem().run("s", pages, SOD)
+        assert not output.failed
+        assert len(output.records) == 4  # a, b, c, d — nothing invented
+
+    def test_nested_iterators(self):
+        def book(title, authors):
+            spans = "".join(f"<span>{author}</span>" for author in authors)
+            return f"<li><div>{title}</div><p>{spans}</p></li>"
+
+        pages = [
+            tidy("<body><ul>" + book("t1", ["a1"]) + book("t2", ["a2", "a3"])
+                 + "</ul></body>"),
+            tidy("<body><ul>" + book("t3", ["a4", "a5", "a6"]) + "</ul></body>"),
+        ]
+        output = RoadRunnerSystem().run("s", pages, SOD)
+        assert not output.failed
+        # Record-level Plus discovered; author values extracted somewhere.
+        values = [
+            value
+            for record in output.records
+            for column in record.columns.values()
+            for value in column
+        ]
+        assert "a5" in values

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from tests.conftest import FIGURE3_P1, FIGURE3_P2, FIGURE3_P3
+
+
+@pytest.fixture()
+def figure3_files(tmp_path):
+    paths = []
+    for index, content in enumerate((FIGURE3_P1, FIGURE3_P2, FIGURE3_P3)):
+        path = tmp_path / f"page{index}.html"
+        path.write_text(content, encoding="utf-8")
+        paths.append(str(path))
+    artists = tmp_path / "artists.txt"
+    artists.write_text("Metallica\nColdplay\nMadonna\nMuse\n", encoding="utf-8")
+    theaters = tmp_path / "theaters.txt"
+    theaters.write_text(
+        "Madison Square Garden\nBowery Ballroom\nThe Town Hall\n"
+        "B.B King Blues and Grill\n",
+        encoding="utf-8",
+    )
+    return paths, str(artists), str(theaters)
+
+
+SOD = (
+    "concert(artist, date<kind=predefined>, "
+    "location(theater, address<kind=predefined>?))"
+)
+
+
+class TestExtract:
+    def test_extracts_objects_as_json(self, figure3_files, capsys):
+        pages, artists, theaters = figure3_files
+        code = main(
+            [
+                "extract",
+                "--sod", SOD,
+                "--dict", f"artist={artists}",
+                "--dict", f"theater={theaters}",
+                *pages,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr()
+        lines = [line for line in out.out.splitlines() if line.strip()]
+        assert len(lines) == 4
+        first = json.loads(lines[0])
+        assert first["artist"] == "Metallica"
+        assert "extracted 4 objects" in out.err
+
+    def test_bad_dict_spec(self, figure3_files, capsys):
+        pages, artists, __ = figure3_files
+        code = main(["extract", "--sod", SOD, "--dict", "nodelimiter", *pages])
+        assert code == 2
+
+    def test_missing_file_reports_error(self, capsys):
+        code = main(["extract", "--sod", SOD, "/nonexistent/page.html"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_sod_reports_error(self, figure3_files, capsys):
+        pages, *_ = figure3_files
+        code = main(["extract", "--sod", "broken((", *pages])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_discarded_source(self, tmp_path, capsys):
+        page = tmp_path / "junk.html"
+        page.write_text("<html><body><p>nothing here</p></body></html>")
+        code = main(
+            ["extract", "--sod", "t(date<kind=predefined>)", str(page)]
+        )
+        assert code == 1
+        assert "discarded" in capsys.readouterr().err
+
+
+class TestDescribe:
+    def test_describe_prints_structure(self, capsys):
+        code = main(["describe", SOD])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "canonical:" in out
+        assert "artist" in out
+        assert "(optional)" in out
+
+    def test_describe_invalid(self, capsys):
+        code = main(["describe", "((("])
+        assert code == 1

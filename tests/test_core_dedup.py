@@ -1,0 +1,113 @@
+"""Tests for extracted-object de-duplication."""
+
+from repro.core.dedup import DedupConfig, deduplicate
+from repro.sod.instances import ObjectInstance
+
+
+def obj(**values):
+    return ObjectInstance(values=values)
+
+
+class TestDeduplicate:
+    def test_exact_duplicates_merged(self):
+        objects = [
+            obj(title="Silent Rivers", price="$10.00"),
+            obj(title="Silent Rivers", price="$10.00"),
+        ]
+        result = deduplicate(objects, DedupConfig(key_attributes=("title",)))
+        assert result.kept == 1
+        assert result.merged == 1
+
+    def test_distinct_objects_kept(self):
+        objects = [
+            obj(title="Silent Rivers", price="$10.00"),
+            obj(title="Golden Horizon", price="$10.00"),
+        ]
+        result = deduplicate(objects, DedupConfig(key_attributes=("title",)))
+        assert result.kept == 2
+        assert result.merged == 0
+
+    def test_normalization_applied(self):
+        objects = [
+            obj(title="Silent Rivers", price="$10.00"),
+            obj(title="silent  rivers", price="10.00"),
+        ]
+        result = deduplicate(objects, DedupConfig(key_attributes=("title",)))
+        assert result.kept == 1
+
+    def test_containment_variants_merged(self):
+        objects = [
+            obj(title="Hamlet", price="$8.00"),
+            obj(title="Hamlet Penguin Classics Edition", price="$8.00"),
+        ]
+        result = deduplicate(objects, DedupConfig(key_attributes=("title",)))
+        assert result.kept == 1
+
+    def test_containment_disabled(self):
+        objects = [
+            obj(title="Hamlet", price="$8.00"),
+            obj(title="Hamlet Penguin Classics Edition", price="$8.00"),
+        ]
+        config = DedupConfig(
+            key_attributes=("title",), allow_value_containment=False
+        )
+        assert deduplicate(objects, config).kept == 2
+
+    def test_conflicting_nonkey_attribute_blocks_merge(self):
+        objects = [
+            obj(title="Silent Rivers", price="$10.00"),
+            obj(title="Silent Rivers", price="$99.99"),
+        ]
+        result = deduplicate(objects, DedupConfig(key_attributes=("title",)))
+        assert result.kept == 2
+
+    def test_most_complete_representative_kept(self):
+        sparse = obj(title="Silent Rivers")
+        rich = obj(title="Silent Rivers", price="$10.00", date="May 2010")
+        result = deduplicate(
+            [sparse, rich], DedupConfig(key_attributes=("title",))
+        )
+        assert result.objects == [rich]
+
+    def test_multi_key(self):
+        objects = [
+            obj(artist="Muse", date="May 11", theater="MSG"),
+            obj(artist="Muse", date="May 12", theater="MSG"),
+            obj(artist="Muse", date="May 11", theater="MSG"),
+        ]
+        config = DedupConfig(key_attributes=("artist", "date"))
+        assert deduplicate(objects, config).kept == 2
+
+    def test_missing_key_never_merges(self):
+        objects = [obj(price="$10.00"), obj(price="$10.00")]
+        config = DedupConfig(key_attributes=("title",))
+        assert deduplicate(objects, config).kept == 2
+
+    def test_nested_and_set_values(self):
+        objects = [
+            obj(title="T", authors=["A B", "C D"]),
+            obj(title="T", authors=["C D", "A B"]),  # order-insensitive
+        ]
+        result = deduplicate(objects, DedupConfig(key_attributes=("title",)))
+        assert result.kept == 1
+
+    def test_order_preserved(self):
+        objects = [
+            obj(title="B Title", price="$2"),
+            obj(title="A Title", price="$1"),
+            obj(title="B Title", price="$2"),
+        ]
+        result = deduplicate(objects, DedupConfig(key_attributes=("title",)))
+        assert [o.values["title"] for o in result.objects] == ["B Title", "A Title"]
+
+    def test_cross_source_merge(self):
+        left = ObjectInstance(values={"title": "T", "price": "$5"}, source="siteA")
+        right = ObjectInstance(values={"title": "T", "price": "$5"}, source="siteB")
+        result = deduplicate([left, right], DedupConfig(key_attributes=("title",)))
+        assert result.kept == 1
+        assert len(result.groups[0]) == 2
+
+    def test_empty_input(self):
+        result = deduplicate([])
+        assert result.kept == 0
+        assert result.merged == 0

@@ -1,0 +1,77 @@
+"""Tests for the multi-pass enrichment loop."""
+
+import pytest
+
+from repro.core import ObjectRunner, RunParams
+from repro.datasets import domain_spec, generate_source
+from repro.datasets.knowledge import completion_entries
+from repro.datasets.sites import SiteSpec
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.recognizers.registry import RecognizerRegistry
+
+
+@pytest.fixture(scope="module")
+def albums_source():
+    domain = domain_spec("albums")
+    spec = SiteSpec(
+        name="enrichloop-albums",
+        domain="albums",
+        archetype="clean",
+        total_objects=50,
+        seed=("enrichloop",),
+    )
+    return domain, generate_source(spec, domain)
+
+
+def make_runner(domain, source, passes):
+    # Start from a thin, source-derived dictionary (15% coverage) so the
+    # loop has headroom to grow it.
+    completion = completion_entries(domain, source.gold, coverage=0.15)
+    registry = RecognizerRegistry()
+    registry.register(GazetteerRecognizer("artist", completion.get("artist", {})))
+    registry.register(GazetteerRecognizer("title", completion.get("title", {})))
+    return ObjectRunner(
+        domain.sod,
+        registry=registry,
+        params=RunParams(
+            enrich_dictionaries=True,
+            enrichment_passes=passes,
+        ),
+    )
+
+
+class TestEnrichmentLoop:
+    def test_second_pass_sees_bigger_dictionaries(self, albums_source):
+        domain, source = albums_source
+        runner = make_runner(domain, source, passes=2)
+        before = len(runner.gazetteers()["artist"])
+        result = runner.run_source(source.spec.name, source.pages)
+        after = len(runner.gazetteers()["artist"])
+        assert result.ok
+        assert after > before
+
+    def test_multi_pass_never_worse_than_single(self, albums_source):
+        domain, source = albums_source
+        single = make_runner(domain, source, passes=1).run_source(
+            source.spec.name, source.pages
+        )
+        double = make_runner(domain, source, passes=2).run_source(
+            source.spec.name, source.pages
+        )
+        assert double.ok
+        assert len(double.objects) >= len(single.objects)
+
+    def test_passes_ignored_without_enrichment(self, albums_source):
+        domain, source = albums_source
+        completion = completion_entries(domain, source.gold, coverage=0.15)
+        registry = RecognizerRegistry()
+        registry.register(GazetteerRecognizer("artist", completion.get("artist", {})))
+        registry.register(GazetteerRecognizer("title", completion.get("title", {})))
+        runner = ObjectRunner(
+            domain.sod,
+            registry=registry,
+            params=RunParams(enrich_dictionaries=False, enrichment_passes=3),
+        )
+        before = len(runner.gazetteers()["artist"])
+        runner.run_source(source.spec.name, source.pages)
+        assert len(runner.gazetteers()["artist"]) == before

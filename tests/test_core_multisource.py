@@ -1,0 +1,76 @@
+"""Tests for multi-source runs with cross-source de-duplication."""
+
+import pytest
+
+from repro.core import ObjectRunner
+from repro.datasets import build_knowledge, domain_spec, generate_source
+from repro.datasets.sites import SiteSpec
+
+
+@pytest.fixture(scope="module")
+def two_sources():
+    """Two album sites rendering overlapping gold objects."""
+    domain = domain_spec("albums")
+    knowledge = build_knowledge(domain, coverage=0.25)
+    # Same seed -> same gold objects, different site names -> different
+    # markup styles: the redundant-Web situation.
+    shared = dict(
+        domain="albums", archetype="clean", total_objects=30, seed="multi"
+    )
+    spec_a = SiteSpec(name="storeA", **shared)
+    spec_b = SiteSpec(name="storeB", **shared)
+    source_a = generate_source(spec_a, domain)
+    source_b = generate_source(spec_b, domain)
+    return domain, knowledge, source_a, source_b
+
+
+class TestRunSources:
+    def test_all_sources_processed(self, two_sources):
+        domain, knowledge, source_a, source_b = two_sources
+        runner = ObjectRunner(
+            domain.sod,
+            ontology=knowledge.ontology,
+            corpus=knowledge.corpus,
+            gazetteer_classes=domain.gazetteer_classes,
+        )
+        outcome = runner.run_sources(
+            {"storeA": source_a.pages, "storeB": source_b.pages}
+        )
+        assert outcome.sources_ok == 2
+        assert len(outcome.objects) == 60  # 30 + 30, no dedup requested
+
+    def test_cross_source_dedup(self, two_sources):
+        # A mirror site carrying exactly the same items: the redundant-Web
+        # situation dedup exists for.
+        domain, knowledge, source_a, __ = two_sources
+        runner = ObjectRunner(
+            domain.sod,
+            ontology=knowledge.ontology,
+            corpus=knowledge.corpus,
+            gazetteer_classes=domain.gazetteer_classes,
+        )
+        outcome = runner.run_sources(
+            {"storeA": source_a.pages, "storeA-mirror": source_a.pages},
+            deduplicate_across=True,
+            dedup_keys=("title", "artist"),
+        )
+        assert outcome.duplicates_merged >= 25
+        assert len(outcome.objects) <= 35
+
+    def test_discarded_source_does_not_block_others(self, two_sources):
+        domain, knowledge, source_a, __ = two_sources
+        runner = ObjectRunner(
+            domain.sod,
+            ontology=knowledge.ontology,
+            corpus=knowledge.corpus,
+            gazetteer_classes=domain.gazetteer_classes,
+        )
+        outcome = runner.run_sources(
+            {
+                "storeA": source_a.pages,
+                "junk": ["<html><body><p>nothing</p></body></html>"] * 3,
+            }
+        )
+        assert outcome.sources_ok == 1
+        assert outcome.sources_discarded == 1
+        assert len(outcome.objects) == 30

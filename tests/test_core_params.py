@@ -1,0 +1,31 @@
+"""Tests for run parameters."""
+
+from repro.core.params import RunParams
+
+
+class TestRunParams:
+    def test_paper_defaults(self):
+        params = RunParams()
+        assert params.sample_size == 20
+        assert params.alpha == 0.5
+        assert params.generalization_threshold == 0.7
+        assert params.support_values == (3, 4, 5)
+
+    def test_with_overrides(self):
+        params = RunParams().with_overrides(sample_size=5, alpha=0.3)
+        assert params.sample_size == 5
+        assert params.alpha == 0.3
+        assert params.support_values == (3, 4, 5)  # untouched
+
+    def test_overrides_do_not_mutate_original(self):
+        original = RunParams()
+        original.with_overrides(sample_size=5)
+        assert original.sample_size == 20
+
+    def test_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            RunParams().sample_size = 3  # type: ignore[misc]

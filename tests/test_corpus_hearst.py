@@ -1,0 +1,68 @@
+"""Tests for Hearst pattern matching."""
+
+from repro.corpus.hearst import HearstPattern, default_patterns, find_matches
+from repro.corpus.store import Corpus
+
+
+class TestPatterns:
+    def test_such_as(self):
+        corpus = Corpus(["Artists such as Metallica are loud."])
+        matches = find_matches(corpus, "Artist")
+        assert {m.instance for m in matches} == {"Metallica"}
+
+    def test_is_a(self):
+        corpus = Corpus(["Coldplay is a Band from London."])
+        matches = find_matches(corpus, "Band")
+        assert {m.instance for m in matches} == {"Coldplay"}
+
+    def test_and_other(self):
+        corpus = Corpus(["Muse and other Bands toured."])
+        matches = find_matches(corpus, "Band")
+        assert {m.instance for m in matches} == {"Muse"}
+
+    def test_plural_type_matched(self):
+        corpus = Corpus(["Bands including Radiohead played."])
+        assert find_matches(corpus, "Band")
+
+    def test_enumeration_split(self):
+        corpus = Corpus(["Bands such as Muse, Coldplay and Radiohead played."])
+        matches = find_matches(corpus, "Band")
+        assert {m.instance for m in matches} >= {"Muse", "Coldplay", "Radiohead"}
+
+    def test_enumeration_kept_whole_when_disabled(self):
+        corpus = Corpus(["Bands such as Muse and Coldplay played."])
+        matches = find_matches(corpus, "Band", split_enumerations=False)
+        assert any("Muse and Coldplay" in m.instance for m in matches)
+
+    def test_multiword_instance(self):
+        corpus = Corpus(["Venues such as Madison Square Garden are big."])
+        matches = find_matches(corpus, "Venue")
+        assert {m.instance for m in matches} == {"Madison Square Garden"}
+
+    def test_lowercase_candidates_rejected(self):
+        corpus = Corpus(["Bands such as whoever are unknown."])
+        assert find_matches(corpus, "Band") == []
+
+    def test_type_name_itself_not_an_instance(self):
+        corpus = Corpus(["Bands such as Bands exist."])
+        matches = find_matches(corpus, "Band")
+        assert all(m.instance.lower() != "band" for m in matches)
+
+    def test_pattern_name_recorded(self):
+        corpus = Corpus(["Artists such as Prince Clone performed."])
+        matches = find_matches(corpus, "Artist")
+        assert matches[0].pattern == "such-as"
+
+    def test_custom_pattern(self):
+        corpus = Corpus(["my favourite Band, namely Muse, played."])
+        pattern = HearstPattern("namely", "{type}, namely {x}")
+        matches = find_matches(corpus, "Band", patterns=[pattern])
+        assert {m.instance for m in matches} == {"Muse"}
+
+    def test_no_matches_in_irrelevant_corpus(self):
+        corpus = Corpus(["The weather was nice today."])
+        assert find_matches(corpus, "Band") == []
+
+    def test_default_patterns_cover_classics(self):
+        names = {pattern.name for pattern in default_patterns()}
+        assert {"such-as", "including", "and-other", "is-a"} <= names

@@ -1,0 +1,59 @@
+"""Tests for the indexed sentence corpus."""
+
+from repro.corpus.store import Corpus
+
+
+class TestCorpus:
+    def test_count_phrase_exact(self):
+        corpus = Corpus(["The band played loud.", "Another band arrived."])
+        assert corpus.count_phrase("band") == 2
+
+    def test_count_phrase_case_insensitive(self):
+        corpus = Corpus(["Metallica rocks."])
+        assert corpus.count_phrase("metallica") == 1
+        assert corpus.count_phrase("METALLICA") == 1
+
+    def test_multiword_phrase(self):
+        corpus = Corpus(["I saw Madison Square Garden.", "Madison had a garden."])
+        assert corpus.count_phrase("Madison Square Garden") == 1
+
+    def test_plural_bridging(self):
+        # Query "band" finds sentences mentioning only "bands".
+        corpus = Corpus(["Bands such as Muse are widely known."])
+        assert corpus.sentences_with_phrase("Band") == [
+            "Bands such as Muse are widely known."
+        ]
+
+    def test_no_false_positive_on_word_subset(self):
+        corpus = Corpus(["square garden here"])
+        assert corpus.count_phrase("garden square") == 0  # order matters
+
+    def test_empty_phrase(self):
+        corpus = Corpus(["something"])
+        assert corpus.count_phrase("") == 0
+        assert corpus.count_phrase("   ") == 0
+
+    def test_empty_corpus(self):
+        corpus = Corpus()
+        assert len(corpus) == 0
+        assert corpus.count_phrase("x") == 0
+
+    def test_blank_sentences_skipped(self):
+        corpus = Corpus(["", "   ", "real sentence"])
+        assert len(corpus) == 1
+
+    def test_sentences_iteration(self):
+        sentences = ["a b c", "d e f"]
+        corpus = Corpus(sentences)
+        assert list(corpus.sentences()) == sentences
+
+    def test_whitespace_collapsed(self):
+        corpus = Corpus(["two   spaces   here"])
+        assert corpus.count_phrase("two spaces") == 1
+
+    def test_candidate_ids_superset_of_hits(self):
+        corpus = Corpus(["alpha beta", "beta gamma", "alpha gamma"])
+        ids = corpus.candidate_sentence_ids("alpha beta")
+        assert 0 in ids
+        # candidate filter may include non-hits, substring check prunes them
+        assert corpus.count_phrase("alpha beta") == 1

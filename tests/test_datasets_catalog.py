@@ -1,0 +1,92 @@
+"""Tests for the Table I source catalog."""
+
+from collections import Counter
+
+from repro.datasets.catalog import catalog_entries, entries_for_domain
+from repro.datasets.domains import DOMAINS
+from repro.datasets.sites import generate_source
+from repro.datasets.domains import domain_spec
+
+
+class TestCatalogShape:
+    def test_forty_nine_sources(self):
+        assert len(catalog_entries()) == 49
+
+    def test_rows_numbered_like_paper(self):
+        rows = [entry.row for entry in catalog_entries()]
+        assert rows == list(range(1, 50))
+
+    def test_domain_counts_match_paper(self):
+        by_domain = Counter(entry.spec.domain for entry in catalog_entries())
+        assert by_domain == {
+            "concerts": 9,
+            "albums": 10,
+            "books": 10,
+            "publications": 10,
+            "cars": 10,
+        }
+
+    def test_domains_known(self):
+        for entry in catalog_entries():
+            assert entry.spec.domain in DOMAINS
+
+    def test_one_discarded_source(self):
+        discarded = [entry for entry in catalog_entries() if entry.paper.discarded]
+        assert len(discarded) == 1
+        assert discarded[0].spec.name == "emusic"
+        assert discarded[0].spec.archetype == "unstructured"
+
+    def test_books_and_publications_too_regular(self):
+        for domain in ("books", "publications"):
+            for entry in entries_for_domain(domain):
+                assert entry.spec.constant_record_count is not None
+
+    def test_paper_object_totals(self):
+        totals = {
+            entry.spec.name: entry.paper.objects_total
+            for entry in catalog_entries()
+        }
+        assert totals["upcoming-yahoo-list"] == 250
+        assert totals["secondspin"] == 2500
+        assert totals["iowastate"] == 481
+
+    def test_paper_attribute_tallies_consistent(self):
+        for entry in catalog_entries():
+            paper = entry.paper
+            if paper.discarded:
+                continue
+            graded = paper.attrs_correct + paper.attrs_partial + paper.attrs_incorrect
+            assert graded <= paper.attrs_total
+
+    def test_archetypes_follow_outcomes(self):
+        for entry in catalog_entries():
+            paper = entry.paper
+            if paper.discarded:
+                continue
+            if paper.objects_partial == paper.objects_total and paper.objects_total:
+                assert entry.spec.archetype.startswith("partial_inline"), (
+                    entry.spec.name
+                )
+            if paper.objects_incorrect == paper.objects_total and paper.objects_total:
+                assert entry.spec.archetype in ("mixed_structure", "partial_inline"), (
+                    entry.spec.name
+                )
+
+    def test_scale_controls_volume(self):
+        small = catalog_entries(scale=0.05)
+        large = catalog_entries(scale=0.5)
+        for s, l in zip(small, large):
+            if not s.paper.discarded and s.paper.objects_total >= 200:
+                assert s.spec.total_objects < l.spec.total_objects
+
+
+class TestCatalogGeneratable:
+    def test_sample_entries_generate(self):
+        # One entry per domain actually renders (full sweep is the bench).
+        seen: set[str] = set()
+        for entry in catalog_entries(scale=0.02):
+            if entry.spec.domain in seen:
+                continue
+            seen.add(entry.spec.domain)
+            source = generate_source(entry.spec, domain_spec(entry.spec.domain))
+            assert source.pages

@@ -1,0 +1,68 @@
+"""Tests for source export and the exported-files -> CLI path."""
+
+import json
+
+from repro.__main__ import main
+from repro.datasets.domains import domain_spec
+from repro.datasets.export import export_source
+from repro.datasets.sites import SiteSpec, generate_source
+
+
+def make_source():
+    spec = SiteSpec(
+        name="export-albums",
+        domain="albums",
+        archetype="clean",
+        total_objects=25,
+        seed=("export",),
+    )
+    return generate_source(spec, domain_spec("albums"))
+
+
+class TestExport:
+    def test_layout(self, tmp_path):
+        source = make_source()
+        directory = export_source(source, tmp_path / "src")
+        pages = sorted((directory / "pages").glob("*.html"))
+        assert len(pages) == len(source.pages)
+        assert (directory / "gold.jsonl").exists()
+        assert (directory / "source.json").exists()
+        assert (directory / "dicts" / "artist.txt").exists()
+        assert (directory / "dicts" / "title.txt").exists()
+
+    def test_gold_jsonl_roundtrips(self, tmp_path):
+        source = make_source()
+        directory = export_source(source, tmp_path / "src")
+        lines = (directory / "gold.jsonl").read_text().splitlines()
+        assert len(lines) == len(source.gold)
+        first = json.loads(lines[0])
+        assert first["values"] == source.gold[0].values
+
+    def test_source_json_carries_sod(self, tmp_path):
+        source = make_source()
+        directory = export_source(source, tmp_path / "src")
+        meta = json.loads((directory / "source.json").read_text())
+        assert meta["domain"] == "albums"
+        assert "album(" in meta["sod"]
+
+    def test_cli_extracts_from_exported_files(self, tmp_path, capsys):
+        source = make_source()
+        directory = export_source(source, tmp_path / "src")
+        meta = json.loads((directory / "source.json").read_text())
+        pages = sorted(str(p) for p in (directory / "pages").glob("*.html"))
+        code = main(
+            [
+                "extract",
+                "--sod", meta["sod"],
+                "--dict", f"artist={directory / 'dicts' / 'artist.txt'}",
+                "--dict", f"title={directory / 'dicts' / 'title.txt'}",
+                *pages,
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr()
+        objects = [json.loads(line) for line in out.out.splitlines() if line]
+        assert len(objects) == len(source.gold)
+        extracted_titles = {o["title"] for o in objects}
+        gold_titles = {g.values["title"] for g in source.gold}
+        assert extracted_titles == gold_titles

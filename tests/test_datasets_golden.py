@@ -1,0 +1,67 @@
+"""Tests for gold-object generation."""
+
+import pytest
+
+from repro.datasets.domains import DOMAINS, domain_spec
+from repro.datasets.golden import generate_gold
+from repro.sod.instances import ObjectInstance, validate_instance
+
+
+class TestGenerateGold:
+    def test_deterministic(self):
+        domain = domain_spec("albums")
+        a = generate_gold(domain, 10, seed=1)
+        b = generate_gold(domain, 10, seed=1)
+        assert [x.values for x in a] == [y.values for y in b]
+
+    def test_count(self):
+        domain = domain_spec("books")
+        assert len(generate_gold(domain, 17, seed=2)) == 17
+
+    @pytest.mark.parametrize("name", sorted(DOMAINS))
+    def test_gold_valid_against_sod(self, name):
+        domain = domain_spec(name)
+        for gold in generate_gold(domain, 10, seed=3):
+            instance = ObjectInstance(values=gold.values)
+            report = validate_instance(domain.sod, instance)
+            assert report.ok, (name, gold.values, report.issues)
+
+    @pytest.mark.parametrize("name", sorted(DOMAINS))
+    def test_flat_keys_subset_of_attributes(self, name):
+        domain = domain_spec(name)
+        for gold in generate_gold(domain, 10, seed=4):
+            assert set(gold.flat) <= set(domain.attributes)
+
+    def test_optional_rate(self):
+        domain = domain_spec("albums")
+        gold = generate_gold(domain, 200, seed=5, optional_rate=0.75)
+        with_date = sum(1 for g in gold if "date" in g.flat)
+        assert 0.6 * 200 < with_date < 0.9 * 200
+
+    def test_optional_absent_when_disabled(self):
+        domain = domain_spec("albums")
+        gold = generate_gold(domain, 50, seed=6, optional_present=False)
+        assert all("date" not in g.flat for g in gold)
+
+    def test_books_have_one_to_three_authors(self):
+        domain = domain_spec("books")
+        for gold in generate_gold(domain, 50, seed=7):
+            assert 1 <= len(gold.values["authors"]) <= 3
+
+    def test_concert_address_has_zip(self):
+        domain = domain_spec("concerts")
+        gold = generate_gold(domain, 50, seed=8)
+        addresses = [
+            g.values["location"]["address"]
+            for g in gold
+            if "address" in g.values["location"]
+        ]
+        assert addresses
+        for address in addresses:
+            assert address.rsplit(" ", 1)[1].isdigit()
+
+    def test_normalized_flat(self):
+        domain = domain_spec("cars")
+        gold = generate_gold(domain, 1, seed=9)[0]
+        normalized = gold.normalized_flat()
+        assert normalized["brand"] == [gold.values["brand"].lower()]

@@ -1,0 +1,65 @@
+"""Tests for domain-knowledge seeding with the coverage knob."""
+
+import pytest
+
+from repro.datasets.domains import DOMAINS, domain_spec
+from repro.datasets.golden import shared_pools
+from repro.datasets.knowledge import build_knowledge
+from repro.recognizers.build import DictionaryBuilder
+
+
+class TestBuildKnowledge:
+    def test_deterministic(self):
+        domain = domain_spec("albums")
+        a = build_knowledge(domain, coverage=0.2, seed="k")
+        b = build_knowledge(domain, coverage=0.2, seed="k")
+        assert len(a.ontology) == len(b.ontology)
+        assert list(a.corpus.sentences()) == list(b.corpus.sentences())
+
+    @pytest.mark.parametrize("name", sorted(DOMAINS))
+    def test_gazetteer_buildable_for_every_type(self, name):
+        domain = domain_spec(name)
+        knowledge = build_knowledge(domain, coverage=0.2)
+        builder = DictionaryBuilder(
+            ontology=knowledge.ontology, corpus=knowledge.corpus
+        )
+        for type_name, class_name in domain.gazetteer_classes.items():
+            gazetteer = builder.build(class_name, type_name=type_name)
+            assert len(gazetteer) > 0, (name, class_name)
+
+    def test_coverage_controls_dictionary_size(self):
+        domain = domain_spec("albums")
+        low = build_knowledge(domain, coverage=0.1)
+        high = build_knowledge(domain, coverage=0.4)
+        builder_low = DictionaryBuilder(ontology=low.ontology, corpus=low.corpus)
+        builder_high = DictionaryBuilder(ontology=high.ontology, corpus=high.corpus)
+        assert len(builder_high.build("Artist")) > len(builder_low.build("Artist"))
+
+    def test_coverage_roughly_hits_fraction(self):
+        domain = domain_spec("albums")
+        knowledge = build_knowledge(domain, coverage=0.2)
+        builder = DictionaryBuilder(
+            ontology=knowledge.ontology, corpus=knowledge.corpus
+        )
+        gazetteer = builder.build("Artist")
+        pool = shared_pools().for_class("Artist")
+        covered = sum(1 for value in pool if value in gazetteer)
+        assert 0.1 * len(pool) <= covered <= 0.35 * len(pool)
+
+    def test_instances_typed_under_neighbour_classes(self):
+        # YAGO-style: nothing is typed directly under the requested class.
+        domain = domain_spec("albums")
+        knowledge = build_knowledge(domain, coverage=0.2)
+        assert knowledge.ontology.instances_of("Artist") == {}
+        neighbour_instances = knowledge.ontology.instances_of("Band")
+        neighbour_instances.update(knowledge.ontology.instances_of("Singer"))
+        assert neighbour_instances
+
+    def test_corpus_channel_contributes(self):
+        domain = domain_spec("albums")
+        knowledge = build_knowledge(domain, coverage=0.3)
+        ontology_only = DictionaryBuilder(ontology=knowledge.ontology).build("Artist")
+        both = DictionaryBuilder(
+            ontology=knowledge.ontology, corpus=knowledge.corpus
+        ).build("Artist")
+        assert len(both) > len(ontology_only)

@@ -1,0 +1,80 @@
+"""Tests for entity pools."""
+
+from repro.datasets import pools
+from repro.utils.rng import DeterministicRng
+
+
+class TestPools:
+    def test_deterministic(self):
+        assert pools.artist_pool() == pools.artist_pool()
+        assert pools.title_pool() == pools.title_pool()
+
+    def test_distinct_values(self):
+        for pool in (
+            pools.artist_pool(),
+            pools.venue_pool(),
+            pools.person_pool(),
+            pools.title_pool(),
+            pools.publication_title_pool(),
+            pools.car_brand_pool(),
+        ):
+            assert len(pool) == len(set(pool))
+
+    def test_sizes(self):
+        assert len(pools.artist_pool(50)) == 50
+        assert len(pools.person_pool(100)) == 100
+
+    def test_values_nonempty_and_multiword_ish(self):
+        for value in pools.venue_pool(30):
+            assert value.strip()
+            assert len(value.split()) >= 2
+
+    def test_different_seeds_differ(self):
+        assert pools.artist_pool(seed="a") != pools.artist_pool(seed="b")
+
+
+class TestValueGenerators:
+    def test_street_address_shape(self):
+        rng = DeterministicRng(1)
+        address = pools.street_address(rng)
+        parts = address.split()
+        assert parts[0].isdigit()
+        assert len(parts) >= 3
+
+    def test_city_state_zip(self):
+        rng = DeterministicRng(2)
+        city, state, zip_code = pools.city_state_zip(rng)
+        assert city and state
+        assert len(zip_code) == 5 and zip_code.isdigit()
+
+    def test_event_date_recognizable(self):
+        from repro.recognizers.predefined import predefined_recognizer
+
+        rng = DeterministicRng(3)
+        recognizer = predefined_recognizer("date")
+        for __ in range(20):
+            date = pools.event_date(rng, with_year=rng.coin(0.5))
+            assert recognizer.find(date), date
+
+    def test_release_date_recognizable(self):
+        from repro.recognizers.predefined import predefined_recognizer
+
+        rng = DeterministicRng(4)
+        recognizer = predefined_recognizer("date")
+        for __ in range(20):
+            assert recognizer.find(pools.release_date(rng))
+
+    def test_price_recognizable(self):
+        from repro.recognizers.predefined import predefined_recognizer
+
+        rng = DeterministicRng(5)
+        recognizer = predefined_recognizer("price")
+        for __ in range(20):
+            assert recognizer.find(pools.price(rng))
+            assert recognizer.find(pools.car_price(rng))
+
+    def test_price_bounds(self):
+        rng = DeterministicRng(6)
+        for __ in range(20):
+            value = float(pools.price(rng, 5.0, 60.0).lstrip("$"))
+            assert 5.0 <= value <= 60.0

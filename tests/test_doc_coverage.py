@@ -1,0 +1,54 @@
+"""Documentation coverage: every public item carries a docstring."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).parent
+
+MODULES = sorted(SRC_ROOT.rglob("*.py"))
+
+
+def _public_defs(tree: ast.Module):
+    """Yield (kind, name, node) for public module-level defs and methods."""
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield "function", node.name, node
+        elif isinstance(node, ast.ClassDef):
+            if node.name.startswith("_"):
+                continue
+            yield "class", node.name, node
+            for member in node.body:
+                if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if member.name.startswith("_"):
+                        continue
+                    yield "method", f"{node.name}.{member.name}", member
+
+
+@pytest.mark.parametrize(
+    "path", MODULES, ids=[str(p.relative_to(SRC_ROOT)) for p in MODULES]
+)
+def test_module_and_public_items_documented(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    assert ast.get_docstring(tree), f"{path} lacks a module docstring"
+    missing = []
+    for kind, name, node in _public_defs(tree):
+        if kind == "method" and _is_trivial_accessor(node):
+            continue
+        if not ast.get_docstring(node):
+            missing.append(f"{kind} {name}")
+    assert not missing, f"{path}: undocumented public items: {missing}"
+
+
+def _is_trivial_accessor(node) -> bool:
+    """Properties/dunders of one return statement may document themselves."""
+    body = [
+        statement
+        for statement in node.body
+        if not isinstance(statement, ast.Expr)
+    ]
+    return len(body) == 1 and isinstance(body[0], ast.Return)

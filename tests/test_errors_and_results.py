@@ -1,0 +1,89 @@
+"""Tests for the exception hierarchy and result containers."""
+
+import pytest
+
+from repro.core.results import MultiSourceResult, SourceResult, StageTimings
+from repro.errors import (
+    AnnotationError,
+    DatasetError,
+    EvaluationError,
+    HtmlParseError,
+    MatchingError,
+    RecognizerError,
+    ReproError,
+    SodError,
+    SodSyntaxError,
+    SourceDiscardedError,
+    UnknownTypeError,
+    WrapperError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exception_type",
+        [
+            HtmlParseError,
+            SodError,
+            SodSyntaxError,
+            RecognizerError,
+            UnknownTypeError,
+            AnnotationError,
+            WrapperError,
+            MatchingError,
+            DatasetError,
+            EvaluationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_sod_syntax_is_sod_error(self):
+        assert issubclass(SodSyntaxError, SodError)
+
+    def test_matching_is_wrapper_error(self):
+        assert issubclass(MatchingError, WrapperError)
+
+    def test_unknown_type_is_recognizer_error(self):
+        assert issubclass(UnknownTypeError, RecognizerError)
+
+
+class TestSourceDiscardedError:
+    def test_carries_context(self):
+        error = SourceDiscardedError("emusic", stage="annotation", reason="no hits")
+        assert error.source == "emusic"
+        assert error.stage == "annotation"
+        assert error.reason == "no hits"
+        assert "emusic" in str(error)
+        assert "annotation" in str(error)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise SourceDiscardedError("x", stage="wrapper", reason="r")
+
+
+class TestStageTimings:
+    def test_total_sums_stages(self):
+        timings = StageTimings(
+            preprocess=1.0, annotation=2.0, wrapping=3.0, extraction=0.5
+        )
+        assert timings.total == 6.5
+
+    def test_defaults_zero(self):
+        assert StageTimings().total == 0.0
+
+
+class TestResultContainers:
+    def test_source_result_ok_logic(self):
+        result = SourceResult(source="s")
+        assert not result.ok  # no wrapper yet
+        result.discarded = True
+        assert not result.ok
+
+    def test_multi_source_counters(self):
+        ok = SourceResult(source="a")
+        ok.wrapper = object()  # any non-None wrapper
+        bad = SourceResult(source="b", discarded=True)
+        multi = MultiSourceResult(results={"a": ok, "b": bad})
+        assert multi.sources_ok == 1
+        assert multi.sources_discarded == 1

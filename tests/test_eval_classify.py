@@ -1,0 +1,176 @@
+"""Tests for attribute/object classification against the gold standard."""
+
+from repro.baselines.interface import SystemOutput, TableRecord
+from repro.datasets.domains import domain_spec
+from repro.datasets.golden import GoldObject
+from repro.eval.classify import grade_source
+from repro.sod.instances import ObjectInstance
+
+
+def gold_album(title, artist, price, page_index=0):
+    values = {"title": title, "artist": artist, "price": price}
+    return GoldObject(
+        values=values,
+        flat={k: [v] for k, v in values.items()},
+        page_index=page_index,
+    )
+
+
+def labelled_output(rows, source="s"):
+    objects = [
+        ObjectInstance(values=values, source=source, page_index=page)
+        for page, values in rows
+    ]
+    return SystemOutput(system="objectrunner", source=source, objects=objects)
+
+
+DOMAIN = domain_spec("albums")
+
+
+class TestCorrectGrading:
+    def test_exact_extraction_all_correct(self):
+        gold = [gold_album("T One", "A One", "$10.00")]
+        output = labelled_output(
+            [(0, {"title": "T One", "artist": "A One", "price": "$10.00"})]
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.attribute_class["title"] == "correct"
+        assert evaluation.objects_correct == 1
+        assert evaluation.precision_correct == 1.0
+
+    def test_normalization_tolerated(self):
+        gold = [gold_album("T One", "A One", "$10.00")]
+        output = labelled_output(
+            [(0, {"title": "t one", "artist": "A  One", "price": "10.00"})]
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.objects_correct == 1
+
+    def test_absent_optional_ignored(self):
+        gold = [gold_album("T", "A", "$1.00")]  # no date in gold
+        output = labelled_output(
+            [(0, {"title": "T", "artist": "A", "price": "$1.00"})]
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.attribute_class["date"] == "absent"
+        assert evaluation.objects_correct == 1
+
+
+class TestPartialGrading:
+    def test_joint_extraction_partial(self):
+        gold = [gold_album("T One", "A One", "$10.00")]
+        output = labelled_output(
+            [(0, {"title": "T One by A One", "artist": "T One by A One",
+                  "price": "$10.00"})]
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.attribute_class["title"] == "partial"
+        assert evaluation.attribute_class["artist"] == "partial"
+        assert evaluation.objects_partial == 1
+        assert evaluation.precision_partial == 1.0
+        assert evaluation.precision_correct == 0.0
+
+    def test_unmatched_gold_with_pooled_values_partial(self):
+        # One row per page holding both objects' values in separate fields:
+        # the RoadRunner too-regular signature.
+        gold = [
+            gold_album("T One", "A One", "$10.00"),
+            gold_album("T Two", "A Two", "$20.00"),
+        ]
+        record = TableRecord(
+            columns={
+                0: ["T One"], 1: ["A One"], 2: ["$10.00"],
+                3: ["T Two"], 4: ["A Two"], 5: ["$20.00"],
+            },
+            page_index=0,
+        )
+        output = SystemOutput(system="roadrunner", source="s", records=[record])
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.objects_correct + evaluation.objects_partial == 2
+        assert evaluation.objects_partial >= 1
+
+
+class TestIncorrectGrading:
+    def test_foreign_data_mixed_in_incorrect(self):
+        gold = [gold_album("T One", "A One", "$10.00")]
+        output = labelled_output(
+            [(0, {"title": "T One Staff recommended", "artist": "A One",
+                  "price": "$10.00"})]
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.attribute_class["title"] == "incorrect"
+        assert evaluation.objects_incorrect == 1
+
+    def test_wrong_value_incorrect(self):
+        gold = [gold_album("T One", "A One", "$10.00")]
+        output = labelled_output(
+            [(0, {"title": "Unrelated", "artist": "A One", "price": "$10.00"})]
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.attribute_class["title"] == "incorrect"
+
+    def test_missing_object_counts_against(self):
+        gold = [
+            gold_album("T One", "A One", "$10.00"),
+            gold_album("T Two", "A Two", "$20.00", page_index=1),
+        ]
+        output = labelled_output(
+            [(0, {"title": "T One", "artist": "A One", "price": "$10.00"})]
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.objects_correct == 1
+        assert evaluation.objects_incorrect == 1
+        assert evaluation.precision_correct == 0.5
+
+    def test_failed_source(self):
+        gold = [gold_album("T", "A", "$1.00")]
+        output = SystemOutput(
+            system="objectrunner", source="s", failed=True, failure_reason="gate"
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.discarded
+        assert evaluation.objects_incorrect == 1
+
+
+class TestSplitGrading:
+    def test_same_attribute_sibling_values_partial(self):
+        # Two objects' titles land in one row's title values: partial (ii).
+        gold = [
+            gold_album("T One", "A One", "$10.00"),
+            gold_album("T Two", "A Two", "$20.00"),
+        ]
+        output = labelled_output(
+            [
+                (0, {"title": ["T One", "T Two"], "artist": "A One",
+                     "price": "$10.00"}),
+                (0, {"title": "T Two", "artist": "A Two", "price": "$20.00"}),
+            ]
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert evaluation.objects_incorrect == 0
+        assert evaluation.objects_partial >= 1
+
+
+class TestMetricsProperties:
+    def test_precisions_bounded(self):
+        gold = [gold_album("T", "A", "$1.00")]
+        output = labelled_output([(0, {"title": "T"})])
+        evaluation = grade_source(DOMAIN, gold, output)
+        assert 0.0 <= evaluation.precision_correct <= 1.0
+        assert evaluation.precision_correct <= evaluation.precision_partial <= 1.0
+
+    def test_object_counts_sum_to_total(self):
+        gold = [
+            gold_album("T One", "A One", "$10.00"),
+            gold_album("T Two", "A Two", "$20.00", page_index=1),
+        ]
+        output = labelled_output(
+            [(0, {"title": "T One", "artist": "A One", "price": "$10.00"})]
+        )
+        evaluation = grade_source(DOMAIN, gold, output)
+        total = (
+            evaluation.objects_correct
+            + evaluation.objects_partial
+            + evaluation.objects_incorrect
+        )
+        assert total == evaluation.objects_total == 2

@@ -1,0 +1,137 @@
+"""Edge cases of the grading scheme."""
+
+from repro.baselines.interface import SystemOutput, TableRecord
+from repro.datasets.domains import domain_spec
+from repro.datasets.golden import GoldObject
+from repro.eval.classify import grade_source
+from repro.sod.instances import ObjectInstance
+
+DOMAIN = domain_spec("albums")
+
+
+def gold(title, artist, price, date=None, page_index=0):
+    values = {"title": title, "artist": artist, "price": price}
+    if date:
+        values["date"] = date
+    return GoldObject(
+        values=values,
+        flat={k: [v] for k, v in values.items()},
+        page_index=page_index,
+    )
+
+
+def labelled(rows):
+    return SystemOutput(
+        system="objectrunner",
+        source="s",
+        objects=[
+            ObjectInstance(values=values, page_index=page) for page, values in rows
+        ],
+    )
+
+
+class TestEmptyAndDegenerate:
+    def test_no_gold_objects(self):
+        output = labelled([(0, {"title": "x"})])
+        evaluation = grade_source(DOMAIN, [], output)
+        assert evaluation.objects_total == 0
+        assert evaluation.precision_correct == 0.0
+
+    def test_no_output_rows(self):
+        evaluation = grade_source(
+            DOMAIN, [gold("T", "A", "$1")], labelled([])
+        )
+        assert evaluation.objects_incorrect == 1
+
+    def test_extra_hallucinated_rows_do_not_add_credit(self):
+        rows = [(0, {"title": "T", "artist": "A", "price": "$1"})]
+        rows += [(0, {"title": f"Ghost {i}", "artist": "?", "price": "$9"})
+                 for i in range(5)]
+        evaluation = grade_source(DOMAIN, [gold("T", "A", "$1")], labelled(rows))
+        assert evaluation.objects_total == 1
+        assert evaluation.objects_correct == 1
+
+    def test_rows_on_wrong_page_not_matched(self):
+        rows = [(3, {"title": "T", "artist": "A", "price": "$1"})]
+        evaluation = grade_source(
+            DOMAIN, [gold("T", "A", "$1", page_index=0)], labelled(rows)
+        )
+        # Page-scoped matching: right values, wrong page -> no credit.
+        assert evaluation.objects_correct == 0
+
+
+class TestOptionalAttributeGrading:
+    def test_extracted_value_for_absent_gold_is_not_penalized(self):
+        # Gold has no date; the system extracted something date-like from
+        # noise.  The attribute is ungraded (absent), per the paper's
+        # denominator conventions.
+        rows = [(0, {"title": "T", "artist": "A", "price": "$1",
+                     "date": "May 2010"})]
+        evaluation = grade_source(DOMAIN, [gold("T", "A", "$1")], labelled(rows))
+        assert evaluation.attribute_class["date"] == "absent"
+        assert evaluation.objects_correct == 1
+
+    def test_partially_present_optional_counted_where_present(self):
+        golds = [
+            gold("T1", "A1", "$1", date="May 1, 2010", page_index=0),
+            gold("T2", "A2", "$2", page_index=0),
+        ]
+        rows = [
+            (0, {"title": "T1", "artist": "A1", "price": "$1",
+                 "date": "May 1, 2010"}),
+            (0, {"title": "T2", "artist": "A2", "price": "$2"}),
+        ]
+        evaluation = grade_source(DOMAIN, golds, labelled(rows))
+        assert evaluation.attribute_class["date"] == "correct"
+        assert evaluation.objects_correct == 2
+
+
+class TestAffixStrippingForBaselines:
+    def test_constant_label_prefix_forgiven(self):
+        golds = [
+            gold("T1", "A1", "$1.00", page_index=0),
+            gold("T2", "A2", "$2.00", page_index=0),
+            gold("T3", "A3", "$3.00", page_index=0),
+        ]
+        records = [
+            TableRecord(
+                columns={0: [f"T{i}"], 1: [f"A{i}"], 2: [f"Price: ${i}.00"]},
+                page_index=0,
+            )
+            for i in (1, 2, 3)
+        ]
+        output = SystemOutput(system="roadrunner", source="s", records=records)
+        evaluation = grade_source(DOMAIN, golds, output)
+        assert evaluation.attribute_class["price"] == "correct"
+
+    def test_varying_noise_not_forgiven(self):
+        golds = [
+            gold("T1", "A1", "$1.00", page_index=0),
+            gold("T2", "A2", "$2.00", page_index=0),
+            gold("T3", "A3", "$3.00", page_index=0),
+        ]
+        noise = ["Hot deal", "Last copy", "Members only"]
+        records = [
+            TableRecord(
+                columns={0: [f"T{i}"], 1: [f"A{i}"],
+                         2: [f"${i}.00 {noise[i - 1]}"]},
+                page_index=0,
+            )
+            for i in (1, 2, 3)
+        ]
+        output = SystemOutput(system="roadrunner", source="s", records=records)
+        evaluation = grade_source(DOMAIN, golds, output)
+        assert evaluation.attribute_class["price"] == "incorrect"
+
+
+class TestAttributeThreshold:
+    def test_ninety_percent_rule(self):
+        golds = [gold(f"T{i}", f"A{i}", f"${i}.00", page_index=0) for i in range(20)]
+        rows = []
+        for i in range(20):
+            title = f"T{i}" if i != 0 else "wrong"
+            rows.append((0, {"title": title, "artist": f"A{i}", "price": f"${i}.00"}))
+        evaluation = grade_source(DOMAIN, golds, labelled(rows))
+        # 19/20 = 95% correct -> attribute still classified correct.
+        assert evaluation.attribute_class["title"] == "correct"
+        assert evaluation.objects_correct == 19

@@ -1,0 +1,107 @@
+"""Tests for baseline column-to-attribute mapping."""
+
+from repro.baselines.interface import TableRecord
+from repro.datasets.domains import domain_spec
+from repro.datasets.golden import GoldObject
+from repro.eval.columns import map_columns, records_to_attribute_rows
+
+
+def gold_albums():
+    rows = [
+        ("Silent Rivers", "Neon Foxes", "$10.00"),
+        ("Golden Horizon", "Wild Tigers", "$20.00"),
+        ("Paper Kingdom", "Iron Sirens", "$30.00"),
+    ]
+    out = []
+    for index, (title, artist, price) in enumerate(rows):
+        values = {"title": title, "artist": artist, "price": price}
+        out.append(
+            GoldObject(
+                values=values,
+                flat={k: [v] for k, v in values.items()},
+                page_index=0,
+            )
+        )
+    return out
+
+
+def record(columns, page_index=0):
+    return TableRecord(
+        columns={k: (v if isinstance(v, list) else [v]) for k, v in columns.items()},
+        page_index=page_index,
+    )
+
+
+class TestMapColumns:
+    def test_exact_columns_mapped(self):
+        records = [
+            record({0: "Silent Rivers", 1: "Neon Foxes", 2: "$10.00"}),
+            record({0: "Golden Horizon", 1: "Wild Tigers", 2: "$20.00"}),
+            record({0: "Paper Kingdom", 1: "Iron Sirens", 2: "$30.00"}),
+        ]
+        mapping = map_columns(records, gold_albums(), domain_spec("albums"))
+        assert mapping == {0: "title", 1: "artist", 2: "price"}
+
+    def test_junk_columns_unmapped(self):
+        records = [
+            record({0: "Silent Rivers", 9: "In Stock"}),
+            record({0: "Golden Horizon", 9: "Bestseller"}),
+            record({0: "Paper Kingdom", 9: "In Stock"}),
+        ]
+        mapping = map_columns(records, gold_albums(), domain_spec("albums"))
+        assert mapping == {0: "title"}
+
+    def test_concatenated_column_maps_by_containment(self):
+        records = [
+            record({0: "Silent Rivers by Neon Foxes"}),
+            record({0: "Golden Horizon by Wild Tigers"}),
+            record({0: "Paper Kingdom by Iron Sirens"}),
+        ]
+        mapping = map_columns(records, gold_albums(), domain_spec("albums"))
+        assert 0 in mapping
+
+    def test_component_column_maps_by_reverse_containment(self):
+        # A column holding only part of a composite gold value still maps.
+        gold = gold_albums()
+        for g in gold:
+            g.flat["title"] = [g.flat["title"][0] + " extended edition"]
+        records = [
+            record({0: "Silent Rivers"}),
+            record({0: "Golden Horizon"}),
+            record({0: "Paper Kingdom"}),
+        ]
+        mapping = map_columns(records, gold, domain_spec("albums"))
+        assert mapping == {0: "title"}
+
+    def test_threshold_blocks_weak_columns(self):
+        records = [
+            record({0: "Silent Rivers"}),
+            record({0: "something else"}),
+            record({0: "unrelated text"}),
+            record({0: "more junk"}),
+        ]
+        mapping = map_columns(
+            records, gold_albums(), domain_spec("albums"), threshold=0.5
+        )
+        assert 0 not in mapping
+
+    def test_empty_records(self):
+        assert map_columns([], gold_albums(), domain_spec("albums")) == {}
+
+
+class TestAttributeRows:
+    def test_projection(self):
+        records = [record({0: "Silent Rivers", 1: "Neon Foxes", 9: "junk"})]
+        mapping = {0: "title", 1: "artist"}
+        rows = records_to_attribute_rows(records, mapping)
+        assert rows == [(0, {"title": ["Silent Rivers"], "artist": ["Neon Foxes"]})]
+
+    def test_multiple_columns_same_attribute_extend(self):
+        records = [record({0: "part one", 1: "part two"})]
+        mapping = {0: "title", 1: "title"}
+        rows = records_to_attribute_rows(records, mapping)
+        assert rows[0][1]["title"] == ["part one", "part two"]
+
+    def test_unmapped_records_dropped(self):
+        records = [record({9: "junk only"})]
+        assert records_to_attribute_rows(records, {}) == []

@@ -1,0 +1,68 @@
+"""Tests for domain-level metric aggregation."""
+
+from repro.eval.classify import SourceEvaluation
+from repro.eval.metrics import aggregate_domain
+
+
+def evaluation(correct, partial, incorrect, attrs=("correct",), discarded=False):
+    e = SourceEvaluation(source="s", system="sys")
+    e.objects_total = correct + partial + incorrect
+    e.objects_correct = correct
+    e.objects_partial = partial
+    e.objects_incorrect = incorrect
+    e.discarded = discarded
+    for index, status in enumerate(attrs):
+        e.attribute_class[f"attr{index}"] = status
+    return e
+
+
+class TestAggregation:
+    def test_pooled_precision(self):
+        metrics = aggregate_domain(
+            "albums",
+            "sys",
+            [evaluation(80, 0, 20), evaluation(0, 100, 0)],
+        )
+        assert metrics.objects_total == 200
+        assert metrics.precision_correct == 0.4
+        assert metrics.precision_partial == 0.9
+
+    def test_rates_sum_to_one(self):
+        metrics = aggregate_domain(
+            "albums", "sys", [evaluation(50, 30, 20)]
+        )
+        total = (
+            metrics.correct_rate + metrics.partial_rate + metrics.incorrect_rate
+        )
+        assert abs(total - 1.0) < 1e-9
+
+    def test_missed_objects_count_incorrect(self):
+        e = evaluation(5, 0, 0)
+        e.objects_total = 10  # five objects never extracted
+        metrics = aggregate_domain("albums", "sys", [e])
+        assert metrics.incorrect_rate == 0.5
+
+    def test_incomplete_source_rate(self):
+        clean = evaluation(10, 0, 0, attrs=("correct", "correct"))
+        partial = evaluation(0, 10, 0, attrs=("correct", "partial"))
+        failed = evaluation(0, 0, 10, attrs=("incorrect",))
+        metrics = aggregate_domain("albums", "sys", [clean, partial, failed])
+        assert metrics.incomplete_source_rate == 2 / 3
+
+    def test_discarded_counts_incomplete(self):
+        discarded = evaluation(0, 0, 10, attrs=("incorrect",), discarded=True)
+        metrics = aggregate_domain("albums", "sys", [discarded])
+        assert metrics.incomplete_source_rate == 1.0
+
+    def test_zero_gold_sources_excluded_from_rate(self):
+        # A correctly-discarded unstructured source (no gold) does not make
+        # the system's handling "incomplete".
+        junk = evaluation(0, 0, 0, attrs=("correct",), discarded=True)
+        clean = evaluation(10, 0, 0, attrs=("correct",))
+        metrics = aggregate_domain("albums", "sys", [junk, clean])
+        assert metrics.incomplete_source_rate == 0.0
+
+    def test_empty_domain(self):
+        metrics = aggregate_domain("albums", "sys", [])
+        assert metrics.precision_correct == 0.0
+        assert metrics.incomplete_source_rate == 0.0

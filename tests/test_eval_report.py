@@ -1,0 +1,67 @@
+"""Tests for report rendering."""
+
+from repro.datasets.catalog import catalog_entries
+from repro.eval.classify import SourceEvaluation
+from repro.eval.metrics import aggregate_domain
+from repro.eval.report import format_table1_row, render_comparison_table
+
+
+def evaluation(correct=10, partial=0, incorrect=0):
+    e = SourceEvaluation(source="s", system="sys")
+    e.objects_total = correct + partial + incorrect
+    e.objects_correct = correct
+    e.objects_partial = partial
+    e.objects_incorrect = incorrect
+    e.attribute_class = {"a": "correct", "b": "partial"}
+    return e
+
+
+class TestTable1Row:
+    def test_row_contains_paper_and_measured(self):
+        entry = catalog_entries()[0]
+        line = format_table1_row(entry, evaluation())
+        assert "paper[" in line and "measured[" in line
+        assert entry.spec.name in line
+
+    def test_discarded_entry(self):
+        emusic = next(e for e in catalog_entries() if e.paper.discarded)
+        line = format_table1_row(emusic, None)
+        assert "discarded" in line
+        assert "not run" in line
+
+    def test_measured_discarded(self):
+        entry = catalog_entries()[0]
+        e = evaluation()
+        e.discarded = True
+        line = format_table1_row(entry, e)
+        assert "measured[discarded]" in line
+
+
+class TestComparisonTable:
+    def test_renders_all_systems_and_domains(self):
+        metrics = {
+            "objectrunner": [aggregate_domain("albums", "objectrunner", [evaluation()])],
+            "exalg": [aggregate_domain("albums", "exalg", [evaluation(5, 5, 0)])],
+        }
+        table = render_comparison_table("Table III", metrics)
+        assert "Table III" in table
+        assert "albums" in table
+        assert "objectrunner Pc" in table
+        assert "100.0%" in table
+
+    def test_paper_rows_included(self):
+        metrics = {
+            "objectrunner": [aggregate_domain("albums", "objectrunner", [evaluation()])],
+        }
+        paper = {"albums": {"objectrunner": (74.52, 100.0)}}
+        table = render_comparison_table("T", metrics, paper)
+        assert "(paper)" in table
+        assert "74.5%" in table
+
+    def test_missing_domain_rendered_as_dash(self):
+        metrics = {
+            "objectrunner": [aggregate_domain("albums", "objectrunner", [evaluation()])],
+            "exalg": [aggregate_domain("cars", "exalg", [evaluation()])],
+        }
+        table = render_comparison_table("T", metrics)
+        assert "-" in table

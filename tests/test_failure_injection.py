@@ -1,0 +1,145 @@
+"""Failure injection: the pipeline must degrade, never crash.
+
+Real crawls contain broken pages, empty documents, truncated HTML and the
+occasional page from a different template.  These tests inject each fault
+into otherwise-clean sources and check the pipeline's behaviour: either a
+clean discard with a reason, or extraction that simply skips the damage.
+"""
+
+import pytest
+
+from repro.core import ObjectRunner, RunParams
+from repro.datasets import build_knowledge, domain_spec, generate_source
+from repro.datasets.sites import SiteSpec
+from repro.errors import ReproError
+
+
+@pytest.fixture(scope="module")
+def albums():
+    domain = domain_spec("albums")
+    spec = SiteSpec(
+        name="fault-albums",
+        domain="albums",
+        archetype="clean",
+        total_objects=50,
+        seed=("faults", "albums"),
+    )
+    source = generate_source(spec, domain)
+    knowledge = build_knowledge(domain, coverage=0.25)
+    return domain, source, knowledge
+
+
+def run(domain, knowledge, pages, params=None):
+    runner = ObjectRunner(
+        domain.sod,
+        ontology=knowledge.ontology,
+        corpus=knowledge.corpus,
+        gazetteer_classes=domain.gazetteer_classes,
+        params=params,
+    )
+    return runner.run_source("faulty", pages)
+
+
+class TestBrokenPages:
+    def test_empty_pages_mixed_in(self, albums):
+        domain, source, knowledge = albums
+        pages = list(source.pages) + ["", "   ", "<html></html>"]
+        result = run(domain, knowledge, pages)
+        assert result.ok
+        assert len(result.objects) == len(source.gold)
+
+    def test_truncated_page(self, albums):
+        domain, source, knowledge = albums
+        pages = list(source.pages)
+        pages[0] = pages[0][: len(pages[0]) // 2]  # chop mid-tag
+        result = run(domain, knowledge, pages)
+        assert result.ok
+        # Some records of the truncated page may be lost, never invented.
+        assert len(result.objects) <= len(source.gold)
+        assert len(result.objects) >= len(source.gold) * 0.6
+
+    def test_garbage_bytes_page(self, albums):
+        domain, source, knowledge = albums
+        pages = list(source.pages) + ["<<<>>>&&&\x00\x01 not html at all <"]
+        result = run(domain, knowledge, pages)
+        assert result.ok
+
+    def test_foreign_template_page(self, albums):
+        domain, source, knowledge = albums
+        foreign = (
+            "<html><body><table><tr><td>totally different site"
+            "</td></tr></table></body></html>"
+        )
+        pages = list(source.pages) + [foreign]
+        result = run(domain, knowledge, pages)
+        assert result.ok
+        assert len(result.objects) == len(source.gold)
+
+    def test_single_page_source(self, albums):
+        domain, source, knowledge = albums
+        result = run(domain, knowledge, source.pages[:1])
+        # A single list page is enough to find record repetition.
+        assert result.ok
+        assert result.objects
+
+    def test_all_pages_empty_discards(self, albums):
+        domain, __, knowledge = albums
+        result = run(domain, knowledge, ["<html></html>"] * 5)
+        assert result.discarded
+        assert result.discard_reason
+
+    def test_no_pages(self, albums):
+        domain, __, knowledge = albums
+        result = run(domain, knowledge, [])
+        assert result.discarded
+
+    def test_never_raises_repro_errors(self, albums):
+        domain, source, knowledge = albums
+        nasty_pages = [
+            source.pages[0],
+            "<li><li><li>",
+            "</div></div>",
+            "<html><body>" + "<div>" * 200,
+            source.pages[1],
+        ]
+        try:
+            run(domain, knowledge, nasty_pages)
+        except ReproError as exc:  # pragma: no cover - should not happen
+            pytest.fail(f"pipeline raised instead of degrading: {exc}")
+
+
+class TestHostileContent:
+    def test_script_injection_in_values(self, albums):
+        domain, __, knowledge = albums
+        page = (
+            "<html><body><div id='m'>"
+            + "".join(
+                f"<li><div class='t'><a>Title {i}</a></div>"
+                f"<div class='p'>$1{i}.99</div></li>"
+                for i in range(8)
+            )
+            + "<script>alert('xss')</script></div></body></html>"
+        )
+        result = run(
+            domain,
+            knowledge,
+            [page, page, page],
+            params=RunParams(enforce_alpha=False),
+        )
+        if result.ok:
+            for instance in result.objects:
+                for values in instance.flat().values():
+                    for value in values:
+                        assert "alert(" not in value
+
+    def test_huge_flat_page(self, albums):
+        domain, __, knowledge = albums
+        page = (
+            "<html><body><div id='m'>"
+            + "".join(f"<li><div>{'word ' * 40}{i}</div></li>" for i in range(100))
+            + "</div></body></html>"
+        )
+        result = run(
+            domain, knowledge, [page] * 3, params=RunParams(enforce_alpha=False)
+        )
+        assert result is not None  # completed without hanging or raising

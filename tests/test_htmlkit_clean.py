@@ -1,0 +1,89 @@
+"""Tests for the page cleaner."""
+
+from repro.htmlkit.clean import CleanerConfig, clean_tree
+from repro.htmlkit.tidy import tidy
+
+
+def cleaned(source, config=None):
+    return clean_tree(tidy(source), config)
+
+
+class TestDropTags:
+    def test_scripts_removed(self):
+        html = cleaned("<body><script>var x;</script><p>keep</p></body>")
+        assert html.find("script") is None
+        assert html.find("p") is not None
+
+    def test_styles_and_iframes_removed(self):
+        html = cleaned("<body><style>p{}</style><iframe></iframe><p>x</p></body>")
+        assert html.find("style") is None
+        assert html.find("iframe") is None
+
+    def test_images_removed(self):
+        html = cleaned("<body><p><img src='x.png'>text</p></body>")
+        assert html.find("img") is None
+        assert html.find("p").text_content() == "text"
+
+    def test_images_kept_when_configured(self):
+        config = CleanerConfig(drop_images=False, keep_attributes=frozenset({"src"}))
+        html = cleaned("<body><img src='x.png'></body>", config)
+        assert html.find("img") is not None
+
+
+class TestHiddenAndEmpty:
+    def test_hidden_attribute_removed(self):
+        html = cleaned("<body><div hidden>secret</div><div>shown</div></body>")
+        divs = html.find_all("div")
+        assert len(divs) == 1
+        assert divs[0].text_content() == "shown"
+
+    def test_display_none_removed(self):
+        html = cleaned('<body><div style="display: none">x</div><p>y</p></body>')
+        assert html.find("div") is None
+
+    def test_visibility_hidden_removed(self):
+        html = cleaned('<body><div style="visibility:hidden">x</div><p>y</p></body>')
+        assert html.find("div") is None
+
+    def test_empty_elements_removed(self):
+        html = cleaned("<body><div></div><div>full</div></body>")
+        assert len(html.find_all("div")) == 1
+
+    def test_recursively_empty_removed(self):
+        html = cleaned("<body><div><span></span></div><p>x</p></body>")
+        assert html.find("div") is None
+
+    def test_body_never_removed(self):
+        html = cleaned("<body></body>")
+        assert html.find("body") is not None
+
+    def test_whitespace_only_text_dropped(self):
+        html = cleaned("<body><div>  </div><p>x</p></body>")
+        assert html.find("div") is None
+
+
+class TestAttributes:
+    def test_non_whitelisted_attributes_stripped(self):
+        html = cleaned(
+            '<body><div onclick="evil()" style="color:red" data-x="1" '
+            'class="keep">x</div></body>'
+        )
+        div = html.find("div")
+        assert div.attributes == {"class": "keep"}
+
+    def test_unwrap_font(self):
+        html = cleaned("<body><p><font>inner</font></p></body>")
+        assert html.find("font") is None
+        assert html.find("p").text_content() == "inner"
+
+
+class TestFigure3Cleaning:
+    def test_footer_script_removed(self):
+        source = (
+            "<body><div id='main'><li>data</li></div>"
+            "<footer>c 2010 <script>track()</script></footer></body>"
+        )
+        html = cleaned(source)
+        assert html.find("script") is None
+        assert html.find("footer") is not None  # footer text itself stays
+        assert html.find("li").text_content() == "data"

@@ -1,0 +1,85 @@
+"""Tests for JTidy-style document normalization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.htmlkit.dom import Element, Text
+from repro.htmlkit.tidy import tidy
+
+
+class TestDocumentShape:
+    def test_full_document_kept(self):
+        html = tidy("<html><head><title>t</title></head><body><p>x</p></body></html>")
+        assert html.tag == "html"
+        assert html.find("head") is not None
+        assert html.find("body") is not None
+
+    def test_missing_html_wrapper_added(self):
+        html = tidy("<p>bare content</p>")
+        body = html.find("body")
+        assert body is not None
+        assert body.text_content() == "bare content"
+
+    def test_missing_body_added(self):
+        html = tidy("<html><div>x</div></html>")
+        body = html.find("body")
+        assert body.find("div") is not None
+
+    def test_head_elements_collected(self):
+        html = tidy("<title>t</title><p>body text</p>")
+        head = html.find("head")
+        assert head.find("title") is not None
+        assert "body text" in html.find("body").text_content()
+
+    def test_exactly_one_body(self):
+        html = tidy("<html><body>a</body></html><html><body>b</body></html>")
+        bodies = html.find_all("body")
+        assert len(bodies) == 1
+
+    @given(st.text(max_size=300))
+    def test_always_produces_html_body(self, source):
+        html = tidy(source)
+        assert html.tag == "html"
+        assert html.find("body") is not None
+
+
+class TestTextNormalization:
+    def test_adjacent_text_merged(self):
+        html = tidy("<p>a&amp;b</p>")
+        p = html.find("p")
+        text_children = [c for c in p.children if isinstance(c, Text)]
+        assert len(text_children) == 1
+
+    def test_interblock_whitespace_dropped(self):
+        html = tidy("<div>\n  <p>x</p>\n  <p>y</p>\n</div>")
+        div = html.find("div")
+        assert all(
+            not isinstance(child, Text) or child.text.strip()
+            for child in div.children
+        )
+
+    def test_inline_whitespace_kept(self):
+        html = tidy("<p><b>a</b> <i>b</i></p>")
+        assert html.find("p").text_content() == "a b"
+
+    def test_comments_dropped(self):
+        html = tidy("<div><!-- note -->x</div>")
+        assert html.find("div").text_content() == "x"
+
+
+class TestIdempotence:
+    def test_structure_stable_under_reparse(self):
+        from repro.htmlkit.serialize import to_html
+
+        source = "<div><li>a<li>b<p>c</div>"
+        first = tidy(source)
+        second = tidy(to_html(first))
+        assert to_html(first) == to_html(second)
+
+    @given(st.text(alphabet="<>/abdiv lispan", max_size=150))
+    def test_roundtrip_stable_on_soup(self, source):
+        from repro.htmlkit.serialize import to_html
+
+        first = tidy(source)
+        second = tidy(to_html(first))
+        assert to_html(first) == to_html(second)

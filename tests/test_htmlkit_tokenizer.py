@@ -1,0 +1,117 @@
+"""Tests for the HTML lexer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.htmlkit.tokenizer import tokenize_html
+from repro.htmlkit.tokens import (
+    CommentToken,
+    DoctypeToken,
+    EndTagToken,
+    StartTagToken,
+    TextToken,
+)
+
+
+def tokens(source):
+    return list(tokenize_html(source))
+
+
+class TestBasicTokens:
+    def test_simple_element(self):
+        result = tokens("<p>hi</p>")
+        assert isinstance(result[0], StartTagToken) and result[0].name == "p"
+        assert isinstance(result[1], TextToken) and result[1].text == "hi"
+        assert isinstance(result[2], EndTagToken) and result[2].name == "p"
+
+    def test_attributes_double_quoted(self):
+        (tag,) = tokens('<div class="main" id="x">')
+        assert tag.attribute("class") == "main"
+        assert tag.attribute("id") == "x"
+
+    def test_attributes_single_quoted_and_unquoted(self):
+        (tag,) = tokens("<a href='u' target=_blank>")
+        assert tag.attribute("href") == "u"
+        assert tag.attribute("target") == "_blank"
+
+    def test_boolean_attribute(self):
+        (tag,) = tokens("<input hidden>")
+        assert tag.attribute("hidden") == ""
+
+    def test_self_closing(self):
+        (tag,) = tokens("<br/>")
+        assert tag.self_closing
+
+    def test_tag_names_lowercased(self):
+        result = tokens("<DIV></DIV>")
+        assert result[0].name == "div"
+        assert result[1].name == "div"
+
+    def test_entities_decoded_in_text(self):
+        result = tokens("<p>a &amp; b</p>")
+        assert result[1].text == "a & b"
+
+    def test_entities_decoded_in_attributes(self):
+        (tag,) = tokens('<a title="a&quot;b">')
+        assert tag.attribute("title") == 'a"b'
+
+
+class TestCommentsAndDoctype:
+    def test_comment(self):
+        (comment,) = tokens("<!-- hello -->")
+        assert isinstance(comment, CommentToken)
+        assert comment.text == " hello "
+
+    def test_unterminated_comment(self):
+        (comment,) = tokens("<!-- oops")
+        assert isinstance(comment, CommentToken)
+
+    def test_doctype(self):
+        result = tokens("<!DOCTYPE html><html></html>")
+        assert isinstance(result[0], DoctypeToken)
+        assert result[1].name == "html"
+
+
+class TestRawtext:
+    def test_script_content_is_one_text_token(self):
+        result = tokens("<script>if (a < b) { x(); }</script>")
+        assert result[0].name == "script"
+        assert isinstance(result[1], TextToken)
+        assert "a < b" in result[1].text
+        assert isinstance(result[2], EndTagToken)
+
+    def test_unterminated_script(self):
+        result = tokens("<script>var x = 1;")
+        assert isinstance(result[-1], EndTagToken)
+        assert result[-1].name == "script"
+
+    def test_style_rawtext(self):
+        result = tokens("<style>p > a { color: red }</style>")
+        assert isinstance(result[1], TextToken)
+
+
+class TestMalformedRecovery:
+    def test_stray_lt_is_text(self):
+        result = tokens("a < b")
+        text = "".join(t.text for t in result if isinstance(t, TextToken))
+        assert text == "a < b"
+
+    def test_stray_end_tag_garbage(self):
+        result = tokens("</ >x")
+        assert any(isinstance(t, TextToken) and "x" in t.text for t in result)
+
+    def test_unterminated_tag_at_eof(self):
+        result = tokens("<div class=")
+        assert isinstance(result[0], StartTagToken)
+
+    def test_never_raises(self):
+        for nasty in ["<", "<<>>", "<a <b>", "</", "<!", "<?php ?>", "<a b=c=d>"]:
+            tokens(nasty)  # must not raise
+
+    @given(st.text(max_size=300))
+    def test_arbitrary_input_never_raises(self, source):
+        tokens(source)
+
+    @given(st.text(alphabet="<>ab c/='\"!-", max_size=120))
+    def test_markup_soup_never_raises(self, source):
+        tokens(source)

@@ -1,0 +1,75 @@
+"""Catalog-level integration: one source per outcome class, full pipeline.
+
+The complete 49-source sweep lives in the benchmark suite; this locks the
+characteristic behaviours into the fast test suite with one representative
+of each Table I outcome class.
+"""
+
+import pytest
+
+from repro.core import ObjectRunnerSystem
+from repro.datasets import catalog_entries, domain_spec, generate_source
+from repro.datasets.knowledge import build_knowledge, completion_entries
+from repro.eval import grade_source
+from repro.htmlkit import clean_tree, tidy
+
+SCALE = 0.05
+
+_KNOWLEDGE_CACHE = {}
+
+
+def run_entry(name):
+    entry = next(e for e in catalog_entries(scale=SCALE) if e.spec.name == name)
+    domain = domain_spec(entry.spec.domain)
+    source = generate_source(entry.spec, domain)
+    if entry.spec.domain not in _KNOWLEDGE_CACHE:
+        _KNOWLEDGE_CACHE[entry.spec.domain] = build_knowledge(domain, coverage=0.2)
+    knowledge = _KNOWLEDGE_CACHE[entry.spec.domain]
+    extra = completion_entries(
+        domain, source.gold, coverage=0.2, seed=("completion", entry.spec.name)
+    )
+    system = ObjectRunnerSystem(
+        ontology=knowledge.ontology,
+        corpus=knowledge.corpus,
+        gazetteer_classes=domain.gazetteer_classes,
+        extra_gazetteer_entries=extra,
+    )
+    pages = [clean_tree(tidy(raw)) for raw in source.pages]
+    output = system.run(entry.spec.name, pages, domain.sod)
+    return entry, grade_source(domain, source.gold, output)
+
+
+class TestOutcomeClasses:
+    def test_clean_list_source_fully_correct(self):
+        __, evaluation = run_entry("towerrecords")
+        assert evaluation.precision_correct == 1.0
+
+    def test_clean_detail_source_fully_correct(self):
+        __, evaluation = run_entry("zvents-detail")
+        assert evaluation.precision_correct == 1.0
+
+    def test_too_regular_books_source_fully_correct_for_objectrunner(self):
+        # Constant record counts hurt RoadRunner, never ObjectRunner.
+        __, evaluation = run_entry("bookdepository")
+        assert evaluation.precision_correct == 1.0
+
+    def test_partial_inline_source_all_partial(self):
+        __, evaluation = run_entry("101cd")
+        assert evaluation.precision_correct == 0.0
+        assert evaluation.precision_partial >= 0.9
+        assert evaluation.attrs_partial >= 1
+
+    def test_mixed_structure_source_incorrect_attribute(self):
+        __, evaluation = run_entry("upcoming-yahoo-list")
+        assert evaluation.attrs_incorrect >= 1
+        assert evaluation.precision_correct == 0.0
+
+    def test_unstructured_source_discarded(self):
+        __, evaluation = run_entry("emusic")
+        assert evaluation.discarded
+
+    def test_optional_absent_source_grades_remaining_attrs(self):
+        entry, evaluation = run_entry("play")  # albums, optional date absent
+        assert not entry.spec.optional_present
+        assert evaluation.attribute_class["date"] == "absent"
+        assert evaluation.precision_correct == 1.0

@@ -1,0 +1,60 @@
+"""HTML entities must survive the full pipeline.
+
+Values containing ``&``, quotes and angle brackets get entity-encoded by
+any real template engine; extraction must return the decoded surface form.
+"""
+
+from repro.annotation.annotator import annotate_page
+from repro.htmlkit import clean_tree, tidy
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.recognizers.predefined import predefined_recognizer
+from repro.sod.dsl import parse_sod
+from repro.wrapper import extract_objects, generate_wrapper
+from repro.wrapper.generate import WrapperConfig
+
+ARTISTS = [
+    "Foxes & Wolves",
+    "The \"Quiet\" Ones",
+    "Less < More",
+    "Salt & Stone",
+]
+
+
+def page(artist, price):
+    import html
+
+    return (
+        "<html><body><div id='m'>"
+        f"<li><div class='a'>{html.escape(artist)}</div>"
+        f"<div class='p'>{price}</div></li>"
+        "<li><div class='a'>Filler Act</div><div class='p'>$1.00</div></li>"
+        "</div></body></html>"
+    )
+
+
+class TestEntityRoundtrip:
+    def test_ampersand_value_extracted_decoded(self):
+        pages = [
+            clean_tree(tidy(page(artist, f"${i + 2}.00")))
+            for i, artist in enumerate(ARTISTS)
+        ]
+        gazetteer = GazetteerRecognizer("artist", ARTISTS + ["Filler Act"])
+        price = predefined_recognizer("price", type_name="price")
+        for p in pages:
+            annotate_page(p, [gazetteer, price])
+        sod = parse_sod("t(artist, price<kind=predefined>)")
+        wrapper = generate_wrapper("entities", pages, sod, WrapperConfig(support=2))
+        objects = extract_objects(wrapper, pages)
+        artists = {o.values["artist"] for o in objects}
+        assert "Foxes & Wolves" in artists
+        assert 'The "Quiet" Ones' in artists
+        assert "Less < More" in artists
+
+    def test_gazetteer_matches_encoded_page_text(self):
+        # The page carries &amp;; after tidy the DOM holds '&' and the
+        # dictionary entry matches.
+        root = clean_tree(tidy(page("Foxes & Wolves", "$3.00")))
+        gazetteer = GazetteerRecognizer("artist", ["Foxes & Wolves"])
+        text = root.text_content()
+        assert "Foxes & Wolves" in text
+        assert gazetteer.find(text)

@@ -1,0 +1,88 @@
+"""Tests for instance-based type discovery (set expansion)."""
+
+import pytest
+
+from repro.kb.discovery import discover_classes, expand_instances
+from repro.kb.ontology import Ontology
+
+
+@pytest.fixture()
+def ontology():
+    onto = Ontology()
+    for band in ("Metallica", "Muse", "Coldplay", "Radiohead"):
+        onto.add_instance(band, "Band", 0.9)
+    for singer in ("Madonna", "Prince Clone"):
+        onto.add_instance(singer, "Singer", 0.9)
+    # A huge general class containing everything (the 'Entity' trap).
+    for name in (
+        "Metallica", "Muse", "Coldplay", "Radiohead", "Madonna",
+        "Prince Clone", "Paris", "Hamlet", "Toyota", "October",
+    ):
+        onto.add_instance(name, "Entity", 1.0)
+    onto.add_subclass("Band", "Artist")
+    onto.add_subclass("Singer", "Artist")
+    return onto
+
+
+class TestDiscoverClasses:
+    def test_specific_class_beats_general(self, ontology):
+        candidates = discover_classes(ontology, ["Metallica", "Muse"])
+        assert candidates
+        assert candidates[0].class_name == "band"
+
+    def test_coverage_threshold(self, ontology):
+        candidates = discover_classes(
+            ontology, ["Metallica", "Nobody Knows This"], min_coverage=0.9
+        )
+        # Band only covers half the examples -> filtered at 0.9.
+        assert all(c.class_name != "band" for c in candidates)
+
+    def test_case_insensitive_matching(self, ontology):
+        candidates = discover_classes(ontology, ["metallica", "MUSE"])
+        assert candidates[0].class_name == "band"
+
+    def test_empty_examples(self, ontology):
+        assert discover_classes(ontology, ["", "  "]) == []
+
+    def test_top_k_limits(self, ontology):
+        candidates = discover_classes(ontology, ["Metallica"], top_k=1)
+        assert len(candidates) == 1
+
+    def test_candidate_statistics(self, ontology):
+        (best, *_rest) = discover_classes(ontology, ["Metallica", "Muse"])
+        assert best.covered == 2
+        assert best.class_size == 4
+        assert 0 < best.score <= 1.0
+
+
+class TestExpandInstances:
+    def test_examples_always_kept(self, ontology):
+        expanded = expand_instances(ontology, ["Metallica", "Muse"])
+        assert expanded["Metallica"] == 1.0
+        assert expanded["Muse"] == 1.0
+
+    def test_class_mates_added(self, ontology):
+        expanded = expand_instances(ontology, ["Metallica", "Muse"])
+        assert "Coldplay" in expanded
+        assert "Radiohead" in expanded
+
+    def test_unrelated_entities_not_flooding_in(self, ontology):
+        expanded = expand_instances(ontology, ["Metallica", "Muse"])
+        # The Entity class loses to Band on specificity, and with radius 1
+        # from Band, Toyota and Paris stay out.
+        assert "Toyota" not in expanded or expanded["Toyota"] < expanded["Coldplay"]
+
+    def test_expansion_confidences_bounded(self, ontology):
+        expanded = expand_instances(ontology, ["Metallica"])
+        assert all(0 < confidence <= 1.0 for confidence in expanded.values())
+
+    def test_unknown_examples_passthrough(self, ontology):
+        expanded = expand_instances(ontology, ["Completely Unknown Act"])
+        assert expanded == {"Completely Unknown Act": 1.0}
+
+    def test_feeds_a_gazetteer(self, ontology):
+        from repro.recognizers.gazetteer import GazetteerRecognizer
+
+        expanded = expand_instances(ontology, ["Metallica", "Muse"])
+        gazetteer = GazetteerRecognizer("artist", expanded)
+        assert gazetteer.find("Radiohead plays tonight")

@@ -1,0 +1,87 @@
+"""Tests for YAGO-style TSV ontology I/O."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.kb.io import dump_ontology, load_corpus_file, load_ontology, parse_facts
+from repro.kb.ontology import Ontology
+
+
+class TestParseFacts:
+    def test_basic_rows(self):
+        facts, __ = parse_facts(
+            [
+                "Metallica\tisInstanceOf\tBand\t0.95",
+                "Band\tsubClassOf\tArtist",
+            ]
+        )
+        assert len(facts) == 2
+        assert facts[0].confidence == 0.95
+        assert facts[1].confidence == 1.0
+
+    def test_comments_and_blanks_skipped(self):
+        facts, __ = parse_facts(["# header", "", "  ", "A\tisInstanceOf\tB"])
+        assert len(facts) == 1
+
+    def test_term_frequency_rows(self):
+        __, frequencies = parse_facts(["Metallica\ttermFrequency\t2.5"])
+        assert frequencies == {"Metallica": 2.5}
+
+    def test_bad_field_count(self):
+        with pytest.raises(ReproError, match="line 1"):
+            parse_facts(["only two\tfields"])
+
+    def test_bad_confidence(self):
+        with pytest.raises(ReproError, match="confidence"):
+            parse_facts(["A\tisInstanceOf\tB\tnotanumber"])
+
+    def test_empty_field(self):
+        with pytest.raises(ReproError, match="empty field"):
+            parse_facts(["\tisInstanceOf\tB"])
+
+
+class TestFileRoundtrip:
+    def test_dump_and_load(self, tmp_path):
+        ontology = Ontology()
+        ontology.add_instance("Metallica", "Band", 0.95)
+        ontology.add_subclass("Band", "Artist")
+        ontology.add_related("Band", "MusicGroup")
+        path = tmp_path / "facts.tsv"
+        dump_ontology(ontology, path)
+        restored = load_ontology(path)
+        assert restored.instances_of("Band") == {"Metallica": 0.95}
+        assert restored.superclasses_of("Band") == {"artist"}
+        assert "musicgroup" in restored.related_classes("Band")
+
+    def test_load_with_term_frequencies(self, tmp_path):
+        path = tmp_path / "facts.tsv"
+        path.write_text(
+            "Metallica\tisInstanceOf\tBand\t0.9\n"
+            "Metallica\ttermFrequency\t3.0\n",
+            encoding="utf-8",
+        )
+        ontology = load_ontology(path)
+        assert ontology.term_frequency("Metallica") == 3.0
+
+    def test_loaded_ontology_drives_recognizers(self, tmp_path):
+        from repro.recognizers.build import build_gazetteer
+
+        path = tmp_path / "facts.tsv"
+        path.write_text(
+            "Metallica\tisInstanceOf\tBand\t0.9\n"
+            "Band\tsubClassOf\tArtist\t1.0\n",
+            encoding="utf-8",
+        )
+        gazetteer = build_gazetteer("Artist", ontology=load_ontology(path))
+        assert "Metallica" in gazetteer
+
+
+class TestCorpusFile:
+    def test_load_corpus(self, tmp_path):
+        path = tmp_path / "corpus.txt"
+        path.write_text(
+            "Bands such as Muse played.\n\nAnother sentence.\n", encoding="utf-8"
+        )
+        corpus = load_corpus_file(path)
+        assert len(corpus) == 2
+        assert corpus.count_phrase("Muse") == 1

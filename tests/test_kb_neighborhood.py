@@ -1,0 +1,98 @@
+"""Tests for semantic-neighborhood instance lookup."""
+
+import pytest
+
+from repro.kb.neighborhood import NeighborhoodQuery, semantic_neighborhood
+from repro.kb.ontology import Ontology
+
+
+@pytest.fixture()
+def music_ontology():
+    """The paper's Metallica example: typed under Band, asked as Artist."""
+    ontology = Ontology()
+    ontology.add_instance("Metallica", "Band", 0.95)
+    ontology.add_instance("Madonna", "Singer", 0.9)
+    ontology.add_instance("Jane Doe", "Person", 1.0)
+    ontology.add_subclass("Band", "Artist")
+    ontology.add_subclass("Singer", "Artist")
+    ontology.add_subclass("Artist", "Person")
+    return ontology
+
+
+class TestNeighborhood:
+    def test_direct_instances_found(self, music_ontology):
+        music_ontology.add_instance("Direct Artist", "Artist", 1.0)
+        result = semantic_neighborhood(
+            music_ontology, NeighborhoodQuery("Artist", radius=0)
+        )
+        assert result.instances == {"Direct Artist": 1.0}
+
+    def test_metallica_found_via_band(self, music_ontology):
+        result = semantic_neighborhood(
+            music_ontology, NeighborhoodQuery("Artist", radius=1)
+        )
+        assert "Metallica" in result.instances
+        assert "Madonna" in result.instances
+
+    def test_confidence_decays_with_distance(self, music_ontology):
+        result = semantic_neighborhood(
+            music_ontology, NeighborhoodQuery("Artist", radius=1, decay=0.8)
+        )
+        assert result.instances["Metallica"] == pytest.approx(0.95 * 0.8)
+
+    def test_superclasses_not_followed_by_default(self, music_ontology):
+        # Person is a superclass of Artist; its instances would overgeneralize.
+        result = semantic_neighborhood(
+            music_ontology, NeighborhoodQuery("Artist", radius=2)
+        )
+        assert "Jane Doe" not in result.instances
+
+    def test_superclasses_follow_when_enabled(self, music_ontology):
+        result = semantic_neighborhood(
+            music_ontology,
+            NeighborhoodQuery("Artist", radius=1, follow_superclasses=True),
+        )
+        assert "Jane Doe" in result.instances
+
+    def test_related_edges_followed(self):
+        ontology = Ontology()
+        ontology.add_instance("The Fillmore", "ConcertVenue", 0.9)
+        ontology.add_related("ConcertVenue", "Theater")
+        result = semantic_neighborhood(ontology, NeighborhoodQuery("Theater"))
+        assert "The Fillmore" in result.instances
+
+    def test_radius_limits_walk(self, music_ontology):
+        music_ontology.add_subclass("MetalBand", "Band")
+        music_ontology.add_instance("Slayer Clone", "MetalBand", 1.0)
+        radius1 = semantic_neighborhood(
+            music_ontology, NeighborhoodQuery("Artist", radius=1)
+        )
+        radius2 = semantic_neighborhood(
+            music_ontology, NeighborhoodQuery("Artist", radius=2)
+        )
+        assert "Slayer Clone" not in radius1.instances
+        assert "Slayer Clone" in radius2.instances
+
+    def test_min_confidence_filter(self, music_ontology):
+        result = semantic_neighborhood(
+            music_ontology,
+            NeighborhoodQuery("Artist", radius=1, min_confidence=0.9),
+        )
+        assert "Metallica" not in result.instances  # 0.95 * 0.85 < 0.9
+
+    def test_contributing_classes_recorded(self, music_ontology):
+        result = semantic_neighborhood(
+            music_ontology, NeighborhoodQuery("Artist", radius=1)
+        )
+        assert result.contributing_classes.get("band") == 1
+
+    def test_max_confidence_kept_for_duplicates(self):
+        ontology = Ontology()
+        ontology.add_instance("X", "A", 0.5)
+        ontology.add_instance("X", "B", 0.9)
+        ontology.add_related("A", "B")
+        result = semantic_neighborhood(
+            ontology, NeighborhoodQuery("A", radius=1, decay=0.5)
+        )
+        # Direct (0.5) beats decayed-from-B (0.45).
+        assert result.instances["X"] == 0.5

@@ -1,0 +1,68 @@
+"""Tests for the YAGO-like ontology store."""
+
+from repro.kb.ontology import Fact, Ontology
+
+
+class TestFacts:
+    def test_instance_lookup(self):
+        ontology = Ontology()
+        ontology.add_instance("Metallica", "Band", 0.9)
+        assert ontology.instances_of("Band") == {"Metallica": 0.9}
+
+    def test_class_names_case_insensitive(self):
+        ontology = Ontology()
+        ontology.add_instance("Metallica", "Band")
+        assert "Metallica" in ontology.instances_of("band")
+        assert "Metallica" in ontology.instances_of("BAND")
+
+    def test_entity_surface_case_preserved(self):
+        ontology = Ontology()
+        ontology.add_instance("Metallica", "Band")
+        assert ontology.classes_of("Metallica") == {"band"}
+        assert ontology.classes_of("metallica") == set()
+
+    def test_duplicate_instance_keeps_max_confidence(self):
+        ontology = Ontology()
+        ontology.add_instance("X", "C", 0.5)
+        ontology.add_instance("X", "C", 0.9)
+        ontology.add_instance("X", "C", 0.3)
+        assert ontology.instances_of("C")["X"] == 0.9
+
+    def test_subclass_edges(self):
+        ontology = Ontology()
+        ontology.add_subclass("Band", "Artist")
+        assert ontology.superclasses_of("Band") == {"artist"}
+        assert ontology.subclasses_of("Artist") == {"band"}
+
+    def test_related_is_undirected(self):
+        ontology = Ontology()
+        ontology.add_related("Band", "Artist")
+        assert ontology.related_classes("Artist") == {"band"}
+        assert ontology.related_classes("Band") == {"artist"}
+
+    def test_bulk_load_and_len(self):
+        ontology = Ontology()
+        ontology.bulk_load(
+            [
+                Fact("A", "isInstanceOf", "C"),
+                Fact("C", "subClassOf", "D"),
+            ]
+        )
+        assert len(ontology) == 2
+        assert len(list(ontology.facts())) == 2
+
+    def test_classes_union(self):
+        ontology = Ontology()
+        ontology.add_instance("A", "C1")
+        ontology.add_subclass("C2", "C3")
+        ontology.add_related("C4", "C5")
+        assert {"c1", "c2", "c3", "c4", "c5"} <= ontology.classes()
+
+    def test_term_frequency_default(self):
+        ontology = Ontology()
+        assert ontology.term_frequency("unknown") == 1.0
+        ontology.set_term_frequency("common", 5.0)
+        assert ontology.term_frequency("common") == 5.0
+
+    def test_unknown_class_empty(self):
+        assert Ontology().instances_of("Nothing") == {}

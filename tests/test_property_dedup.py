@@ -1,0 +1,68 @@
+"""Property tests on de-duplication invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dedup import DedupConfig, deduplicate
+from repro.sod.instances import ObjectInstance
+
+_titles = st.sampled_from(["Alpha", "Beta", "Gamma", "Delta"])
+_prices = st.sampled_from(["$1", "$2", "$3"])
+
+
+@st.composite
+def _objects(draw):
+    count = draw(st.integers(0, 12))
+    return [
+        ObjectInstance(
+            values={"title": draw(_titles), "price": draw(_prices)},
+            source=draw(st.sampled_from(["a", "b"])),
+        )
+        for __ in range(count)
+    ]
+
+
+CONFIG = DedupConfig(key_attributes=("title",))
+
+
+class TestDedupInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(_objects())
+    def test_kept_plus_merged_is_input(self, objects):
+        result = deduplicate(objects, CONFIG)
+        assert result.kept + result.merged == len(objects)
+
+    @settings(max_examples=150, deadline=None)
+    @given(_objects())
+    def test_kept_objects_are_input_objects(self, objects):
+        result = deduplicate(objects, CONFIG)
+        input_ids = {id(instance) for instance in objects}
+        assert all(id(instance) in input_ids for instance in result.objects)
+
+    @settings(max_examples=150, deadline=None)
+    @given(_objects())
+    def test_idempotent(self, objects):
+        once = deduplicate(objects, CONFIG)
+        twice = deduplicate(once.objects, CONFIG)
+        assert twice.merged == 0
+        assert [o.values for o in twice.objects] == [o.values for o in once.objects]
+
+    @settings(max_examples=150, deadline=None)
+    @given(_objects())
+    def test_groups_partition_input(self, objects):
+        result = deduplicate(objects, CONFIG)
+        grouped = [instance for group in result.groups for instance in group]
+        assert sorted(id(i) for i in grouped) == sorted(id(i) for i in objects)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_objects())
+    def test_no_two_kept_duplicates(self, objects):
+        result = deduplicate(objects, CONFIG)
+        keys = [
+            (
+                tuple(sorted(instance.normalized_flat().get("title", []))),
+                tuple(sorted(instance.normalized_flat().get("price", []))),
+            )
+            for instance in result.objects
+        ]
+        assert len(keys) == len(set(keys))

@@ -1,0 +1,104 @@
+"""Property tests on grading invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.interface import SystemOutput
+from repro.datasets.domains import domain_spec
+from repro.datasets.golden import GoldObject
+from repro.eval.classify import grade_source
+from repro.sod.instances import ObjectInstance
+
+DOMAIN = domain_spec("cars")
+
+_brands = st.sampled_from(["Toyota", "Honda", "Ford", "Mazda", "Kia"])
+_prices = st.sampled_from(["$10,000", "$12,500", "$9,950", "$20,000"])
+
+
+@st.composite
+def _gold_and_rows(draw):
+    count = draw(st.integers(1, 8))
+    golds = []
+    rows = []
+    for index in range(count):
+        brand = draw(_brands)
+        price = draw(_prices)
+        page = draw(st.integers(0, 2))
+        golds.append(
+            GoldObject(
+                values={"brand": brand, "price": price},
+                flat={"brand": [brand], "price": [price]},
+                page_index=page,
+            )
+        )
+        fate = draw(st.sampled_from(["exact", "joint", "wrong", "missing"]))
+        if fate == "exact":
+            rows.append((page, {"brand": brand, "price": price}))
+        elif fate == "joint":
+            rows.append((page, {"brand": f"{brand} {price}",
+                                "price": f"{brand} {price}"}))
+        elif fate == "wrong":
+            rows.append((page, {"brand": "Zeppelin", "price": price}))
+        # "missing": no row at all
+    return golds, rows
+
+
+def _grade(golds, rows):
+    output = SystemOutput(
+        system="objectrunner",
+        source="s",
+        objects=[
+            ObjectInstance(values=values, page_index=page) for page, values in rows
+        ],
+    )
+    return grade_source(DOMAIN, golds, output)
+
+
+class TestGradingInvariants:
+    @settings(max_examples=150, deadline=None)
+    @given(_gold_and_rows())
+    def test_object_classes_partition_total(self, data):
+        golds, rows = data
+        evaluation = _grade(golds, rows)
+        total = (
+            evaluation.objects_correct
+            + evaluation.objects_partial
+            + evaluation.objects_incorrect
+        )
+        assert total == evaluation.objects_total == len(golds)
+
+    @settings(max_examples=150, deadline=None)
+    @given(_gold_and_rows())
+    def test_pc_bounded_by_pp(self, data):
+        golds, rows = data
+        evaluation = _grade(golds, rows)
+        assert 0.0 <= evaluation.precision_correct
+        assert evaluation.precision_correct <= evaluation.precision_partial <= 1.0
+
+    @settings(max_examples=150, deadline=None)
+    @given(_gold_and_rows())
+    def test_attribute_classes_valid(self, data):
+        golds, rows = data
+        evaluation = _grade(golds, rows)
+        for status in evaluation.attribute_class.values():
+            assert status in ("correct", "partial", "incorrect", "absent")
+
+    @settings(max_examples=100, deadline=None)
+    @given(_gold_and_rows())
+    def test_grading_deterministic(self, data):
+        golds, rows = data
+        first = _grade(golds, rows)
+        second = _grade(golds, rows)
+        assert first.attribute_class == second.attribute_class
+        assert first.objects_correct == second.objects_correct
+
+    @settings(max_examples=100, deadline=None)
+    @given(_gold_and_rows())
+    def test_perfect_extraction_grades_perfect(self, data):
+        golds, __ = data
+        perfect_rows = [
+            (gold.page_index, dict(gold.values)) for gold in golds
+        ]
+        evaluation = _grade(golds, perfect_rows)
+        assert evaluation.objects_correct == len(golds)
+        assert evaluation.precision_correct == 1.0

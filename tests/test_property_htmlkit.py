@@ -1,0 +1,69 @@
+"""Property tests on the HTML substrate's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htmlkit.clean import clean_tree
+from repro.htmlkit.dom import Element, Text
+from repro.htmlkit.tidy import tidy
+
+_soup = st.text(
+    alphabet="<>/ab divspanliscript style img ='\"#x&;", max_size=200
+)
+
+
+class TestCleanInvariants:
+    @settings(max_examples=100, deadline=None)
+    @given(_soup)
+    def test_no_dropped_tags_survive(self, source):
+        root = clean_tree(tidy(source))
+        for element in root.iter_elements():
+            assert element.tag not in ("script", "style", "iframe", "noscript")
+
+    @settings(max_examples=100, deadline=None)
+    @given(_soup)
+    def test_no_empty_nonprotected_elements(self, source):
+        root = clean_tree(tidy(source))
+        for element in root.iter_elements():
+            if element.tag in ("html", "head", "body", "br", "hr", "img"):
+                continue
+            assert element.children, element.tag
+
+    @settings(max_examples=100, deadline=None)
+    @given(_soup)
+    def test_attributes_whitelisted(self, source):
+        root = clean_tree(tidy(source))
+        allowed = {"id", "class", "type", "href"}
+        for element in root.iter_elements():
+            assert set(element.attributes) <= allowed
+
+    @settings(max_examples=100, deadline=None)
+    @given(_soup)
+    def test_idempotent(self, source):
+        from repro.htmlkit.serialize import to_html
+
+        once = clean_tree(tidy(source))
+        rendered = to_html(once)
+        twice = clean_tree(tidy(rendered))
+        assert to_html(twice) == rendered
+
+    @settings(max_examples=100, deadline=None)
+    @given(_soup)
+    def test_parent_pointers_consistent_after_clean(self, source):
+        root = clean_tree(tidy(source))
+        for node in root.iter():
+            if isinstance(node, Element):
+                for child in node.children:
+                    assert child.parent is node
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=100))
+    def test_visible_text_preserved(self, text):
+        # Plain visible text must survive tidy+clean (modulo whitespace).
+        from repro.utils.text import normalize_text
+
+        source = f"<body><div>{text.replace('<', ' ').replace('&', ' ')}</div></body>"
+        root = clean_tree(tidy(source))
+        assert normalize_text(root.text_content()) == normalize_text(
+            text.replace("<", " ").replace("&", " ")
+        )

@@ -1,0 +1,118 @@
+"""Property tests: random templates roundtrip through JSON serialization."""
+
+import json
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sod.dsl import parse_sod
+from repro.wrapper.generate import Wrapper
+from repro.wrapper.matching import MatchResult
+from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
+from repro.wrapper.template import (
+    ElementTemplate,
+    FieldSlot,
+    IteratorSlot,
+    StaticSlot,
+    Template,
+)
+
+_annotation_names = st.sampled_from(["artist", "date", "title", "author"])
+
+
+@st.composite
+def _field_slots(draw, slot_id):
+    slot = FieldSlot(slot_id=slot_id)
+    slot.annotation_counts = Counter(
+        {
+            name: draw(st.integers(1, 10))
+            for name in draw(st.lists(_annotation_names, max_size=2, unique=True))
+        }
+    )
+    slot.occurrences = draw(st.integers(0, 30))
+    slot.optional = draw(st.booleans())
+    slot.examples = draw(st.lists(st.text(max_size=12), max_size=3))
+    slot.strip_prefix = draw(st.integers(0, 2))
+    slot.strip_suffix = draw(st.integers(0, 2))
+    return slot
+
+
+@st.composite
+def _nodes(draw, depth, counter):
+    kind = draw(
+        st.sampled_from(
+            ["field", "static"] if depth == 0 else ["field", "static", "element", "iterator"]
+        )
+    )
+    counter[0] += 1
+    if kind == "field":
+        return draw(_field_slots(slot_id=counter[0]))
+    if kind == "static":
+        return StaticSlot(text=draw(st.text(max_size=15)))
+    if kind == "iterator":
+        return IteratorSlot(
+            slot_id=counter[0],
+            unit=draw(_nodes(depth=depth - 1, counter=counter)),
+            min_repeats=draw(st.integers(0, 2)),
+            max_repeats=draw(st.integers(2, 5)),
+        )
+    return ElementTemplate(
+        tag=draw(st.sampled_from(["div", "span", "li", "p"])),
+        attr_class=draw(st.sampled_from(["", "a", "info"])),
+        optional=draw(st.booleans()),
+        children=draw(
+            st.lists(_nodes(depth=depth - 1, counter=counter), max_size=3)
+        ),
+    )
+
+
+@st.composite
+def _wrappers(draw):
+    counter = [0]
+    template = Template(
+        roots=draw(st.lists(_nodes(depth=2, counter=counter), min_size=1, max_size=3)),
+        conflicts=draw(st.integers(0, 5)),
+        sample_records=draw(st.integers(0, 30)),
+    )
+    return Wrapper(
+        source="property",
+        sod=parse_sod("t(artist, date<kind=predefined>?)"),
+        template=template,
+        match=MatchResult(
+            entity_to_slots={"artist": [0]},
+            matched=True,
+        ),
+        record_tag=draw(st.sampled_from(["li", "div"])),
+        record_path="html/body/div/li",
+        record_class_attr=draw(st.sampled_from(["", "rec"])),
+        record_single_element=draw(st.booleans()),
+        is_list_source=draw(st.booleans()),
+        support=draw(st.integers(2, 5)),
+        conflicts=draw(st.integers(0, 5)),
+        annotation_types_seen={"artist"},
+    )
+
+
+class TestSerializeProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(_wrappers())
+    def test_roundtrip_fixpoint(self, wrapper):
+        once = wrapper_to_dict(wrapper)
+        restored = wrapper_from_dict(json.loads(json.dumps(once)))
+        twice = wrapper_to_dict(restored)
+        assert once == twice
+
+    @settings(max_examples=100, deadline=None)
+    @given(_wrappers())
+    def test_template_structure_preserved(self, wrapper):
+        restored = wrapper_from_dict(wrapper_to_dict(wrapper))
+        assert restored.template.describe() == wrapper.template.describe()
+        assert len(restored.template.field_slots()) == len(
+            wrapper.template.field_slots()
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(_wrappers())
+    def test_json_compatible(self, wrapper):
+        json.dumps(wrapper_to_dict(wrapper))  # must not raise

@@ -1,0 +1,176 @@
+"""Property tests: random SODs roundtrip through the DSL."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sod.canonical import canonicalize
+from repro.sod.dsl import format_sod, parse_sod
+from repro.sod.types import (
+    DisjunctionType,
+    EntityType,
+    Multiplicity,
+    SetType,
+    TupleType,
+    entity_types,
+)
+
+_names = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+)
+
+_multiplicities = st.one_of(
+    st.builds(Multiplicity.star),
+    st.builds(Multiplicity.plus),
+    st.builds(Multiplicity.optional),
+    st.builds(Multiplicity.exactly_one),
+    st.builds(Multiplicity.range, st.integers(0, 3), st.integers(4, 9)),
+    st.builds(Multiplicity, st.integers(2, 4), st.none()),
+)
+
+_entities = st.builds(
+    EntityType,
+    name=_names,
+    kind=st.sampled_from(["isInstanceOf", "predefined", "regex"]),
+    optional=st.booleans(),
+    cover_node=st.booleans(),
+)
+
+
+def _freshen_names(sod, counter=None):
+    """Give every node a globally unique name.
+
+    Canonicalization legitimately rejects SODs whose tuple-reachable atoms
+    collide by name (see TestIllFormed), so the generator avoids them.
+    """
+    if counter is None:
+        counter = [0]
+    counter[0] += 1
+    suffix = str(counter[0])
+    if isinstance(sod, EntityType):
+        return EntityType(
+            name=sod.name + suffix,
+            recognizer="",
+            kind=sod.kind,
+            optional=sod.optional,
+            cover_node=sod.cover_node,
+        )
+    if isinstance(sod, SetType):
+        return SetType(
+            name=sod.name + suffix,
+            inner=_freshen_names(sod.inner, counter),
+            multiplicity=sod.multiplicity,
+        )
+    if isinstance(sod, TupleType):
+        return TupleType(
+            name=sod.name + suffix,
+            components=tuple(
+                _freshen_names(component, counter) for component in sod.components
+            ),
+        )
+    return DisjunctionType(
+        name=sod.name + suffix,
+        left=_freshen_names(sod.left, counter),
+        right=_freshen_names(sod.right, counter),
+    )
+
+
+def _dedupe_per_level(components):
+    seen: set = set()
+    out = []
+    for component in components:
+        if component.name not in seen:
+            seen.add(component.name)
+            out.append(component)
+    return out
+
+
+def _sods(depth: int = 2):
+    if depth == 0:
+        return _entities
+    return _sods_raw(depth).map(_freshen_names)
+
+
+def _sods_raw(depth: int):
+    if depth == 0:
+        return _entities
+    inner = _sods_raw(depth - 1)
+    tuples = st.builds(
+        lambda name, components: TupleType(
+            name=name + "_t", components=tuple(_dedupe_per_level(components))
+        ),
+        _names,
+        st.lists(inner, min_size=1, max_size=4),
+    )
+    sets = st.builds(
+        lambda name, member, multiplicity: SetType(
+            name=name + "_s", inner=member, multiplicity=multiplicity
+        ),
+        _names,
+        inner,
+        _multiplicities,
+    )
+    disjunctions = st.builds(
+        lambda name, left, right: DisjunctionType(
+            name=name + "_d", left=left, right=right
+        ),
+        _names,
+        _entities,
+        _entities,
+    )
+    return st.one_of(_entities, tuples, sets, disjunctions)
+
+
+class TestDslRoundtrip:
+    @settings(max_examples=200, deadline=None)
+    @given(_sods())
+    def test_parse_format_roundtrip(self, sod):
+        rendered = format_sod(sod)
+        reparsed = parse_sod(rendered)
+        assert format_sod(reparsed) == rendered
+
+    @settings(max_examples=200, deadline=None)
+    @given(_sods())
+    def test_roundtrip_preserves_structure(self, sod):
+        reparsed = parse_sod(format_sod(sod))
+        assert str(reparsed) == str(sod)
+        assert [e.name for e in entity_types(reparsed)] == [
+            e.name for e in entity_types(sod)
+        ]
+
+    @settings(max_examples=100, deadline=None)
+    @given(_sods())
+    def test_canonicalize_stable_through_roundtrip(self, sod):
+        direct = str(canonicalize(sod))
+        via_dsl = str(canonicalize(parse_sod(format_sod(sod))))
+        assert direct == via_dsl
+
+    @settings(max_examples=100, deadline=None)
+    @given(_sods(depth=3))
+    def test_deep_nesting_roundtrips(self, sod):
+        assert str(parse_sod(format_sod(sod))) == str(sod)
+
+    @settings(max_examples=100, deadline=None)
+    @given(_multiplicities)
+    def test_multiplicity_rendering_parses(self, multiplicity):
+        sod = SetType("s", EntityType("x"), multiplicity)
+        reparsed = parse_sod(format_sod(sod))
+        assert reparsed.multiplicity == multiplicity
+
+
+class TestIllFormed:
+    def test_canonicalize_rejects_colliding_atom_names(self):
+        # Flattening a nested tuple whose atom collides with a sibling atom
+        # would create an ambiguous attribute — rejected with a SodError.
+        import pytest
+
+        from repro.errors import SodError
+
+        sod = TupleType(
+            "outer",
+            (
+                EntityType("alpha"),
+                TupleType("inner", (EntityType("alpha"),)),
+            ),
+        )
+        with pytest.raises(SodError):
+            canonicalize(sod)

@@ -1,0 +1,160 @@
+"""Property-based tests on wrapper-core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.htmlkit.tidy import tidy
+from repro.wrapper.alignment import (
+    TemplateBuilder,
+    _lcs_align,
+    common_affixes,
+    strip_affixes,
+)
+from repro.wrapper.template import FieldSlot, StaticSlot
+from repro.wrapper.tokens import tokenize_element
+
+_shapes = st.lists(
+    st.sampled_from([("elem", "div", ""), ("elem", "span", "a"), ("text",)]),
+    max_size=12,
+)
+
+
+class TestLcsAlignment:
+    @given(_shapes, _shapes)
+    def test_every_index_appears_exactly_once(self, left, right):
+        pairs = _lcs_align(left, right)
+        left_indexes = [i for i, __ in pairs if i is not None]
+        right_indexes = [j for __, j in pairs if j is not None]
+        assert left_indexes == list(range(len(left)))
+        assert right_indexes == list(range(len(right)))
+
+    @given(_shapes, _shapes)
+    def test_matches_have_equal_shapes(self, left, right):
+        for i, j in _lcs_align(left, right):
+            if i is not None and j is not None:
+                assert left[i] == right[j]
+
+    @given(_shapes)
+    def test_identical_sequences_align_fully(self, shapes):
+        pairs = _lcs_align(shapes, shapes)
+        assert all(i is not None and j is not None for i, j in pairs)
+
+    @given(_shapes, _shapes)
+    def test_matched_pairs_are_monotone(self, left, right):
+        matched = [
+            (i, j) for i, j in _lcs_align(left, right) if i is not None and j is not None
+        ]
+        assert matched == sorted(matched)
+
+
+_words = st.lists(
+    st.sampled_from(["by", "Jane", "Austen", "Price", "12.99", "stars", "5"]),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestAffixProperties:
+    @given(st.lists(_words, min_size=1, max_size=6))
+    def test_affixes_never_exceed_shortest(self, values):
+        prefix, suffix = common_affixes(values)
+        shortest = min(len(value) for value in values)
+        assert prefix + suffix <= shortest + max(
+            0, prefix + suffix - shortest
+        )  # prefix+suffix may equal shortest but not exceed wildly
+        assert prefix >= 0 and suffix >= 0
+
+    @given(st.lists(_words, min_size=2, max_size=6))
+    def test_affix_words_identical_across_values(self, values):
+        prefix, suffix = common_affixes(values)
+        for index in range(prefix):
+            assert len({value[index] for value in values}) == 1
+        for index in range(suffix):
+            assert len({value[-1 - index] for value in values}) == 1
+
+    @given(st.text(alphabet="ab $:.,0189", min_size=0, max_size=40),
+           st.integers(0, 3), st.integers(0, 3))
+    def test_strip_never_raises(self, text, prefix, suffix):
+        result = strip_affixes(text, prefix, suffix)
+        assert isinstance(result, str)
+
+    @given(st.text(alphabet="abc 019", min_size=1, max_size=40))
+    def test_strip_zero_is_strip(self, text):
+        assert strip_affixes(text, 0, 0) == text.strip()
+
+
+def _record_html(fields):
+    cells = "".join(f"<div class='c{i}'>{value}</div>" for i, value in enumerate(fields))
+    return f"<html><body><li>{cells}</li></body></html>"
+
+
+class TestTemplateBuilderProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+                     min_size=2, max_size=2),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_uniform_records_produce_no_conflicts(self, rows):
+        records = []
+        for row in rows:
+            root = tidy(_record_html(row))
+            records.append([root.find("li")])
+        template = TemplateBuilder().build(records)
+        assert template.conflicts == 0
+        assert template.sample_records == len(rows)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.sampled_from(["alpha", "beta", "gamma"]),
+                     min_size=3, max_size=3),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_slot_count_bounded_by_columns(self, rows):
+        records = []
+        for row in rows:
+            root = tidy(_record_html(row))
+            records.append([root.find("li")])
+        template = TemplateBuilder().build(records)
+        data_nodes = [
+            node
+            for node in template.iter_nodes()
+            if isinstance(node, (FieldSlot, StaticSlot))
+        ]
+        assert len(data_nodes) == 3  # one per column, field or static
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 6))
+    def test_deterministic(self, record_count):
+        rows = [["x", f"value{i}"] for i in range(record_count)]
+
+        def build():
+            records = []
+            for row in rows:
+                root = tidy(_record_html(row))
+                records.append([root.find("li")])
+            return TemplateBuilder().build(records).describe()
+
+        assert build() == build()
+
+
+class TestTokenizationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.text(alphabet="<>/abdiv spn clx='\"", max_size=120))
+    def test_tags_balance(self, soup):
+        body = tidy(soup).find("body")
+        tokens = tokenize_element(body).tokens
+        depth = 0
+        for token in tokens:
+            if token.kind == "open":
+                depth += 1
+            elif token.kind == "close":
+                depth -= 1
+            assert depth >= 0
+        assert depth == 0

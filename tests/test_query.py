@@ -1,0 +1,161 @@
+"""Tests for the phase-two query engine."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.query import Query, coerce_date, coerce_number
+from repro.sod.instances import ObjectInstance
+
+
+def albums():
+    rows = [
+        {"title": "Silent Rivers", "artist": "Neon Foxes", "price": "$12.99",
+         "date": "March 4, 2008"},
+        {"title": "Golden Horizon", "artist": "Crimson Arcade", "price": "$8.50",
+         "date": "July 19, 2010"},
+        {"title": "Paper Kingdom", "artist": "Neon Foxes", "price": "$25.00",
+         "date": "May 2, 1999"},
+        {"title": "Restless Echoes", "artist": "The Crimson Wolves",
+         "price": "$19.99"},
+    ]
+    return [ObjectInstance(values=row) for row in rows]
+
+
+class TestCoercion:
+    def test_coerce_number(self):
+        assert coerce_number("$12.99") == 12.99
+        assert coerce_number("$1,250.00") == 1250.0
+        assert coerce_number("no digits") is None
+
+    def test_coerce_date(self):
+        assert coerce_date("March 4, 2008") == (2008, 3, 4)
+        assert coerce_date("Saturday May 29 7:00p") == (0, 5, 29)
+        assert coerce_date("not a date") is None
+
+
+class TestWhere:
+    def test_equality_normalized(self):
+        matched = Query(albums()).where("artist", "=", "neon  foxes").all()
+        assert len(matched) == 2
+
+    def test_inequality(self):
+        matched = Query(albums()).where("artist", "!=", "Neon Foxes").all()
+        assert len(matched) == 2
+
+    def test_contains(self):
+        matched = Query(albums()).where("artist", "contains", "crimson").all()
+        assert {m.values["title"] for m in matched} == {
+            "Golden Horizon",
+            "Restless Echoes",
+        }
+
+    def test_numeric_comparison(self):
+        cheap = Query(albums()).where("price", "<", 15).all()
+        assert {m.values["title"] for m in cheap} == {
+            "Silent Rivers",
+            "Golden Horizon",
+        }
+
+    def test_exists(self):
+        dated = Query(albums()).where("date", "exists").all()
+        assert len(dated) == 3
+
+    def test_chained_filters_conjunction(self):
+        matched = (
+            Query(albums())
+            .where("artist", "=", "Neon Foxes")
+            .where("price", ">", 20)
+            .all()
+        )
+        assert [m.values["title"] for m in matched] == ["Paper Kingdom"]
+
+    def test_unknown_operator(self):
+        with pytest.raises(ReproError):
+            Query(albums()).where("price", "~~", 1)
+
+    def test_missing_attribute_never_matches_comparison(self):
+        matched = Query(albums()).where("date", "<", 2000).all()
+        # Only real dates participate; the date-less album is excluded.
+        assert all("date" in m.values for m in matched)
+
+
+class TestOrderAndProject:
+    def test_order_by_price(self):
+        ordered = Query(albums()).order_by("price").all()
+        prices = [m.values["price"] for m in ordered]
+        assert prices == ["$8.50", "$12.99", "$19.99", "$25.00"]
+
+    def test_order_by_date(self):
+        ordered = Query(albums()).where("date", "exists").order_by("date").all()
+        assert [m.values["date"] for m in ordered] == [
+            "May 2, 1999",
+            "March 4, 2008",
+            "July 19, 2010",
+        ]
+
+    def test_order_descending_and_limit(self):
+        top = Query(albums()).order_by("price", descending=True).limit(2).all()
+        assert [m.values["title"] for m in top] == ["Paper Kingdom", "Restless Echoes"]
+
+    def test_select(self):
+        rows = (
+            Query(albums())
+            .where("price", "<", 10)
+            .select("title", "price")
+        )
+        assert rows == [{"title": "Golden Horizon", "price": "$8.50"}]
+
+    def test_count_and_first(self):
+        query = Query(albums()).where("artist", "contains", "crimson")
+        assert query.count() == 2
+        assert query.first() is not None
+
+    def test_first_on_empty(self):
+        assert Query(albums()).where("title", "=", "nope").first() is None
+
+
+class TestImmutability:
+    def test_clauses_do_not_mutate(self):
+        base = Query(albums())
+        narrowed = base.where("price", "<", 10)
+        assert base.count() == 4
+        assert narrowed.count() == 1
+
+    def test_nested_values_flatten(self):
+        concert = ObjectInstance(
+            values={
+                "artist": "Muse",
+                "location": {"theater": "MSG", "address": "4 Penn Plaza"},
+            }
+        )
+        matched = Query([concert]).where("theater", "=", "MSG").all()
+        assert matched
+
+    def test_set_values_any_semantics(self):
+        book = ObjectInstance(values={"title": "T", "authors": ["A B", "C D"]})
+        assert Query([book]).where("authors", "=", "C D").count() == 1
+
+
+class TestAggregates:
+    def test_distinct(self):
+        artists = Query(albums()).distinct("artist")
+        assert artists == ["Neon Foxes", "Crimson Arcade", "The Crimson Wolves"]
+
+    def test_distinct_normalized_dedup(self):
+        objects = albums() + [ObjectInstance(values={"artist": "NEON  FOXES"})]
+        artists = Query(objects).distinct("artist")
+        assert artists.count("Neon Foxes") == 1
+        assert "NEON  FOXES" not in artists
+
+    def test_group_by_counts(self):
+        groups = Query(albums()).group_by("artist")
+        assert len(groups["neon foxes"]) == 2
+        assert len(groups["crimson arcade"]) == 1
+
+    def test_group_by_missing_attribute(self):
+        groups = Query(albums()).group_by("date")
+        assert len(groups.get("", [])) == 1  # the undated album
+
+    def test_group_by_respects_filters(self):
+        groups = Query(albums()).where("price", ">", 15).group_by("artist")
+        assert set(groups) == {"neon foxes", "the crimson wolves"}

@@ -1,0 +1,64 @@
+"""Tests for Match and overlap pruning."""
+
+import pytest
+
+from repro.recognizers.base import Match, prune_overlaps
+
+
+def m(start, end, type_name="t", confidence=1.0, value=None):
+    return Match(
+        start=start,
+        end=end,
+        value=value or "x" * (end - start),
+        type_name=type_name,
+        confidence=confidence,
+    )
+
+
+class TestMatch:
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            Match(start=5, end=3, value="x", type_name="t")
+        with pytest.raises(ValueError):
+            Match(start=-1, end=3, value="x", type_name="t")
+
+    def test_length(self):
+        assert m(2, 7).length == 5
+
+    def test_overlaps(self):
+        assert m(0, 5).overlaps(m(4, 8))
+        assert not m(0, 5).overlaps(m(5, 8))  # touching is not overlapping
+        assert m(2, 3).overlaps(m(0, 10))
+
+
+class TestPruneOverlaps:
+    def test_longest_wins_within_type(self):
+        kept = prune_overlaps([m(0, 4), m(0, 10)])
+        assert kept == [m(0, 10)]
+
+    def test_confidence_breaks_length_ties(self):
+        a = m(0, 5, confidence=0.5)
+        b = m(0, 5, confidence=0.9)
+        assert prune_overlaps([a, b]) == [b]
+
+    def test_disjoint_matches_all_kept(self):
+        kept = prune_overlaps([m(0, 3), m(5, 8), m(10, 12)])
+        assert len(kept) == 3
+
+    def test_different_types_never_pruned(self):
+        a = m(0, 10, type_name="artist")
+        b = m(0, 5, type_name="date")
+        kept = prune_overlaps([a, b])
+        assert len(kept) == 2
+
+    def test_output_sorted_by_position(self):
+        kept = prune_overlaps([m(10, 12), m(0, 3)])
+        assert [k.start for k in kept] == [0, 10]
+
+    def test_empty(self):
+        assert prune_overlaps([]) == []
+
+    def test_chain_of_overlaps(self):
+        # 0-6 beats 4-8; 4-8 out; 7-9 survives (no overlap with 0-6).
+        kept = prune_overlaps([m(0, 6), m(4, 8), m(7, 9)])
+        assert [(k.start, k.end) for k in kept] == [(0, 6), (7, 9)]

@@ -1,0 +1,96 @@
+"""Tests for the system-predefined recognizers."""
+
+import pytest
+
+from repro.errors import UnknownTypeError
+from repro.recognizers.predefined import predefined_names, predefined_recognizer
+
+
+class TestRegistryOfPredefined:
+    def test_names_listed(self):
+        names = predefined_names()
+        assert {"date", "address", "price", "phone", "isbn", "year"} <= set(names)
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownTypeError):
+            predefined_recognizer("nope")
+
+    def test_type_name_override(self):
+        recognizer = predefined_recognizer("date", type_name="release_date")
+        (match,) = recognizer.find("out on May 11, 2010")
+        assert match.type_name == "release_date"
+
+
+class TestDates:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Saturday August 8, 2010 8:00pm",
+            "Monday May 11, 8:00pm",
+            "Friday June 19 7:00p",
+            "May 11, 2010",
+            "2010-08-08",
+            "12/05/2010",
+            "3 March 2011",
+        ],
+    )
+    def test_formats_recognized(self, text):
+        recognizer = predefined_recognizer("date")
+        assert recognizer.find(f"when: {text} end"), text
+
+    def test_plain_words_not_dates(self):
+        recognizer = predefined_recognizer("date")
+        assert recognizer.find("the concert hall is big") == []
+
+
+class TestAddresses:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "237 West 42nd street",
+            "4 Penn Plaza",
+            "Delancey St",
+            "131 W 55th St",
+        ],
+    )
+    def test_streets_recognized(self, text):
+        recognizer = predefined_recognizer("address")
+        assert recognizer.find(f"at {text} tonight"), text
+
+    def test_zip_codes_recognized(self):
+        recognizer = predefined_recognizer("address")
+        assert recognizer.find("NY 10036 USA")
+
+
+class TestPrices:
+    @pytest.mark.parametrize("text", ["$12.99", "$1,250.00", "€30", "15.50 dollars"])
+    def test_prices_recognized(self, text):
+        recognizer = predefined_recognizer("price")
+        assert recognizer.find(f"only {text} today"), text
+
+    def test_bare_numbers_not_prices(self):
+        recognizer = predefined_recognizer("price")
+        assert recognizer.find("route 66 is long") == []
+
+
+class TestOthers:
+    def test_phone(self):
+        recognizer = predefined_recognizer("phone")
+        assert recognizer.find("call (212) 555-0123 now")
+
+    def test_isbn(self):
+        recognizer = predefined_recognizer("isbn")
+        assert recognizer.find("ISBN 978-0-306-40615-7 hardcover")
+
+    def test_year(self):
+        recognizer = predefined_recognizer("year")
+        (match,) = recognizer.find("published 2007.")
+        assert match.value == "2007"
+
+    def test_email(self):
+        recognizer = predefined_recognizer("email")
+        assert recognizer.find("mail us at info@example.org today")
+
+    def test_url(self):
+        recognizer = predefined_recognizer("url")
+        assert recognizer.find("see http://example.org/page for details")

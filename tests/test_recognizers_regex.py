@@ -1,0 +1,58 @@
+"""Tests for regex recognizers."""
+
+import pytest
+
+from repro.errors import RecognizerError
+from repro.recognizers.regexes import RegexRecognizer
+
+
+class TestRegexRecognizer:
+    def test_basic_find(self):
+        recognizer = RegexRecognizer("num", r"\d+")
+        matches = recognizer.find("a 12 b 345")
+        assert [(m.start, m.value) for m in matches] == [(2, "12"), (7, "345")]
+
+    def test_type_name_on_matches(self):
+        recognizer = RegexRecognizer("zip", r"\d{5}")
+        (match,) = recognizer.find("code 12345 ok")
+        assert match.type_name == "zip"
+
+    def test_confidence_propagated(self):
+        recognizer = RegexRecognizer("num", r"\d+", confidence=0.4)
+        assert recognizer.find("7")[0].confidence == 0.4
+
+    def test_multiple_patterns(self):
+        recognizer = RegexRecognizer("id", [r"\d{4}", r"[A-Z]{3}-\d+"])
+        values = {m.value for m in recognizer.find("1234 and ABC-9")}
+        assert values == {"1234", "ABC-9"}
+
+    def test_accepts_full_match_only(self):
+        recognizer = RegexRecognizer("num", r"\d+")
+        assert recognizer.accepts("123")
+        assert recognizer.accepts("  123  ")  # surrounding space tolerated
+        assert not recognizer.accepts("a123")
+
+    def test_case_insensitive_default(self):
+        recognizer = RegexRecognizer("word", r"hello")
+        assert recognizer.find("say HELLO now")
+
+    def test_invalid_pattern_raises(self):
+        with pytest.raises(RecognizerError):
+            RegexRecognizer("bad", r"([unclosed")
+
+    def test_no_patterns_raises(self):
+        with pytest.raises(RecognizerError):
+            RegexRecognizer("empty", [])
+
+    def test_zero_width_matches_skipped(self):
+        recognizer = RegexRecognizer("maybe", r"x?")
+        assert all(m.length > 0 for m in recognizer.find("axbxc"))
+
+    def test_selectivity_weight(self):
+        recognizer = RegexRecognizer("num", r"\d+", selectivity=3.5)
+        assert recognizer.selectivity_weight() == 3.5
+
+    def test_matches_sorted(self):
+        recognizer = RegexRecognizer("any", [r"b+", r"a+"])
+        matches = recognizer.find("aabb")
+        assert [m.start for m in matches] == sorted(m.start for m in matches)

@@ -1,0 +1,66 @@
+"""Tests for the recognizer registry."""
+
+import pytest
+
+from repro.errors import UnknownTypeError
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.recognizers.registry import RecognizerRegistry
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        registry = RecognizerRegistry()
+        gazetteer = GazetteerRecognizer("artist", ["Muse"])
+        registry.register(gazetteer)
+        assert registry.get("artist") is gazetteer
+
+    def test_lookup_case_insensitive(self):
+        registry = RecognizerRegistry()
+        registry.register(GazetteerRecognizer("Artist", ["Muse"]))
+        assert registry.get("artist").type_name == "Artist"
+
+    def test_register_under_alias(self):
+        registry = RecognizerRegistry()
+        gazetteer = GazetteerRecognizer("artist", ["Muse"])
+        registry.register(gazetteer, name="performer")
+        assert registry.get("performer") is gazetteer
+
+    def test_predefined_fallback(self):
+        registry = RecognizerRegistry()
+        recognizer = registry.get("date")
+        assert recognizer.find("May 11, 2010")
+
+    def test_predefined_cached(self):
+        registry = RecognizerRegistry()
+        assert registry.get("price") is registry.get("price")
+
+    def test_unknown_raises(self):
+        registry = RecognizerRegistry()
+        with pytest.raises(UnknownTypeError):
+            registry.get("nonexistent")
+
+    def test_has(self):
+        registry = RecognizerRegistry()
+        assert registry.has("date")  # predefined
+        assert not registry.has("artist")
+        registry.register(GazetteerRecognizer("artist", []))
+        assert registry.has("artist")
+
+    def test_explicit_overrides_predefined(self):
+        registry = RecognizerRegistry()
+        custom = GazetteerRecognizer("date", ["someday"])
+        registry.register(custom)
+        assert registry.get("date") is custom
+
+    def test_iteration_and_len(self):
+        registry = RecognizerRegistry()
+        registry.register(GazetteerRecognizer("a", []))
+        registry.register(GazetteerRecognizer("b", []))
+        assert len(registry) == 2
+        assert {r.type_name for r in registry} == {"a", "b"}
+
+    def test_names_sorted(self):
+        registry = RecognizerRegistry()
+        registry.register(GazetteerRecognizer("zeta", []))
+        registry.register(GazetteerRecognizer("alpha", []))
+        assert registry.names() == ["alpha", "zeta"]

@@ -1,0 +1,73 @@
+"""Tests for rule-wrapped recognizers (paper footnote 1)."""
+
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.recognizers.predefined import predefined_recognizer
+from repro.recognizers.rules import FullNodeRecognizer, ValueFilterRecognizer
+
+
+class TestFullNodeRecognizer:
+    def test_full_coverage_match_kept(self):
+        base = GazetteerRecognizer("artist", ["Muse"])
+        wrapped = FullNodeRecognizer(base)
+        assert len(wrapped.find("Muse")) == 1
+
+    def test_partial_match_dropped(self):
+        base = GazetteerRecognizer("artist", ["Muse"])
+        wrapped = FullNodeRecognizer(base)
+        assert wrapped.find("Tonight Muse plays") == []
+
+    def test_surrounding_whitespace_tolerated(self):
+        base = GazetteerRecognizer("artist", ["Muse"])
+        wrapped = FullNodeRecognizer(base)
+        assert len(wrapped.find("  Muse  ")) == 1
+
+    def test_empty_text(self):
+        wrapped = FullNodeRecognizer(GazetteerRecognizer("artist", ["Muse"]))
+        assert wrapped.find("   ") == []
+
+    def test_type_name_and_accepts_delegate(self):
+        base = GazetteerRecognizer("artist", ["Muse"])
+        wrapped = FullNodeRecognizer(base)
+        assert wrapped.type_name == "artist"
+        assert wrapped.accepts("Muse")
+
+    def test_selectivity_boosted(self):
+        base = predefined_recognizer("date")
+        wrapped = FullNodeRecognizer(base)
+        assert wrapped.selectivity_weight() > base.selectivity_weight()
+
+
+class TestValueFilterRecognizer:
+    def test_predicate_filters_values(self):
+        base = predefined_recognizer("year")
+        wrapped = ValueFilterRecognizer(base, lambda v: int(v) >= 2000)
+        values = [m.value for m in wrapped.find("from 1995 to 2005")]
+        assert values == ["2005"]
+
+    def test_accepts_requires_predicate(self):
+        base = predefined_recognizer("year")
+        wrapped = ValueFilterRecognizer(base, lambda v: int(v) >= 2000)
+        assert wrapped.accepts("2010")
+        assert not wrapped.accepts("1995")
+
+
+class TestDslIntegration:
+    def test_cover_node_parsed(self):
+        from repro.sod.dsl import parse_sod
+
+        sod = parse_sod("t(artist<cover=node>)")
+        assert sod.components[0].cover_node
+
+    def test_pipeline_applies_full_node_rule(self):
+        from repro.core import ObjectRunner
+        from repro.recognizers.registry import RecognizerRegistry
+        from repro.sod.dsl import parse_sod
+
+        registry = RecognizerRegistry()
+        registry.register(GazetteerRecognizer("artist", ["Muse"]))
+        runner = ObjectRunner(
+            parse_sod("t(artist<cover=node>)"), registry=registry
+        )
+        (recognizer,) = runner.recognizers
+        assert isinstance(recognizer, FullNodeRecognizer)
+        assert recognizer.find("Muse live in concert") == []

@@ -1,0 +1,122 @@
+"""Regression tests for subtle bugs found while reproducing the paper.
+
+Each test encodes a failure mode observed during development, so the fix
+stays fixed.
+"""
+
+from repro.htmlkit.tidy import tidy
+from repro.recognizers.predefined import predefined_recognizer
+from repro.wrapper.records import segment_records
+from repro.wrapper.template import FieldSlot
+from repro.wrapper.tokens import tokenize_element
+
+
+class TestRegexBoundaryFalsePositives:
+    def test_in_stock_is_not_an_address(self):
+        # "In St|ock" used to match the street pattern mid-word and slowly
+        # poison address slots on noisy sources.
+        recognizer = predefined_recognizer("address")
+        assert recognizer.find("In Stock") == []
+        assert recognizer.find("Best Stock picks") == []
+
+    def test_real_streets_still_match(self):
+        recognizer = predefined_recognizer("address")
+        assert recognizer.find("visit 42 Maple St today")
+
+    def test_zip_inside_long_number_rejected(self):
+        recognizer = predefined_recognizer("address")
+        values = [m.value for m in recognizer.find("order 1234567890 shipped")]
+        assert values == []
+
+
+class TestDetailPageFieldSequence:
+    def test_field_sequence_not_mistaken_for_records(self):
+        # Detail pages whose classless field containers repeat 3x per page
+        # used to be segmented at the field level (each <p> a "record").
+        # The record class must stay at (or above) the page region.
+        detail = (
+            "<body><div id='main'>"
+            "<p>{artist}</p>"
+            "<p>Saturday May 29, 2010 7:00p</p>"
+            "<p><span><a>{venue}</a></span><span>131 W 55th St</span>"
+            "<span>New York City</span><span>10019</span></p>"
+            "</div></body>"
+        )
+        pages = [
+            tokenize_element(
+                tidy(detail.format(artist=f"Band {i}", venue=f"Hall {i}")).find("body"),
+                page_index=i,
+            )
+            for i in range(6)
+        ]
+        segmentation = segment_records(pages, min_support=3)
+        assert segmentation is not None
+        assert all(len(spans) == 1 for spans in segmentation.spans_per_page)
+        first_role = segmentation.record_class.ordered_roles[0]
+        assert first_role[1] != "p"  # never the field container
+
+
+class TestAnnotationCoverageFloor:
+    def test_sparse_false_positives_do_not_label_a_slot(self):
+        slot = FieldSlot(slot_id=0)
+        # 2 annotated out of 40 occurrences: classic recognizer noise.
+        for __ in range(2):
+            slot.record_annotations({"address"})
+        for __ in range(38):
+            slot.record_annotations(set())
+        assert slot.dominant_annotation() is None
+
+    def test_twenty_percent_coverage_still_generalizes(self):
+        slot = FieldSlot(slot_id=0)
+        for __ in range(8):
+            slot.record_annotations({"title"})
+        for __ in range(32):
+            slot.record_annotations(set())
+        assert slot.dominant_annotation() == "title"
+
+
+class TestRecordRoleIncludesClass:
+    def test_same_tag_different_class_distinct_roles(self):
+        # Without the class attribute in the role key, per-field <div>s of
+        # different classes collapsed into one role and the record EQ
+        # degenerated to {li, /li}.
+        page = (
+            "<body><ul>"
+            + "".join(
+                f"<li><div class='t'>t{i}</div><div class='p'>p{i}</div></li>"
+                for i in range(4)
+            )
+            + "</ul></body>"
+        )
+        pages = [tokenize_element(tidy(page).find("body"), page_index=i) for i in range(3)]
+        segmentation = segment_records(pages, min_support=3)
+        roles = set(segmentation.record_class.roles)
+        class_values = {role[3] for role in roles if role[1] == "div"}
+        assert {"t", "p"} <= class_values
+
+
+class TestStripAffixPreservesValue:
+    def test_currency_symbol_survives_prefix_strip(self):
+        from repro.wrapper.alignment import strip_affixes
+
+        assert strip_affixes("Price: $12.99", 1, 0) == "$12.99"
+
+    def test_inner_punctuation_survives(self):
+        from repro.wrapper.alignment import strip_affixes
+
+        assert strip_affixes("On Monday May 11, 8:00pm", 1, 0) == "Monday May 11, 8:00pm"
+
+    def test_all_words_stripped_returns_empty(self):
+        from repro.wrapper.alignment import strip_affixes
+
+        assert strip_affixes("by", 1, 0) == ""
+
+
+class TestCorpusPluralBridging:
+    def test_venue_findable_from_venues(self):
+        # "venues"/"venue" stem mismatch used to hide every plural mention.
+        from repro.corpus.store import Corpus
+
+        corpus = Corpus(["Venues such as Madison Square Garden are big."])
+        assert corpus.sentences_with_phrase("Venue")
+        assert corpus.count_phrase("venue") == 1

@@ -1,0 +1,127 @@
+"""Tests for the SOD DSL parser."""
+
+import pytest
+
+from repro.errors import SodSyntaxError
+from repro.sod.dsl import parse_sod
+from repro.sod.types import (
+    DisjunctionType,
+    EntityType,
+    SetType,
+    TupleType,
+)
+
+
+class TestBasicParsing:
+    def test_flat_tuple(self):
+        sod = parse_sod("car(brand, price)")
+        assert isinstance(sod, TupleType)
+        assert sod.name == "car"
+        assert [c.name for c in sod.components] == ["brand", "price"]
+
+    def test_entity_defaults(self):
+        sod = parse_sod("t(x)")
+        entity = sod.components[0]
+        assert isinstance(entity, EntityType)
+        assert entity.kind == "isInstanceOf"
+        assert not entity.optional
+
+    def test_annotations(self):
+        sod = parse_sod("t(when<kind=predefined,recognizer=date>)")
+        entity = sod.components[0]
+        assert entity.kind == "predefined"
+        assert entity.recognizer == "date"
+
+    def test_optional_marker(self):
+        sod = parse_sod("t(a, b?)")
+        assert not sod.components[0].optional
+        assert sod.components[1].optional
+
+    def test_optional_with_annotations(self):
+        sod = parse_sod("t(a<kind=predefined>?)")
+        entity = sod.components[0]
+        assert entity.kind == "predefined"
+        assert entity.optional
+
+
+class TestComplexTypes:
+    def test_nested_tuple(self):
+        sod = parse_sod("concert(artist, location(theater, address?))")
+        location = sod.components[1]
+        assert isinstance(location, TupleType)
+        assert [c.name for c in location.components] == ["theater", "address"]
+
+    def test_set_with_plus(self):
+        sod = parse_sod("book(title, authors:{author}+)")
+        authors = sod.components[1]
+        assert isinstance(authors, SetType)
+        assert str(authors.multiplicity) == "+"
+        assert authors.inner.name == "author"
+
+    def test_set_multiplicities(self):
+        for symbol, rendered in [("*", "*"), ("+", "+"), ("?", "?"), ("1", "1")]:
+            sod = parse_sod(f"t(s:{{x}}{symbol})")
+            assert str(sod.components[0].multiplicity) == rendered
+
+    def test_set_range_multiplicity(self):
+        sod = parse_sod("t(s:{x}2-5)")
+        multiplicity = sod.components[0].multiplicity
+        assert (multiplicity.low, multiplicity.high) == (2, 5)
+
+    def test_set_default_multiplicity_plus(self):
+        sod = parse_sod("t(s:{x})")
+        assert str(sod.components[0].multiplicity) == "+"
+
+    def test_disjunction(self):
+        sod = parse_sod("t(either(a | b))")
+        either = sod.components[0]
+        assert isinstance(either, DisjunctionType)
+        assert either.left.name == "a"
+        assert either.right.name == "b"
+
+    def test_set_of_tuple(self):
+        sod = parse_sod("catalog(items:{item(name, price)}*)")
+        items = sod.components[0]
+        assert isinstance(items.inner, TupleType)
+
+    def test_paper_concert_sod(self):
+        sod = parse_sod(
+            "concert(artist, date<kind=predefined>, "
+            "location(theater, address<kind=predefined>?))"
+        )
+        assert sod.name == "concert"
+        location = sod.components[2]
+        assert location.components[1].optional
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "t(",
+            "t()",
+            "t(a,)",
+            "t(a b)",
+            "t(a | b | c)",  # disjunction must be binary... inside tuple syntax
+            "t(s:{x)",
+            "t(a<kind>)",
+            "t(a) trailing",
+            "(a)",
+        ],
+    )
+    def test_invalid_rejected(self, text):
+        with pytest.raises(SodSyntaxError):
+            parse_sod(text)
+
+    def test_error_carries_offset_info(self):
+        with pytest.raises(SodSyntaxError) as excinfo:
+            parse_sod("t(a,,b)")
+        assert "offset" in str(excinfo.value)
+
+
+class TestWhitespace:
+    def test_whitespace_insensitive(self):
+        compact = parse_sod("t(a,b:{c}+)")
+        spaced = parse_sod("  t ( a , b : { c } + )  ")
+        assert str(compact) == str(spaced)

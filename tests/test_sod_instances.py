@@ -1,0 +1,124 @@
+"""Tests for SOD instance trees and validation."""
+
+from repro.sod.dsl import parse_sod
+from repro.sod.instances import ObjectInstance, validate_instance
+
+
+def concert_sod():
+    return parse_sod(
+        "concert(artist, date<kind=predefined>, "
+        "location(theater, address<kind=predefined>?))"
+    )
+
+
+def book_sod():
+    return parse_sod("book(title, price<kind=predefined>, authors:{author}+)")
+
+
+class TestFlatten:
+    def test_flat_view(self):
+        instance = ObjectInstance(
+            values={
+                "artist": "Muse",
+                "date": "May 11",
+                "location": {"theater": "MSG", "address": "4 Penn Plaza"},
+            }
+        )
+        assert instance.flat() == {
+            "artist": ["Muse"],
+            "date": ["May 11"],
+            "theater": ["MSG"],
+            "address": ["4 Penn Plaza"],
+        }
+
+    def test_set_values_flatten_under_set_name(self):
+        instance = ObjectInstance(values={"authors": ["A B", "C D"]})
+        assert instance.flat() == {"authors": ["A B", "C D"]}
+
+    def test_normalized_flat(self):
+        instance = ObjectInstance(values={"price": "$12.99"})
+        assert instance.normalized_flat() == {"price": ["12.99"]}
+
+
+class TestValidation:
+    def test_valid_concert(self):
+        instance = ObjectInstance(
+            values={
+                "artist": "Muse",
+                "date": "May 11",
+                "location": {"theater": "MSG", "address": "4 Penn Plaza"},
+            }
+        )
+        assert validate_instance(concert_sod(), instance).ok
+
+    def test_optional_attribute_may_be_absent(self):
+        instance = ObjectInstance(
+            values={
+                "artist": "Muse",
+                "date": "May 11",
+                "location": {"theater": "MSG"},
+            }
+        )
+        assert validate_instance(concert_sod(), instance).ok
+
+    def test_missing_required_entity(self):
+        instance = ObjectInstance(
+            values={"date": "May 11", "location": {"theater": "MSG"}}
+        )
+        report = validate_instance(concert_sod(), instance)
+        assert not report.ok
+        assert any("artist" in issue.message for issue in report.issues)
+
+    def test_empty_string_invalid(self):
+        instance = ObjectInstance(
+            values={"artist": " ", "date": "May 11", "location": {"theater": "M"}}
+        )
+        assert not validate_instance(concert_sod(), instance).ok
+
+    def test_set_multiplicity_enforced(self):
+        instance = ObjectInstance(
+            values={"title": "T", "price": "$5", "authors": []}
+        )
+        report = validate_instance(book_sod(), instance)
+        assert not report.ok  # authors multiplicity is +
+
+    def test_valid_book_with_authors(self):
+        instance = ObjectInstance(
+            values={"title": "T", "price": "$5", "authors": ["A", "B"]}
+        )
+        assert validate_instance(book_sod(), instance).ok
+
+    def test_set_must_be_list(self):
+        instance = ObjectInstance(
+            values={"title": "T", "price": "$5", "authors": "A"}
+        )
+        assert not validate_instance(book_sod(), instance).ok
+
+    def test_unexpected_field_flagged(self):
+        instance = ObjectInstance(
+            values={
+                "title": "T",
+                "price": "$5",
+                "authors": ["A"],
+                "mystery": "x",
+            }
+        )
+        report = validate_instance(book_sod(), instance)
+        assert any("mystery" in issue.message for issue in report.issues)
+
+    def test_bounded_multiplicity(self):
+        sod = parse_sod("t(tags:{tag}1-2)")
+        too_many = ObjectInstance(values={"tags": ["a", "b", "c"]})
+        assert not validate_instance(sod, too_many).ok
+        just_right = ObjectInstance(values={"tags": ["a", "b"]})
+        assert validate_instance(sod, just_right).ok
+
+    def test_disjunction_either_branch(self):
+        sod = parse_sod("t(choice(a | b))")
+        as_a = ObjectInstance(values={"choice": "value"})
+        assert validate_instance(sod, as_a).ok
+
+    def test_issue_paths_reported(self):
+        instance = ObjectInstance(values={"artist": "M", "date": "D"})
+        report = validate_instance(concert_sod(), instance)
+        assert all(issue.path for issue in report.issues)

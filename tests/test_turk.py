@@ -1,0 +1,91 @@
+"""Tests for the simulated Mechanical Turk source selection."""
+
+from repro.turk import run_campaign
+from repro.utils.rng import DeterministicRng
+
+
+def candidates(relevant=8, irrelevant=12):
+    pool = {f"good-site-{i}": 5.0 + i * 0.1 for i in range(relevant)}
+    pool.update({f"junk-site-{i}": 0.5 + i * 0.05 for i in range(irrelevant)})
+    return pool
+
+
+class TestCampaign:
+    def test_deterministic(self):
+        a = run_campaign("albums", candidates(), seed="t")
+        b = run_campaign("albums", candidates(), seed="t")
+        assert a.selected == b.selected
+
+    def test_relevant_sources_bubble_up(self):
+        campaign = run_campaign("albums", candidates(), keep=8, seed="t2")
+        good = sum(1 for name in campaign.selected if name.startswith("good"))
+        assert good >= 6  # noisy workers, but signal dominates
+
+    def test_worker_count(self):
+        campaign = run_campaign("cars", candidates(), workers=7, seed="t3")
+        assert len(campaign.responses) == 7
+
+    def test_ranking_lengths(self):
+        campaign = run_campaign(
+            "books", candidates(), list_length=10, seed="t4"
+        )
+        assert all(len(r.ranking) == 10 for r in campaign.responses)
+
+    def test_keep_limits_selection(self):
+        campaign = run_campaign("books", candidates(), keep=5, seed="t5")
+        assert len(campaign.selected) == 5
+
+    def test_borda_scores_recorded(self):
+        campaign = run_campaign("concerts", candidates(), seed="t6")
+        assert campaign.borda
+        top = campaign.selected[0]
+        assert campaign.borda[top] == max(campaign.borda.values())
+
+    def test_workers_disagree(self):
+        campaign = run_campaign("albums", candidates(), seed="t7")
+        rankings = {tuple(r.ranking) for r in campaign.responses}
+        assert len(rankings) > 1  # workers are independent, not clones
+
+    def test_careless_worker_noisier(self):
+        from repro.turk.workers import SimulatedWorker
+
+        pool = candidates()
+        rng = DeterministicRng("w")
+        diligent = SimulatedWorker(0, diligence=0.95)
+        careless = SimulatedWorker(1, diligence=0.1)
+        ideal = sorted(pool, key=pool.get, reverse=True)[:10]
+
+        def agreement(worker, fork):
+            ranking = worker.rank(pool, 10, rng.fork(fork)).ranking
+            return len(set(ranking) & set(ideal))
+
+        diligent_score = sum(agreement(diligent, f"d{i}") for i in range(10))
+        careless_score = sum(agreement(careless, f"c{i}") for i in range(10))
+        assert diligent_score > careless_score
+
+
+class TestCatalogSelection:
+    def test_catalog_sources_selected_over_distractors(self):
+        from repro.turk.selection import select_catalog_sources
+
+        selected, campaign = select_catalog_sources("albums", keep=10)
+        assert len(selected) >= 7  # catalog sites dominate the junk
+        assert len(campaign.selected) == 10
+
+    def test_selection_deterministic(self):
+        from repro.turk.selection import select_catalog_sources
+
+        first, __ = select_catalog_sources("books", seed="x")
+        second, __ = select_catalog_sources("books", seed="x")
+        assert [e.spec.name for e in first] == [e.spec.name for e in second]
+
+    def test_selected_sources_come_from_the_catalog(self):
+        from repro.datasets import entries_for_domain
+        from repro.turk.selection import select_catalog_sources
+
+        # Workers judge topicality, not structure — so even the
+        # unstructured emusic source is eligible; only catalog sources
+        # (never distractors) survive the mapping back.
+        selected, __ = select_catalog_sources("albums", keep=10, seed="y")
+        catalog_names = {e.spec.name for e in entries_for_domain("albums")}
+        assert {entry.spec.name for entry in selected} <= catalog_names

@@ -1,0 +1,79 @@
+"""Tests for the deterministic RNG helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import DeterministicRng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_same_parts_same_seed(self):
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+
+    def test_different_parts_different_seed(self):
+        assert derive_seed("a", 1) != derive_seed("a", 2)
+
+    def test_order_matters(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_returns_64_bit_int(self):
+        seed = derive_seed("anything")
+        assert 0 <= seed < 2**64
+
+    @given(st.text(), st.integers())
+    def test_stable_for_arbitrary_parts(self, text, number):
+        assert derive_seed(text, number) == derive_seed(text, number)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRng(42)
+        b = DeterministicRng(42)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_string_seed_supported(self):
+        a = DeterministicRng("hello")
+        b = DeterministicRng("hello")
+        assert a.randint(0, 1000) == b.randint(0, 1000)
+
+    def test_tuple_seed_supported(self):
+        a = DeterministicRng(("x", 1))
+        b = DeterministicRng(("x", 1))
+        assert a.random() == b.random()
+
+    def test_fork_independent_of_parent_consumption(self):
+        parent_a = DeterministicRng(7)
+        parent_b = DeterministicRng(7)
+        parent_a.random()  # consume from one parent only
+        assert parent_a.fork("child").random() == parent_b.fork("child").random()
+
+    def test_forks_with_different_names_differ(self):
+        parent = DeterministicRng(7)
+        assert parent.fork("a").random() != parent.fork("b").random()
+
+    def test_sample_clamps_k(self):
+        rng = DeterministicRng(1)
+        assert sorted(rng.sample([1, 2, 3], 10)) == [1, 2, 3]
+
+    def test_shuffled_leaves_input_untouched(self):
+        rng = DeterministicRng(3)
+        original = [1, 2, 3, 4, 5]
+        shuffled = rng.shuffled(original)
+        assert original == [1, 2, 3, 4, 5]
+        assert sorted(shuffled) == original
+
+    def test_choice_and_weighted_choice(self):
+        rng = DeterministicRng(5)
+        assert rng.choice([9]) == 9
+        assert rng.weighted_choice(["a", "b"], [1.0, 0.0]) == "a"
+
+    def test_coin_extremes(self):
+        rng = DeterministicRng(11)
+        assert not any(rng.coin(0.0) for _ in range(20))
+        assert all(rng.coin(1.0) for _ in range(20))
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_randint_bounds(self, seed):
+        rng = DeterministicRng(seed)
+        value = rng.randint(3, 9)
+        assert 3 <= value <= 9

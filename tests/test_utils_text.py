@@ -1,0 +1,63 @@
+"""Tests for text normalization helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.text import collapse_whitespace, normalize_text, tokenize_words
+
+
+class TestCollapseWhitespace:
+    def test_collapses_runs(self):
+        assert collapse_whitespace("a  b\t\nc") == "a b c"
+
+    def test_strips_ends(self):
+        assert collapse_whitespace("  hello  ") == "hello"
+
+    def test_empty(self):
+        assert collapse_whitespace("   ") == ""
+
+
+class TestNormalizeText:
+    def test_lowercases(self):
+        assert normalize_text("Hello World") == "hello world"
+
+    def test_punctuation_insensitive(self):
+        assert normalize_text("January 14, 1997") == normalize_text("january 14 1997")
+
+    def test_currency_symbols_dropped(self):
+        assert normalize_text("$12.99") == normalize_text("12.99")
+
+    def test_time_separators(self):
+        assert normalize_text("8:00pm") == normalize_text("8 00pm")
+
+    def test_inner_word_punctuation_kept(self):
+        # B.B stays one token: dots inside words are part of the value.
+        assert normalize_text("B.B King") == "b.b king"
+
+    def test_idempotent(self):
+        once = normalize_text("The  Quick, Brown Fox!")
+        assert normalize_text(once) == once
+
+    @given(st.text(max_size=200))
+    def test_idempotent_property(self, text):
+        once = normalize_text(text)
+        assert normalize_text(once) == once
+
+    @given(st.text(max_size=200))
+    def test_always_lowercase(self, text):
+        assert normalize_text(text) == normalize_text(text).lower()
+
+
+class TestTokenizeWords:
+    def test_splits_on_punctuation(self):
+        assert tokenize_words("May 11, 8:00pm") == ["May", "11", "8", "00pm"]
+
+    def test_keeps_inner_apostrophes_and_dots(self):
+        assert tokenize_words("O'Brien B.B") == ["O'Brien", "B.B"]
+
+    def test_empty(self):
+        assert tokenize_words("...!!!") == []
+
+    @given(st.text(max_size=200))
+    def test_tokens_are_nonempty(self, text):
+        assert all(token for token in tokenize_words(text))

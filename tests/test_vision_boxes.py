@@ -1,0 +1,66 @@
+"""Tests for rectangles on the render canvas."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vision.boxes import Rect
+
+_coords = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False)
+_sizes = st.floats(min_value=0.1, max_value=1000.0, allow_nan=False)
+
+
+class TestRect:
+    def test_area(self):
+        assert Rect(0, 0, 10, 5).area == 50
+
+    def test_center(self):
+        rect = Rect(10, 20, 20, 40)
+        assert rect.center_x == 20
+        assert rect.center_y == 40
+
+    def test_contains(self):
+        outer = Rect(0, 0, 100, 100)
+        inner = Rect(10, 10, 20, 20)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_self(self):
+        rect = Rect(5, 5, 10, 10)
+        assert rect.contains(rect)
+
+    def test_intersection_area_disjoint(self):
+        assert Rect(0, 0, 10, 10).intersection_area(Rect(20, 20, 5, 5)) == 0.0
+
+    def test_intersection_area_overlap(self):
+        assert Rect(0, 0, 10, 10).intersection_area(Rect(5, 5, 10, 10)) == 25.0
+
+    def test_centrality_of_centered_rect_is_one(self):
+        canvas = Rect(0, 0, 100, 100)
+        centered = Rect(40, 40, 20, 20)
+        assert canvas.centrality(canvas) == 1.0
+        assert centered.centrality(canvas) == 1.0
+
+    def test_centrality_decreases_toward_edges(self):
+        canvas = Rect(0, 0, 100, 100)
+        corner = Rect(0, 0, 10, 10)
+        middle = Rect(45, 45, 10, 10)
+        assert corner.centrality(canvas) < middle.centrality(canvas)
+
+    def test_centrality_zero_canvas(self):
+        assert Rect(0, 0, 1, 1).centrality(Rect(0, 0, 0, 0)) == 0.0
+
+    @given(_coords, _coords, _sizes, _sizes)
+    def test_centrality_bounded(self, x, y, w, h):
+        canvas = Rect(0, 0, 1000, 1000)
+        assert 0.0 <= Rect(x, y, w, h).centrality(canvas) <= 1.0
+
+    @given(_coords, _coords, _sizes, _sizes, _coords, _coords, _sizes, _sizes)
+    def test_intersection_symmetric(self, x1, y1, w1, h1, x2, y2, w2, h2):
+        a = Rect(x1, y1, w1, h1)
+        b = Rect(x2, y2, w2, h2)
+        assert abs(a.intersection_area(b) - b.intersection_area(a)) < 1e-6
+
+    @given(_coords, _coords, _sizes, _sizes)
+    def test_intersection_with_self_is_area(self, x, y, w, h):
+        rect = Rect(x, y, w, h)
+        assert abs(rect.intersection_area(rect) - rect.area) < 1e-6

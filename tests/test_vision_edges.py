@@ -1,0 +1,100 @@
+"""Edge cases of the render-model substrate."""
+
+from repro.htmlkit.tidy import tidy
+from repro.vision.layout import LayoutEngine
+from repro.vision.segmentation import (
+    main_content_block,
+    segment_page,
+    select_central_block,
+)
+
+
+class TestLayoutEdges:
+    def test_empty_body(self):
+        root = tidy("<body></body>")
+        layout = LayoutEngine().layout(root)
+        assert layout.canvas.height > 0
+
+    def test_boxes_inside_canvas_horizontally(self):
+        root = tidy(
+            "<body><div>" + "text " * 30 + "</div><p><span>inline</span></p></body>"
+        )
+        layout = LayoutEngine().layout(root)
+        for element in layout.elements():
+            rect = layout.rect_of(element)
+            assert rect.x >= -1e-6
+            assert rect.right <= layout.canvas.width + 1e-6
+
+    def test_two_side_navs(self):
+        root = tidy(
+            "<body><nav><a>a</a></nav><aside><p>ads</p></aside>"
+            "<div>" + "content " * 40 + "</div></body>"
+        )
+        layout = LayoutEngine().layout(root)
+        nav = root.find("nav")
+        aside = root.find("aside")
+        div = root.find("div")
+        # Both side regions are narrower than the content.
+        assert layout.rect_of(nav).width < layout.rect_of(div).width
+        assert layout.rect_of(aside).width < layout.rect_of(div).width
+        # And they do not overlap each other.
+        assert (
+            layout.rect_of(nav).intersection_area(layout.rect_of(aside)) < 1e-6
+        )
+
+    def test_deterministic(self):
+        source = "<body><div><p>a</p><p>bb</p></div></body>"
+        one = LayoutEngine().layout(tidy(source))
+        two = LayoutEngine().layout(tidy(source))
+        assert one.canvas == two.canvas
+
+
+class TestSegmentationEdges:
+    def test_page_without_block_children(self):
+        tree = segment_page(tidy("<body>loose text only</body>"))
+        assert select_central_block(tree).element.tag == "body"
+
+    def test_nested_blocks_both_present(self):
+        tree = segment_page(
+            tidy(
+                "<body><div id='outer'>"
+                + "<div id='inner'>" + "content " * 30 + "</div>"
+                + "</div></body>"
+            )
+        )
+        ids = {
+            block.element.attributes.get("id")
+            for block in tree.all_blocks()
+            if block.element.attributes.get("id")
+        }
+        assert {"outer", "inner"} <= ids
+
+    def test_vote_breaks_cross_page_disagreement(self):
+        # Two page variants; the majority signature must win.
+        common = (
+            "<body><header><h1>x</h1></header>"
+            "<div id='main' class='c'>" + "content " * 40 + "</div></body>"
+        )
+        odd = (
+            "<body><div id='other' class='d'>" + "stuff " * 40 + "</div></body>"
+        )
+        trees = [segment_page(tidy(common)) for __ in range(3)]
+        trees.append(segment_page(tidy(odd)))
+        signature = main_content_block(trees)
+        assert "id=main" in signature
+
+    def test_small_block_elements_still_segment(self):
+        # Block elements span their parent's width, so even a one-word div
+        # has visual area and appears in the block tree.
+        tree = segment_page(
+            tidy("<body><div id='m'>" + "content " * 40 + "<div>x</div></div></body>")
+        )
+        inner = [
+            block
+            for block in tree.all_blocks()
+            if block.element.text_content() == "x"
+        ]
+        assert len(inner) == 1
+        # But it never wins the central-block vote against its parent.
+        winner = select_central_block(tree)
+        assert winner.element.attributes.get("id") == "m"

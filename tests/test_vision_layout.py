@@ -1,0 +1,75 @@
+"""Tests for the box-model layout estimator."""
+
+from repro.htmlkit.tidy import tidy
+from repro.vision.layout import CANVAS_WIDTH, LayoutEngine
+
+
+def layout_of(source):
+    root = tidy(source)
+    return root, LayoutEngine().layout(root)
+
+
+class TestBlockStacking:
+    def test_blocks_stack_vertically(self):
+        root, layout = layout_of("<body><div>one</div><div>two</div></body>")
+        divs = root.find_all("div")
+        first, second = layout.rect_of(divs[0]), layout.rect_of(divs[1])
+        assert second.y >= first.bottom - 1e-6
+
+    def test_every_element_has_a_box(self):
+        root, layout = layout_of(
+            "<body><div><p>a</p><span>b <a>c</a></span></div></body>"
+        )
+        for element in root.iter_elements():
+            assert layout.has(element)
+
+    def test_more_text_means_taller(self):
+        root, layout = layout_of(
+            "<body><div>short</div><div>" + ("long text " * 100) + "</div></body>"
+        )
+        divs = root.find_all("div")
+        assert layout.rect_of(divs[1]).height > layout.rect_of(divs[0]).height
+
+    def test_canvas_width(self):
+        __, layout = layout_of("<body><p>x</p></body>")
+        assert layout.canvas.width == CANVAS_WIDTH
+
+
+class TestInlineFlow:
+    def test_inline_elements_share_a_row(self):
+        root, layout = layout_of("<body><p><a>x</a><a>y</a></p></body>")
+        anchors = root.find_all("a")
+        first, second = layout.rect_of(anchors[0]), layout.rect_of(anchors[1])
+        assert abs(first.y - second.y) < 1e-6
+        assert second.x >= first.right - 1e-6
+
+    def test_inline_wraps_when_row_full(self):
+        long_text = "wordy " * 60
+        root, layout = layout_of(
+            f"<body><p><span>{long_text}</span><span>{long_text}</span></p></body>"
+        )
+        spans = root.find_all("span")
+        assert layout.rect_of(spans[1]).y > layout.rect_of(spans[0]).y
+
+
+class TestChromeRegions:
+    def test_side_nav_pinned_to_edge(self):
+        root, layout = layout_of(
+            "<body><nav><a>Home</a></nav><div>" + "content " * 50 + "</div></body>"
+        )
+        nav = root.find("nav")
+        div = root.find("div")
+        nav_rect = layout.rect_of(nav)
+        div_rect = layout.rect_of(div)
+        assert nav_rect.width < div_rect.width
+        assert nav_rect.x >= div_rect.x  # nav sits beside, pinned right
+
+    def test_main_content_is_biggest(self):
+        root, layout = layout_of(
+            "<body><header><h1>Site</h1></header>"
+            "<div id='main'>" + "record text " * 80 + "</div>"
+            "<footer>fine print</footer></body>"
+        )
+        main = root.find_all("div")[0]
+        header = root.find("header")
+        assert layout.rect_of(main).area > layout.rect_of(header).area

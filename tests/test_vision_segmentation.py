@@ -1,0 +1,75 @@
+"""Tests for VIPS-style segmentation and central-block selection."""
+
+from repro.htmlkit.tidy import tidy
+from repro.vision.segmentation import (
+    find_block_by_signature,
+    main_content_block,
+    segment_page,
+    select_central_block,
+)
+
+PAGE = """
+<html><body>
+<header><h1>MegaEvents</h1></header>
+<nav><a href=x>Home</a><a>Concerts</a><a>About</a></nav>
+<div id="main" class="content">
+<li><div>Coldplay</div><div>Saturday August 8, 2010 8:00pm</div>
+<div><span><a>Bowery Ballroom</a></span><span>Delancey St</span></div></li>
+<li><div>Muse</div><div>Friday June 19 7:00p</div>
+<div><span><a>B.B King Blues</a></span><span>4 Penn Plaza</span></div></li>
+<li><div>Madonna</div><div>Saturday May 29 7:00p</div>
+<div><span><a>The Town Hall</a></span><span>131 W 55th St</span></div></li>
+</div>
+<footer>copyright 2010</footer>
+</body></html>
+"""
+
+
+class TestSegmentation:
+    def test_block_tree_rooted_at_body(self):
+        tree = segment_page(tidy(PAGE))
+        assert tree.root.element.tag == "body"
+
+    def test_blocks_have_rects(self):
+        tree = segment_page(tidy(PAGE))
+        for block in tree.all_blocks():
+            assert block.rect.area >= 0
+
+    def test_content_div_is_a_block(self):
+        tree = segment_page(tidy(PAGE))
+        signatures = [block.signature for block in tree.all_blocks()]
+        assert any("id=main" in signature for signature in signatures)
+
+
+class TestCentralBlock:
+    def test_selects_content_over_chrome(self):
+        tree = segment_page(tidy(PAGE))
+        winner = select_central_block(tree)
+        assert winner.element.attributes.get("id") == "main"
+
+    def test_single_block_page(self):
+        tree = segment_page(tidy("<body><p>just text</p></body>"))
+        winner = select_central_block(tree)
+        assert winner is not None
+
+
+class TestCrossPage:
+    def test_majority_vote_across_pages(self):
+        trees = [segment_page(tidy(PAGE)) for __ in range(3)]
+        signature = main_content_block(trees)
+        assert signature is not None
+        assert "id=main" in signature
+
+    def test_find_block_by_signature(self):
+        tree = segment_page(tidy(PAGE))
+        signature = main_content_block([tree])
+        block = find_block_by_signature(tree, signature)
+        assert block is not None
+        assert block.element.attributes.get("id") == "main"
+
+    def test_find_block_missing_signature(self):
+        tree = segment_page(tidy(PAGE))
+        assert find_block_by_signature(tree, "nope|x") is None
+
+    def test_empty_input(self):
+        assert main_content_block([]) is None

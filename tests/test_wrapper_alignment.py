@@ -1,0 +1,220 @@
+"""Tests for the template-building aligner (role differentiation)."""
+
+from repro.annotation.annotator import annotate_page
+from repro.htmlkit.tidy import tidy
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.wrapper.alignment import TemplateBuilder, common_affixes, strip_affixes
+from repro.wrapper.template import (
+    ElementTemplate,
+    FieldSlot,
+    IteratorSlot,
+    StaticSlot,
+)
+
+
+def records_from(sources, recognizers=None):
+    """Each source is one record: a single <li> body child."""
+    records = []
+    for source in sources:
+        root = tidy(source)
+        if recognizers:
+            annotate_page(root, recognizers)
+        li = root.find("li")
+        records.append([li])
+    return records
+
+
+class TestBasicAlignment:
+    def test_constant_text_becomes_static(self):
+        records = records_from(
+            ["<li><div>In Stock</div></li>", "<li><div>In Stock</div></li>"]
+        )
+        template = TemplateBuilder().build(records)
+        statics = [n for n in template.iter_nodes() if isinstance(n, StaticSlot)]
+        assert [s.text for s in statics] == ["In Stock"]
+
+    def test_varying_text_becomes_field(self):
+        records = records_from(
+            ["<li><div>Muse</div></li>", "<li><div>Coldplay</div></li>"]
+        )
+        template = TemplateBuilder().build(records)
+        assert len(template.field_slots()) == 1
+
+    def test_positional_differentiation(self):
+        # Three same-tag divs per record: three distinct slots (<div>1..3).
+        records = records_from(
+            [
+                "<li><div>A1</div><div>B1</div><div>C1</div></li>",
+                "<li><div>A2</div><div>B2</div><div>C2</div></li>",
+            ]
+        )
+        template = TemplateBuilder().build(records)
+        assert len(template.field_slots()) == 3
+
+    def test_optional_column(self):
+        records = records_from(
+            [
+                "<li><div class='a'>x1</div><div class='b'>y1</div></li>",
+                "<li><div class='a'>x2</div></li>",
+            ]
+        )
+        template = TemplateBuilder().build(records)
+        optional = [
+            n
+            for n in template.iter_nodes()
+            if isinstance(n, ElementTemplate) and n.optional
+        ]
+        assert len(optional) == 1
+        assert optional[0].attr_class == "b"
+
+
+class TestAnnotations:
+    def artist_recognizers(self):
+        return [GazetteerRecognizer("artist", ["Muse", "Coldplay", "Madonna"])]
+
+    def test_slot_inherits_annotation(self):
+        records = records_from(
+            ["<li><div>Muse</div></li>", "<li><div>Coldplay</div></li>"],
+            self.artist_recognizers(),
+        )
+        template = TemplateBuilder().build(records)
+        (slot,) = template.field_slots()
+        assert slot.dominant_annotation() == "artist"
+
+    def test_annotated_constant_stays_field(self):
+        # The paper's "New York" case: constant but annotated -> data.
+        recognizers = [GazetteerRecognizer("city", ["New York"])]
+        records = records_from(
+            ["<li><div>New York</div></li>", "<li><div>New York</div></li>"],
+            recognizers,
+        )
+        template = TemplateBuilder().build(records)
+        assert len(template.field_slots()) == 1
+        assert not any(
+            isinstance(n, StaticSlot) for n in template.iter_nodes()
+        )
+
+    def test_annotations_ignored_when_disabled(self):
+        recognizers = [GazetteerRecognizer("city", ["New York"])]
+        records = records_from(
+            ["<li><div>New York</div></li>", "<li><div>New York</div></li>"],
+            recognizers,
+        )
+        template = TemplateBuilder(use_annotations=False).build(records)
+        assert len(template.field_slots()) == 0
+
+    def test_incomplete_annotations_generalized(self):
+        # 3 of 4 occurrences annotated (75% > 0.7 threshold).
+        recognizers = [GazetteerRecognizer("artist", ["Muse", "Coldplay", "Madonna"])]
+        records = records_from(
+            [
+                "<li><div>Muse</div></li>",
+                "<li><div>Coldplay</div></li>",
+                "<li><div>Madonna</div></li>",
+                "<li><div>Unknown Act</div></li>",
+            ],
+            recognizers,
+        )
+        template = TemplateBuilder().build(records)
+        (slot,) = template.field_slots()
+        assert slot.dominant_annotation() == "artist"
+
+    def test_conflicting_annotations_counted(self):
+        artist = GazetteerRecognizer("artist", ["Muse"])
+        venue = GazetteerRecognizer("venue", ["Muse"])  # ambiguous dictionary
+        records = records_from(
+            ["<li><div>Muse</div></li>", "<li><div>Muse</div></li>"],
+            [artist, venue],
+        )
+        template = TemplateBuilder().build(records)
+        assert template.conflicts >= 1
+
+
+class TestIterators:
+    def test_varying_repetition_becomes_iterator(self):
+        records = records_from(
+            [
+                "<li><span class='a'>A</span></li>",
+                "<li><span class='a'>B</span><span class='a'>C</span></li>",
+                "<li><span class='a'>D</span><span class='a'>E</span>"
+                "<span class='a'>F</span></li>",
+            ]
+        )
+        template = TemplateBuilder().build(records)
+        iterators = template.iterator_slots()
+        assert len(iterators) == 1
+        assert iterators[0].min_repeats == 1
+        assert iterators[0].max_repeats == 3
+
+    def test_constant_repetition_stays_positional(self):
+        # Always exactly two spans: two positional slots, no iterator.
+        records = records_from(
+            [
+                "<li><span>A</span><span>B</span></li>",
+                "<li><span>C</span><span>D</span></li>",
+            ]
+        )
+        template = TemplateBuilder().build(records)
+        assert template.iterator_slots() == []
+        assert len(template.field_slots()) == 2
+
+    def test_set_level_fields_separated(self):
+        records = records_from(
+            [
+                "<li><div class='t'>T1</div><span class='a'>A</span></li>",
+                "<li><div class='t'>T2</div><span class='a'>B</span>"
+                "<span class='a'>C</span></li>",
+                "<li><div class='t'>T3</div><span class='a'>D</span>"
+                "<span class='a'>E</span><span class='a'>F</span></li>",
+            ]
+        )
+        template = TemplateBuilder().build(records)
+        tuple_slots = template.tuple_level_fields()
+        set_slots = template.set_level_fields()
+        assert len(tuple_slots) == 1
+        assert sum(len(v) for v in set_slots.values()) == 1
+
+    def test_narrow_count_range_stays_positional(self):
+        # Counts of 1 vs 2 are as consistent with an optional second field
+        # as with a set; without wider evidence the aligner keeps positions.
+        records = records_from(
+            [
+                "<li><span class='a'>A</span></li>",
+                "<li><span class='a'>B</span><span class='a'>C</span></li>",
+                "<li><span class='a'>D</span><span class='a'>E</span></li>",
+            ]
+        )
+        template = TemplateBuilder().build(records)
+        assert template.iterator_slots() == []
+        assert len(template.field_slots()) == 2
+
+
+class TestAffixes:
+    def test_common_affixes(self):
+        values = [["by", "Jane", "Austen"], ["by", "Mark", "Twain"]]
+        assert common_affixes(values) == (1, 0)
+
+    def test_common_suffix(self):
+        values = [["5", "stars"], ["3", "stars"]]
+        assert common_affixes(values) == (0, 1)
+
+    def test_no_affixes(self):
+        assert common_affixes([["a"], ["b"]]) == (0, 0)
+
+    def test_strip_affixes(self):
+        assert strip_affixes("by Jane Austen", 1, 0) == "Jane Austen"
+        assert strip_affixes("5 stars", 0, 1) == "5"
+
+    def test_strip_nothing_preserves_text(self):
+        assert strip_affixes("May 11, 8:00pm", 0, 0) == "May 11, 8:00pm"
+
+    def test_label_prefix_learned(self):
+        records = records_from(
+            [
+                "<li><div>Price: $12.99</div></li>",
+                "<li><div>Price: $5.00</div></li>",
+            ]
+        )
+        template = TemplateBuilder().build(records)
+        (slot,) = template.field_slots()
+        assert slot.strip_prefix == 1

@@ -1,0 +1,88 @@
+"""Tests for dictionary enrichment (Eq. 4)."""
+
+import pytest
+
+from repro.recognizers.gazetteer import GazetteerRecognizer
+from repro.sod.dsl import parse_sod
+from repro.wrapper.enrichment import enrich_dictionary, wrapper_score
+from repro.wrapper.generate import Wrapper
+from repro.wrapper.matching import MatchResult
+from repro.wrapper.template import ElementTemplate, FieldSlot, Template
+
+
+def make_wrapper(conflicts=0, slots=4):
+    fields = [FieldSlot(slot_id=i) for i in range(slots)]
+    template = Template(
+        roots=[ElementTemplate(tag="li", children=list(fields))],
+        conflicts=conflicts,
+    )
+    return Wrapper(
+        source="s",
+        sod=parse_sod("t(x)"),
+        template=template,
+        match=MatchResult(matched=True),
+        record_tag="li",
+        record_path="html/body/li",
+        record_class_attr="",
+        record_single_element=True,
+        is_list_source=True,
+        support=3,
+        conflicts=conflicts,
+    )
+
+
+class TestWrapperScore:
+    def test_clean_wrapper_scores_one(self):
+        assert wrapper_score(make_wrapper(conflicts=0)) == 1.0
+
+    def test_conflicts_lower_score(self):
+        assert wrapper_score(make_wrapper(conflicts=2, slots=4)) == 0.5
+
+    def test_never_negative(self):
+        assert wrapper_score(make_wrapper(conflicts=10, slots=2)) == 0.0
+
+
+class TestEnrichment:
+    def test_new_values_added_with_good_wrapper(self):
+        gazetteer = GazetteerRecognizer("artist", {"Muse": 0.9})
+        result = enrich_dictionary(
+            gazetteer, ["Muse", "Coldplay", "Radiohead"], make_wrapper()
+        )
+        assert "Coldplay" in gazetteer
+        assert "Radiohead" in gazetteer
+        assert set(result.added) == {"Coldplay", "Radiohead"}
+
+    def test_overlap_raises_confidence(self):
+        gazetteer = GazetteerRecognizer("artist", {"Muse": 0.9, "Blur": 0.9})
+        result = enrich_dictionary(
+            gazetteer, ["Muse", "Blur", "New Act"], make_wrapper()
+        )
+        assert result.overlap > 0.5
+
+    def test_bad_wrapper_no_overlap_blocks_additions(self):
+        gazetteer = GazetteerRecognizer("artist", {})
+        bad = make_wrapper(conflicts=4, slots=4)  # wrapper score 0
+        result = enrich_dictionary(
+            gazetteer, ["Mystery Value"], bad, min_confidence=0.4
+        )
+        assert result.added == {}
+        assert "Mystery Value" not in gazetteer
+
+    def test_existing_values_updated(self):
+        gazetteer = GazetteerRecognizer("artist", {"Muse": 0.4})
+        result = enrich_dictionary(gazetteer, ["Muse"], make_wrapper())
+        assert gazetteer.confidence_of("Muse") > 0.4
+        assert "Muse" in result.updated
+
+    def test_empty_values_noop(self):
+        gazetteer = GazetteerRecognizer("artist", {"Muse": 0.9})
+        result = enrich_dictionary(gazetteer, ["", "  "], make_wrapper())
+        assert result.added == {}
+        assert len(gazetteer) == 1
+
+    def test_scores_bounded(self):
+        gazetteer = GazetteerRecognizer("artist", {"A": 1.0})
+        result = enrich_dictionary(gazetteer, ["A", "B"], make_wrapper())
+        assert 0.0 <= result.score <= 1.0
+        for confidence in gazetteer.entries().values():
+            assert 0.0 < confidence <= 1.0

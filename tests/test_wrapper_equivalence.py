@@ -1,0 +1,109 @@
+"""Tests for equivalence classes and validity."""
+
+from repro.htmlkit.tidy import tidy
+from repro.wrapper.equivalence import (
+    find_equivalence_classes,
+    record_class_candidates,
+)
+from repro.wrapper.tokens import tokenize_element
+
+
+def pages_from(sources):
+    return [
+        tokenize_element(tidy(source).find("body"), page_index=i)
+        for i, source in enumerate(sources)
+    ]
+
+
+LIST_PAGES = [
+    "<body><ul>"
+    + "".join(
+        f"<li><div class='a'>x{i}</div><div class='b'>y{i}</div></li>"
+        for i in range(n)
+    )
+    + "</ul></body>"
+    for n in (3, 4, 5)
+]
+
+
+class TestEquivalenceClasses:
+    def test_record_roles_share_class(self):
+        pages = pages_from(LIST_PAGES)
+        classes = find_equivalence_classes(pages, min_support=3)
+        record_class = next(
+            eq
+            for eq in classes
+            if any(role[1] == "li" for role in eq.roles)
+        )
+        tags = {(role[1], role[3]) for role in record_class.roles}
+        assert ("li", "") in tags
+        assert ("div", "a") in tags
+        assert ("div", "b") in tags
+
+    def test_vector_matches_record_counts(self):
+        pages = pages_from(LIST_PAGES)
+        classes = find_equivalence_classes(pages, min_support=3)
+        record_class = next(
+            eq for eq in classes if any(role[1] == "li" for role in eq.roles)
+        )
+        assert record_class.vector.counts == (3, 4, 5)
+
+    def test_valid_class_is_ordered(self):
+        pages = pages_from(LIST_PAGES)
+        classes = find_equivalence_classes(pages, min_support=3)
+        record_class = next(
+            eq for eq in classes if any(role[1] == "li" for role in eq.roles)
+        )
+        assert record_class.valid
+        # Document order: li open comes before div.a open.
+        li_index = record_class.ordered_roles.index(("open", "li", record_class.ordered_roles[0][2], ""))
+        assert li_index == 0
+
+    def test_inconsistent_order_invalid(self):
+        # Two roles that swap order between pages cannot share a class.
+        pages = pages_from(
+            [
+                "<body><i>x</i><b>y</b></body>",
+                "<body><b>y</b><i>x</i></body>",
+            ]
+        )
+        classes = find_equivalence_classes(pages, min_support=2)
+        mixed = [
+            eq
+            for eq in classes
+            if {role[1] for role in eq.roles} >= {"i", "b"}
+        ]
+        assert all(not eq.valid for eq in mixed)
+
+    def test_spans_tile_records(self):
+        pages = pages_from(LIST_PAGES)
+        classes = find_equivalence_classes(pages, min_support=3)
+        record_class = next(
+            eq for eq in classes if any(role[1] == "li" for role in eq.roles)
+        )
+        spans = record_class.spans(pages[0])
+        assert len(spans) == 3  # three records on the first page
+        # Spans are disjoint and ordered.
+        for (s1, e1), (s2, __) in zip(spans, spans[1:]):
+            assert s1 < e1 <= s2
+
+    def test_sorting_valid_first(self):
+        pages = pages_from(LIST_PAGES)
+        classes = find_equivalence_classes(pages, min_support=3)
+        validity = [eq.valid for eq in classes]
+        assert validity == sorted(validity, reverse=True)
+
+
+class TestRecordCandidates:
+    def test_candidates_require_open_tag(self):
+        pages = pages_from(LIST_PAGES)
+        classes = find_equivalence_classes(pages, min_support=3)
+        for candidate in record_class_candidates(classes):
+            assert any(role[0] == "open" for role in candidate.roles)
+
+    def test_candidates_all_valid(self):
+        pages = pages_from(LIST_PAGES)
+        candidates = record_class_candidates(
+            find_equivalence_classes(pages, min_support=3)
+        )
+        assert all(eq.valid for eq in candidates)

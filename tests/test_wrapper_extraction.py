@@ -1,0 +1,122 @@
+"""Tests for applying wrappers: record values and instance assembly."""
+
+import pytest
+
+from repro.annotation.annotator import annotate_page
+from repro.sod.dsl import parse_sod
+from repro.wrapper.extraction import (
+    RecordValues,
+    assemble_instance,
+    extract_objects,
+)
+from repro.wrapper.generate import WrapperConfig, generate_wrapper
+from repro.wrapper.matching import MatchResult
+
+CONCERT_SOD = parse_sod(
+    "concert(artist, date<kind=predefined>, "
+    "location(theater, address<kind=predefined>?))"
+)
+
+
+@pytest.fixture()
+def figure3_wrapper(figure3_pages, figure3_recognizers):
+    for page in figure3_pages:
+        annotate_page(page, figure3_recognizers)
+    return (
+        generate_wrapper(
+            "figure3", figure3_pages, CONCERT_SOD, WrapperConfig(support=2)
+        ),
+        figure3_pages,
+    )
+
+
+class TestEndToEndExtraction:
+    def test_all_four_concerts_extracted(self, figure3_wrapper):
+        wrapper, pages = figure3_wrapper
+        objects = extract_objects(wrapper, pages, source="figure3")
+        assert len(objects) == 4
+        artists = [o.values["artist"] for o in objects]
+        assert artists == ["Metallica", "Coldplay", "Madonna", "Muse"]
+
+    def test_nested_location_assembled(self, figure3_wrapper):
+        wrapper, pages = figure3_wrapper
+        first = extract_objects(wrapper, pages)[0]
+        assert first.values["location"]["theater"] == "Madison Square Garden"
+        assert "237 West 42nd street" in first.values["location"]["address"]
+
+    def test_punctuation_preserved(self, figure3_wrapper):
+        wrapper, pages = figure3_wrapper
+        first = extract_objects(wrapper, pages)[0]
+        assert first.values["date"] == "Monday May 11, 8:00pm"
+
+    def test_provenance_recorded(self, figure3_wrapper):
+        wrapper, pages = figure3_wrapper
+        objects = extract_objects(wrapper, pages, source="figure3")
+        assert objects[0].source == "figure3"
+        assert [o.page_index for o in objects] == [0, 1, 2, 2]
+
+    def test_validates_against_sod(self, figure3_wrapper):
+        from repro.sod.instances import validate_instance
+
+        wrapper, pages = figure3_wrapper
+        for instance in extract_objects(wrapper, pages):
+            assert validate_instance(CONCERT_SOD, instance).ok
+
+
+class TestAssembly:
+    def simple_match(self):
+        result = MatchResult()
+        result.entity_to_slots = {"artist": [0], "date": [1]}
+        result.matched = True
+        return result
+
+    def test_assemble_flat(self):
+        record = RecordValues(fields={0: ["Muse"], 1: ["May 11"]})
+        sod = parse_sod("concert(artist, date)")
+        instance = assemble_instance(sod, self.simple_match(), record)
+        assert instance.values == {"artist": "Muse", "date": "May 11"}
+
+    def test_assemble_merges_slot_group(self):
+        result = MatchResult()
+        result.entity_to_slots = {"address": [3, 4]}
+        record = RecordValues(fields={3: ["4 Penn Plaza"], 4: ["10001"]})
+        sod = parse_sod("t(address)")
+        instance = assemble_instance(sod, result, record)
+        assert instance.values["address"] == "4 Penn Plaza 10001"
+
+    def test_assemble_set_from_iterator(self):
+        result = MatchResult()
+        result.set_to_iterator = {"authors": 9}
+        result.set_inner_slots = {"authors": {"author": [2]}}
+        record = RecordValues(
+            iterators={
+                9: [
+                    RecordValues(fields={2: ["Jane Austen"]}),
+                    RecordValues(fields={2: ["Fiona Stafford"]}),
+                ]
+            }
+        )
+        sod = parse_sod("book(authors:{author}+)")
+        instance = assemble_instance(sod, result, record)
+        assert instance.values["authors"] == ["Jane Austen", "Fiona Stafford"]
+
+    def test_assemble_set_fallback(self):
+        result = MatchResult()
+        result.set_fallback_slots = {"authors": {"author": [2]}}
+        record = RecordValues(fields={2: ["Solo Author"]})
+        sod = parse_sod("book(authors:{author}+)")
+        instance = assemble_instance(sod, result, record)
+        assert instance.values["authors"] == ["Solo Author"]
+
+    def test_empty_record_yields_none(self):
+        record = RecordValues()
+        sod = parse_sod("concert(artist, date)")
+        assert assemble_instance(sod, self.simple_match(), record) is None
+
+    def test_missing_optional_omitted(self):
+        result = MatchResult()
+        result.entity_to_slots = {"artist": [0]}
+        record = RecordValues(fields={0: ["Muse"]})
+        sod = parse_sod("concert(artist, note?)")
+        instance = assemble_instance(sod, result, record)
+        assert "note" not in instance.values

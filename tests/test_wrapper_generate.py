@@ -1,0 +1,113 @@
+"""Tests for wrapper generation end to end (Figure 3 and gates)."""
+
+import pytest
+
+from repro.annotation.annotator import annotate_page
+from repro.errors import SourceDiscardedError
+from repro.htmlkit.tidy import tidy
+from repro.sod.dsl import parse_sod
+from repro.wrapper.generate import WrapperConfig, generate_wrapper
+
+
+CONCERT_SOD = parse_sod(
+    "concert(artist, date<kind=predefined>, "
+    "location(theater, address<kind=predefined>?))"
+)
+
+
+@pytest.fixture()
+def annotated_figure3(figure3_pages, figure3_recognizers):
+    for page in figure3_pages:
+        annotate_page(page, figure3_recognizers)
+    return figure3_pages
+
+
+class TestFigure3Wrapper:
+    def test_record_identity(self, annotated_figure3):
+        wrapper = generate_wrapper(
+            "figure3", annotated_figure3, CONCERT_SOD, WrapperConfig(support=2)
+        )
+        assert wrapper.record_tag == "li"
+        assert wrapper.record_single_element
+
+    def test_sod_fully_matched(self, annotated_figure3):
+        wrapper = generate_wrapper(
+            "figure3", annotated_figure3, CONCERT_SOD, WrapperConfig(support=2)
+        )
+        assert wrapper.match.matched
+        assert set(wrapper.match.entity_to_slots) == {
+            "artist",
+            "date",
+            "theater",
+            "address",
+        }
+
+    def test_template_mirrors_figure3b(self, annotated_figure3):
+        wrapper = generate_wrapper(
+            "figure3", annotated_figure3, CONCERT_SOD, WrapperConfig(support=2)
+        )
+        description = wrapper.template.describe()
+        assert 'type="artist"' in description
+        assert 'type="date"' in description
+        assert 'type="theater"' in description
+        # City/state are constants of the template.
+        assert "'New York City'" in description
+
+    def test_address_spans_merged(self, annotated_figure3):
+        wrapper = generate_wrapper(
+            "figure3", annotated_figure3, CONCERT_SOD, WrapperConfig(support=2)
+        )
+        assert len(wrapper.match.entity_to_slots["address"]) == 2  # street + zip
+
+    def test_annotation_types_recorded(self, annotated_figure3):
+        wrapper = generate_wrapper(
+            "figure3", annotated_figure3, CONCERT_SOD, WrapperConfig(support=2)
+        )
+        assert {"artist", "date", "theater", "address"} <= wrapper.annotation_types_seen
+
+    def test_segment_page_finds_all_records(self, annotated_figure3):
+        wrapper = generate_wrapper(
+            "figure3", annotated_figure3, CONCERT_SOD, WrapperConfig(support=2)
+        )
+        counts = [len(wrapper.segment_page(page)) for page in annotated_figure3]
+        assert counts == [1, 1, 2]
+
+
+class TestGates:
+    def test_unstructured_source_discarded(self):
+        pages = [
+            tidy("<body><p>just prose, nothing structured</p></body>"),
+            tidy("<body><div><span>something else entirely</span></div></body>"),
+        ]
+        with pytest.raises(SourceDiscardedError) as excinfo:
+            generate_wrapper("blog", pages, CONCERT_SOD, WrapperConfig(support=2))
+        assert excinfo.value.stage == "wrapper"
+
+    def test_unmatchable_sod_discarded(self, figure3_pages):
+        # Structured pages but zero annotations: no partial matching can
+        # ever complete.
+        with pytest.raises(SourceDiscardedError):
+            generate_wrapper(
+                "figure3", figure3_pages, CONCERT_SOD, WrapperConfig(support=2)
+            )
+
+    def test_annotation_blind_mode_skips_gate(self, figure3_pages):
+        wrapper = generate_wrapper(
+            "figure3",
+            figure3_pages,
+            CONCERT_SOD,
+            WrapperConfig(support=2, use_annotations=False),
+        )
+        assert wrapper.template.field_slots()  # structure inferred anyway
+
+    def test_enforce_match_raises_on_partial(self, figure3_pages, figure3_recognizers):
+        # Annotate with only the artist recognizer: theater/date missing.
+        for page in figure3_pages:
+            annotate_page(page, figure3_recognizers[:1])
+        with pytest.raises(SourceDiscardedError):
+            generate_wrapper(
+                "figure3",
+                figure3_pages,
+                CONCERT_SOD,
+                WrapperConfig(support=2, enforce_match=True),
+            )

@@ -1,0 +1,74 @@
+"""Internals of wrapper generation: span-to-record reconstruction."""
+
+from repro.htmlkit.tidy import tidy
+from repro.wrapper.generate import _spans_to_records, _top_level_nodes
+from repro.wrapper.records import segment_records
+from repro.wrapper.tokens import tokenize_element
+
+
+def tokenized(sources):
+    return [
+        tokenize_element(tidy(source).find("body"), page_index=i)
+        for i, source in enumerate(sources)
+    ]
+
+
+def li_list_page(count):
+    records = "".join(
+        f"<li><div class='a'>x{i}</div><div class='b'>y{i}</div></li>"
+        for i in range(count)
+    )
+    return f"<body><ul>{records}</ul></body>"
+
+
+def sibling_page(count):
+    records = "".join(
+        f"<div class='head'>h{i}</div><p>body {i}</p>" for i in range(count)
+    )
+    return f"<body><div id='m'>{records}</div></body>"
+
+
+class TestSpansToRecords:
+    def test_single_element_style_detected(self):
+        pages = tokenized([li_list_page(n) for n in (3, 4, 5)])
+        segmentation = segment_records(pages, min_support=3)
+        records, single = _spans_to_records(pages, segmentation)
+        assert single
+        assert len(records) == 12
+        assert all(len(record) == 1 for record in records)
+        assert all(record[0].tag == "li" for record in records)
+
+    def test_sibling_run_style_detected(self):
+        pages = tokenized([sibling_page(n) for n in (3, 4, 5)])
+        segmentation = segment_records(pages, min_support=3)
+        records, single = _spans_to_records(pages, segmentation)
+        assert not single
+        assert len(records) == 12
+        # Each record spans the heading div plus its body paragraph.
+        assert all(len(record) == 2 for record in records)
+
+    def test_top_level_nodes_deduplicates_descendants(self):
+        page = tokenized(["<body><li><div><span>x</span></div></li></body>"])[0]
+        nodes = _top_level_nodes(page.tokens)
+        # The whole subtree resolves to its root <body>... first token is
+        # body open; nodes should be exactly one maximal node.
+        assert len(nodes) == 1
+
+    def test_top_level_nodes_partial_span(self):
+        page = tokenized(
+            ["<body><ul><li>a</li><li>b</li></ul></body>"]
+        )[0]
+        # Take a span covering only the two <li> subtrees (not the <ul>).
+        li_opens = [
+            index
+            for index, token in enumerate(page.tokens)
+            if token.kind == "open" and token.value == "li"
+        ]
+        li_closes = [
+            index
+            for index, token in enumerate(page.tokens)
+            if token.kind == "close" and token.value == "li"
+        ]
+        span_tokens = page.tokens[li_opens[0] : li_closes[-1] + 1]
+        nodes = _top_level_nodes(span_tokens)
+        assert [getattr(node, "tag", "#text") for node in nodes] == ["li", "li"]

@@ -1,0 +1,160 @@
+"""Tests for canonical-SOD / template matching."""
+
+from repro.sod.dsl import parse_sod
+from repro.wrapper.matching import match_sod, partially_matchable
+from repro.wrapper.template import (
+    ElementTemplate,
+    FieldSlot,
+    IteratorSlot,
+    Template,
+)
+
+
+def slot(slot_id, annotation=None, count=5):
+    field = FieldSlot(slot_id=slot_id)
+    for __ in range(count):
+        field.record_annotations({annotation} if annotation else set())
+    return field
+
+
+def concert_template():
+    fields = [
+        slot(0, "artist"),
+        slot(1, "date"),
+        slot(2, "theater"),
+        slot(3, "address"),
+        slot(4, "address"),
+    ]
+    return Template(roots=[ElementTemplate(tag="li", children=list(fields))])
+
+
+def book_template():
+    author = slot(3, "author")
+    iterator = IteratorSlot(
+        slot_id=10,
+        unit=ElementTemplate(tag="span", attr_class="a", children=[author]),
+    )
+    return Template(
+        roots=[
+            ElementTemplate(
+                tag="li",
+                children=[slot(0, "title"), slot(1, "price"), iterator],
+            )
+        ]
+    )
+
+
+class TestTupleMatching:
+    def test_concert_full_match(self):
+        sod = parse_sod(
+            "concert(artist, date<kind=predefined>, "
+            "location(theater, address<kind=predefined>?))"
+        )
+        result = match_sod(sod, concert_template())
+        assert result.matched
+        assert result.entity_to_slots["artist"] == [0]
+        assert result.entity_to_slots["address"] == [3, 4]  # merged spans
+
+    def test_missing_required_reported(self):
+        sod = parse_sod("concert(artist, date, somethingelse)")
+        result = match_sod(sod, concert_template())
+        assert not result.matched
+        assert result.missing == ["somethingelse"]
+
+    def test_optional_absence_tolerated(self):
+        sod = parse_sod("t(artist, extra?)")
+        result = match_sod(sod, concert_template())
+        assert result.matched
+        assert "extra" not in result.entity_to_slots
+
+    def test_each_slot_used_once(self):
+        # Two entities cannot claim the same dominant slot.
+        sod = parse_sod("t(artist, performer)")
+        template = concert_template()
+        result = match_sod(sod, template)
+        assert not result.matched  # no slot annotated "performer"
+
+
+class TestSetMatching:
+    def test_set_maps_to_iterator(self):
+        sod = parse_sod("book(title, price<kind=predefined>, authors:{author}+)")
+        result = match_sod(sod, book_template())
+        assert result.matched
+        assert result.set_to_iterator["authors"] == 10
+        assert result.set_inner_slots["authors"]["author"] == [3]
+
+    def test_set_falls_back_to_plain_slot(self):
+        # No iterator in the template, but multiplicity admits one value.
+        template = Template(
+            roots=[
+                ElementTemplate(
+                    tag="li", children=[slot(0, "title"), slot(1, "author")]
+                )
+            ]
+        )
+        sod = parse_sod("book(title, authors:{author}+)")
+        result = match_sod(sod, template)
+        assert result.matched
+        assert result.set_fallback_slots["authors"]["author"] == [1]
+
+    def test_optional_set_may_be_absent(self):
+        template = Template(
+            roots=[ElementTemplate(tag="li", children=[slot(0, "title")])]
+        )
+        sod = parse_sod("book(title, tags:{tag}*)")
+        result = match_sod(sod, template)
+        assert result.matched
+
+
+class TestConflictingFallback:
+    def test_shared_slot_for_inline_pair(self):
+        # One slot annotated half title / half author: both entities map
+        # there in the second pass (the "TITLE by AUTHOR" situation).
+        shared = FieldSlot(slot_id=0)
+        for __ in range(5):
+            shared.record_annotations({"title", "author"})
+        template = Template(
+            roots=[ElementTemplate(tag="li", children=[shared, slot(1, "price")])]
+        )
+        sod = parse_sod("book(title, author, price<kind=predefined>)")
+        result = match_sod(sod, template)
+        assert result.matched
+        assert result.entity_to_slots["title"] == [0]
+        assert result.entity_to_slots["author"] == [0]
+
+    def test_low_share_not_used(self):
+        noisy = FieldSlot(slot_id=0)
+        for __ in range(19):
+            noisy.record_annotations({"other"})
+        noisy.record_annotations({"title"})  # 5% share < 20% minimum
+        template = Template(roots=[ElementTemplate(tag="li", children=[noisy])])
+        result = match_sod(parse_sod("t(title)"), template)
+        assert not result.matched
+
+
+class TestDisjunction:
+    def test_left_branch_preferred(self):
+        sod = parse_sod("t(choice(artist | nothing))")
+        result = match_sod(sod, concert_template())
+        assert result.matched
+        assert "artist" in result.entity_to_slots
+
+    def test_right_branch_fallback(self):
+        sod = parse_sod("t(choice(nothing | artist))")
+        result = match_sod(sod, concert_template())
+        assert result.matched
+        assert "artist" in result.entity_to_slots
+
+
+class TestPartialMatchability:
+    def test_full_match_is_matchable(self):
+        sod = parse_sod("t(artist)")
+        assert partially_matchable(sod, concert_template(), set())
+
+    def test_missing_with_page_annotations_matchable(self):
+        sod = parse_sod("t(artist, venue)")
+        assert partially_matchable(sod, concert_template(), {"venue"})
+
+    def test_missing_without_annotations_not_matchable(self):
+        sod = parse_sod("t(artist, venue)")
+        assert not partially_matchable(sod, concert_template(), set())

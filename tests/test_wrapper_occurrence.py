@@ -1,0 +1,102 @@
+"""Tests for occurrence vectors."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.htmlkit.tidy import tidy
+from repro.wrapper.occurrence import (
+    OccurrenceVector,
+    group_by_vector,
+    occurrence_vectors,
+)
+from repro.wrapper.tokens import tokenize_element
+
+
+def pages_from(sources):
+    return [
+        tokenize_element(tidy(source).find("body"), page_index=i)
+        for i, source in enumerate(sources)
+    ]
+
+
+class TestOccurrenceVector:
+    def test_total_and_support(self):
+        vector = OccurrenceVector((3, 0, 6))
+        assert vector.total == 9
+        assert vector.support == 2
+
+    def test_constant(self):
+        assert OccurrenceVector((2, 2, 2)).constant
+        assert not OccurrenceVector((2, 3, 2)).constant
+        assert not OccurrenceVector((2, 0, 2)).constant
+
+    def test_per_page_mean(self):
+        assert OccurrenceVector((2, 4)).per_page_mean == 3.0
+        assert OccurrenceVector(()).per_page_mean == 0.0
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=10))
+    def test_invariants(self, counts):
+        vector = OccurrenceVector(tuple(counts))
+        assert vector.total == sum(counts)
+        assert 0 <= vector.support <= len(counts)
+
+
+class TestOccurrenceVectors:
+    def test_paper_div_example(self):
+        # The running example: <div> occurs 3, 3, 6 times across pages.
+        pages = pages_from(
+            [
+                "<body><li><div>a</div><div>b</div><div>c</div></li></body>",
+                "<body><li><div>a</div><div>b</div><div>c</div></li></body>",
+                "<body><li><div>a</div><div>b</div><div>c</div></li>"
+                "<li><div>a</div><div>b</div><div>c</div></li></body>",
+            ]
+        )
+        vectors = occurrence_vectors(pages, min_support=3)
+        div_role = next(
+            role for role in vectors if role[0] == "open" and role[1] == "div"
+        )
+        assert vectors[div_role].counts == (3, 3, 6)
+
+    def test_support_filter(self):
+        pages = pages_from(
+            [
+                "<body><p>rare</p></body>",
+                "<body><div>x</div></body>",
+                "<body><div>x</div></body>",
+            ]
+        )
+        vectors = occurrence_vectors(pages, min_support=2)
+        assert not any(role[1] == "p" for role in vectors)
+        assert any(role[1] == "div" for role in vectors)
+
+    def test_support_clamped_to_page_count(self):
+        pages = pages_from(["<body><div>x</div></body>"])
+        vectors = occurrence_vectors(pages, min_support=5)
+        assert any(role[1] == "div" for role in vectors)
+
+    def test_word_roles_counted(self):
+        pages = pages_from(
+            ["<body><div>by word</div></body>"] * 3
+        )
+        vectors = occurrence_vectors(pages, min_support=3)
+        assert any(role[0] == "word" and role[1] == "by" for role in vectors)
+
+
+class TestGroupByVector:
+    def test_same_vector_grouped(self):
+        pages = pages_from(
+            ["<body><li><div>a</div></li></body>"] * 3
+        )
+        vectors = occurrence_vectors(pages, min_support=3)
+        groups = group_by_vector(vectors)
+        # li and div open/close all occur once per page: one joint group.
+        ones = groups[OccurrenceVector((1, 1, 1))]
+        tags = {role[1] for role in ones if role[0] == "open"}
+        assert {"li", "div"} <= tags
+
+    def test_groups_sorted_roles(self):
+        pages = pages_from(["<body><li><div>a</div></li></body>"] * 3)
+        groups = group_by_vector(occurrence_vectors(pages, min_support=3))
+        for roles in groups.values():
+            assert roles == sorted(roles)

@@ -1,0 +1,90 @@
+"""Tests for record detection and segmentation."""
+
+from repro.htmlkit.tidy import tidy
+from repro.wrapper.records import segment_records
+from repro.wrapper.tokens import tokenize_element
+
+
+def pages_from(sources):
+    return [
+        tokenize_element(tidy(source).find("body"), page_index=i)
+        for i, source in enumerate(sources)
+    ]
+
+
+def list_page(count, extra=""):
+    records = "".join(
+        f"<li><div class='t'>title {i}</div><div class='p'>price {i}</div>"
+        f"<span class='x'>note {i}</span></li>"
+        for i in range(count)
+    )
+    return f"<body>{extra}<div id='main'>{records}</div></body>"
+
+
+class TestListDetection:
+    def test_varying_counts(self):
+        pages = pages_from([list_page(4), list_page(6), list_page(5)])
+        segmentation = segment_records(pages, min_support=3)
+        assert segmentation is not None
+        assert segmentation.is_list_source
+        assert [len(s) for s in segmentation.spans_per_page] == [4, 6, 5]
+
+    def test_constant_counts_still_detected(self):
+        # The "too regular" case: same record count on every page.
+        pages = pages_from([list_page(5)] * 4)
+        segmentation = segment_records(pages, min_support=3)
+        assert segmentation is not None
+        assert segmentation.is_list_source
+        assert all(len(s) == 5 for s in segmentation.spans_per_page)
+
+    def test_outermost_repetition_wins(self):
+        # Records contain inner repeated spans; the record level (li) must
+        # win over the deeper span repetition.
+        records = lambda n: "".join(
+            f"<li><div class='t'>t{i}</div>"
+            + "".join(f"<span class='a'>w{j}</span>" for j in range(3))
+            + "</li>"
+            for i in range(n)
+        )
+        pages = pages_from(
+            [f"<body><div id='m'>{records(n)}</div></body>" for n in (4, 5, 6)]
+        )
+        segmentation = segment_records(pages, min_support=3)
+        first_role = segmentation.record_class.ordered_roles[0]
+        assert first_role[1] == "li"
+
+    def test_record_sequences_extracted(self):
+        pages = pages_from([list_page(3), list_page(3)])
+        segmentation = segment_records(pages, min_support=2)
+        sequences = segmentation.record_sequences(pages)
+        assert len(sequences) == 6
+        assert all(seq[0].value == "li" for seq in sequences)
+
+
+class TestDetailDetection:
+    def test_single_record_pages(self):
+        detail = (
+            "<body><div id='main'><div class='t'>title {}</div>"
+            "<div class='p'>price {}</div><div class='d'>extra {}</div>"
+            "</div></body>"
+        )
+        pages = pages_from([detail.format(i, i, i) for i in range(5)])
+        segmentation = segment_records(pages, min_support=3)
+        assert segmentation is not None
+        assert not segmentation.is_list_source
+        assert all(len(s) == 1 for s in segmentation.spans_per_page)
+
+
+class TestUnstructured:
+    def test_random_pages_rejected(self):
+        pages = pages_from(
+            [
+                "<body><p>one paragraph of prose</p></body>",
+                "<body><div><div><span>totally different</span></div></div></body>",
+                "<body><ul><li>x</li></ul><b>misc</b></body>",
+            ]
+        )
+        assert segment_records(pages, min_support=2) is None
+
+    def test_empty_input(self):
+        assert segment_records([], min_support=3) is None

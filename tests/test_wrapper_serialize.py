@@ -1,0 +1,81 @@
+"""Tests for wrapper JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.annotation.annotator import annotate_page
+from repro.errors import WrapperError
+from repro.sod.dsl import parse_sod
+from repro.wrapper.extraction import extract_objects
+from repro.wrapper.generate import WrapperConfig, generate_wrapper
+from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
+
+SOD = parse_sod(
+    "concert(artist, date<kind=predefined>, "
+    "location(theater, address<kind=predefined>?))"
+)
+
+
+@pytest.fixture()
+def wrapped(figure3_pages, figure3_recognizers):
+    for page in figure3_pages:
+        annotate_page(page, figure3_recognizers)
+    wrapper = generate_wrapper("figure3", figure3_pages, SOD, WrapperConfig(support=2))
+    return wrapper, figure3_pages
+
+
+class TestRoundtrip:
+    def test_json_serializable(self, wrapped):
+        wrapper, __ = wrapped
+        payload = json.dumps(wrapper_to_dict(wrapper))
+        assert "figure3" in payload
+
+    def test_roundtrip_preserves_template(self, wrapped):
+        wrapper, __ = wrapped
+        restored = wrapper_from_dict(
+            json.loads(json.dumps(wrapper_to_dict(wrapper)))
+        )
+        assert restored.template.describe() == wrapper.template.describe()
+        assert restored.record_tag == wrapper.record_tag
+        assert restored.record_path == wrapper.record_path
+        assert restored.match.entity_to_slots == wrapper.match.entity_to_slots
+
+    def test_restored_wrapper_extracts_identically(self, wrapped):
+        wrapper, pages = wrapped
+        restored = wrapper_from_dict(wrapper_to_dict(wrapper))
+        original_objects = extract_objects(wrapper, pages)
+        restored_objects = extract_objects(restored, pages)
+        assert [o.values for o in original_objects] == [
+            o.values for o in restored_objects
+        ]
+
+    def test_sod_roundtrips(self, wrapped):
+        wrapper, __ = wrapped
+        restored = wrapper_from_dict(wrapper_to_dict(wrapper))
+        assert str(restored.sod) == str(wrapper.sod)
+
+    def test_annotation_stats_preserved(self, wrapped):
+        wrapper, __ = wrapped
+        restored = wrapper_from_dict(wrapper_to_dict(wrapper))
+        original_slots = {s.slot_id: s for s in wrapper.template.field_slots()}
+        for slot in restored.template.field_slots():
+            original = original_slots[slot.slot_id]
+            assert slot.annotation_counts == original.annotation_counts
+            assert slot.dominant_annotation() == original.dominant_annotation()
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self, wrapped):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        data["version"] = 999
+        with pytest.raises(WrapperError):
+            wrapper_from_dict(data)
+
+    def test_unknown_node_kind_rejected(self, wrapped):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        data["template"]["roots"][0] = {"kind": "mystery"}
+        with pytest.raises(WrapperError):
+            wrapper_from_dict(data)

@@ -1,0 +1,100 @@
+"""Tests for the template tree model."""
+
+from collections import Counter
+
+from repro.wrapper.template import (
+    ElementTemplate,
+    FieldSlot,
+    IteratorSlot,
+    StaticSlot,
+    Template,
+)
+
+
+def make_template():
+    title = FieldSlot(slot_id=0)
+    author = FieldSlot(slot_id=1)
+    unit = ElementTemplate(tag="span", attr_class="a", children=[author])
+    iterator = IteratorSlot(slot_id=2, unit=unit, min_repeats=1, max_repeats=3)
+    root = ElementTemplate(
+        tag="li",
+        children=[
+            ElementTemplate(tag="div", children=[title]),
+            iterator,
+            StaticSlot("In Stock"),
+        ],
+    )
+    return Template(roots=[root]), title, author, iterator
+
+
+class TestStructure:
+    def test_iter_nodes_covers_everything(self):
+        template, *_ = make_template()
+        kinds = Counter(type(n).__name__ for n in template.iter_nodes())
+        assert kinds["FieldSlot"] == 2
+        assert kinds["IteratorSlot"] == 1
+        assert kinds["StaticSlot"] == 1
+        assert kinds["ElementTemplate"] == 3
+
+    def test_field_slots(self):
+        template, title, author, __ = make_template()
+        assert template.field_slots() == [title, author]
+
+    def test_tuple_level_excludes_iterator_fields(self):
+        template, title, author, __ = make_template()
+        assert template.tuple_level_fields() == [title]
+
+    def test_set_level_fields(self):
+        template, __, author, iterator = make_template()
+        assert template.set_level_fields() == {iterator.slot_id: [author]}
+
+    def test_describe_renders(self):
+        template, *_ = make_template()
+        text = template.describe()
+        assert "<li>" in text
+        assert "'In Stock'" in text
+
+
+class TestFieldSlotAnnotations:
+    def test_dominant_above_threshold(self):
+        slot = FieldSlot(slot_id=0)
+        for __ in range(8):
+            slot.record_annotations({"artist"})
+        for __ in range(2):
+            slot.record_annotations({"date"})
+        assert slot.dominant_annotation(threshold=0.7) == "artist"
+
+    def test_no_dominant_below_threshold(self):
+        slot = FieldSlot(slot_id=0)
+        for __ in range(5):
+            slot.record_annotations({"artist"})
+        for __ in range(5):
+            slot.record_annotations({"date"})
+        assert slot.dominant_annotation(threshold=0.7) is None
+
+    def test_unannotated_occurrences_do_not_dilute(self):
+        # Dominance is over *annotated* occurrences (dictionaries are
+        # incomplete; 20% coverage must still generalize).
+        slot = FieldSlot(slot_id=0)
+        for __ in range(2):
+            slot.record_annotations({"artist"})
+        for __ in range(8):
+            slot.record_annotations(set())
+        assert slot.dominant_annotation() == "artist"
+
+    def test_conflicting_flag(self):
+        slot = FieldSlot(slot_id=0)
+        slot.record_annotations({"artist"})
+        assert not slot.conflicting
+        slot.record_annotations({"date"})
+        assert slot.conflicting
+
+    def test_no_annotations_no_dominant(self):
+        slot = FieldSlot(slot_id=0)
+        slot.record_annotations(set())
+        assert slot.dominant_annotation() is None
+
+    def test_describe_with_type(self):
+        slot = FieldSlot(slot_id=0)
+        slot.record_annotations({"artist"})
+        assert slot.describe() == '* type="artist"'

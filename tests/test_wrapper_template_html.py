@@ -1,0 +1,100 @@
+"""Tests for the Figure 3(b)-style wrapper rendering."""
+
+from collections import Counter
+
+from repro.wrapper.template import (
+    ElementTemplate,
+    FieldSlot,
+    IteratorSlot,
+    StaticSlot,
+    Template,
+)
+
+
+def typed_slot(slot_id, annotation):
+    slot = FieldSlot(slot_id=slot_id)
+    for __ in range(5):
+        slot.record_annotations({annotation})
+    return slot
+
+
+class TestWrapperHtml:
+    def test_figure3b_shape(self):
+        template = Template(
+            roots=[
+                ElementTemplate(
+                    tag="li",
+                    children=[
+                        ElementTemplate(
+                            tag="div", children=[typed_slot(0, "artist")]
+                        ),
+                        ElementTemplate(
+                            tag="div", children=[typed_slot(1, "date")]
+                        ),
+                    ],
+                )
+            ]
+        )
+        html = template.to_wrapper_html()
+        assert "<li>" in html and "</li>" in html
+        assert '* type="artist"' in html
+        assert '* type="date"' in html
+
+    def test_iterator_brackets(self):
+        unit = ElementTemplate(
+            tag="span", attr_class="author", children=[typed_slot(0, "author")]
+        )
+        template = Template(
+            roots=[IteratorSlot(slot_id=1, unit=unit, min_repeats=1, max_repeats=3)]
+        )
+        html = template.to_wrapper_html()
+        assert "{<" in html and ">}" in html
+        assert '<span class="author"' in html
+
+    def test_static_text_rendered(self):
+        template = Template(
+            roots=[ElementTemplate(tag="div", children=[StaticSlot("New York")])]
+        )
+        assert "New York" in template.to_wrapper_html()
+
+    def test_optional_marker(self):
+        template = Template(
+            roots=[ElementTemplate(tag="span", optional=True, children=[])]
+        )
+        assert "<span> ?" in template.to_wrapper_html()
+
+    def test_untyped_slot_bare_star(self):
+        template = Template(
+            roots=[ElementTemplate(tag="div", children=[FieldSlot(slot_id=0)])]
+        )
+        html = template.to_wrapper_html()
+        assert "*" in html
+        assert "type=" not in html
+
+    def test_element_level_annotation(self):
+        element = ElementTemplate(
+            tag="span",
+            children=[FieldSlot(slot_id=0)],
+            annotation_counts=Counter({"author": 9, "title": 1}),
+        )
+        template = Template(roots=[element])
+        assert '<span type="author">' in template.to_wrapper_html()
+
+    def test_real_figure3_wrapper(self, figure3_pages, figure3_recognizers):
+        from repro.annotation.annotator import annotate_page
+        from repro.sod.dsl import parse_sod
+        from repro.wrapper.generate import WrapperConfig, generate_wrapper
+
+        for page in figure3_pages:
+            annotate_page(page, figure3_recognizers)
+        sod = parse_sod(
+            "concert(artist, date<kind=predefined>, "
+            "location(theater, address<kind=predefined>?))"
+        )
+        wrapper = generate_wrapper(
+            "figure3", figure3_pages, sod, WrapperConfig(support=2)
+        )
+        html = wrapper.template.to_wrapper_html()
+        assert '* type="artist"' in html
+        assert '* type="theater"' in html
+        assert "New York City" in html  # constant template text

@@ -1,0 +1,85 @@
+"""Tests for page tokenization."""
+
+from repro.htmlkit.tidy import tidy
+from repro.wrapper.tokens import (
+    KIND_CLOSE,
+    KIND_OPEN,
+    KIND_WORD,
+    tokenize_element,
+)
+
+
+def tokens_of(source, include_words=True):
+    root = tidy(source)
+    body = root.find("body")
+    return tokenize_element(body, include_words=include_words).tokens
+
+
+class TestTokenization:
+    def test_tags_and_words_interleaved(self):
+        tokens = tokens_of("<body><div>hello world</div></body>")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [KIND_OPEN, KIND_OPEN, KIND_WORD, KIND_WORD, KIND_CLOSE, KIND_CLOSE]
+
+    def test_word_values(self):
+        tokens = tokens_of("<body><p>May 11, 8:00pm</p></body>")
+        words = [t.value for t in tokens if t.kind == KIND_WORD]
+        assert words == ["May", "11", "8", "00pm"]
+
+    def test_paths_recorded(self):
+        tokens = tokens_of("<body><div><span>x</span></div></body>")
+        span_open = next(
+            t for t in tokens if t.kind == KIND_OPEN and t.value == "span"
+        )
+        assert span_open.path == "html/body/div/span"
+
+    def test_word_path_is_parent_path(self):
+        tokens = tokens_of("<body><div>word</div></body>")
+        word = next(t for t in tokens if t.kind == KIND_WORD)
+        assert word.path == "html/body/div"
+
+    def test_class_in_role_key(self):
+        tokens = tokens_of(
+            "<body><div class='a'>x</div><div class='b'>y</div></body>"
+        )
+        opens = [t for t in tokens if t.kind == KIND_OPEN and t.value == "div"]
+        assert opens[0].role_key != opens[1].role_key
+
+    def test_same_markup_same_role(self):
+        tokens = tokens_of("<body><div>x</div><div>y</div></body>")
+        opens = [t for t in tokens if t.kind == KIND_OPEN and t.value == "div"]
+        assert opens[0].role_key == opens[1].role_key
+
+    def test_annotations_carried(self):
+        root = tidy("<body><div>Muse</div></body>")
+        div = root.find("div")
+        div.annotations.add("artist")
+        next(div.iter_text_nodes()).annotations.add("artist")
+        page = tokenize_element(root.find("body"))
+        open_token = next(t for t in page.tokens if t.value == "div")
+        word_token = next(t for t in page.tokens if t.kind == KIND_WORD)
+        assert "artist" in open_token.annotations
+        assert "artist" in word_token.annotations
+
+    def test_words_excluded_when_disabled(self):
+        tokens = tokens_of("<body><div>hello</div></body>", include_words=False)
+        assert all(t.is_tag for t in tokens)
+
+    def test_element_backlink(self):
+        root = tidy("<body><div>x</div></body>")
+        page = tokenize_element(root.find("body"))
+        open_token = next(t for t in page.tokens if t.value == "div")
+        assert open_token.element is root.find("div")
+
+    def test_word_backlink_to_text_node(self):
+        root = tidy("<body><div>word</div></body>")
+        page = tokenize_element(root.find("body"))
+        word = next(t for t in page.tokens if t.kind == KIND_WORD)
+        assert word.text_node is next(root.find("div").iter_text_nodes())
+
+    def test_display(self):
+        tokens = tokens_of("<body><div>x</div></body>")
+        assert tokens[1].display() == "<div>"
+        assert tokens[-2].display() == "</div>"
+        word = next(t for t in tokens if t.kind == KIND_WORD)
+        assert word.display() == "x"
