@@ -16,7 +16,7 @@ import os
 from dataclasses import dataclass
 
 from repro.baselines import ExAlgSystem, RoadRunnerSystem
-from repro.core import ObjectRunnerSystem
+from repro.core import ObjectRunnerSystem, StageEventCollector
 from repro.datasets import (
     CatalogEntry,
     build_knowledge,
@@ -66,6 +66,22 @@ _knowledge_cache: dict[tuple[str, float], object] = {}
 _source_cache: dict[str, object] = {}
 _pages_cache: dict[str, list] = {}
 _run_cache: dict[str, list[SourceRun]] = {}
+
+#: Benchmark-wide pipeline observer: every ObjectRunner run made through
+#: :func:`make_system` reports its stage timings and counters here, so
+#: the benches read stage-level figures off events instead of poking at
+#: result internals.
+STAGE_EVENTS = StageEventCollector()
+
+
+def stage_totals() -> dict[str, float]:
+    """Accumulated wall-clock seconds per pipeline stage across all runs."""
+    return dict(STAGE_EVENTS.elapsed)
+
+
+def stage_counters() -> dict[str, int]:
+    """Accumulated pipeline counters (pages annotated, objects, ...)."""
+    return dict(STAGE_EVENTS.counters)
 
 
 def knowledge_for(domain_name: str, coverage: float = DICTIONARY_COVERAGE):
@@ -123,6 +139,7 @@ def make_system(
             gazetteer_classes=domain.gazetteer_classes,
             params=params,
             extra_gazetteer_entries=extra,
+            observers=(STAGE_EVENTS,),
         )
     if name == "exalg":
         return ExAlgSystem()

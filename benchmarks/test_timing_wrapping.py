@@ -12,7 +12,7 @@ object is orders of magnitude below wrapping cost.
 
 import time
 
-from benchmarks.harness import BENCH_SCALE, run_catalog
+from benchmarks.harness import BENCH_SCALE, run_catalog, stage_totals
 
 
 def test_wrapping_time_statistics(benchmark):
@@ -29,6 +29,9 @@ def test_wrapping_time_statistics(benchmark):
     print(f"mean   {sum(wrap_times) / len(wrap_times) * 1000:9.1f} ms")
     print(f"max    {max(wrap_times) * 1000:9.1f} ms")
     print("(paper: 4-9 s per source on a 2.8 GHz workstation, full volumes)")
+    print("stage profile (from pipeline events, all runs pooled):")
+    for stage, seconds in sorted(stage_totals().items()):
+        print(f"  {stage:<14} {seconds * 1000:9.1f} ms")
 
     # Qualitative claim 1: wrapping is seconds-scale at worst.
     assert max(wrap_times) < 30.0

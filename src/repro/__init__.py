@@ -17,8 +17,17 @@ Quickstart::
     result = runner.run_source("mysite", html_pages)
 """
 
+from repro.core.cache import PreprocessCache
 from repro.core.objectrunner import ObjectRunner, ObjectRunnerSystem
 from repro.core.params import RunParams
+from repro.core.pipeline import (
+    Pipeline,
+    PipelineContext,
+    PipelineEvent,
+    PipelineObserver,
+    Stage,
+    TraceObserver,
+)
 from repro.core.results import SourceResult
 from repro.errors import ReproError, SodError, SourceDiscardedError
 from repro.sod.dsl import parse_sod
@@ -38,6 +47,13 @@ __all__ = [
     "ObjectRunnerSystem",
     "RunParams",
     "SourceResult",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineEvent",
+    "PipelineObserver",
+    "Stage",
+    "TraceObserver",
+    "PreprocessCache",
     "ObjectInstance",
     "parse_sod",
     "EntityType",

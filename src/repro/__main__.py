@@ -14,6 +14,14 @@ Subcommands:
   types (date, price, address, phone, isbn, year, email, url) need no
   dictionary.
 
+  Wrap-once / extract-often: ``--save-wrapper wrapper.json`` persists the
+  learned wrapper after a successful run, and ``--load-wrapper
+  wrapper.json`` re-extracts from fresh pages without re-wrapping (the
+  SOD travels inside the wrapper file, so ``--sod`` may be omitted).
+
+  Observability: ``--trace trace.jsonl`` writes one JSON line per
+  pipeline event (stage start/end with wall-clock timings and counters).
+
 - ``describe`` — parse an SOD and print its structure, canonical form and
   entity types (useful while authoring SODs).
 """
@@ -26,12 +34,14 @@ import sys
 from pathlib import Path
 
 from repro.core.objectrunner import ObjectRunner
+from repro.core.pipeline import TraceObserver
 from repro.errors import ReproError
 from repro.recognizers.gazetteer import GazetteerRecognizer
 from repro.recognizers.registry import RecognizerRegistry
 from repro.sod.canonical import canonicalize
 from repro.sod.dsl import parse_sod
 from repro.sod.types import entity_types
+from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
 
 
 def _load_dictionary(path: str) -> list[str]:
@@ -43,7 +53,9 @@ def _load_dictionary(path: str) -> list[str]:
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
-    sod = parse_sod(args.sod)
+    if not args.sod and not args.load_wrapper:
+        print("--sod is required unless --load-wrapper is given", file=sys.stderr)
+        return 2
     registry = RecognizerRegistry()
     for spec in args.dict or []:
         if "=" not in spec:
@@ -54,14 +66,46 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             GazetteerRecognizer(type_name, _load_dictionary(path))
         )
     pages = [Path(page).read_text(encoding="utf-8") for page in args.pages]
-    runner = ObjectRunner(sod, registry=registry)
-    result = runner.run_source(args.source_name, pages)
+    observers = []
+    trace = None
+    if args.trace:
+        trace = TraceObserver(args.trace)
+        observers.append(trace)
+    try:
+        if args.load_wrapper:
+            try:
+                data = json.loads(
+                    Path(args.load_wrapper).read_text(encoding="utf-8")
+                )
+            except json.JSONDecodeError as exc:
+                print(
+                    f"error: {args.load_wrapper} is not valid JSON: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            wrapper = wrapper_from_dict(data)
+            sod = parse_sod(args.sod) if args.sod else wrapper.sod
+            runner = ObjectRunner(sod, registry=registry, observers=observers)
+            result = runner.extract_with(wrapper, pages)
+        else:
+            sod = parse_sod(args.sod)
+            runner = ObjectRunner(sod, registry=registry, observers=observers)
+            result = runner.run_source(args.source_name, pages)
+    finally:
+        if trace is not None:
+            trace.close()
     if result.discarded:
         print(
             f"source discarded at {result.discard_stage}: {result.discard_reason}",
             file=sys.stderr,
         )
         return 1
+    if args.save_wrapper and result.wrapper is not None:
+        Path(args.save_wrapper).write_text(
+            json.dumps(wrapper_to_dict(result.wrapper), indent=2),
+            encoding="utf-8",
+        )
+        print(f"wrapper saved to {args.save_wrapper}", file=sys.stderr)
     for instance in result.objects:
         print(json.dumps(instance.values, ensure_ascii=False))
     print(
@@ -96,7 +140,10 @@ def build_parser() -> argparse.ArgumentParser:
     extract = subparsers.add_parser(
         "extract", help="wrap HTML files with an SOD and print JSON objects"
     )
-    extract.add_argument("--sod", required=True, help="SOD in the DSL syntax")
+    extract.add_argument(
+        "--sod",
+        help="SOD in the DSL syntax (optional with --load-wrapper)",
+    )
     extract.add_argument(
         "--dict",
         action="append",
@@ -105,6 +152,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     extract.add_argument(
         "--source-name", default="cli-source", help="label for this source"
+    )
+    extract.add_argument(
+        "--save-wrapper",
+        metavar="FILE",
+        help="persist the learned wrapper as JSON after a successful run",
+    )
+    extract.add_argument(
+        "--load-wrapper",
+        metavar="FILE",
+        help="skip wrapping: extract with a previously saved wrapper",
+    )
+    extract.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write pipeline events (stage timings, counters) as JSON lines",
     )
     extract.add_argument("pages", nargs="+", help="HTML files of one source")
     extract.set_defaults(func=_cmd_extract)

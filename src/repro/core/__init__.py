@@ -1,16 +1,37 @@
 """The ObjectRunner pipeline: the paper's primary contribution, end to end.
 
-:class:`~repro.core.objectrunner.ObjectRunner` runs, per source: page
-tidying and cleaning, VIPS-style central-block selection, recognizer setup
-(building isInstanceOf gazetteers on the fly), annotation with Algorithm-1
-sample selection, wrapper generation with the automatic parameter-
-variation loop, extraction, and optional dictionary enrichment.
+:class:`~repro.core.objectrunner.ObjectRunner` is a façade over the staged
+pipeline subsystem (:mod:`repro.core.pipeline`): each box of the paper's
+Figure 1 — page tidying and cleaning, VIPS-style central-block selection,
+annotation with Algorithm-1 sample selection, wrapper generation with the
+automatic parameter-variation loop, extraction, dictionary enrichment —
+is a named :class:`~repro.core.pipeline.Stage` running over a shared
+:class:`~repro.core.pipeline.PipelineContext`.  Observers subscribe to
+stage start/end events for timings, counters and JSON-lines tracing;
+preprocessing memoizes through :class:`~repro.core.cache.PreprocessCache`;
+multi-source runs parallelize with ``RunParams.max_workers``.
 """
 
+from repro.core.cache import CachedPages, PreprocessCache
 from repro.core.dedup import DedupConfig, DedupResult, deduplicate
 from repro.core.objectrunner import ObjectRunner, ObjectRunnerSystem
 from repro.core.params import RunParams
-from repro.core.results import MultiSourceResult, SourceResult
+from repro.core.pipeline import (
+    DEFAULT_STAGE_ORDER,
+    EventBus,
+    Pipeline,
+    PipelineContext,
+    PipelineEvent,
+    PipelineObserver,
+    Stage,
+    StageEventCollector,
+    TimingObserver,
+    TraceObserver,
+    build_stages,
+    register_stage,
+    stage_registry,
+)
+from repro.core.results import MultiSourceResult, SourceResult, StageTimings
 
 __all__ = [
     "ObjectRunner",
@@ -18,7 +39,23 @@ __all__ = [
     "RunParams",
     "SourceResult",
     "MultiSourceResult",
+    "StageTimings",
     "DedupConfig",
     "DedupResult",
     "deduplicate",
+    "Pipeline",
+    "PipelineContext",
+    "PipelineEvent",
+    "PipelineObserver",
+    "EventBus",
+    "Stage",
+    "StageEventCollector",
+    "TimingObserver",
+    "TraceObserver",
+    "build_stages",
+    "register_stage",
+    "stage_registry",
+    "DEFAULT_STAGE_ORDER",
+    "PreprocessCache",
+    "CachedPages",
 ]

@@ -1,4 +1,4 @@
-"""The ObjectRunner pipeline façade.
+"""The ObjectRunner façade over the staged pipeline.
 
 Typical use::
 
@@ -11,22 +11,37 @@ Typical use::
     result = runner.run_source("zvents", raw_html_pages)
     for instance in result.objects:
         print(instance.values)
+
+The runner owns recognizer setup and the cross-cutting services —
+preprocessing cache, observers, worker pool — and delegates the actual
+dataflow to :class:`~repro.core.pipeline.Pipeline` over the stages
+registered in :mod:`repro.core.stages`.  Subscribe a
+:class:`~repro.core.pipeline.PipelineObserver` (for example a
+:class:`~repro.core.pipeline.TraceObserver`) to watch stage-level timings
+and counters of every run.
 """
 
 from __future__ import annotations
 
-import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
 
-from repro.annotation.annotator import AnnotatedPage, PageAnnotator
-from repro.annotation.sampling import SampleSelectionConfig, select_sample
 from repro.baselines.interface import SystemOutput
+from repro.core.cache import PreprocessCache
 from repro.core.params import RunParams
-from repro.core.results import MultiSourceResult, SourceResult, StageTimings
+from repro.core.pipeline import (
+    DEFAULT_STAGE_ORDER,
+    Pipeline,
+    PipelineContext,
+    PipelineObserver,
+    StageEventCollector,
+    TimingObserver,
+    build_stages,
+)
+from repro.core.results import MultiSourceResult, SourceResult
 from repro.corpus.store import Corpus
-from repro.errors import SodError, SourceDiscardedError
-from repro.htmlkit.clean import clean_tree
+from repro.errors import SodError
 from repro.htmlkit.dom import Element
-from repro.htmlkit.tidy import tidy
 from repro.kb.ontology import Ontology
 from repro.recognizers.base import Recognizer
 from repro.recognizers.build import DictionaryBuilder
@@ -41,16 +56,7 @@ from repro.sod.types import (
     SodType,
     entity_types,
 )
-from repro.utils.rng import DeterministicRng
-from repro.vision.segmentation import (
-    BlockTree,
-    find_block_by_signature,
-    main_content_block,
-    segment_page,
-)
-from repro.wrapper.enrichment import enrich_dictionary
-from repro.wrapper.extraction import extract_objects
-from repro.wrapper.generate import Wrapper, WrapperConfig, generate_wrapper
+from repro.wrapper.generate import Wrapper
 
 
 class ObjectRunner:
@@ -65,6 +71,8 @@ class ObjectRunner:
         gazetteer_classes: dict[str, str] | None = None,
         params: RunParams | None = None,
         extra_gazetteer_entries: dict[str, dict[str, float]] | None = None,
+        observers: Iterable[PipelineObserver] = (),
+        cache: PreprocessCache | None = None,
     ):
         self.sod = sod
         self.params = params or RunParams()
@@ -75,6 +83,11 @@ class ObjectRunner:
         #: Per-source dictionary completion (paper Section IV-A): extra
         #: entries merged into each built gazetteer, keyed by type name.
         self._extra_gazetteer_entries = dict(extra_gazetteer_entries or {})
+        #: Observers subscribed to every pipeline run of this runner.
+        self.observers: list[PipelineObserver] = list(observers)
+        #: Content-hash cache of tidied/cleaned page trees, shared across
+        #: passes, sources and (if injected) runners.
+        self.cache = cache if cache is not None else PreprocessCache()
         self._setup_recognizers()
 
     # -- recognizer setup -------------------------------------------------
@@ -137,11 +150,48 @@ class ObjectRunner:
             if isinstance(recognizer, GazetteerRecognizer)
         }
 
-    # -- pipeline ---------------------------------------------------------
+    # -- pipeline assembly ------------------------------------------------
+
+    def add_observer(self, observer: PipelineObserver) -> None:
+        """Subscribe an observer to every subsequent pipeline run."""
+        self.observers.append(observer)
+
+    def _build_pipeline(
+        self,
+        stage_names: Iterable[str] = DEFAULT_STAGE_ORDER,
+        extra_observers: Iterable[PipelineObserver] = (),
+    ) -> Pipeline:
+        """A pipeline with the runner's observers (timings always first)."""
+        observers = [TimingObserver(), *self.observers, *extra_observers]
+        return Pipeline(build_stages(stage_names), observers)
+
+    def _context(
+        self,
+        source: str,
+        raw_pages: Iterable[str] = (),
+        pages: Iterable[Element] = (),
+        pass_index: int = 0,
+        total_passes: int = 1,
+    ) -> PipelineContext:
+        """A fresh context carrying this runner's shared services."""
+        return PipelineContext(
+            source=source,
+            params=self.params,
+            sod=self.sod,
+            recognizers=self.recognizers,
+            ontology=self._ontology,
+            raw_pages=list(raw_pages),
+            pages=list(pages),
+            cache=self.cache,
+            pass_index=pass_index,
+            total_passes=total_passes,
+        )
+
+    # -- entry points ------------------------------------------------------
 
     def prepare_pages(self, raw_pages: list[str]) -> list[Element]:
-        """Tidy and clean raw HTML pages."""
-        return [clean_tree(tidy(raw)) for raw in raw_pages]
+        """Tidy and clean raw HTML pages (through the runner's cache)."""
+        return self.cache.clean_pages(raw_pages).pages
 
     def run_source(self, source: str, raw_pages: list[str]) -> SourceResult:
         """Run the full pipeline on raw HTML pages of one source.
@@ -151,27 +201,31 @@ class ObjectRunner:
         annotates with the dictionaries the previous pass grew, so
         coverage — and with it the wrapper — improves (the paper's
         "use current annotations to discover new annotations" loop).
+        Tidying/cleaning is only paid once: later passes draw deep copies
+        from the preprocessing cache.
         """
         passes = max(1, self.params.enrichment_passes)
         if not self.params.enrich_dictionaries:
             passes = 1
         result = SourceResult(source=source)
         for pass_index in range(passes):
-            result = SourceResult(source=source)
-            started = time.perf_counter()
-            pages = self.prepare_pages(raw_pages)
-            result.timings.preprocess = time.perf_counter() - started
-            result = self._run_prepared(source, pages, result)
+            ctx = self._context(
+                source,
+                raw_pages=raw_pages,
+                pass_index=pass_index,
+                total_passes=passes,
+            )
+            result = self._build_pipeline().run(ctx)
             if result.discarded:
                 break
-            __ = pass_index
         return result
 
     def run_source_prepared(
         self, source: str, pages: list[Element]
     ) -> SourceResult:
         """Run on already tidied/cleaned pages (shared-harness entry)."""
-        return self._run_prepared(source, pages, SourceResult(source=source))
+        ctx = self._context(source, pages=pages)
+        return self._build_pipeline().run(ctx)
 
     def extract_with(self, wrapper: Wrapper, raw_pages: list[str]) -> SourceResult:
         """Apply an existing (possibly persisted) wrapper to fresh pages.
@@ -179,19 +233,17 @@ class ObjectRunner:
         Wrapping is the expensive step; this is the wrap-once /
         extract-often path: load a wrapper with
         :func:`repro.wrapper.serialize.wrapper_from_dict` and run it over a
-        re-crawl without re-annotating or re-inferring anything.
+        re-crawl without re-annotating or re-inferring anything.  Only the
+        pre-processing and extraction stages run, so ``timings.wrapping``
+        stays zero.
         """
-        result = SourceResult(source=wrapper.source)
-        started = time.perf_counter()
-        pages = self.prepare_pages(raw_pages)
-        result.timings.preprocess = time.perf_counter() - started
-        started = time.perf_counter()
-        result.wrapper = wrapper
-        result.support_used = wrapper.support
-        result.conflicts = wrapper.conflicts
-        result.objects = extract_objects(wrapper, pages, source=wrapper.source)
-        result.timings.extraction = time.perf_counter() - started
-        return result
+        ctx = self._context(wrapper.source, raw_pages=raw_pages)
+        ctx.wrapper = wrapper
+        ctx.result.wrapper = wrapper
+        ctx.result.support_used = wrapper.support
+        ctx.result.conflicts = wrapper.conflicts
+        pipeline = self._build_pipeline(stage_names=("preprocess", "extraction"))
+        return pipeline.run(ctx)
 
     def run_sources(
         self,
@@ -201,6 +253,12 @@ class ObjectRunner:
     ) -> "MultiSourceResult":
         """Run the pipeline over several sources of the same domain.
 
+        With ``params.max_workers > 1`` independent sources wrap
+        concurrently on a thread pool; results keep the input order, so
+        the outcome is identical to a serial run.  Enrichment runs force
+        serial execution: gazetteer growth feeds later sources, which is
+        inherently order-dependent.
+
         With ``deduplicate_across=True``, the pooled objects pass through
         the de-duplication stage of the paper's Figure 1 architecture —
         the Web's redundancy means the same real-world item often appears
@@ -209,10 +267,27 @@ class ObjectRunner:
         """
         from repro.core.dedup import DedupConfig, deduplicate
 
+        items = list(sources.items())
+        workers = max(1, int(self.params.max_workers))
+        if self.params.enrich_dictionaries:
+            workers = 1
+        if workers > 1 and len(items) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(items))
+            ) as pool:
+                futures = [
+                    pool.submit(self.run_source, source, raw_pages)
+                    for source, raw_pages in items
+                ]
+                ordered = [future.result() for future in futures]
+        else:
+            ordered = [
+                self.run_source(source, raw_pages)
+                for source, raw_pages in items
+            ]
         results: dict[str, SourceResult] = {}
         pooled = []
-        for source, raw_pages in sources.items():
-            result = self.run_source(source, raw_pages)
+        for (source, __), result in zip(items, ordered):
             results[source] = result
             pooled.extend(result.objects)
         merged = 0
@@ -226,150 +301,15 @@ class ObjectRunner:
             results=results, objects=pooled, duplicates_merged=merged
         )
 
-    def _run_prepared(
-        self, source: str, pages: list[Element], result: SourceResult
-    ) -> SourceResult:
-        params = self.params
-        started = time.perf_counter()
-        block_trees: list[BlockTree] | None = None
-        regions: list[Element] = pages
-        if params.use_segmentation:
-            block_trees = [segment_page(page) for page in pages]
-            signature = main_content_block(block_trees)
-            if signature is not None:
-                resolved: list[Element] = []
-                for page, tree in zip(pages, block_trees):
-                    block = find_block_by_signature(tree, signature)
-                    resolved.append(block.element if block else page)
-                regions = resolved
-        result.timings.preprocess += time.perf_counter() - started
-
-        # Annotation + sample selection (Algorithm 1, or the random
-        # baseline of Table II).
-        started = time.perf_counter()
-        term_frequency = None
-        if self._ontology is not None:
-            term_frequency = self._ontology.term_frequency
-        try:
-            sample_regions, sample_indexes = self._select_sample(
-                source, regions, block_trees, term_frequency
-            )
-        except SourceDiscardedError as exc:
-            result.discarded = True
-            result.discard_stage = exc.stage
-            result.discard_reason = exc.reason
-            result.timings.annotation = time.perf_counter() - started
-            return result
-        result.sample_page_indexes = sample_indexes
-        result.timings.annotation = time.perf_counter() - started
-
-        # Wrapper generation with automatic parameter variation: try each
-        # support value, keep the matched wrapper with fewest conflicting
-        # annotations (the self-validation loop of Section IV).
-        started = time.perf_counter()
-        best: Wrapper | None = None
-        last_error: SourceDiscardedError | None = None
-        for support in params.support_values:
-            config = WrapperConfig(
-                support=support,
-                use_annotations=True,
-                generalization_threshold=params.generalization_threshold,
-                chaos_ratio=params.chaos_ratio,
-            )
-            try:
-                wrapper = generate_wrapper(source, sample_regions, self.sod, config)
-            except SourceDiscardedError as exc:
-                last_error = exc
-                continue
-            if best is None or _wrapper_preference(wrapper) > _wrapper_preference(best):
-                best = wrapper
-            if best.match.matched and best.conflicts == 0:
-                break
-        result.timings.wrapping = time.perf_counter() - started
-        if best is None:
-            assert last_error is not None
-            result.discarded = True
-            result.discard_stage = last_error.stage
-            result.discard_reason = last_error.reason
-            return result
-
-        result.wrapper = best
-        result.support_used = best.support
-        result.conflicts = best.conflicts
-
-        started = time.perf_counter()
-        result.objects = extract_objects(best, pages, source=source)
-        result.timings.extraction = time.perf_counter() - started
-
-        if params.enrich_dictionaries:
-            self._enrich(best, result)
-        return result
-
-    # -- helpers ----------------------------------------------------------
-
-    def _select_sample(
-        self,
-        source: str,
-        regions: list[Element],
-        block_trees: list[BlockTree] | None,
-        term_frequency,
-    ) -> tuple[list[Element], list[int]]:
-        params = self.params
-        if params.sod_based_sampling:
-            run = select_sample(
-                source,
-                regions,
-                self.recognizers,
-                config=SampleSelectionConfig(
-                    sample_size=params.sample_size,
-                    alpha=params.alpha,
-                    enforce_alpha=params.enforce_alpha,
-                ),
-                term_frequency=term_frequency,
-                block_trees=block_trees,
-            )
-            return (
-                [page.root for page in run.sample],
-                [page.index for page in run.sample],
-            )
-        # Random-selection baseline: annotate a random page subset.
-        rng = DeterministicRng(params.sampling_seed).fork("random-sample", source)
-        indexes = sorted(
-            rng.sample(list(range(len(regions))), params.sample_size)
-        )
-        annotator = PageAnnotator()
-        sample: list[Element] = []
-        for index in indexes:
-            page = AnnotatedPage(root=regions[index], index=index)
-            for recognizer in self.recognizers:
-                annotator.annotate(page, recognizer)
-            sample.append(page.root)
-        return sample, indexes
-
-    def _enrich(self, wrapper: Wrapper, result: SourceResult) -> None:
-        """Feed extracted values back into the gazetteers (Eq. 4)."""
-        gazetteers = self.gazetteers()
-        values_by_type: dict[str, list[str]] = {}
-        for instance in result.objects:
-            for attribute, values in instance.flat().items():
-                values_by_type.setdefault(attribute, []).extend(values)
-        for type_name, gazetteer in gazetteers.items():
-            values = values_by_type.get(type_name, [])
-            if values:
-                enrich_dictionary(gazetteer, values, wrapper)
-
-
-def _wrapper_preference(wrapper: Wrapper) -> tuple[int, int, int]:
-    """Ordering key: matched first, then fewer conflicts, then more slots."""
-    return (
-        1 if wrapper.match.matched else 0,
-        -wrapper.conflicts,
-        len(wrapper.template.field_slots()),
-    )
-
 
 class ObjectRunnerSystem:
-    """Adapter exposing ObjectRunner behind the comparison interface."""
+    """Adapter exposing ObjectRunner behind the comparison interface.
+
+    Consumes pipeline stage events (through a
+    :class:`~repro.core.pipeline.StageEventCollector`) for its timing
+    figures instead of reaching into result internals; extra observers —
+    say, a benchmark-wide collector — can be injected at construction.
+    """
 
     def __init__(
         self,
@@ -378,12 +318,14 @@ class ObjectRunnerSystem:
         gazetteer_classes: dict[str, str] | None = None,
         params: RunParams | None = None,
         extra_gazetteer_entries: dict[str, dict[str, float]] | None = None,
+        observers: Iterable[PipelineObserver] = (),
     ):
         self._ontology = ontology
         self._corpus = corpus
         self._gazetteer_classes = gazetteer_classes
         self._params = params
         self._extra_gazetteer_entries = extra_gazetteer_entries
+        self._observers = list(observers)
 
     @property
     def name(self) -> str:
@@ -393,6 +335,7 @@ class ObjectRunnerSystem:
         self, source: str, pages: list[Element], sod: SodType
     ) -> SystemOutput:
         """Run the full pipeline on prepared pages of one source."""
+        collector = StageEventCollector()
         runner = ObjectRunner(
             sod=sod,
             ontology=self._ontology,
@@ -400,18 +343,20 @@ class ObjectRunnerSystem:
             gazetteer_classes=self._gazetteer_classes,
             params=self._params,
             extra_gazetteer_entries=self._extra_gazetteer_entries,
+            observers=(collector, *self._observers),
         )
         result = runner.run_source_prepared(source, pages)
-        if result.discarded:
+        final_event = collector.completed[-1] if collector.completed else None
+        if final_event is not None and final_event.discarded:
             return SystemOutput(
                 system=self.name,
                 source=source,
                 failed=True,
-                failure_reason=result.discard_reason,
+                failure_reason=final_event.discard_reason,
             )
         return SystemOutput(
             system=self.name,
             source=source,
             objects=result.objects,
-            wrap_seconds=result.timings.wrapping,
+            wrap_seconds=collector.stage_seconds("wrapping"),
         )

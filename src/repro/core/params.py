@@ -37,6 +37,10 @@ class RunParams:
     #: Random seed for the random-sampling baseline.
     sampling_seed: int = 7
     chaos_ratio: float = 0.5
+    #: Worker threads for multi-source runs (``run_sources``): independent
+    #: sources wrap concurrently when > 1.  Enrichment runs force serial
+    #: execution because gazetteer growth is order-dependent.
+    max_workers: int = 1
 
     def with_overrides(self, **kwargs) -> "RunParams":
         """A copy with some fields replaced."""
@@ -53,6 +57,7 @@ class RunParams:
             "neighborhood_radius": self.neighborhood_radius,
             "sampling_seed": self.sampling_seed,
             "chaos_ratio": self.chaos_ratio,
+            "max_workers": self.max_workers,
         }
         data.update(kwargs)
         return RunParams(**data)

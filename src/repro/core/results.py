@@ -10,16 +10,40 @@ from repro.wrapper.generate import Wrapper
 
 @dataclass
 class StageTimings:
-    """Wall-clock seconds per pipeline stage for one source."""
+    """Wall-clock seconds per pipeline stage for one source.
+
+    Filled by the pipeline's built-in
+    :class:`~repro.core.pipeline.TimingObserver`; each field is the
+    ``timing_field`` one or more stages declare (tidy/clean and
+    segmentation both accumulate into ``preprocess``).
+    """
 
     preprocess: float = 0.0
     annotation: float = 0.0
     wrapping: float = 0.0
     extraction: float = 0.0
+    enrichment: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.preprocess + self.annotation + self.wrapping + self.extraction
+        """Sum of all per-stage wall-clock seconds."""
+        return (
+            self.preprocess
+            + self.annotation
+            + self.wrapping
+            + self.extraction
+            + self.enrichment
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """The timings as a plain field -> seconds mapping."""
+        return {
+            "preprocess": self.preprocess,
+            "annotation": self.annotation,
+            "wrapping": self.wrapping,
+            "extraction": self.extraction,
+            "enrichment": self.enrichment,
+        }
 
 
 @dataclass
@@ -51,6 +75,9 @@ class SourceResult:
     discard_reason: str = ""
     support_used: int = 0
     conflicts: int = 0
+    #: Every support value the parameter-variation loop attempted, in
+    #: attempt order (diagnostics for the self-validation loop).
+    supports_attempted: list[int] = field(default_factory=list)
     timings: StageTimings = field(default_factory=StageTimings)
     sample_page_indexes: list[int] = field(default_factory=list)
 

@@ -1,0 +1,83 @@
+"""Annotation and wrapper-sample selection (paper Algorithm 1).
+
+Recognizers run over the regions' text nodes in decreasing selectivity
+order, and the top-k most annotated pages become the wrapper-training
+sample.  The per-block annotation-rate gate (threshold alpha) may discard
+the source outright — signalled by the underlying
+:class:`~repro.errors.SourceDiscardedError` propagating to the pipeline.
+With ``params.sod_based_sampling`` off, a deterministic random page
+subset is annotated instead (the random baseline of Table II).
+"""
+
+from __future__ import annotations
+
+from repro.annotation.annotator import AnnotatedPage, PageAnnotator
+from repro.annotation.sampling import SampleSelectionConfig, select_sample
+from repro.core.pipeline import PipelineContext, Stage, register_stage
+from repro.htmlkit.dom import Element
+from repro.utils.rng import DeterministicRng
+
+
+@register_stage
+class AnnotationStage(Stage):
+    """Annotate pages and select the wrapper-training sample."""
+
+    name = "annotation"
+    timing_field = "annotation"
+
+    def run(self, ctx: PipelineContext) -> None:
+        """Fill ``ctx.sample_regions`` and the result's sample indexes."""
+        if ctx.params.sod_based_sampling:
+            sample, indexes = self._sod_based_sample(ctx)
+        else:
+            sample, indexes = self._random_sample(ctx)
+        ctx.sample_regions = sample
+        ctx.result.sample_page_indexes = indexes
+        ctx.count("sample_pages_selected", len(sample))
+
+    def _sod_based_sample(
+        self, ctx: PipelineContext
+    ) -> tuple[list[Element], list[int]]:
+        """Algorithm 1: greedy annotation with candidate narrowing."""
+        params = ctx.params
+        term_frequency = None
+        if ctx.ontology is not None:
+            term_frequency = ctx.ontology.term_frequency
+        run = select_sample(
+            ctx.source,
+            ctx.regions,
+            list(ctx.recognizers),
+            config=SampleSelectionConfig(
+                sample_size=params.sample_size,
+                alpha=params.alpha,
+                enforce_alpha=params.enforce_alpha,
+            ),
+            term_frequency=term_frequency,
+            block_trees=ctx.block_trees,
+        )
+        ctx.count("pages_annotated", len(run.all_pages))
+        return (
+            [page.root for page in run.sample],
+            [page.index for page in run.sample],
+        )
+
+    def _random_sample(
+        self, ctx: PipelineContext
+    ) -> tuple[list[Element], list[int]]:
+        """Random-selection baseline: annotate a random page subset."""
+        params = ctx.params
+        rng = DeterministicRng(params.sampling_seed).fork(
+            "random-sample", ctx.source
+        )
+        indexes = sorted(
+            rng.sample(list(range(len(ctx.regions))), params.sample_size)
+        )
+        annotator = PageAnnotator()
+        sample: list[Element] = []
+        for index in indexes:
+            page = AnnotatedPage(root=ctx.regions[index], index=index)
+            for recognizer in ctx.recognizers:
+                annotator.annotate(page, recognizer)
+            sample.append(page.root)
+        ctx.count("pages_annotated", len(indexes))
+        return sample, indexes

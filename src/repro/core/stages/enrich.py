@@ -1,0 +1,42 @@
+"""Dictionary enrichment: feed extracted values back into gazetteers.
+
+The paper's Eq. 4 feedback loop — extracted values enter the gazetteers
+with a confidence blending wrapper quality (few conflicts) and overlap
+with already-known values.  With ``enrichment_passes > 1`` the runner
+re-runs the whole pipeline on the grown dictionaries.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PipelineContext, Stage, register_stage
+from repro.wrapper.enrichment import enrich_dictionary
+
+
+@register_stage
+class EnrichmentStage(Stage):
+    """Grow the gazetteers from this run's extracted values (Eq. 4)."""
+
+    name = "enrichment"
+    timing_field = "enrichment"
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        """Only runs when dictionary enrichment is switched on."""
+        return ctx.params.enrich_dictionaries
+
+    def run(self, ctx: PipelineContext) -> None:
+        """Merge extracted values into the matching gazetteers."""
+        assert ctx.wrapper is not None, "enrichment requires a wrapper"
+        gazetteers = ctx.gazetteers()
+        values_by_type: dict[str, list[str]] = {}
+        for instance in ctx.result.objects:
+            for attribute, values in instance.flat().items():
+                values_by_type.setdefault(attribute, []).extend(values)
+        added = 0
+        for type_name, gazetteer in gazetteers.items():
+            values = values_by_type.get(type_name, [])
+            if not values:
+                continue
+            before = len(gazetteer)
+            enrich_dictionary(gazetteer, values, ctx.wrapper)
+            added += len(gazetteer) - before
+        ctx.count("dictionary_entries_added", added)

@@ -1,0 +1,30 @@
+"""Extraction: apply the learned wrapper to every page of the source.
+
+Each page is segmented with the learned record identity, records align
+against the template, and slot values assemble into instance trees shaped
+like the SOD.  The stage reads ``ctx.wrapper``, which is set either by the
+wrapper-generation stage upstream or directly by the wrap-once /
+extract-often entry point (:meth:`repro.core.objectrunner.ObjectRunner.
+extract_with`).
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PipelineContext, Stage, register_stage
+from repro.wrapper.extraction import extract_objects
+
+
+@register_stage
+class ExtractionStage(Stage):
+    """Extract object instances from all pages with the wrapper."""
+
+    name = "extraction"
+    timing_field = "extraction"
+
+    def run(self, ctx: PipelineContext) -> None:
+        """Fill ``ctx.result.objects`` from ``ctx.pages``."""
+        assert ctx.wrapper is not None, "extraction requires a wrapper"
+        ctx.result.objects = extract_objects(
+            ctx.wrapper, ctx.pages, source=ctx.source
+        )
+        ctx.count("objects_extracted", len(ctx.result.objects))

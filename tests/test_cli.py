@@ -78,6 +78,110 @@ class TestExtract:
         assert "discarded" in capsys.readouterr().err
 
 
+class TestWrapperPersistenceFlags:
+    def test_save_then_load_wrapper_round_trip(self, figure3_files, capsys, tmp_path):
+        pages, artists, theaters = figure3_files
+        wrapper_path = str(tmp_path / "wrapper.json")
+        code = main(
+            [
+                "extract",
+                "--sod", SOD,
+                "--dict", f"artist={artists}",
+                "--dict", f"theater={theaters}",
+                "--save-wrapper", wrapper_path,
+                *pages,
+            ]
+        )
+        assert code == 0
+        first = capsys.readouterr()
+        saved = json.loads((tmp_path / "wrapper.json").read_text())
+        assert saved["version"] == 1
+
+        # Extract-often path: no --sod, no dictionaries, no re-wrapping.
+        code = main(["extract", "--load-wrapper", wrapper_path, *pages])
+        assert code == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "wrapping 0 ms" in second.err
+
+    def test_sod_required_without_load_wrapper(self, figure3_files, capsys):
+        pages, *_ = figure3_files
+        code = main(["extract", *pages])
+        assert code == 2
+        assert "--sod is required" in capsys.readouterr().err
+
+    def test_load_wrapper_missing_file(self, figure3_files, capsys):
+        pages, *_ = figure3_files
+        code = main(["extract", "--load-wrapper", "/nonexistent.json", *pages])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_load_wrapper_corrupt_json(self, figure3_files, capsys, tmp_path):
+        pages, *_ = figure3_files
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        code = main(["extract", "--load-wrapper", str(bad), *pages])
+        assert code == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_load_wrapper_unsupported_version(
+        self, figure3_files, capsys, tmp_path
+    ):
+        pages, *_ = figure3_files
+        stale = tmp_path / "stale.json"
+        stale.write_text(json.dumps({"version": 99}), encoding="utf-8")
+        code = main(["extract", "--load-wrapper", str(stale), *pages])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceFlag:
+    def test_trace_writes_stage_events(self, figure3_files, capsys, tmp_path):
+        pages, artists, theaters = figure3_files
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "extract",
+                "--sod", SOD,
+                "--dict", f"artist={artists}",
+                "--dict", f"theater={theaters}",
+                "--trace", str(trace_path),
+                *pages,
+            ]
+        )
+        assert code == 0
+        events = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "pipeline_start"
+        assert kinds[-1] == "pipeline_end"
+        stages = [e["stage"] for e in events if e["event"] == "stage_end"]
+        assert stages == [
+            "preprocess", "segmentation", "annotation", "wrapping", "extraction",
+        ]
+        assert all("elapsed_s" in e for e in events if e["event"] == "stage_end")
+
+    def test_trace_written_even_when_discarded(self, tmp_path, capsys):
+        page = tmp_path / "junk.html"
+        page.write_text("<html><body><p>nothing here</p></body></html>")
+        trace_path = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "extract",
+                "--sod", "t(date<kind=predefined>)",
+                "--trace", str(trace_path),
+                str(page),
+            ]
+        )
+        assert code == 1
+        events = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        summary = next(e for e in events if e["event"] == "pipeline_end")
+        assert summary["discarded"] is True
+
+
 class TestDescribe:
     def test_describe_prints_structure(self, capsys):
         code = main(["describe", SOD])

@@ -1,0 +1,210 @@
+"""Unit tests for the staged pipeline: registry, ordering, context flow."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import ObjectRunner, RunParams
+from repro.core.pipeline import (
+    DEFAULT_STAGE_ORDER,
+    Pipeline,
+    PipelineContext,
+    PipelineObserver,
+    Stage,
+    build_stages,
+    stage_registry,
+)
+from repro.core.stages import prefer_wrapper
+from repro.datasets import build_knowledge, domain_spec, generate_source
+from repro.datasets.sites import SiteSpec
+
+
+@pytest.fixture(scope="module")
+def albums_setup():
+    domain = domain_spec("albums")
+    spec = SiteSpec(
+        name="stages-albums",
+        domain="albums",
+        archetype="clean",
+        total_objects=30,
+        seed=("stages", "albums"),
+    )
+    source = generate_source(spec, domain)
+    knowledge = build_knowledge(domain, coverage=0.2)
+    return domain, source, knowledge
+
+
+def make_runner(domain, knowledge, params=None, observers=()):
+    return ObjectRunner(
+        domain.sod,
+        ontology=knowledge.ontology,
+        corpus=knowledge.corpus,
+        gazetteer_classes=domain.gazetteer_classes,
+        params=params,
+        observers=observers,
+    )
+
+
+class RecordingObserver(PipelineObserver):
+    """Collects (kind, stage) tuples in emission order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_pipeline_start(self, event, ctx):
+        self.events.append(("pipeline_start", ""))
+
+    def on_stage_start(self, event, ctx):
+        self.events.append(("stage_start", event.stage))
+
+    def on_stage_end(self, event, ctx):
+        self.events.append(("stage_end", event.stage))
+
+    def on_pipeline_end(self, event, ctx):
+        self.events.append(("pipeline_end", ""))
+
+
+class TestRegistry:
+    def test_default_order_registered(self):
+        registry = stage_registry()
+        for name in DEFAULT_STAGE_ORDER:
+            assert name in registry
+
+    def test_build_stages_in_order(self):
+        stages = build_stages()
+        assert [stage.name for stage in stages] == list(DEFAULT_STAGE_ORDER)
+
+    def test_unknown_stage_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            build_stages(["preprocess", "nope"])
+
+    def test_register_requires_name(self):
+        from repro.core.pipeline import register_stage
+
+        class Nameless(Stage):
+            """A stage without a name."""
+
+        with pytest.raises(ValueError):
+            register_stage(Nameless)
+
+    def test_custom_stage_can_join_a_pipeline(self, albums_setup):
+        domain, source, knowledge = albums_setup
+
+        class MarkerStage(Stage):
+            """Writes a marker into the context artifacts."""
+
+            name = "marker"
+
+            def run(self, ctx):
+                ctx.artifacts["marker"] = ctx.counters["pages_prepared"]
+
+        runner = make_runner(domain, knowledge)
+        stages = build_stages(("preprocess",)) + [MarkerStage()]
+        ctx = runner._context("stages-albums", raw_pages=source.pages)
+        Pipeline(stages).run(ctx)
+        assert ctx.artifacts["marker"] == len(source.pages)
+
+
+class TestStageOrderingAndContext:
+    def test_stages_run_in_declared_order(self, albums_setup):
+        domain, source, knowledge = albums_setup
+        observer = RecordingObserver()
+        runner = make_runner(domain, knowledge, observers=(observer,))
+        result = runner.run_source("stages-albums", source.pages)
+        assert result.ok
+        started = [stage for kind, stage in observer.events if kind == "stage_start"]
+        # Enrichment is disabled by default, so it never emits events.
+        assert started == ["preprocess", "segmentation", "annotation",
+                           "wrapping", "extraction"]
+        assert observer.events[0] == ("pipeline_start", "")
+        assert observer.events[-1] == ("pipeline_end", "")
+
+    def test_context_accumulates_artifacts_across_stages(self, albums_setup):
+        domain, source, knowledge = albums_setup
+        runner = make_runner(domain, knowledge)
+        ctx = runner._context("stages-albums", raw_pages=source.pages)
+        runner._build_pipeline().run(ctx)
+        assert len(ctx.pages) == len(source.pages)
+        assert ctx.regions  # segmentation narrowed or copied the pages
+        assert ctx.sample_regions
+        assert ctx.wrapper is not None
+        assert ctx.result.objects
+        assert ctx.counters["objects_extracted"] == len(ctx.result.objects)
+
+    def test_prepared_entry_skips_preprocess(self, albums_setup):
+        domain, source, knowledge = albums_setup
+        observer = RecordingObserver()
+        runner = make_runner(domain, knowledge, observers=(observer,))
+        pages = runner.prepare_pages(source.pages)
+        result = runner.run_source_prepared("stages-albums", pages)
+        assert result.ok
+        started = [stage for kind, stage in observer.events if kind == "stage_start"]
+        assert "preprocess" not in started
+        assert started[0] == "segmentation"
+
+    def test_discard_stops_the_pipeline(self):
+        domain = domain_spec("albums")
+        knowledge = build_knowledge(domain, coverage=0.2)
+        observer = RecordingObserver()
+        runner = make_runner(domain, knowledge, observers=(observer,))
+        result = runner.run_source(
+            "junk", ["<html><body><p>nothing</p></body></html>"] * 3
+        )
+        assert result.discarded
+        started = [stage for kind, stage in observer.events if kind == "stage_start"]
+        assert "extraction" not in started
+        assert observer.events[-1] == ("pipeline_end", "")
+
+
+class TestSupportSelection:
+    def _wrapper(self, matched=True, conflicts=0, slots=3, support=3):
+        template = SimpleNamespace(field_slots=lambda: list(range(slots)))
+        return SimpleNamespace(
+            match=SimpleNamespace(matched=matched),
+            conflicts=conflicts,
+            template=template,
+            support=support,
+        )
+
+    def test_better_preference_wins(self):
+        worse = self._wrapper(conflicts=2, support=3)
+        better = self._wrapper(conflicts=0, support=5)
+        assert prefer_wrapper(worse, better) is better
+        assert prefer_wrapper(better, worse) is better
+
+    def test_tie_breaks_toward_smaller_support(self):
+        big = self._wrapper(support=5)
+        small = self._wrapper(support=3)
+        # Regardless of attempt order, the smaller support wins the tie.
+        assert prefer_wrapper(big, small) is small
+        assert prefer_wrapper(small, big) is small
+
+    def test_none_yields_candidate(self):
+        candidate = self._wrapper()
+        assert prefer_wrapper(None, candidate) is candidate
+
+    def test_supports_attempted_recorded(self, albums_setup):
+        domain, source, knowledge = albums_setup
+        runner = make_runner(domain, knowledge)
+        result = runner.run_source("stages-albums", source.pages)
+        assert result.ok
+        assert result.supports_attempted
+        assert result.supports_attempted == list(
+            runner.params.support_values[: len(result.supports_attempted)]
+        )
+        assert result.support_used in result.supports_attempted
+
+    def test_descending_support_order_is_deterministic(self, albums_setup):
+        # The same source wrapped with supports offered in opposite orders
+        # must choose the same support whenever preferences tie.
+        domain, source, knowledge = albums_setup
+        ascending = make_runner(
+            domain, knowledge, RunParams(support_values=(3, 4, 5))
+        ).run_source("stages-albums", source.pages)
+        descending = make_runner(
+            domain, knowledge, RunParams(support_values=(5, 4, 3))
+        ).run_source("stages-albums", source.pages)
+        assert ascending.ok and descending.ok
+        assert [o.values for o in ascending.objects] == [
+            o.values for o in descending.objects
+        ]
