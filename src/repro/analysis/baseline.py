@@ -1,0 +1,154 @@
+"""The committed baseline of grandfathered reprolint findings.
+
+A baseline entry names one *known and justified* finding: rule id, file,
+the offending source line, and a one-line reason explaining why the code
+is acceptable as-is.  Matching is by ``(rule, path, snippet)`` rather than
+line number, so unrelated edits that merely move the line do not invalidate
+the baseline, while changing the flagged code itself *expires* the entry —
+the engine then demands its removal, keeping the file tight.
+
+Workflow:
+
+- ``reprolint src --update-baseline`` records the current open findings,
+  preserving the reasons of entries that still match and stamping new
+  entries with ``TODO: justify`` — which fails subsequent runs until a
+  human replaces it with a real justification.
+- Entries whose finding disappeared are *expired*: the engine reports them
+  and exits non-zero until they are removed (``--update-baseline`` drops
+  them automatically).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.engine import (
+    STATUS_BASELINED,
+    STATUS_OPEN,
+    AnalysisReport,
+    Finding,
+)
+
+BASELINE_VERSION = 1
+
+#: Reason stamped on entries ``--update-baseline`` adds; runs fail while
+#: any entry still carries it.
+PLACEHOLDER_REASON = "TODO: justify"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    snippet: str
+    reason: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "reason": self.reason,
+        }
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Parse a baseline file (missing file means an empty baseline)."""
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise BaselineError(f"{path} must be an object with an 'entries' list")
+    entries = []
+    for raw in data["entries"]:
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    snippet=raw["snippet"],
+                    reason=str(raw.get("reason", "")),
+                )
+            )
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"{path}: malformed entry {raw!r} (need rule/path/snippet)"
+            ) from exc
+    return entries
+
+
+def save_baseline(path: Path, entries: list[BaselineEntry]) -> None:
+    """Write a baseline file (entries sorted for stable diffs)."""
+    ordered = sorted(entries, key=lambda e: e.key())
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.to_json() for entry in ordered],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    report: AnalysisReport, entries: list[BaselineEntry]
+) -> None:
+    """Mark matching open findings as baselined; record stale entries.
+
+    Mutates ``report`` in place: matched findings flip to
+    ``STATUS_BASELINED``; entries that matched nothing land in
+    ``report.expired_baseline``; matched entries without a real reason
+    land in ``report.unjustified_baseline``.
+    """
+    open_by_key: dict[tuple[str, str, str], list[Finding]] = {}
+    for finding in report.findings:
+        if finding.status == STATUS_OPEN:
+            key = (finding.rule, finding.path, finding.snippet)
+            open_by_key.setdefault(key, []).append(finding)
+    for entry in entries:
+        matches = open_by_key.get(entry.key(), [])
+        if not matches:
+            report.expired_baseline.append(entry.to_json())
+            continue
+        for finding in matches:
+            finding.status = STATUS_BASELINED
+        reason = entry.reason.strip()
+        if not reason or reason == PLACEHOLDER_REASON:
+            report.unjustified_baseline.append(entry.to_json())
+
+
+def updated_baseline(
+    report: AnalysisReport, previous: list[BaselineEntry]
+) -> list[BaselineEntry]:
+    """The baseline covering the report's open + baselined findings.
+
+    Reasons of still-matching previous entries carry over; genuinely new
+    findings get the placeholder reason so they cannot slip through
+    unjustified.  Expired entries are dropped.
+    """
+    reasons = {entry.key(): entry.reason for entry in previous}
+    fresh: dict[tuple[str, str, str], BaselineEntry] = {}
+    for finding in report.findings:
+        if finding.status not in (STATUS_OPEN, STATUS_BASELINED):
+            continue
+        key = (finding.rule, finding.path, finding.snippet)
+        if key in fresh:
+            continue
+        fresh[key] = BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            snippet=finding.snippet,
+            reason=reasons.get(key, PLACEHOLDER_REASON),
+        )
+    return list(fresh.values())

@@ -1,0 +1,150 @@
+"""The reprolint command line: ``python -m repro.analysis`` / ``reprolint``.
+
+Exit codes: 0 — clean (every finding suppressed or justified in the
+baseline); 1 — open findings, expired baseline entries, or baseline
+entries without a real reason; 2 — usage errors (bad path, bad baseline
+file, unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    save_baseline,
+    updated_baseline,
+)
+from repro.analysis.engine import analyze_paths, build_rules, iter_rule_docs
+from repro.analysis.reporters import render_json, render_text
+
+DEFAULT_BASELINE = "reprolint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the reprolint CLI."""
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based static analysis enforcing determinism, stage "
+            "contracts and concurrency safety across the repro codebase"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="path findings are reported relative to (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of justified findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="ID[,ID...]",
+        help="run only the named rules (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        metavar="N",
+        help="worker threads for the file walk (0 = auto)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list suppressed and baselined findings (text format)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, title, rationale in iter_rule_docs():
+            print(f"{rule_id}  {title}")
+            print(f"       {rationale}")
+        return 0
+
+    try:
+        rule_ids = (
+            [part.strip() for part in args.rules.split(",") if part.strip()]
+            if args.rules
+            else None
+        )
+        rules = build_rules(rule_ids)
+    except ValueError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    root = Path(args.root).resolve()
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        names = ", ".join(str(p) for p in missing)
+        print(f"reprolint: error: no such path: {names}", file=sys.stderr)
+        return 2
+
+    report = analyze_paths(paths, root=root, rules=rules, jobs=args.jobs)
+
+    baseline_path = Path(args.baseline)
+    entries = []
+    if not args.no_baseline:
+        try:
+            entries = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"reprolint: error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.update_baseline:
+        fresh = updated_baseline(report, entries)
+        save_baseline(baseline_path, fresh)
+        print(
+            f"reprolint: baseline {baseline_path} updated "
+            f"({len(fresh)} entries)"
+        )
+        return 0
+
+    apply_baseline(report, entries)
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return 0 if report.clean else 1

@@ -1,0 +1,78 @@
+"""Text and JSON reporters for reprolint analysis reports."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analysis.engine import (
+    STATUS_BASELINED,
+    STATUS_SUPPRESSED,
+    AnalysisReport,
+)
+
+#: Version of the JSON report schema (bumped on breaking changes).
+JSON_SCHEMA_VERSION = 1
+
+
+def summarize(report: AnalysisReport) -> dict:
+    """The counts block shared by both reporters."""
+    open_by_rule = Counter(f.rule for f in report.open_findings)
+    return {
+        "files_scanned": report.files_scanned,
+        "open": len(report.open_findings),
+        "suppressed": len(report.by_status(STATUS_SUPPRESSED)),
+        "baselined": len(report.by_status(STATUS_BASELINED)),
+        "expired_baseline": len(report.expired_baseline),
+        "unjustified_baseline": len(report.unjustified_baseline),
+        "open_by_rule": {rule: open_by_rule[rule] for rule in sorted(open_by_rule)},
+        "clean": report.clean,
+    }
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    """Human-readable report: one line per actionable item plus a summary."""
+    lines: list[str] = []
+    for finding in report.findings:
+        if finding.status != "open" and not verbose:
+            continue
+        marker = "" if finding.status == "open" else f" [{finding.status}]"
+        lines.append(
+            f"{finding.location()}: {finding.rule}: {finding.message}{marker}"
+        )
+    for entry in report.expired_baseline:
+        lines.append(
+            f"{entry['path']}: {entry['rule']}: baseline entry no longer "
+            f"matches any finding — remove it (snippet: {entry['snippet']!r})"
+        )
+    for entry in report.unjustified_baseline:
+        lines.append(
+            f"{entry['path']}: {entry['rule']}: baseline entry needs a real "
+            f"one-line reason (currently {entry['reason']!r})"
+        )
+    summary = summarize(report)
+    lines.append(
+        f"reprolint: {summary['files_scanned']} files, "
+        f"{summary['open']} open, {summary['suppressed']} suppressed, "
+        f"{summary['baselined']} baselined"
+        + (
+            f", {summary['expired_baseline']} expired baseline"
+            if summary["expired_baseline"]
+            else ""
+        )
+        + (" — clean" if report.clean else "")
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-readable report (schema: see docs/ANALYSIS.md)."""
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "root": str(report.root),
+        "summary": summarize(report),
+        "findings": [finding.to_json() for finding in report.findings],
+        "expired_baseline": list(report.expired_baseline),
+        "unjustified_baseline": list(report.unjustified_baseline),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,43 @@
+"""Bundled reprolint rules; importing this package registers them all.
+
+=========  ==============================================================
+Rule id    Check
+=========  ==============================================================
+``D101``   stdlib ``random`` outside ``utils/rng.py``
+``D102``   wall-clock reads outside observer modules
+``D103``   bare-set iteration feeding an ordering-sensitive sink
+``D104``   unsorted filesystem listings
+``C201``   stage context access outside the declared reads/writes
+``T301``   module-level state written by pool-reachable code
+=========  ==============================================================
+
+The full catalog with rationale and examples lives in ``docs/ANALYSIS.md``.
+"""
+
+from repro.analysis.rules.concurrency import SharedStateRule
+from repro.analysis.rules.contracts import (
+    ALWAYS_ALLOWED,
+    StageContract,
+    StageContractRule,
+    stage_contracts,
+)
+from repro.analysis.rules.determinism import (
+    SetOrderRule,
+    UnseededRandomRule,
+    UnsortedListingRule,
+    WallClockRule,
+    is_set_expr,
+)
+
+__all__ = [
+    "ALWAYS_ALLOWED",
+    "SetOrderRule",
+    "SharedStateRule",
+    "StageContract",
+    "StageContractRule",
+    "UnseededRandomRule",
+    "UnsortedListingRule",
+    "WallClockRule",
+    "is_set_expr",
+    "stage_contracts",
+]

@@ -1,0 +1,266 @@
+"""C201: stage bodies must stay within their declared context contract.
+
+Every :class:`~repro.core.pipeline.Stage` registered with
+``@register_stage`` declares the :class:`~repro.core.pipeline.
+PipelineContext` fields it reads and writes (``reads``/``writes`` class
+attributes).  This rule statically verifies the declaration: every
+``ctx.<field>`` load must be declared (reads or writes — read-after-write
+is fine), every ``ctx.<field>`` store or mutation-through-field
+(``ctx.result.objects = ...``) must be declared as a write, and every
+declared name must be an actual ``PipelineContext`` field.  The counter
+and scratch APIs (``count``, ``counters``, ``gazetteers``, ``artifacts``)
+are part of the context's service surface and always allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+
+#: Context attributes every stage may use without declaring them: the
+#: counter/scratch/service API rather than dataflow fields.
+ALWAYS_ALLOWED = frozenset({"count", "counters", "gazetteers", "artifacts"})
+
+
+@dataclass
+class StageContract:
+    """The declared contract of one registered stage class."""
+
+    class_name: str
+    stage_name: str
+    reads: tuple[str, ...] | None
+    writes: tuple[str, ...] | None
+    node: ast.ClassDef = field(repr=False, default=None)
+
+
+def _decorated_with_register_stage(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator
+        if isinstance(target, ast.Call):
+            target = target.func
+        if isinstance(target, ast.Name) and target.id == "register_stage":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "register_stage":
+            return True
+    return False
+
+
+def _string_tuple(node: ast.AST) -> tuple[str, ...] | None:
+    """The value of a ``("a", "b")`` literal, or None when not one."""
+    if isinstance(node, (ast.Tuple, ast.List)) and all(
+        isinstance(el, ast.Constant) and isinstance(el.value, str)
+        for el in node.elts
+    ):
+        return tuple(el.value for el in node.elts)
+    return None
+
+
+def stage_contracts(tree: ast.Module) -> list[StageContract]:
+    """The contracts of every ``@register_stage`` class in a module."""
+    contracts = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not _decorated_with_register_stage(node):
+            continue
+        declared: dict[str, tuple[str, ...] | None] = {}
+        stage_name = ""
+        for stmt in node.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id in ("reads", "writes"):
+                    declared[target.id] = _string_tuple(stmt.value)
+                elif target.id == "name" and isinstance(stmt.value, ast.Constant):
+                    stage_name = str(stmt.value.value)
+        contracts.append(
+            StageContract(
+                class_name=node.name,
+                stage_name=stage_name,
+                reads=declared.get("reads"),
+                writes=declared.get("writes"),
+                node=node,
+            )
+        )
+    return contracts
+
+
+def _ctx_param_names(func: ast.FunctionDef) -> set[str]:
+    """Parameters of a function that carry the pipeline context."""
+    names: set[str] = set()
+    for arg in list(func.args.args) + list(func.args.kwonlyargs):
+        annotation = ""
+        if arg.annotation is not None:
+            annotation = ast.unparse(arg.annotation)
+        if arg.arg == "ctx" or "PipelineContext" in annotation:
+            names.add(arg.arg)
+    return names
+
+
+def _store_chain_roots(func: ast.FunctionDef, ctx_names: set[str]) -> set[int]:
+    """ids of first-level ``ctx.<field>`` nodes inside assignment targets.
+
+    Covers both direct stores (``ctx.pages = ...``) and mutation through a
+    field (``ctx.result.objects = ...``, ``ctx.artifacts["x"] = ...``).
+    """
+    roots: set[int] = set()
+
+    def mark(target: ast.AST) -> None:
+        node = target
+        while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+            inner = node.value if not isinstance(node, ast.Starred) else node.value
+            if isinstance(node, ast.Attribute) and isinstance(inner, ast.Name):
+                if inner.id in ctx_names:
+                    roots.add(id(node))
+                return
+            node = inner
+        if isinstance(node, (ast.Tuple, ast.List)):
+            for el in node.elts:
+                mark(el)
+
+    for stmt in ast.walk(func):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                mark(target)
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            mark(stmt.target)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                mark(target)
+    return roots
+
+
+@register_rule
+class StageContractRule(Rule):
+    """C201: verify stage context accesses against reads/writes."""
+
+    rule_id = "C201"
+    title = "stage context access outside the declared contract"
+    rationale = (
+        "Stages declare the PipelineContext fields they read and write; "
+        "an undeclared access means hidden dataflow between stages that "
+        "the pipeline order no longer documents or protects."
+    )
+
+    #: Fields of PipelineContext, parsed lazily from core/pipeline.py next
+    #: to the analyzed stage file; None when it cannot be located (fixture
+    #: trees), in which case the unknown-field check is skipped.
+    def __init__(self, known_fields: frozenset[str] | None = None):
+        self._known_fields = known_fields
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Check every registered stage class against its declaration."""
+        contracts = stage_contracts(ctx.tree)
+        if not contracts:
+            return
+        known = self._known_fields or _context_fields_for(ctx.path)
+        for contract in contracts:
+            yield from self._check_contract(ctx, contract, known)
+
+    def _check_contract(
+        self,
+        ctx: FileContext,
+        contract: StageContract,
+        known: frozenset[str] | None,
+    ) -> Iterator[Finding]:
+        label = contract.stage_name or contract.class_name
+        if contract.reads is None or contract.writes is None:
+            missing = [
+                attr
+                for attr, value in (("reads", contract.reads), ("writes", contract.writes))
+                if value is None
+            ]
+            yield ctx.finding(
+                self.rule_id,
+                contract.node,
+                f"stage {label!r} must declare {' and '.join(missing)} as "
+                "literal tuples of PipelineContext field names",
+            )
+            return
+        reads = frozenset(contract.reads)
+        writes = frozenset(contract.writes)
+        if known is not None:
+            for name in sorted((reads | writes) - known - ALWAYS_ALLOWED):
+                yield ctx.finding(
+                    self.rule_id,
+                    contract.node,
+                    f"stage {label!r} declares unknown context field {name!r}",
+                )
+        for func in contract.node.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            ctx_names = _ctx_param_names(func)
+            if not ctx_names:
+                continue
+            write_nodes = _store_chain_roots(func, ctx_names)
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Attribute):
+                    continue
+                base = node.value
+                if not (isinstance(base, ast.Name) and base.id in ctx_names):
+                    continue
+                fieldname = node.attr
+                if fieldname in ALWAYS_ALLOWED:
+                    continue
+                is_write = id(node) in write_nodes or isinstance(
+                    node.ctx, (ast.Store, ast.Del)
+                )
+                if is_write and fieldname not in writes:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"stage {label!r} writes ctx.{fieldname} in "
+                        f"{func.name}() but does not declare it in writes",
+                    )
+                elif not is_write and fieldname not in reads | writes:
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"stage {label!r} reads ctx.{fieldname} in "
+                        f"{func.name}() but does not declare it in reads",
+                    )
+
+
+def _context_fields_for(stage_file: Path) -> frozenset[str] | None:
+    """PipelineContext's field names, parsed from the nearest pipeline.py.
+
+    Stage modules live in ``core/stages/``; the context dataclass lives in
+    ``core/pipeline.py`` one level up.  Walks further up as a fallback so
+    relocated trees still resolve.  Returns None when no pipeline.py
+    defining PipelineContext is found.
+    """
+    for parent in stage_file.resolve().parents:
+        candidate = parent / "pipeline.py"
+        if not candidate.is_file():
+            continue
+        fields = _parse_context_fields(candidate)
+        if fields is not None:
+            return fields
+    return None
+
+
+def _parse_context_fields(pipeline_file: Path) -> frozenset[str] | None:
+    try:
+        tree = ast.parse(pipeline_file.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "PipelineContext":
+            names = set()
+            for stmt in node.body:
+                if isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    names.add(stmt.target.id)
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+            return frozenset(names)
+    return None

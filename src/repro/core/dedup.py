@@ -68,7 +68,9 @@ def _is_duplicate(
     right: dict[str, list[str]],
     config: DedupConfig,
 ) -> bool:
-    keys = config.key_attributes or tuple(set(left) & set(right))
+    # Sorted so the key order (and with it any tie-breaking downstream) is
+    # independent of PYTHONHASHSEED.
+    keys = config.key_attributes or tuple(sorted(set(left) & set(right)))
     if not keys:
         return False
     for key in keys:
@@ -81,7 +83,7 @@ def _is_duplicate(
         ):
             return False
     # Shared non-key attributes must not contradict each other.
-    for attribute in set(left) & set(right):
+    for attribute in sorted(set(left) & set(right)):
         if attribute in keys:
             continue
         if not _values_match(

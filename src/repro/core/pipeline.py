@@ -78,6 +78,9 @@ class PipelineEvent:
     discarded: bool = False
     discard_stage: str = ""
     discard_reason: str = ""
+    #: Set on the terminal ``pipeline_end`` event when a stage raised an
+    #: unexpected exception (``stage`` then names the failing stage).
+    error: str = ""
 
     def to_json(self) -> dict[str, Any]:
         """The event as a JSON-serializable dict (empty fields dropped)."""
@@ -93,6 +96,8 @@ class PipelineEvent:
             data["discarded"] = True
             data["discard_stage"] = self.discard_stage
             data["discard_reason"] = self.discard_reason
+        if self.error:
+            data["error"] = self.error
         return data
 
 
@@ -166,6 +171,11 @@ class TraceObserver(PipelineObserver):
     writable text stream.  Writes are locked, so one trace observer can
     serve a parallel multi-source run and produce an interleaved but
     line-atomic trace.
+
+    Every event line is flushed as it is written, so the trace stays
+    complete up to the crash point when a stage raises mid-pipeline (the
+    pipeline also emits a terminal ``pipeline_end`` event carrying the
+    error before re-raising).  :meth:`close` is idempotent.
     """
 
     def __init__(self, sink: str | Path | IO[str]):
@@ -176,10 +186,14 @@ class TraceObserver(PipelineObserver):
             self._handle = sink
             self._owns_handle = False
         self._lock = threading.Lock()
+        self._closed = False
 
     def _write(self, event: PipelineEvent) -> None:
         with self._lock:
+            if self._closed:
+                return
             self._handle.write(json.dumps(event.to_json(), sort_keys=True) + "\n")
+            self._handle.flush()
 
     def on_pipeline_start(self, event: PipelineEvent, ctx: "PipelineContext") -> None:
         """Trace the run header."""
@@ -194,14 +208,15 @@ class TraceObserver(PipelineObserver):
         self._write(event)
 
     def on_pipeline_end(self, event: PipelineEvent, ctx: "PipelineContext") -> None:
-        """Trace the run summary and flush."""
+        """Trace the run summary."""
         self._write(event)
-        with self._lock:
-            self._handle.flush()
 
     def close(self) -> None:
-        """Flush and close the sink if this observer opened it."""
+        """Flush and close the sink if this observer opened it (idempotent)."""
         with self._lock:
+            if self._closed:
+                return
+            self._closed = True
             self._handle.flush()
             if self._owns_handle:
                 self._handle.close()
@@ -315,10 +330,22 @@ class Stage:
     attribute their wall-clock accumulates into), and implement
     :meth:`run`.  ``enabled`` lets a stage excuse itself from a run —
     skipped stages emit no events.
+
+    ``reads``/``writes`` declare the stage's *context contract*: the
+    :class:`PipelineContext` fields its methods may load and store.  The
+    reprolint stage-contract rule (``C201``, see ``docs/ANALYSIS.md``)
+    statically verifies every registered stage's body against its
+    declaration, so inter-stage dataflow stays visible in one place.  The
+    counter/scratch APIs (``count``/``counters``/``gazetteers``/
+    ``artifacts``) never need declaring.
     """
 
     name: str = ""
     timing_field: str = ""
+    #: PipelineContext fields this stage may load (enforced by reprolint).
+    reads: tuple[str, ...] = ()
+    #: PipelineContext fields this stage may store or mutate through.
+    writes: tuple[str, ...] = ()
 
     def enabled(self, ctx: PipelineContext) -> bool:
         """Whether this stage should run for the given context."""
@@ -420,6 +447,23 @@ class Pipeline:
                 result.discarded = True
                 result.discard_stage = exc.stage
                 result.discard_reason = exc.reason
+            except Exception as exc:
+                # Unexpected failure: close the trace coherently — emit a
+                # terminal event naming the stage and error — then let the
+                # exception propagate to the caller unchanged.
+                self.bus.emit(
+                    PipelineEvent(
+                        kind="pipeline_end",
+                        source=ctx.source,
+                        stage=stage.name,
+                        pass_index=ctx.pass_index,
+                        elapsed=time.perf_counter() - run_started,
+                        counters=dict(ctx.counters),
+                        error=f"{type(exc).__name__}: {exc}",
+                    ),
+                    ctx,
+                )
+                raise
             elapsed = time.perf_counter() - stage_started
             deltas = {
                 name: value - counters_before.get(name, 0)

@@ -24,6 +24,8 @@ class AnnotationStage(Stage):
 
     name = "annotation"
     timing_field = "annotation"
+    reads = ("params", "ontology", "source", "regions", "recognizers", "block_trees")
+    writes = ("sample_regions", "result")
 
     def run(self, ctx: PipelineContext) -> None:
         """Fill ``ctx.sample_regions`` and the result's sample indexes."""

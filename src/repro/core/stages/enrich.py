@@ -18,6 +18,8 @@ class EnrichmentStage(Stage):
 
     name = "enrichment"
     timing_field = "enrichment"
+    reads = ("params", "wrapper", "result")
+    writes = ()
 
     def enabled(self, ctx: PipelineContext) -> bool:
         """Only runs when dictionary enrichment is switched on."""

@@ -20,6 +20,8 @@ class ExtractionStage(Stage):
 
     name = "extraction"
     timing_field = "extraction"
+    reads = ("wrapper", "pages", "source")
+    writes = ("result",)
 
     def run(self, ctx: PipelineContext) -> None:
         """Fill ``ctx.result.objects`` from ``ctx.pages``."""

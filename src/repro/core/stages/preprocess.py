@@ -31,6 +31,8 @@ class PreprocessStage(Stage):
 
     name = "preprocess"
     timing_field = "preprocess"
+    reads = ("raw_pages", "cache", "pages")
+    writes = ("pages",)
 
     def enabled(self, ctx: PipelineContext) -> bool:
         """Skip when the caller already supplied prepared page trees."""
@@ -58,6 +60,8 @@ class SegmentationStage(Stage):
 
     name = "segmentation"
     timing_field = "preprocess"
+    reads = ("pages", "params")
+    writes = ("regions", "block_trees")
 
     def run(self, ctx: PipelineContext) -> None:
         """Fill ``ctx.regions`` (and ``ctx.block_trees`` when segmenting)."""

@@ -48,6 +48,8 @@ class WrapperGenerationStage(Stage):
 
     name = "wrapping"
     timing_field = "wrapping"
+    reads = ("params", "source", "sample_regions", "sod")
+    writes = ("wrapper", "result")
 
     def run(self, ctx: PipelineContext) -> None:
         """Set ``ctx.wrapper`` to the preferred wrapper across supports."""

@@ -1,0 +1,291 @@
+"""Fixture-based positive/negative cases for each determinism rule."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_file, build_rules
+
+
+def run_rule(tmp_path, rule_id, source, name="mod.py"):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return [
+        f
+        for f in analyze_file(path, tmp_path, build_rules([rule_id]))
+        if f.rule == rule_id
+    ]
+
+
+class TestUnseededRandomD101:
+    def test_import_flagged(self, tmp_path):
+        assert run_rule(tmp_path, "D101", "import random\n")
+
+    def test_from_import_flagged(self, tmp_path):
+        assert run_rule(tmp_path, "D101", "from random import choice\n")
+
+    def test_call_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "D101",
+            "import random\n\ndef f():\n    return random.random()\n",
+        )
+        assert len(findings) == 2  # the import and the call
+
+    def test_rng_module_exempt(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D101",
+            "import random\n",
+            name="utils/rng.py",
+        )
+
+    def test_deterministic_rng_not_flagged(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D101",
+            "from repro.utils.rng import DeterministicRng\n"
+            "def f():\n    return DeterministicRng(0).random()\n",
+        )
+
+
+class TestWallClockD102:
+    @pytest.mark.parametrize(
+        "call",
+        ["time.time()", "time.time_ns()", "datetime.now()",
+         "datetime.datetime.now()", "datetime.utcnow()", "date.today()"],
+    )
+    def test_clock_calls_flagged(self, tmp_path, call):
+        assert run_rule(
+            tmp_path, "D102", f"def f():\n    return {call}\n"
+        )
+
+    def test_perf_counter_allowed(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D102",
+            "import time\n\ndef f():\n    return time.perf_counter()\n",
+        )
+
+    def test_observer_module_exempt(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D102",
+            "import time\n\ndef f():\n    return time.time()\n",
+            name="core/pipeline.py",
+        )
+
+
+class TestSetOrderD103:
+    def test_tuple_over_set_intersection_flagged(self, tmp_path):
+        assert run_rule(
+            tmp_path,
+            "D103",
+            "def f(a, b):\n    return tuple(set(a) & set(b))\n",
+        )
+
+    def test_list_over_set_flagged(self, tmp_path):
+        assert run_rule(tmp_path, "D103", "def f(a):\n    return list(set(a))\n")
+
+    def test_join_over_set_flagged(self, tmp_path):
+        assert run_rule(
+            tmp_path, "D103", "def f(a):\n    return ', '.join({x for x in a})\n"
+        )
+
+    def test_listcomp_over_set_flagged(self, tmp_path):
+        assert run_rule(
+            tmp_path, "D103", "def f(a):\n    return [x for x in set(a)]\n"
+        )
+
+    def test_dictcomp_over_set_flagged(self, tmp_path):
+        assert run_rule(
+            tmp_path, "D103", "def f(a):\n    return {x: 1 for x in set(a)}\n"
+        )
+
+    def test_accumulating_loop_over_set_flagged(self, tmp_path):
+        assert run_rule(
+            tmp_path,
+            "D103",
+            "def f(a):\n"
+            "    out = []\n"
+            "    for x in set(a):\n"
+            "        out.append(x)\n"
+            "    return out\n",
+        )
+
+    def test_sorted_neutralizes(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D103",
+            "def f(a, b):\n    return tuple(sorted(set(a) & set(b)))\n",
+        )
+
+    def test_membership_test_not_flagged(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D103",
+            "def f(a, x):\n    return x in set(a)\n",
+        )
+
+    def test_order_insensitive_loop_not_flagged(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D103",
+            "def f(a):\n"
+            "    seen = set()\n"
+            "    for x in set(a):\n"
+            "        seen.add(x)\n"
+            "    return seen\n",
+        )
+
+    def test_list_of_plain_sequence_not_flagged(self, tmp_path):
+        assert not run_rule(tmp_path, "D103", "def f(a):\n    return list(a)\n")
+
+
+class TestUnsortedListingD104:
+    def test_os_listdir_flagged(self, tmp_path):
+        assert run_rule(
+            tmp_path,
+            "D104",
+            "import os\n\ndef f(d):\n    return os.listdir(d)\n",
+        )
+
+    def test_glob_flagged(self, tmp_path):
+        assert run_rule(
+            tmp_path,
+            "D104",
+            "import glob\n\ndef f(p):\n    return glob.glob(p)\n",
+        )
+
+    def test_path_iterdir_flagged(self, tmp_path):
+        assert run_rule(
+            tmp_path, "D104", "def f(path):\n    return [p for p in path.iterdir()]\n"
+        )
+
+    def test_path_rglob_flagged(self, tmp_path):
+        assert run_rule(
+            tmp_path, "D104", "def f(path):\n    return list(path.rglob('*.py'))\n"
+        )
+
+    def test_sorted_listing_allowed(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D104",
+            "import os\n\ndef f(d):\n    return sorted(os.listdir(d))\n",
+        )
+
+    def test_sorted_comprehension_allowed(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D104",
+            "def f(path):\n"
+            "    return sorted(p.name for p in path.iterdir())\n",
+        )
+
+
+class TestSharedStateT301:
+    def _analyze_tree(self, tmp_path, files):
+        from repro.analysis import analyze_paths, build_rules
+
+        for name, source in files.items():
+            path = tmp_path / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        report = analyze_paths(
+            [tmp_path], root=tmp_path, rules=build_rules(["T301"]), jobs=1
+        )
+        return [f for f in report.findings if f.rule == "T301"]
+
+    POOL = """
+        from concurrent.futures import ThreadPoolExecutor
+        import state
+
+        def run_all(items):
+            with ThreadPoolExecutor() as pool:
+                return [f.result() for f in [pool.submit(state.work, i) for i in items]]
+    """
+
+    def test_module_dict_write_in_reachable_module_flagged(self, tmp_path):
+        findings = self._analyze_tree(
+            tmp_path,
+            {
+                "poolmod.py": self.POOL,
+                "state.py": """
+                    _CACHE = {}
+
+                    def work(item):
+                        _CACHE[item] = item * 2
+                        return _CACHE[item]
+                """,
+            },
+        )
+        assert any("'_CACHE'" in f.message for f in findings)
+
+    def test_global_rebind_flagged(self, tmp_path):
+        findings = self._analyze_tree(
+            tmp_path,
+            {
+                "poolmod.py": self.POOL,
+                "state.py": """
+                    TOTAL = 0
+
+                    def work(item):
+                        global TOTAL
+                        TOTAL += item
+                        return TOTAL
+                """,
+            },
+        )
+        assert any("'TOTAL'" in f.message for f in findings)
+
+    def test_mutating_method_call_flagged(self, tmp_path):
+        findings = self._analyze_tree(
+            tmp_path,
+            {
+                "poolmod.py": self.POOL,
+                "state.py": """
+                    _SEEN = []
+
+                    def work(item):
+                        _SEEN.append(item)
+                        return item
+                """,
+            },
+        )
+        assert any("'_SEEN'" in f.message for f in findings)
+
+    def test_unreachable_module_not_flagged(self, tmp_path):
+        findings = self._analyze_tree(
+            tmp_path,
+            {
+                "poolmod.py": self.POOL,
+                "state.py": """
+                    def work(item):
+                        return item
+                """,
+                "island.py": """
+                    _CACHE = {}
+
+                    def mutate(item):
+                        _CACHE[item] = item
+                """,
+            },
+        )
+        assert not findings
+
+    def test_local_state_not_flagged(self, tmp_path):
+        findings = self._analyze_tree(
+            tmp_path,
+            {
+                "poolmod.py": self.POOL,
+                "state.py": """
+                    def work(items):
+                        cache = {}
+                        for item in items:
+                            cache[item] = item
+                        return cache
+                """,
+            },
+        )
+        assert not findings

@@ -167,3 +167,67 @@ class TestSystemAdapterEvents:
         output = system.run("junk", pages, domain.sod)
         assert output.failed
         assert output.failure_reason
+
+
+class TestTraceObserverFailure:
+    """The trace sink stays coherent when a stage raises mid-pipeline."""
+
+    def _failing_pipeline(self, trace):
+        from repro.core.params import RunParams
+        from repro.core.pipeline import Pipeline, PipelineContext, Stage
+
+        class BoomStage(Stage):
+            name = "boom"
+
+            def run(self, ctx):
+                raise RuntimeError("kaput")
+
+        ctx = PipelineContext(source="doomed", params=RunParams(), sod={})
+        return Pipeline(stages=[BoomStage()], observers=(trace,)), ctx
+
+    def test_terminal_event_flushed_before_propagation(self, tmp_path):
+        trace_path = tmp_path / "crash.jsonl"
+        trace = TraceObserver(trace_path)
+        pipeline, ctx = self._failing_pipeline(trace)
+        with pytest.raises(RuntimeError, match="kaput"):
+            pipeline.run(ctx)
+        # Every line is already on disk *without* an explicit close: the
+        # observer flushes per event, so a crashing run leaves no torn tail.
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert [e["event"] for e in events] == [
+            "pipeline_start", "stage_start", "pipeline_end",
+        ]
+        terminal = events[-1]
+        assert terminal["error"] == "RuntimeError: kaput"
+        assert terminal["stage"] == "boom"
+        assert terminal["source"] == "doomed"
+        trace.close()
+
+    def test_close_is_idempotent_and_stops_writes(self, tmp_path):
+        trace_path = tmp_path / "crash.jsonl"
+        trace = TraceObserver(trace_path)
+        pipeline, ctx = self._failing_pipeline(trace)
+        with pytest.raises(RuntimeError):
+            pipeline.run(ctx)
+        trace.close()
+        trace.close()  # second close must not raise
+        before = trace_path.read_text()
+        with pytest.raises(RuntimeError):
+            pipeline.run(ctx)  # observer is closed: no further writes
+        assert trace_path.read_text() == before
+
+    def test_context_manager_closes_on_failure(self, tmp_path):
+        trace_path = tmp_path / "crash.jsonl"
+        with pytest.raises(RuntimeError):
+            with TraceObserver(trace_path) as trace:
+                pipeline, ctx = self._failing_pipeline(trace)
+                pipeline.run(ctx)
+        events = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+        ]
+        assert events[-1]["event"] == "pipeline_end"
+        assert "kaput" in events[-1]["error"]

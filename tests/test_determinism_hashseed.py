@@ -1,0 +1,71 @@
+"""Outputs are byte-identical across PYTHONHASHSEED values.
+
+Set and dict iteration order over strings depends on the interpreter's
+hash seed, so any code path that lets a bare set ordering leak into its
+output produces different bytes run-to-run.  The reprolint D103 rule
+catches these statically; this test catches them dynamically by running
+the audited modules — the synthetic site generator and the simulated
+Turk selection — in subprocesses with different hash seeds and comparing
+digests of everything they produce.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DIGEST_SCRIPT = """
+import hashlib
+
+from repro.datasets import domain_spec, generate_source
+from repro.datasets.sites import SiteSpec
+from repro.turk.selection import select_catalog_sources
+
+digest = hashlib.sha256()
+
+spec = SiteSpec(
+    name="seedcheck-albums",
+    domain="albums",
+    archetype="mixed_structure",
+    total_objects=40,
+    seed=("seedcheck", 1),
+)
+source = generate_source(spec, domain_spec("albums"))
+for page in source.pages:
+    digest.update(page.encode("utf-8"))
+for gold in source.gold:
+    digest.update(str(gold.page_index).encode("utf-8"))
+    for key in sorted(gold.flat):
+        digest.update(f"{key}={gold.flat[key]}".encode("utf-8"))
+
+selected, campaign = select_catalog_sources("albums", scale=0.05, workers=5)
+for entry in selected:
+    digest.update(entry.spec.name.encode("utf-8"))
+for name in campaign.selected:
+    digest.update(name.encode("utf-8"))
+
+print(digest.hexdigest())
+"""
+
+
+def run_with_hashseed(seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", DIGEST_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+def test_sites_and_turk_selection_stable_across_hash_seeds():
+    digests = {run_with_hashseed(seed) for seed in ("0", "1", "4242")}
+    assert len(digests) == 1, f"hash-seed dependent output: {digests}"
