@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from repro.core.cache import PreprocessCache
+from repro.core.faults import FaultInjector, FaultSpec, RetryPolicy, SourceFailure
 from repro.core.objectrunner import ObjectRunner, ObjectRunnerSystem
 from repro.core.params import RunParams
 from repro.core.pipeline import (
@@ -28,8 +29,14 @@ from repro.core.pipeline import (
     Stage,
     TraceObserver,
 )
-from repro.core.results import SourceResult
-from repro.errors import ReproError, SodError, SourceDiscardedError
+from repro.core.results import MultiSourceResult, SourceResult
+from repro.errors import (
+    MultiSourceError,
+    ReproError,
+    SodError,
+    SourceDiscardedError,
+    TransientSourceError,
+)
 from repro.sod.dsl import parse_sod
 from repro.sod.instances import ObjectInstance
 from repro.sod.types import (
@@ -47,6 +54,11 @@ __all__ = [
     "ObjectRunnerSystem",
     "RunParams",
     "SourceResult",
+    "MultiSourceResult",
+    "SourceFailure",
+    "RetryPolicy",
+    "FaultInjector",
+    "FaultSpec",
     "Pipeline",
     "PipelineContext",
     "PipelineEvent",
@@ -64,5 +76,7 @@ __all__ = [
     "ReproError",
     "SodError",
     "SourceDiscardedError",
+    "TransientSourceError",
+    "MultiSourceError",
     "__version__",
 ]

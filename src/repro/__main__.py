@@ -20,7 +20,13 @@ Subcommands:
   SOD travels inside the wrapper file, so ``--sod`` may be omitted).
 
   Observability: ``--trace trace.jsonl`` writes one JSON line per
-  pipeline event (stage start/end with wall-clock timings and counters).
+  pipeline event (stage start/end with wall-clock timings and counters,
+  plus ``stage_retry`` events when retries happen).
+
+  Resilience: ``--max-retries N`` re-attempts stages that raise
+  ``TransientSourceError`` with deterministic exponential backoff, and
+  ``--failure-policy {fail_fast,isolate}`` selects how multi-source runs
+  react to an unexpected per-source failure.
 
 - ``describe`` — parse an SOD and print its structure, canonical form and
   entity types (useful while authoring SODs).
@@ -33,7 +39,9 @@ import json
 import sys
 from pathlib import Path
 
+from repro.core.faults import FAILURE_POLICIES
 from repro.core.objectrunner import ObjectRunner
+from repro.core.params import RunParams
 from repro.core.pipeline import TraceObserver
 from repro.errors import ReproError
 from repro.recognizers.gazetteer import GazetteerRecognizer
@@ -66,6 +74,13 @@ def _cmd_extract(args: argparse.Namespace) -> int:
             GazetteerRecognizer(type_name, _load_dictionary(path))
         )
     pages = [Path(page).read_text(encoding="utf-8") for page in args.pages]
+    try:
+        params = RunParams().with_overrides(
+            failure_policy=args.failure_policy, max_retries=args.max_retries
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     observers = []
     trace = None
     if args.trace:
@@ -85,11 +100,15 @@ def _cmd_extract(args: argparse.Namespace) -> int:
                 return 1
             wrapper = wrapper_from_dict(data)
             sod = parse_sod(args.sod) if args.sod else wrapper.sod
-            runner = ObjectRunner(sod, registry=registry, observers=observers)
+            runner = ObjectRunner(
+                sod, registry=registry, params=params, observers=observers
+            )
             result = runner.extract_with(wrapper, pages)
         else:
             sod = parse_sod(args.sod)
-            runner = ObjectRunner(sod, registry=registry, observers=observers)
+            runner = ObjectRunner(
+                sod, registry=registry, params=params, observers=observers
+            )
             result = runner.run_source(args.source_name, pages)
     finally:
         if trace is not None:
@@ -167,6 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="FILE",
         help="write pipeline events (stage timings, counters) as JSON lines",
+    )
+    extract.add_argument(
+        "--failure-policy",
+        choices=FAILURE_POLICIES,
+        default="fail_fast",
+        help="how multi-source runs treat an unexpected per-source "
+        "failure: abort the batch (fail_fast) or record it and let "
+        "sibling sources finish (isolate)",
+    )
+    extract.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry a stage raising TransientSourceError up to N times "
+        "with deterministic exponential backoff (default: 0, no retries)",
     )
     extract.add_argument("pages", nargs="+", help="HTML files of one source")
     extract.set_defaults(func=_cmd_extract)

@@ -23,6 +23,10 @@ RNG_MODULE = "utils/rng.py"
 #: code measures, it never feeds measurements back into the dataflow.
 CLOCK_MODULES = ("core/pipeline.py",)
 
+#: Module (path suffix) allowed to call ``time.sleep``: the fault/retry
+#: layer owns the single real sleep behind an injectable callable.
+SLEEP_MODULES = ("core/faults.py",)
+
 #: Filesystem enumeration callables whose result order is OS-dependent.
 _FS_FUNCTIONS = {
     ("os", "listdir"),
@@ -135,6 +139,45 @@ class WallClockRule(Rule):
                     "not depend on when a run happens (perf_counter "
                     "durations are fine, in observers)",
                 )
+
+
+@register_rule
+class WallSleepRule(Rule):
+    """D105: ``time.sleep`` outside ``core/faults.py``."""
+
+    rule_id = "D105"
+    title = "time.sleep outside core/faults.py"
+    rationale = (
+        "A direct time.sleep makes tests wall-sleep and hides latency "
+        "from the observability layer; route every wait through the "
+        "injectable sleep of repro.core.faults (wall_sleep is the single "
+        "real call site) so tests can fake time."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag sleep calls and imports outside the fault/retry layer."""
+        if _is_path_allowed(ctx.relpath, SLEEP_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0 and any(
+                    alias.name == "sleep" for alias in node.names
+                ):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "import of time.sleep; use the injectable sleep "
+                        "from repro.core.faults instead",
+                    )
+            elif isinstance(node, ast.Call):
+                if _dotted(node.func) == "time.sleep":
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        "time.sleep() wall-sleeps; accept a SleepFn "
+                        "(default repro.core.faults.wall_sleep) so tests "
+                        "never spend real time",
+                    )
 
 
 def is_set_expr(node: ast.AST) -> bool:

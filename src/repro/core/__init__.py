@@ -14,6 +14,16 @@ multi-source runs parallelize with ``RunParams.max_workers``.
 
 from repro.core.cache import CachedPages, PreprocessCache
 from repro.core.dedup import DedupConfig, DedupResult, deduplicate
+from repro.core.faults import (
+    FAIL_FAST,
+    FAILURE_POLICIES,
+    ISOLATE,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    SourceFailure,
+    wall_sleep,
+)
 from repro.core.objectrunner import ObjectRunner, ObjectRunnerSystem
 from repro.core.params import RunParams
 from repro.core.pipeline import (
@@ -58,4 +68,12 @@ __all__ = [
     "DEFAULT_STAGE_ORDER",
     "PreprocessCache",
     "CachedPages",
+    "RetryPolicy",
+    "SourceFailure",
+    "FaultInjector",
+    "FaultSpec",
+    "FAIL_FAST",
+    "ISOLATE",
+    "FAILURE_POLICIES",
+    "wall_sleep",
 ]

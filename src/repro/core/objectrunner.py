@@ -28,6 +28,13 @@ from typing import Iterable
 
 from repro.baselines.interface import SystemOutput
 from repro.core.cache import PreprocessCache
+from repro.core.faults import (
+    ISOLATE,
+    FaultInjector,
+    RetryPolicy,
+    SleepFn,
+    SourceFailure,
+)
 from repro.core.params import RunParams
 from repro.core.pipeline import (
     DEFAULT_STAGE_ORDER,
@@ -40,7 +47,7 @@ from repro.core.pipeline import (
 )
 from repro.core.results import MultiSourceResult, SourceResult
 from repro.corpus.store import Corpus
-from repro.errors import SodError
+from repro.errors import MultiSourceError, SodError
 from repro.htmlkit.dom import Element
 from repro.kb.ontology import Ontology
 from repro.recognizers.base import Recognizer
@@ -73,10 +80,19 @@ class ObjectRunner:
         extra_gazetteer_entries: dict[str, dict[str, float]] | None = None,
         observers: Iterable[PipelineObserver] = (),
         cache: PreprocessCache | None = None,
+        fault_injector: FaultInjector | None = None,
+        retry_policy: RetryPolicy | None = None,
+        sleep: SleepFn | None = None,
     ):
         self.sod = sod
         self.params = params or RunParams()
         self.registry = registry or RecognizerRegistry()
+        #: Optional deterministic fault harness: wraps every stage of
+        #: every pipeline this runner builds, and observes retry events.
+        self.fault_injector = fault_injector
+        #: Optional override of the params-derived transient-retry policy.
+        self.retry_policy = retry_policy
+        self._sleep = sleep
         self._ontology = ontology
         self._corpus = corpus
         self._gazetteer_classes = dict(gazetteer_classes or {})
@@ -163,7 +179,16 @@ class ObjectRunner:
     ) -> Pipeline:
         """A pipeline with the runner's observers (timings always first)."""
         observers = [TimingObserver(), *self.observers, *extra_observers]
-        return Pipeline(build_stages(stage_names), observers)
+        stages = build_stages(stage_names)
+        if self.fault_injector is not None:
+            stages = self.fault_injector.wrap_all(stages)
+            observers.append(self.fault_injector)
+        return Pipeline(
+            stages,
+            observers,
+            retry_policy=self.retry_policy,
+            sleep=self._sleep,
+        )
 
     def _context(
         self,
@@ -259,6 +284,15 @@ class ObjectRunner:
         serial execution: gazetteer growth feeds later sources, which is
         inherently order-dependent.
 
+        Unexpected per-source failures (anything except a quality-gate
+        discard) follow ``params.failure_policy``: under ``isolate`` the
+        failure is recorded on ``MultiSourceResult.failures`` and every
+        surviving source completes exactly as it would have in a
+        fault-free run; under ``fail_fast`` pending sources are cancelled
+        and :class:`~repro.errors.MultiSourceError` is raised, carrying
+        the results of the sources that completed before the failing one
+        (in input order) as ``partial``.
+
         With ``deduplicate_across=True``, the pooled objects pass through
         the de-duplication stage of the paper's Figure 1 architecture —
         the Web's redundancy means the same real-world item often appears
@@ -268,28 +302,23 @@ class ObjectRunner:
         from repro.core.dedup import DedupConfig, deduplicate
 
         items = list(sources.items())
+        isolate = self.params.failure_policy == ISOLATE
         workers = max(1, int(self.params.max_workers))
         if self.params.enrich_dictionaries:
             workers = 1
         if workers > 1 and len(items) > 1:
-            with ThreadPoolExecutor(
-                max_workers=min(workers, len(items))
-            ) as pool:
-                futures = [
-                    pool.submit(self.run_source, source, raw_pages)
-                    for source, raw_pages in items
-                ]
-                ordered = [future.result() for future in futures]
+            outcomes = self._run_items_parallel(items, workers, isolate)
         else:
-            ordered = [
-                self.run_source(source, raw_pages)
-                for source, raw_pages in items
-            ]
+            outcomes = self._run_items_serial(items, isolate)
         results: dict[str, SourceResult] = {}
+        failures: dict[str, SourceFailure] = {}
         pooled = []
-        for (source, __), result in zip(items, ordered):
-            results[source] = result
-            pooled.extend(result.objects)
+        for (source, __), outcome in zip(items, outcomes):
+            if isinstance(outcome, SourceFailure):
+                failures[source] = outcome
+                continue
+            results[source] = outcome
+            pooled.extend(outcome.objects)
         merged = 0
         if deduplicate_across:
             outcome = deduplicate(
@@ -298,7 +327,97 @@ class ObjectRunner:
             pooled = outcome.objects
             merged = outcome.merged
         return MultiSourceResult(
-            results=results, objects=pooled, duplicates_merged=merged
+            results=results,
+            objects=pooled,
+            duplicates_merged=merged,
+            failures=failures,
+        )
+
+    def _run_items_serial(
+        self,
+        items: list[tuple[str, list[str]]],
+        isolate: bool,
+    ) -> list["SourceResult | SourceFailure"]:
+        """One source after another, applying the failure policy."""
+        outcomes: list[SourceResult | SourceFailure] = []
+        for source, raw_pages in items:
+            try:
+                outcomes.append(self.run_source(source, raw_pages))
+            except Exception as exc:
+                failure = SourceFailure.from_exception(source, exc)
+                if not isolate:
+                    raise self._abort_error(failure, outcomes, items) from exc
+                outcomes.append(failure)
+        return outcomes
+
+    def _run_items_parallel(
+        self,
+        items: list[tuple[str, list[str]]],
+        workers: int,
+        isolate: bool,
+    ) -> list["SourceResult | SourceFailure"]:
+        """Sources on a thread pool, applying the failure policy.
+
+        Futures are drained in input order, so the policy's view of
+        "first failure" is deterministic regardless of thread scheduling.
+        On fail-fast abort, not-yet-started futures are cancelled and the
+        pool is joined (no orphaned work survives the raise); sources
+        after the failing one that happened to finish are discarded so
+        the partial result matches the serial run byte for byte.
+        """
+        outcomes: list[SourceResult | SourceFailure] = []
+        abort: tuple[SourceFailure, BaseException] | None = None
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(items))
+        ) as pool:
+            futures = [
+                pool.submit(self.run_source, source, raw_pages)
+                for source, raw_pages in items
+            ]
+            for (source, __), future in zip(items, futures):
+                try:
+                    outcomes.append(future.result())
+                except Exception as exc:
+                    failure = SourceFailure.from_exception(source, exc)
+                    if isolate:
+                        outcomes.append(failure)
+                        continue
+                    for pending in futures:
+                        pending.cancel()
+                    abort = (failure, exc)
+                    break
+            # Leaving the ``with`` block joins the pool: running futures
+            # finish, cancelled ones never start.
+        if abort is not None:
+            failure, cause = abort
+            raise self._abort_error(failure, outcomes, items) from cause
+        return outcomes
+
+    def _abort_error(
+        self,
+        failure: SourceFailure,
+        outcomes: list["SourceResult | SourceFailure"],
+        items: list[tuple[str, list[str]]],
+    ) -> MultiSourceError:
+        """The fail-fast error, with completed sources attached as partial."""
+        results: dict[str, SourceResult] = {}
+        pooled = []
+        for (source, __), outcome in zip(items, outcomes):
+            if isinstance(outcome, SourceResult):
+                results[source] = outcome
+                pooled.extend(outcome.objects)
+        partial = MultiSourceResult(
+            results=results,
+            objects=pooled,
+            failures={failure.source: failure},
+        )
+        stage = failure.stage or "run"
+        return MultiSourceError(
+            f"source {failure.source!r} failed at {stage}: {failure.error} "
+            f"({len(results)} of {len(items)} sources completed before "
+            "the abort)",
+            partial=partial,
+            failure=failure,
         )
 
 

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import dataclasses
+from dataclasses import dataclass
+
+from repro.core.faults import FAILURE_POLICIES
 
 
 @dataclass(frozen=True)
@@ -36,28 +39,57 @@ class RunParams:
     neighborhood_radius: int = 2
     #: Random seed for the random-sampling baseline.
     sampling_seed: int = 7
+    #: Chaos threshold of the alignment's sparse-column check, in [0, 1]:
+    #: an alignment level collapses to one whole-content field when more
+    #: than this fraction of its columns is sparse (a column is sparse
+    #: below ``total_records * chaos_ratio`` cells).  0 treats every
+    #: level as chaotic, 1 effectively disables the check.
     chaos_ratio: float = 0.5
     #: Worker threads for multi-source runs (``run_sources``): independent
     #: sources wrap concurrently when > 1.  Enrichment runs force serial
     #: execution because gazetteer growth is order-dependent.
     max_workers: int = 1
+    #: How ``run_sources`` treats an unexpected per-source failure:
+    #: ``"fail_fast"`` cancels pending sources and raises
+    #: :class:`~repro.errors.MultiSourceError` with partial results
+    #: attached; ``"isolate"`` records a
+    #: :class:`~repro.core.faults.SourceFailure` and lets the surviving
+    #: sources finish.
+    failure_policy: str = "fail_fast"
+    #: Extra attempts for a stage raising
+    #: :class:`~repro.errors.TransientSourceError` (0 disables retrying);
+    #: backoff follows :class:`~repro.core.faults.RetryPolicy`.
+    max_retries: int = 0
+
+    def __post_init__(self) -> None:
+        """Reject out-of-range values that would silently distort runs."""
+        if not 0.0 <= self.chaos_ratio <= 1.0:
+            raise ValueError(
+                f"chaos_ratio must be in [0, 1], got {self.chaos_ratio}"
+            )
+        if self.failure_policy not in FAILURE_POLICIES:
+            known = ", ".join(FAILURE_POLICIES)
+            raise ValueError(
+                f"unknown failure_policy {self.failure_policy!r} "
+                f"(known: {known})"
+            )
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
 
     def with_overrides(self, **kwargs) -> "RunParams":
-        """A copy with some fields replaced."""
-        data = {
-            "sample_size": self.sample_size,
-            "alpha": self.alpha,
-            "enforce_alpha": self.enforce_alpha,
-            "generalization_threshold": self.generalization_threshold,
-            "support_values": self.support_values,
-            "use_segmentation": self.use_segmentation,
-            "sod_based_sampling": self.sod_based_sampling,
-            "enrich_dictionaries": self.enrich_dictionaries,
-            "enrichment_passes": self.enrichment_passes,
-            "neighborhood_radius": self.neighborhood_radius,
-            "sampling_seed": self.sampling_seed,
-            "chaos_ratio": self.chaos_ratio,
-            "max_workers": self.max_workers,
-        }
-        data.update(kwargs)
-        return RunParams(**data)
+        """A copy with some fields replaced.
+
+        Enumerates the declared dataclass fields, so newly added
+        parameters participate automatically; unknown keyword names are
+        rejected rather than silently dropped.
+        """
+        names = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(kwargs) - names)
+        if unknown:
+            raise ValueError(
+                f"unknown RunParams field(s): {', '.join(unknown)} "
+                f"(valid: {', '.join(sorted(names))})"
+            )
+        return dataclasses.replace(self, **kwargs)

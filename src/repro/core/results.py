@@ -3,9 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.sod.instances import ObjectInstance
 from repro.wrapper.generate import Wrapper
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.faults import SourceFailure
 
 
 @dataclass
@@ -48,11 +52,22 @@ class StageTimings:
 
 @dataclass
 class MultiSourceResult:
-    """Pooled outcome of a multi-source run (optionally de-duplicated)."""
+    """Pooled outcome of a multi-source run (optionally de-duplicated).
+
+    Three per-source outcomes are possible: a completed
+    :class:`SourceResult` in ``results`` (itself either ok or discarded
+    by a quality gate), or — under the ``isolate`` failure policy — a
+    :class:`~repro.core.faults.SourceFailure` in ``failures`` recording
+    an unexpected crash.  A source appears in exactly one of the two
+    maps; both keep input order.
+    """
 
     results: dict[str, "SourceResult"] = field(default_factory=dict)
     objects: list[ObjectInstance] = field(default_factory=list)
     duplicates_merged: int = 0
+    #: Unexpected per-source failures (source -> record), populated under
+    #: the ``isolate`` failure policy and on fail-fast partial results.
+    failures: dict[str, "SourceFailure"] = field(default_factory=dict)
 
     @property
     def sources_ok(self) -> int:
@@ -61,6 +76,11 @@ class MultiSourceResult:
     @property
     def sources_discarded(self) -> int:
         return sum(1 for result in self.results.values() if result.discarded)
+
+    @property
+    def sources_failed(self) -> int:
+        """Sources that crashed unexpectedly (isolated, not discarded)."""
+        return len(self.failures)
 
 
 @dataclass

@@ -51,6 +51,45 @@ class SourceDiscardedError(ReproError):
         self.reason = reason
 
 
+class TransientSourceError(ReproError):
+    """Raised by a stage for failures worth retrying.
+
+    Flaky I/O, resource contention, a dependency momentarily unavailable:
+    anything where a fresh attempt may succeed.  The pipeline re-runs the
+    raising stage according to the active
+    :class:`~repro.core.faults.RetryPolicy` (``RunParams.max_retries``),
+    emitting a ``stage_retry`` event per attempt; once attempts are
+    exhausted the error propagates like any other unexpected failure.
+    """
+
+
+class MultiSourceError(ReproError):
+    """Raised by ``run_sources`` under the ``fail_fast`` policy.
+
+    Carries what the batch had finished before the abort: ``partial`` is
+    a :class:`~repro.core.results.MultiSourceResult` holding the results
+    of every source that completed *before* the failing source in input
+    order (deterministic — later, still-running sources are cancelled or
+    discarded), and ``failure`` is the
+    :class:`~repro.core.faults.SourceFailure` that triggered the abort.
+    The original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, partial=None, failure=None):
+        super().__init__(message)
+        self.partial = partial
+        self.failure = failure
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised by the fault-injection harness for ``crash`` faults.
+
+    Deliberately *not* a :class:`ReproError`: injected crashes simulate
+    unexpected, foreign failures, so nothing in the library (or in a
+    caller's ``except ReproError``) may swallow one by accident.
+    """
+
+
 class WrapperError(ReproError):
     """Raised when wrapper generation fails for internal reasons."""
 

@@ -77,6 +77,42 @@ class TestWallClockD102:
         )
 
 
+class TestWallSleepD105:
+    def test_sleep_call_flagged(self, tmp_path):
+        findings = run_rule(
+            tmp_path,
+            "D105",
+            "import time\n\ndef f():\n    time.sleep(0.5)\n",
+        )
+        assert len(findings) == 1
+        assert "wall-sleep" in findings[0].message
+
+    def test_sleep_import_flagged(self, tmp_path):
+        assert run_rule(tmp_path, "D105", "from time import sleep\n")
+
+    def test_faults_module_exempt(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D105",
+            "import time\n\ndef wall_sleep(s):\n    time.sleep(s)\n",
+            name="core/faults.py",
+        )
+
+    def test_injected_sleep_callable_allowed(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D105",
+            "def f(sleep):\n    sleep(0.5)\n",
+        )
+
+    def test_other_time_functions_allowed(self, tmp_path):
+        assert not run_rule(
+            tmp_path,
+            "D105",
+            "import time\n\ndef f():\n    return time.perf_counter()\n",
+        )
+
+
 class TestSetOrderD103:
     def test_tuple_over_set_intersection_flagged(self, tmp_path):
         assert run_rule(

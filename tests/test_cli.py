@@ -78,6 +78,40 @@ class TestExtract:
         assert "discarded" in capsys.readouterr().err
 
 
+class TestResilienceFlags:
+    def test_flags_accepted(self, figure3_files, capsys):
+        pages, artists, theaters = figure3_files
+        code = main(
+            [
+                "extract",
+                "--sod", SOD,
+                "--dict", f"artist={artists}",
+                "--dict", f"theater={theaters}",
+                "--failure-policy", "isolate",
+                "--max-retries", "2",
+                *pages,
+            ]
+        )
+        assert code == 0
+        assert "extracted 4 objects" in capsys.readouterr().err
+
+    def test_unknown_policy_rejected_by_parser(self, figure3_files, capsys):
+        pages, __, __ = figure3_files
+        with pytest.raises(SystemExit):
+            main(
+                ["extract", "--sod", SOD,
+                 "--failure-policy", "shrug", *pages]
+            )
+
+    def test_negative_retries_rejected(self, figure3_files, capsys):
+        pages, __, __ = figure3_files
+        code = main(
+            ["extract", "--sod", SOD, "--max-retries", "-1", *pages]
+        )
+        assert code == 2
+        assert "max_retries" in capsys.readouterr().err
+
+
 class TestWrapperPersistenceFlags:
     def test_save_then_load_wrapper_round_trip(self, figure3_files, capsys, tmp_path):
         pages, artists, theaters = figure3_files

@@ -2,18 +2,22 @@
 
 import pytest
 
+from repro.core.faults import SourceFailure
 from repro.core.results import MultiSourceResult, SourceResult, StageTimings
 from repro.errors import (
     AnnotationError,
     DatasetError,
     EvaluationError,
     HtmlParseError,
+    InjectedFaultError,
     MatchingError,
+    MultiSourceError,
     RecognizerError,
     ReproError,
     SodError,
     SodSyntaxError,
     SourceDiscardedError,
+    TransientSourceError,
     UnknownTypeError,
     WrapperError,
 )
@@ -33,10 +37,18 @@ class TestHierarchy:
             MatchingError,
             DatasetError,
             EvaluationError,
+            TransientSourceError,
+            MultiSourceError,
         ],
     )
     def test_all_derive_from_repro_error(self, exception_type):
         assert issubclass(exception_type, ReproError)
+
+    def test_injected_fault_is_not_a_repro_error(self):
+        # Injected crashes must look like genuinely unexpected failures,
+        # so no library except handler may swallow them.
+        assert issubclass(InjectedFaultError, RuntimeError)
+        assert not issubclass(InjectedFaultError, ReproError)
 
     def test_sod_syntax_is_sod_error(self):
         assert issubclass(SodSyntaxError, SodError)
@@ -87,3 +99,31 @@ class TestResultContainers:
         multi = MultiSourceResult(results={"a": ok, "b": bad})
         assert multi.sources_ok == 1
         assert multi.sources_discarded == 1
+
+    def test_multi_source_failures(self):
+        failure = SourceFailure(
+            source="c", stage="wrapping", error="RuntimeError: boom"
+        )
+        multi = MultiSourceResult(results={}, failures={"c": failure})
+        assert multi.sources_failed == 1
+        assert multi.failures["c"].attempts == 1
+
+    def test_failures_default_empty(self):
+        assert MultiSourceResult().failures == {}
+        assert MultiSourceResult().sources_failed == 0
+
+
+class TestMultiSourceError:
+    def test_carries_partial_and_failure(self):
+        failure = SourceFailure(source="b", stage="wrapping", error="boom")
+        partial = MultiSourceResult(failures={"b": failure})
+        error = MultiSourceError(
+            "source 'b' failed", partial=partial, failure=failure
+        )
+        assert error.partial is partial
+        assert error.failure is failure
+
+    def test_defaults_to_no_context(self):
+        error = MultiSourceError("bare")
+        assert error.partial is None
+        assert error.failure is None
