@@ -5,9 +5,14 @@ part — running all three systems over the 49-source catalog — is done once
 per system and memoized here, so the table benches measure and report
 without duplicating work.
 
-Scale: ``REPRO_BENCH_SCALE`` (default 0.05) shrinks per-source object
+Scale: ``REPRO_BENCH_SCALE`` (default 0.1) shrinks per-source object
 counts relative to the paper's volumes; the *shape* of the results is what
 is being reproduced, not the absolute workload.
+
+The per-entry setup (knowledge, generated sources, system construction)
+is shared with the ``repro bench`` capture engine
+(:mod:`repro.metrics.bench`), so the interactive benchmark suite and the
+persisted ``BENCH_<seq>.json`` artifacts measure the same machinery.
 """
 
 from __future__ import annotations
@@ -15,19 +20,12 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
-from repro.baselines import ExAlgSystem, RoadRunnerSystem
-from repro.core import ObjectRunnerSystem, StageEventCollector
-from repro.datasets import (
-    CatalogEntry,
-    build_knowledge,
-    catalog_entries,
-    domain_spec,
-    generate_source,
-)
+from repro.core import StageEventCollector
+from repro.datasets import CatalogEntry, catalog_entries, domain_spec
 from repro.eval import SourceEvaluation, aggregate_domain, grade_source
-from repro.datasets.knowledge import completion_entries
 from repro.eval.metrics import DomainMetrics
 from repro.htmlkit import clean_tree, tidy
+from repro.metrics.bench import CatalogCache, build_system
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.1"))
 DICTIONARY_COVERAGE = 0.2
@@ -62,8 +60,7 @@ class SourceRun:
     wrap_seconds: float
 
 
-_knowledge_cache: dict[tuple[str, float], object] = {}
-_source_cache: dict[str, object] = {}
+_catalog_cache = CatalogCache()
 _pages_cache: dict[str, list] = {}
 _run_cache: dict[str, list[SourceRun]] = {}
 
@@ -85,20 +82,11 @@ def stage_counters() -> dict[str, int]:
 
 
 def knowledge_for(domain_name: str, coverage: float = DICTIONARY_COVERAGE):
-    key = (domain_name, coverage)
-    if key not in _knowledge_cache:
-        _knowledge_cache[key] = build_knowledge(
-            domain_spec(domain_name), coverage=coverage
-        )
-    return _knowledge_cache[key]
+    return _catalog_cache.knowledge(domain_name, coverage)
 
 
 def source_for(entry: CatalogEntry):
-    if entry.spec.name not in _source_cache:
-        _source_cache[entry.spec.name] = generate_source(
-            entry.spec, domain_spec(entry.spec.domain)
-        )
-    return _source_cache[entry.spec.name]
+    return _catalog_cache.source(entry)
 
 
 def pages_for(entry: CatalogEntry):
@@ -118,34 +106,18 @@ def make_system(
 ):
     """Instantiate a system by short name for one catalog source.
 
-    ObjectRunner gets the domain knowledge plus the per-source dictionary
-    completion (the paper ensured every dictionary covered at least 20% of
-    each source's instances).
+    Delegates to the shared factory (:func:`repro.metrics.bench.
+    build_system`), subscribing the benchmark-wide ``STAGE_EVENTS``
+    collector to every ObjectRunner pipeline.
     """
-    if name == "objectrunner":
-        domain_name = entry.spec.domain
-        knowledge = knowledge_for(domain_name, coverage)
-        domain = domain_spec(domain_name)
-        source = source_for(entry)
-        extra = completion_entries(
-            domain,
-            source.gold,
-            coverage=coverage,
-            seed=("completion", entry.spec.name),
-        )
-        return ObjectRunnerSystem(
-            ontology=knowledge.ontology,
-            corpus=knowledge.corpus,
-            gazetteer_classes=domain.gazetteer_classes,
-            params=params,
-            extra_gazetteer_entries=extra,
-            observers=(STAGE_EVENTS,),
-        )
-    if name == "exalg":
-        return ExAlgSystem()
-    if name == "roadrunner":
-        return RoadRunnerSystem()
-    raise ValueError(f"unknown system {name!r}")
+    return build_system(
+        name,
+        entry,
+        _catalog_cache,
+        coverage=coverage,
+        params=params,
+        observers=(STAGE_EVENTS,),
+    )
 
 
 def run_catalog(system_name: str, scale: float = BENCH_SCALE) -> list[SourceRun]:

@@ -30,12 +30,27 @@ Subcommands:
 
 - ``describe`` — parse an SOD and print its structure, canonical form and
   entity types (useful while authoring SODs).
+
+- ``bench`` — run the benchmark catalog for every system under
+  comparison and persist a schema-versioned ``BENCH_<seq>.json``
+  artifact (per-domain Pc/Pp, per-stage timing summaries, cache stats,
+  peak RSS)::
+
+      python -m repro bench --scale 0.1
+      python -m repro bench --compare            # diff vs previous BENCH
+      python -m repro bench --compare-files BENCH_0.json BENCH_1.json
+
+  ``--compare`` modes exit 3 when a regression exceeds the thresholds
+  (``--threshold`` for Pc/Pp drops, ``--timing-threshold`` for relative
+  timing growth) unless ``--warn-only`` is given.  See
+  ``docs/METRICS.md`` for the artifact schema.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -136,6 +151,67 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the benchmark catalog and/or compare BENCH artifacts."""
+    from repro.metrics.bench import (
+        BenchConfig,
+        BenchSession,
+        compare_documents,
+        latest_bench,
+        load_bench,
+        next_seq,
+        write_bench,
+    )
+
+    if args.compare_files:
+        old_path, new_path = (Path(p) for p in args.compare_files)
+        comparison = compare_documents(
+            load_bench(old_path),
+            load_bench(new_path),
+            quality_threshold=args.threshold,
+            timing_threshold=args.timing_threshold,
+        )
+        print(f"comparing {old_path} -> {new_path}")
+        print(comparison.render())
+        return 0 if comparison.ok or args.warn_only else 3
+
+    systems = tuple(name.strip() for name in args.systems.split(",") if name.strip())
+    config = BenchConfig(
+        scale=args.scale, coverage=args.coverage, systems=systems
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    seq = next_seq(out_dir)
+    print(
+        f"repro bench: scale={config.scale} coverage={config.coverage} "
+        f"systems={','.join(systems)}",
+        file=sys.stderr,
+    )
+    document = BenchSession(config).capture()
+    path = out_dir / f"BENCH_{seq}.json"
+    write_bench(path, document)
+    print(f"wrote {path}")
+    if not args.compare and not args.compare_to:
+        return 0
+    baseline_path = (
+        Path(args.compare_to)
+        if args.compare_to
+        else latest_bench(out_dir, before=seq)
+    )
+    if baseline_path is None:
+        print("no previous BENCH artifact to compare against", file=sys.stderr)
+        return 0
+    comparison = compare_documents(
+        load_bench(baseline_path),
+        document,
+        quality_threshold=args.threshold,
+        timing_threshold=args.timing_threshold,
+    )
+    print(f"comparing {baseline_path} -> {path}")
+    print(comparison.render())
+    return 0 if comparison.ok or args.warn_only else 3
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     sod = parse_sod(args.sod)
     print(f"SOD:        {sod}")
@@ -211,6 +287,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     describe.add_argument("sod", help="SOD in the DSL syntax")
     describe.set_defaults(func=_cmd_describe)
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the benchmark catalog and persist BENCH_<seq>.json",
+    )
+    bench.add_argument(
+        "--scale",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_SCALE", "0.1")),
+        help="workload scale relative to the paper's volumes "
+        "(default: REPRO_BENCH_SCALE or 0.1)",
+    )
+    bench.add_argument(
+        "--coverage",
+        type=float,
+        default=0.2,
+        help="dictionary coverage for ObjectRunner (default: 0.2)",
+    )
+    bench.add_argument(
+        "--systems",
+        default="objectrunner,exalg,roadrunner",
+        help="comma-separated systems to capture "
+        "(default: objectrunner,exalg,roadrunner)",
+    )
+    bench.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory receiving BENCH_<seq>.json (default: cwd)",
+    )
+    bench.add_argument(
+        "--compare",
+        action="store_true",
+        help="after capturing, diff against the previous BENCH artifact "
+        "in the output directory and exit 3 on regressions",
+    )
+    bench.add_argument(
+        "--compare-to",
+        metavar="FILE",
+        help="after capturing, diff against this specific BENCH artifact",
+    )
+    bench.add_argument(
+        "--compare-files",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="skip the run: just diff two existing BENCH artifacts",
+    )
+    bench.add_argument(
+        "--threshold",
+        type=float,
+        default=0.02,
+        help="absolute Pc/Pp drop counted as a regression (default: 0.02)",
+    )
+    bench.add_argument(
+        "--timing-threshold",
+        type=float,
+        default=0.5,
+        help="relative timing growth counted as a regression at equal "
+        "scale (default: 0.5 = +50%%)",
+    )
+    bench.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI advisory mode)",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

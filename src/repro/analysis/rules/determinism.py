@@ -21,7 +21,9 @@ RNG_MODULE = "utils/rng.py"
 
 #: Modules (path suffixes) allowed to read the wall clock: observability
 #: code measures, it never feeds measurements back into the dataflow.
-CLOCK_MODULES = ("core/pipeline.py",)
+#: ``metrics/observer.py`` is the metrics layer's clock boundary — it
+#: stamps persisted benchmark artifacts and reads process statistics.
+CLOCK_MODULES = ("core/pipeline.py", "metrics/observer.py")
 
 #: Module (path suffix) allowed to call ``time.sleep``: the fault/retry
 #: layer owns the single real sleep behind an injectable callable.

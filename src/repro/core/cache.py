@@ -35,9 +35,14 @@ class PreprocessCache:
 
     Thread-safe: a single cache may serve a parallel multi-source run.
     The expensive tidy/clean computation happens outside the lock, so
-    concurrent misses on *different* pages do not serialize (two threads
-    racing on the *same* page may both compute it; last write wins, which
-    is harmless because the computation is deterministic).
+    concurrent misses on *different* pages do not serialize.  Two threads
+    racing on the *same* page may both compute it; the loser detects the
+    winner's entry under the second lock, discards its own tree (keeping
+    the winner's LRU recency intact) and counts the redundant computation
+    as a ``race`` instead of a second ``miss`` — so ``misses`` equals the
+    number of computations that actually populated the cache, and
+    ``hits + misses`` accounts for every request served without
+    redundant work.
     """
 
     def __init__(self, max_entries: int = 512):
@@ -47,6 +52,9 @@ class PreprocessCache:
         #: Lifetime hit/miss totals, for diagnostics.
         self.hits = 0
         self.misses = 0
+        #: Same-key compute races lost: the tree was computed redundantly
+        #: because another thread inserted the key first.
+        self.races = 0
 
     @staticmethod
     def key_for(raw: str) -> str:
@@ -83,11 +91,18 @@ class PreprocessCache:
             return copy, True
         tree = clean_tree(tidy(raw))
         with self._lock:
-            self.misses += 1
-            self._entries[key] = tree
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            winner = self._entries.get(key)
+            if winner is not None:
+                # Another thread computed and inserted this key while we
+                # were computing: keep the winner's tree and LRU recency.
+                self.races += 1
+                tree = winner
+            else:
+                self.misses += 1
+                self._entries[key] = tree
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
         copy = clone(tree)
         assert isinstance(copy, Element)
         return copy, False
@@ -103,10 +118,11 @@ class PreprocessCache:
             return len(self._entries)
 
     def stats(self) -> dict[str, int]:
-        """Lifetime ``hits``/``misses``/``entries`` snapshot."""
+        """Lifetime ``hits``/``misses``/``races``/``entries`` snapshot."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "races": self.races,
                 "entries": len(self._entries),
             }

@@ -50,6 +50,7 @@ from repro.corpus.store import Corpus
 from repro.errors import MultiSourceError, SodError
 from repro.htmlkit.dom import Element
 from repro.kb.ontology import Ontology
+from repro.metrics.observer import MetricsObserver
 from repro.recognizers.base import Recognizer
 from repro.recognizers.build import DictionaryBuilder
 from repro.recognizers.gazetteer import GazetteerRecognizer
@@ -104,6 +105,9 @@ class ObjectRunner:
         #: Content-hash cache of tidied/cleaned page trees, shared across
         #: passes, sources and (if injected) runners.
         self.cache = cache if cache is not None else PreprocessCache()
+        for observer in self.observers:
+            if isinstance(observer, MetricsObserver):
+                observer.observe_cache(self.cache)
         self._setup_recognizers()
 
     # -- recognizer setup -------------------------------------------------
@@ -171,6 +175,8 @@ class ObjectRunner:
     def add_observer(self, observer: PipelineObserver) -> None:
         """Subscribe an observer to every subsequent pipeline run."""
         self.observers.append(observer)
+        if isinstance(observer, MetricsObserver):
+            observer.observe_cache(self.cache)
 
     def _build_pipeline(
         self,
@@ -302,6 +308,11 @@ class ObjectRunner:
         from repro.core.dedup import DedupConfig, deduplicate
 
         items = list(sources.items())
+        # Pin the metrics merge order to the input order before fanning
+        # out, so parallel runs snapshot identically to serial ones.
+        for observer in self.observers:
+            if isinstance(observer, MetricsObserver):
+                observer.note_source_order(source for source, __ in items)
         isolate = self.params.failure_policy == ISOLATE
         workers = max(1, int(self.params.max_workers))
         if self.params.enrich_dictionaries:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -31,22 +32,17 @@ class StageTimings:
     @property
     def total(self) -> float:
         """Sum of all per-stage wall-clock seconds."""
-        return (
-            self.preprocess
-            + self.annotation
-            + self.wrapping
-            + self.extraction
-            + self.enrichment
-        )
+        return sum(self.as_dict().values())
 
     def as_dict(self) -> dict[str, float]:
-        """The timings as a plain field -> seconds mapping."""
+        """The timings as a plain field -> seconds mapping.
+
+        Enumerates the declared dataclass fields, so a timing field added
+        later participates automatically instead of being silently
+        dropped (mirroring ``RunParams.with_overrides``).
+        """
         return {
-            "preprocess": self.preprocess,
-            "annotation": self.annotation,
-            "wrapping": self.wrapping,
-            "extraction": self.extraction,
-            "enrichment": self.enrichment,
+            f.name: getattr(self, f.name) for f in dataclasses.fields(self)
         }
 
 

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.eval.classify import SourceEvaluation
+from repro.metrics.registry import default_registry
 
 
 @dataclass
@@ -58,11 +60,28 @@ class DomainMetrics:
 
     @property
     def incorrect_rate(self) -> float:
-        """Figure 6(a): rate of incorrect (or missed) objects."""
+        """Figure 6(a): rate of incorrect (or missed) objects.
+
+        ``missed`` (gold objects no grade accounts for) can only be
+        negative when the grader classified more objects than the gold
+        standard holds — a grading bug, not a property of the data.  The
+        clamp keeps the rate in range, but it no longer hides the bug:
+        a negative ``missed`` raises a :class:`UserWarning` and bumps the
+        ``eval.negative_missed`` counter on the default metrics registry.
+        """
         total = self.objects_total
         if not total:
             return 0.0
         missed = total - self.objects_correct - self.objects_partial - self.objects_incorrect
+        if missed < 0:
+            default_registry().count("eval.negative_missed")
+            warnings.warn(
+                f"{self.system}/{self.domain}: correct+partial+incorrect "
+                f"({total - missed}) exceeds the gold total ({total}); "
+                "grading is over-counting — clamping missed to 0",
+                UserWarning,
+                stacklevel=2,
+            )
         return (self.objects_incorrect + max(0, missed)) / total
 
     @property

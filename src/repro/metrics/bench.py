@@ -1,0 +1,456 @@
+"""Benchmark capture: run the catalog, persist ``BENCH_<seq>.json``, compare.
+
+The ``repro bench`` subcommand drives this module: it runs every system
+under comparison (ObjectRunner, ExAlg, RoadRunner) over the Table I
+source catalog, grades each run against the golden standard, and writes
+one schema-versioned JSON artifact at the repository root —
+
+- per-domain ``Pc``/``Pp`` and object classification counts per system,
+- per-stage timing summaries (min/max/mean/p50/p95) from pipeline events,
+- preprocessing-cache hit/miss/races statistics,
+- wrapping-time summaries, peak RSS, scale/coverage/seed configuration.
+
+``BENCH_0.json`` is the committed baseline; every subsequent capture gets
+the next sequence number, so the repo accumulates a queryable performance
+trajectory instead of throwing each run's numbers away with the process.
+:func:`compare_documents` diffs two artifacts and flags regressions
+beyond configurable thresholds (quality always; timings only when the
+scales match, because timings at different workload scales are not
+comparable).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.baselines import ExAlgSystem, RoadRunnerSystem
+from repro.core.cache import PreprocessCache
+from repro.core.objectrunner import ObjectRunnerSystem
+from repro.core.params import RunParams
+from repro.datasets import (
+    CatalogEntry,
+    build_knowledge,
+    catalog_entries,
+    domain_spec,
+    generate_source,
+)
+from repro.datasets.knowledge import completion_entries
+from repro.eval import aggregate_domain, grade_source
+from repro.metrics.observer import MetricsObserver, peak_rss_bytes, wall_timestamp
+from repro.metrics.registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.eval.metrics import DomainMetrics
+
+#: Version of the BENCH artifact schema; bump on incompatible changes.
+BENCH_SCHEMA_VERSION = 1
+
+#: Filename prefix of persisted benchmark artifacts.
+BENCH_PREFIX = "BENCH_"
+
+#: Systems captured by default, in report order.
+DEFAULT_SYSTEMS: tuple[str, ...] = ("objectrunner", "exalg", "roadrunner")
+
+#: Default dictionary coverage, matching the paper's 20% floor.
+DICTIONARY_COVERAGE = 0.2
+
+#: The domains of Table I, in the paper's order.
+DOMAIN_ORDER: tuple[str, ...] = (
+    "concerts", "albums", "books", "publications", "cars",
+)
+
+
+class CatalogCache:
+    """Memoizes the expensive per-entry setup of a catalog sweep.
+
+    Domain knowledge (ontology + corpus) per domain/coverage, generated
+    sources per entry — shared by the benchmark suite's harness and the
+    ``repro bench`` session so repeated sweeps never regenerate them.
+    """
+
+    def __init__(self) -> None:
+        self._knowledge: dict[tuple[str, float], object] = {}
+        self._sources: dict[str, object] = {}
+
+    def knowledge(self, domain_name: str, coverage: float):
+        """The built domain knowledge for one domain at one coverage."""
+        key = (domain_name, coverage)
+        if key not in self._knowledge:
+            self._knowledge[key] = build_knowledge(
+                domain_spec(domain_name), coverage=coverage
+            )
+        return self._knowledge[key]
+
+    def source(self, entry: CatalogEntry):
+        """The deterministic generated source of one catalog entry."""
+        if entry.spec.name not in self._sources:
+            self._sources[entry.spec.name] = generate_source(
+                entry.spec, domain_spec(entry.spec.domain)
+            )
+        return self._sources[entry.spec.name]
+
+
+def build_system(
+    name: str,
+    entry: CatalogEntry,
+    cache: CatalogCache,
+    coverage: float = DICTIONARY_COVERAGE,
+    params: RunParams | None = None,
+    observers: Iterable = (),
+):
+    """Instantiate a system by short name for one catalog source.
+
+    ObjectRunner gets the domain knowledge plus the per-source dictionary
+    completion (the paper ensured every dictionary covered at least 20% of
+    each source's instances); ``observers`` subscribe to every pipeline
+    run the system makes.
+    """
+    if name == "objectrunner":
+        domain_name = entry.spec.domain
+        knowledge = cache.knowledge(domain_name, coverage)
+        domain = domain_spec(domain_name)
+        source = cache.source(entry)
+        extra = completion_entries(
+            domain,
+            source.gold,
+            coverage=coverage,
+            seed=("completion", entry.spec.name),
+        )
+        return ObjectRunnerSystem(
+            ontology=knowledge.ontology,
+            corpus=knowledge.corpus,
+            gazetteer_classes=domain.gazetteer_classes,
+            params=params,
+            extra_gazetteer_entries=extra,
+            observers=tuple(observers),
+        )
+    if name == "exalg":
+        return ExAlgSystem()
+    if name == "roadrunner":
+        return RoadRunnerSystem()
+    raise ValueError(f"unknown system {name!r}")
+
+
+@dataclass
+class BenchConfig:
+    """Everything that parameterizes one benchmark capture."""
+
+    scale: float = 0.1
+    coverage: float = DICTIONARY_COVERAGE
+    systems: tuple[str, ...] = DEFAULT_SYSTEMS
+    #: LRU capacity of the session preprocessing cache; sized so a full
+    #: catalog sweep at default scale never evicts.
+    cache_entries: int = 4096
+
+
+class BenchSession:
+    """One benchmark capture: run the catalog, build the BENCH document.
+
+    Pages are tidied/cleaned through a session-wide
+    :class:`~repro.core.cache.PreprocessCache`, so the second and third
+    systems draw cache hits instead of re-paying preprocessing — and every
+    system receives fresh copies instead of sharing mutated trees.
+    """
+
+    def __init__(self, config: BenchConfig | None = None):
+        self.config = config or BenchConfig()
+        self.catalog = CatalogCache()
+        self.preprocess_cache = PreprocessCache(
+            max_entries=self.config.cache_entries
+        )
+
+    def pages(self, entry: CatalogEntry):
+        """Freshly cloned, cleaned page trees of one entry (via the cache)."""
+        source = self.catalog.source(entry)
+        return self.preprocess_cache.clean_pages(source.pages).pages
+
+    def run_system(
+        self, system_name: str
+    ) -> tuple[list["DomainMetrics"], MetricsRegistry, MetricsObserver]:
+        """Run one system over the whole catalog and aggregate per domain.
+
+        Returns the per-domain metrics (paper order), a registry holding
+        the per-source ``wrap`` timer, and the pipeline metrics observer
+        (meaningful for ObjectRunner; empty for the baselines).
+        """
+        metrics = MetricsObserver()
+        metrics.observe_cache(self.preprocess_cache)
+        wrap = MetricsRegistry()
+        evaluations: dict[str, list] = {name: [] for name in DOMAIN_ORDER}
+        entries = catalog_entries(scale=self.config.scale)
+        metrics.note_source_order(entry.spec.name for entry in entries)
+        for entry in entries:
+            domain = domain_spec(entry.spec.domain)
+            source = self.catalog.source(entry)
+            pages = self.pages(entry)
+            system = build_system(
+                system_name,
+                entry,
+                self.catalog,
+                coverage=self.config.coverage,
+                observers=(metrics,),
+            )
+            output = system.run(entry.spec.name, pages, domain.sod)
+            evaluations[entry.spec.domain].append(
+                grade_source(domain, source.gold, output)
+            )
+            wrap.observe("wrap", output.wrap_seconds)
+        domains = [
+            aggregate_domain(domain_name, system_name, evaluations[domain_name])
+            for domain_name in DOMAIN_ORDER
+        ]
+        return domains, wrap, metrics
+
+    def capture(self) -> dict:
+        """Run every configured system and build the BENCH document."""
+        systems_doc: dict[str, dict] = {}
+        for system_name in self.config.systems:
+            domains, wrap, metrics = self.run_system(system_name)
+            merged = metrics.merged_registry().snapshot()
+            has_events = bool(merged["timers"]) or bool(merged["counters"])
+            wrap_summary = wrap.summary("wrap")
+            systems_doc[system_name] = {
+                "domains": {
+                    m.domain: _domain_doc(m) for m in domains
+                },
+                "wrap_seconds": (
+                    wrap_summary.as_dict() if wrap_summary else None
+                ),
+                "metrics": merged if has_events else None,
+                "cache": metrics.cache_stats() if has_events else None,
+            }
+        entries = catalog_entries(scale=self.config.scale)
+        return {
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "generated_at": wall_timestamp(),
+            "python": platform.python_version(),
+            "platform": sys.platform,
+            "config": {
+                "scale": self.config.scale,
+                "coverage": self.config.coverage,
+                "systems": list(self.config.systems),
+                "sources": len(entries),
+                "seed": {
+                    "sampling_seed": RunParams().sampling_seed,
+                    "pythonhashseed": os.environ.get("PYTHONHASHSEED", ""),
+                },
+            },
+            "process": {"peak_rss_bytes": peak_rss_bytes()},
+            "cache": self.preprocess_cache.stats(),
+            "systems": systems_doc,
+        }
+
+
+def _domain_doc(metrics: "DomainMetrics") -> dict:
+    """One domain's Pc/Pp and object classification counts."""
+    return {
+        "pc": round(metrics.precision_correct, 6),
+        "pp": round(metrics.precision_partial, 6),
+        "objects_total": metrics.objects_total,
+        "objects_correct": metrics.objects_correct,
+        "objects_partial": metrics.objects_partial,
+        "objects_incorrect": metrics.objects_incorrect,
+        "sources": len(metrics.evaluations),
+        "sources_discarded": sum(
+            1 for e in metrics.evaluations if e.discarded
+        ),
+    }
+
+
+# -- artifact files -------------------------------------------------------
+
+
+def bench_files(root: Path) -> list[tuple[int, Path]]:
+    """``(seq, path)`` of every BENCH artifact under ``root``, by seq."""
+    found: list[tuple[int, Path]] = []
+    for path in sorted(root.glob(f"{BENCH_PREFIX}*.json")):
+        suffix = path.stem[len(BENCH_PREFIX):]
+        if suffix.isdigit():
+            found.append((int(suffix), path))
+    return sorted(found)
+
+
+def next_seq(root: Path) -> int:
+    """The sequence number the next capture under ``root`` should use."""
+    existing = bench_files(root)
+    return existing[-1][0] + 1 if existing else 0
+
+
+def latest_bench(root: Path, before: int | None = None) -> Path | None:
+    """The highest-sequence artifact (optionally below ``before``)."""
+    candidates = [
+        path
+        for seq, path in bench_files(root)
+        if before is None or seq < before
+    ]
+    return candidates[-1] if candidates else None
+
+
+def write_bench(path: Path, document: dict) -> None:
+    """Persist one BENCH document as stable, sorted, indented JSON."""
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_bench(path: Path) -> dict:
+    """Load one BENCH document."""
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+# -- comparison -----------------------------------------------------------
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of diffing two BENCH documents."""
+
+    regressions: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no regression exceeded its threshold."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """Human-readable multi-line report of the comparison."""
+        lines: list[str] = []
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for regression in self.regressions:
+            lines.append(f"REGRESSION: {regression}")
+        if not self.regressions:
+            lines.append("no regressions beyond thresholds")
+        return "\n".join(lines)
+
+
+def compare_documents(
+    old: dict,
+    new: dict,
+    quality_threshold: float = 0.02,
+    timing_threshold: float = 0.5,
+) -> BenchComparison:
+    """Diff two BENCH documents, flagging regressions beyond thresholds.
+
+    Quality (per-domain ``Pc``/``Pp``) is compared unconditionally: an
+    absolute drop greater than ``quality_threshold`` is a regression.
+    Timings (stage means, wrapping means) and object counts are compared
+    only when both documents were captured at the same scale — a relative
+    increase greater than ``timing_threshold`` (for example ``0.5`` =
+    +50%) is a regression.  Peak RSS growth is reported as a note, never
+    a failure, because absolute memory depends on the host.
+    """
+    comparison = BenchComparison()
+    if old.get("schema_version") != new.get("schema_version"):
+        comparison.notes.append(
+            f"schema version changed: {old.get('schema_version')} -> "
+            f"{new.get('schema_version')}; comparing best-effort"
+        )
+    old_scale = old.get("config", {}).get("scale")
+    new_scale = new.get("config", {}).get("scale")
+    same_scale = old_scale == new_scale
+    if not same_scale:
+        comparison.notes.append(
+            f"scale differs ({old_scale} -> {new_scale}); "
+            "skipping timing and volume comparisons"
+        )
+    old_systems = old.get("systems", {})
+    new_systems = new.get("systems", {})
+    for system_name in sorted(set(old_systems) & set(new_systems)):
+        _compare_system(
+            comparison,
+            system_name,
+            old_systems[system_name],
+            new_systems[system_name],
+            quality_threshold,
+            timing_threshold,
+            same_scale,
+        )
+    old_rss = old.get("process", {}).get("peak_rss_bytes", 0)
+    new_rss = new.get("process", {}).get("peak_rss_bytes", 0)
+    if old_rss and new_rss and new_rss > old_rss * (1 + timing_threshold):
+        comparison.notes.append(
+            f"peak RSS grew {old_rss} -> {new_rss} bytes "
+            f"(+{(new_rss / old_rss - 1) * 100:.0f}%)"
+        )
+    return comparison
+
+
+def _compare_system(
+    comparison: BenchComparison,
+    system_name: str,
+    old: dict,
+    new: dict,
+    quality_threshold: float,
+    timing_threshold: float,
+    same_scale: bool,
+) -> None:
+    """Fold one system's quality/timing diffs into the comparison."""
+    old_domains = old.get("domains", {})
+    new_domains = new.get("domains", {})
+    for domain in sorted(set(old_domains) & set(new_domains)):
+        before, after = old_domains[domain], new_domains[domain]
+        for rate in ("pc", "pp"):
+            drop = before.get(rate, 0.0) - after.get(rate, 0.0)
+            if drop > quality_threshold:
+                comparison.regressions.append(
+                    f"{system_name}/{domain}: {rate.capitalize()} dropped "
+                    f"{before[rate]:.4f} -> {after[rate]:.4f} "
+                    f"(-{drop:.4f} > {quality_threshold})"
+                )
+        if same_scale:
+            old_total = before.get("objects_total", 0)
+            new_total = after.get("objects_total", 0)
+            if old_total and new_total < old_total * (1 - quality_threshold):
+                comparison.regressions.append(
+                    f"{system_name}/{domain}: objects_total fell "
+                    f"{old_total} -> {new_total}"
+                )
+    if not same_scale:
+        return
+    _compare_timer(
+        comparison,
+        f"{system_name}: wrap_seconds",
+        old.get("wrap_seconds"),
+        new.get("wrap_seconds"),
+        timing_threshold,
+    )
+    old_timers = (old.get("metrics") or {}).get("timers", {})
+    new_timers = (new.get("metrics") or {}).get("timers", {})
+    for timer_name in sorted(set(old_timers) & set(new_timers)):
+        _compare_timer(
+            comparison,
+            f"{system_name}: {timer_name}",
+            old_timers[timer_name],
+            new_timers[timer_name],
+            timing_threshold,
+        )
+
+
+def _compare_timer(
+    comparison: BenchComparison,
+    label: str,
+    old: dict | None,
+    new: dict | None,
+    timing_threshold: float,
+) -> None:
+    """Flag a timer whose mean grew beyond the relative threshold."""
+    if not old or not new:
+        return
+    old_mean = old.get("mean", 0.0)
+    new_mean = new.get("mean", 0.0)
+    if old_mean > 0 and new_mean > old_mean * (1 + timing_threshold):
+        comparison.regressions.append(
+            f"{label}: mean grew {old_mean * 1000:.1f}ms -> "
+            f"{new_mean * 1000:.1f}ms "
+            f"(+{(new_mean / old_mean - 1) * 100:.0f}% > "
+            f"{timing_threshold * 100:.0f}%)"
+        )

@@ -15,6 +15,7 @@ PUBLIC_MODULES = [
     "repro.eval",
     "repro.htmlkit",
     "repro.kb",
+    "repro.metrics",
     "repro.recognizers",
     "repro.sod",
     "repro.turk",

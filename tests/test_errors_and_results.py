@@ -84,6 +84,20 @@ class TestStageTimings:
     def test_defaults_zero(self):
         assert StageTimings().total == 0.0
 
+    def test_as_dict_covers_every_field(self):
+        # as_dict is derived from dataclasses.fields, so a new stage field
+        # can never silently drop out of totals or reports.
+        import dataclasses
+
+        timings = StageTimings(
+            preprocess=1.0, annotation=2.0, wrapping=3.0, extraction=0.5
+        )
+        as_dict = timings.as_dict()
+        assert set(as_dict) == {
+            f.name for f in dataclasses.fields(StageTimings)
+        }
+        assert sum(as_dict.values()) == timings.total
+
 
 class TestResultContainers:
     def test_source_result_ok_logic(self):

@@ -1,7 +1,12 @@
 """Tests for domain-level metric aggregation."""
 
+import warnings
+
+import pytest
+
 from repro.eval.classify import SourceEvaluation
 from repro.eval.metrics import aggregate_domain
+from repro.metrics import default_registry
 
 
 def evaluation(correct, partial, incorrect, attrs=("correct",), discarded=False):
@@ -66,3 +71,28 @@ class TestAggregation:
         metrics = aggregate_domain("albums", "sys", [])
         assert metrics.precision_correct == 0.0
         assert metrics.incomplete_source_rate == 0.0
+
+
+class TestNegativeMissedClamp:
+    """Regression: the clamp to zero missed objects must not be silent."""
+
+    def over_counted(self):
+        # Grader accounted for 12 objects against a gold total of 10.
+        e = evaluation(6, 3, 3)
+        e.objects_total = 10
+        return aggregate_domain("albums", "sys", [e])
+
+    def test_clamp_warns_and_counts(self):
+        metrics = self.over_counted()
+        before = default_registry().counter_value("eval.negative_missed")
+        with pytest.warns(UserWarning, match="over-counting"):
+            rate = metrics.incorrect_rate
+        assert rate == 0.3  # incorrect only; missed clamped to 0
+        after = default_registry().counter_value("eval.negative_missed")
+        assert after == before + 1
+
+    def test_consistent_grading_does_not_warn(self):
+        metrics = aggregate_domain("albums", "sys", [evaluation(5, 3, 2)])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert metrics.incorrect_rate == 0.2

@@ -1,0 +1,163 @@
+"""MetricsRegistry: counters, gauges, timer summaries, ordered merging."""
+
+import json
+import threading
+
+import pytest
+
+from repro.metrics import MetricsRegistry, TimerSummary, default_registry
+
+
+class TestRecording:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.count("objects")
+        registry.count("objects", 4)
+        assert registry.counter_value("objects") == 5
+        assert registry.counter_value("never") == 0
+
+    def test_gauges_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("rss", 100.0)
+        registry.gauge("rss", 250.0)
+        assert registry.gauge_value("rss") == 250.0
+        assert registry.gauge_value("never", default=-1.0) == -1.0
+
+    def test_timer_observations_keep_order(self):
+        registry = MetricsRegistry()
+        for value in (0.3, 0.1, 0.2):
+            registry.observe("stage.wrapping", value)
+        assert registry.observations("stage.wrapping") == (0.3, 0.1, 0.2)
+        assert registry.timer_names() == ("stage.wrapping",)
+
+
+class TestSummaries:
+    def test_summary_statistics(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.3, 0.4, 1.0):
+            registry.observe("t", value)
+        summary = registry.summary("t")
+        assert summary == TimerSummary(
+            count=5, total=2.0, min=0.1, max=1.0, mean=0.4, p50=0.3, p95=1.0
+        )
+
+    def test_summary_single_observation(self):
+        registry = MetricsRegistry()
+        registry.observe("t", 0.5)
+        summary = registry.summary("t")
+        assert summary.count == 1
+        assert summary.p50 == summary.p95 == summary.min == summary.max == 0.5
+
+    def test_summary_of_unknown_timer_is_none(self):
+        assert MetricsRegistry().summary("nope") is None
+
+    def test_p95_nearest_rank(self):
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("t", float(value))
+        summary = registry.summary("t")
+        assert summary.p95 == 95.0
+        assert summary.p50 == 50.0
+
+
+class TestMerge:
+    def test_merge_semantics(self):
+        left = MetricsRegistry()
+        left.count("a", 1)
+        left.gauge("g", 1.0)
+        left.observe("t", 0.1)
+        right = MetricsRegistry()
+        right.count("a", 2)
+        right.count("b", 3)
+        right.gauge("g", 9.0)
+        right.observe("t", 0.2)
+        left.merge(right)
+        assert left.counter_value("a") == 3
+        assert left.counter_value("b") == 3
+        assert left.gauge_value("g") == 9.0  # last write wins
+        assert left.observations("t") == (0.1, 0.2)
+
+    def test_merged_folds_in_input_order(self):
+        registries = []
+        for index in range(3):
+            registry = MetricsRegistry()
+            registry.observe("t", float(index))
+            registry.gauge("g", float(index))
+            registries.append(registry)
+        merged = MetricsRegistry.merged(registries)
+        assert merged.observations("t") == (0.0, 1.0, 2.0)
+        assert merged.gauge_value("g") == 2.0
+
+    def test_parallel_fill_merges_byte_identical_to_serial(self):
+        """The tentpole determinism property: same per-source registries,
+        merged in the same order, snapshot byte-identically no matter how
+        many threads filled them."""
+
+        def fill(registry, salt):
+            for index in range(50):
+                registry.count("objects", (index + salt) % 7)
+                registry.observe("stage.wrapping", (index * salt) % 11 / 10)
+
+        serial = [MetricsRegistry() for _ in range(8)]
+        for salt, registry in enumerate(serial, start=1):
+            fill(registry, salt)
+
+        parallel = [MetricsRegistry() for _ in range(8)]
+        threads = [
+            threading.Thread(target=fill, args=(registry, salt))
+            for salt, registry in enumerate(parallel, start=1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        serial_snapshot = json.dumps(
+            MetricsRegistry.merged(serial).snapshot(), sort_keys=True
+        )
+        parallel_snapshot = json.dumps(
+            MetricsRegistry.merged(parallel).snapshot(), sort_keys=True
+        )
+        assert serial_snapshot == parallel_snapshot
+
+    def test_concurrent_writes_to_one_registry_are_complete(self):
+        registry = MetricsRegistry()
+
+        def bump():
+            for _ in range(1000):
+                registry.count("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.counter_value("n") == 4000
+
+
+class TestSnapshot:
+    def test_snapshot_shape_and_key_order(self):
+        registry = MetricsRegistry()
+        registry.count("z", 1)
+        registry.count("a", 2)
+        registry.gauge("g", 0.123456789123)
+        registry.observe("t", 0.25)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["counters", "gauges", "timers"]
+        assert list(snapshot["counters"]) == ["a", "z"]
+        assert snapshot["gauges"]["g"] == pytest.approx(0.123456789, abs=1e-9)
+        assert snapshot["timers"]["t"]["count"] == 1
+        # Snapshot is pure JSON.
+        json.dumps(snapshot)
+
+    def test_counters_snapshot_sorted(self):
+        registry = MetricsRegistry()
+        registry.count("b")
+        registry.count("a")
+        assert list(registry.counters_snapshot()) == ["a", "b"]
+
+
+class TestDefaultRegistry:
+    def test_default_registry_is_a_stable_singleton(self):
+        assert default_registry() is default_registry()
+        assert isinstance(default_registry(), MetricsRegistry)
