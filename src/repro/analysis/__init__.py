@@ -19,7 +19,9 @@ from repro.analysis.baseline import (
     save_baseline,
     updated_baseline,
 )
+from repro.analysis.cache import ResultCache, content_hash
 from repro.analysis.cli import main
+from repro.analysis.dataflow import FunctionSummary, TaintAnalyzer, TaintFlow
 from repro.analysis.engine import (
     AnalysisReport,
     FileContext,
@@ -32,6 +34,7 @@ from repro.analysis.engine import (
     rule_registry,
     suppressed_rules,
 )
+from repro.analysis.graph import ProjectGraph
 from repro.analysis.reporters import render_json, render_text, summarize
 
 __all__ = [
@@ -39,11 +42,17 @@ __all__ = [
     "BaselineEntry",
     "FileContext",
     "Finding",
+    "FunctionSummary",
+    "ProjectGraph",
+    "ResultCache",
     "Rule",
+    "TaintAnalyzer",
+    "TaintFlow",
     "analyze_file",
     "analyze_paths",
     "apply_baseline",
     "build_rules",
+    "content_hash",
     "load_baseline",
     "main",
     "register_rule",

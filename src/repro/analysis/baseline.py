@@ -101,6 +101,33 @@ def save_baseline(path: Path, entries: list[BaselineEntry]) -> None:
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
 
+def entries_in_scope(
+    entries: list[BaselineEntry],
+    prefixes: list[str] | None,
+    only: set[str] | None = None,
+) -> tuple[list[BaselineEntry], list[BaselineEntry]]:
+    """Split entries into (in scope, out of scope) for a partial scan.
+
+    ``prefixes`` are root-relative posix paths of the scanned files or
+    directories; ``only`` further restricts to an explicit file set
+    (``--changed-only``).  Entries outside the scope must neither match
+    nor expire — a scan of ``tests/`` knows nothing about ``src/``
+    entries, and a changed-only scan knows nothing about unchanged
+    files — and ``--update-baseline`` carries them over verbatim.
+    """
+    def in_scope(entry: BaselineEntry) -> bool:
+        if prefixes is not None and not any(
+            entry.path == p or entry.path.startswith(p + "/")
+            for p in prefixes
+        ):
+            return False
+        return only is None or entry.path in only
+
+    selected = [e for e in entries if in_scope(e)]
+    rest = [e for e in entries if not in_scope(e)]
+    return selected, rest
+
+
 def apply_baseline(
     report: AnalysisReport, entries: list[BaselineEntry]
 ) -> None:

@@ -3,23 +3,39 @@
 Exit codes: 0 — clean (every finding suppressed or justified in the
 baseline); 1 — open findings, expired baseline entries, or baseline
 entries without a real reason; 2 — usage errors (bad path, bad baseline
-file, unknown rule).
+file, unknown rule, git failure under ``--changed-only``).
+
+Incremental modes: ``--cache FILE`` reuses per-file findings of the
+cacheable rules by content hash, and ``--changed-only`` restricts the
+checked set to files the git diff (vs ``--diff-base``, default HEAD)
+touches plus untracked files — whole-program rules still see the whole
+tree, and either mode's output stays byte-identical to a cold full run
+over the same checked set.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import subprocess
 import sys
 from pathlib import Path
 
 from repro.analysis.baseline import (
     BaselineError,
     apply_baseline,
+    entries_in_scope,
     load_baseline,
     save_baseline,
     updated_baseline,
 )
-from repro.analysis.engine import analyze_paths, build_rules, iter_rule_docs
+from repro.analysis.cache import ResultCache
+from repro.analysis.engine import (
+    analyze_paths,
+    build_rules,
+    iter_rule_docs,
+    rule_registry,
+)
 from repro.analysis.reporters import render_json, render_text
 
 DEFAULT_BASELINE = "reprolint-baseline.json"
@@ -88,7 +104,108 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RULE_ID",
+        help="print one rule's documentation (docstring, rationale) and exit",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="check only files changed vs --diff-base (plus untracked); "
+        "cross-file analyses still see the full scanned tree",
+    )
+    parser.add_argument(
+        "--diff-base",
+        default="HEAD",
+        metavar="REF",
+        help="git ref --changed-only diffs against (default: HEAD)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="incremental result cache: reuse per-file findings of "
+        "content-only rules when the file's hash is unchanged",
+    )
     return parser
+
+
+def _explain(rule_id: str) -> int:
+    registry = rule_registry()
+    cls = registry.get(rule_id)
+    if cls is None:
+        known = ", ".join(sorted(registry))
+        print(
+            f"reprolint: error: unknown rule {rule_id!r} (known: {known})",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"{cls.rule_id} — {cls.title}")
+    doc = inspect.getdoc(cls)
+    if doc:
+        print()
+        print(doc)
+    if cls.rationale:
+        print()
+        print(f"Rationale: {cls.rationale}")
+    return 0
+
+
+def _git_lines(root: Path, *argv: str) -> list[str] | None:
+    """stdout lines of a git command run at ``root``, or None on failure."""
+    try:
+        proc = subprocess.run(
+            ["git", "-C", str(root), *argv],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+    except OSError:
+        return None
+    if proc.returncode != 0:
+        return None
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def _changed_relpaths(root: Path, diff_base: str) -> set[str] | None:
+    """Root-relative posix paths of changed + untracked Python files.
+
+    Git reports paths relative to the repository top level, which may
+    sit above ``--root``; both are normalized to root-relative form (a
+    changed file outside the root is simply out of scanning scope).
+    """
+    toplevel = _git_lines(root, "rev-parse", "--show-toplevel")
+    if not toplevel:
+        return None
+    changed = _git_lines(root, "diff", "--name-only", diff_base, "--")
+    if changed is None:
+        return None
+    untracked = _git_lines(
+        root, "ls-files", "--others", "--exclude-standard"
+    )
+    if untracked is None:
+        return None
+    top = Path(toplevel[0]).resolve()
+    out: set[str] = set()
+    for name in changed + untracked:
+        if not name.endswith(".py"):
+            continue
+        try:
+            out.add((top / name).resolve().relative_to(root).as_posix())
+        except ValueError:
+            continue
+    return out
+
+
+def _scope_prefixes(paths: list[Path], root: Path) -> list[str] | None:
+    """Root-relative prefixes of the scanned paths (None = unscoped)."""
+    prefixes = []
+    for path in paths:
+        try:
+            prefixes.append(path.resolve().relative_to(root).as_posix())
+        except ValueError:
+            return None  # scanning outside the root: don't scope entries
+    return prefixes
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -101,6 +218,9 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{rule_id}  {title}")
             print(f"       {rationale}")
         return 0
+
+    if args.explain:
+        return _explain(args.explain)
 
     try:
         rule_ids = (
@@ -121,19 +241,43 @@ def main(argv: list[str] | None = None) -> int:
         print(f"reprolint: error: no such path: {names}", file=sys.stderr)
         return 2
 
-    report = analyze_paths(paths, root=root, rules=rules, jobs=args.jobs)
+    only = None
+    if args.changed_only:
+        only = _changed_relpaths(root, args.diff_base)
+        if only is None:
+            print(
+                "reprolint: error: --changed-only needs a git checkout "
+                f"and a resolvable --diff-base ({args.diff_base!r})",
+                file=sys.stderr,
+            )
+            return 2
+
+    cache = None
+    if args.cache:
+        cache = ResultCache.load(Path(args.cache))
+
+    report = analyze_paths(
+        paths, root=root, rules=rules, jobs=args.jobs, cache=cache, only=only
+    )
+    if cache is not None:
+        cache.save()
 
     baseline_path = Path(args.baseline)
-    entries = []
+    entries: list = []
     if not args.no_baseline:
         try:
             entries = load_baseline(baseline_path)
         except BaselineError as exc:
             print(f"reprolint: error: {exc}", file=sys.stderr)
             return 2
+    # A partial scan (subset paths, --changed-only) must leave baseline
+    # entries it cannot see alone: they neither match nor expire.
+    in_scope, out_of_scope = entries_in_scope(
+        entries, _scope_prefixes(paths, root), only
+    )
 
     if args.update_baseline:
-        fresh = updated_baseline(report, entries)
+        fresh = updated_baseline(report, in_scope) + out_of_scope
         save_baseline(baseline_path, fresh)
         print(
             f"reprolint: baseline {baseline_path} updated "
@@ -141,7 +285,7 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    apply_baseline(report, entries)
+    apply_baseline(report, in_scope)
 
     if args.format == "json":
         print(render_json(report))

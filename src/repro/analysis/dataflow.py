@@ -1,0 +1,558 @@
+"""Intraprocedural taint dataflow with interprocedural call summaries.
+
+This is the value-tracking layer of the analysis substrate
+(:mod:`repro.analysis.graph` is the call/structure layer).  It runs a
+reaching-definitions walk over each function body with a small taint
+lattice — the four nondeterminism sources the reproduction bans from
+artifacts:
+
+- ``CLOCK``     — wall-clock reads (``time.time``, ``datetime.now``, ...)
+- ``RNG``       — unseeded randomness (``random.*``, ``uuid``, ``secrets``)
+- ``ENV``       — process environment (``os.environ``, ``os.getenv``)
+- ``SET_ORDER`` — iteration order of a ``set``/``frozenset`` value
+
+Within a function, taint propagates through assignments, containers,
+f-strings, arithmetic, comprehensions, and attribute/subscript stores
+(which taint the stored-into root).  ``sorted(...)`` is the one
+sanitizer: it strips ``SET_ORDER`` (and only that label — sorting a
+clock value does not make it deterministic).
+
+Across functions, a fixpoint over the call graph computes one
+:class:`FunctionSummary` per function: which labels its return value
+carries, which parameters flow to its return, and which parameters
+reach a sink inside it (transitively — a helper that hands its argument
+to another sink-calling helper is itself sink-reaching).  Call sites
+then apply the callee's summary instead of inlining it, which is what
+lets D106 catch a tainted value laundered through a helper hop.
+
+Method calls on local instances of project classes resolve through
+lightweight type tracking (``x = Session(...); x.capture()``), so a
+summary-carrying method is followed even though the call graph alone
+cannot name it.  Everything else dynamic over-approximates: an
+unresolved call propagates the union of its argument and receiver
+taints to its result.
+
+Limits (documented, deliberate): the walk is per-function — module
+top-level statements and nested ``def`` bodies are not dataflow-executed
+(the call graph still sees their call sites for reachability), and
+branch merging is a plain union with loop bodies executed twice.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.analysis.graph import (
+    CallSite,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectGraph,
+    dotted_name,
+)
+
+#: The concrete taint labels (pseudo-labels ``param:<name>`` track
+#: parameter flow during summary computation and never leave a summary).
+CLOCK = "CLOCK"
+RNG = "RNG"
+ENV = "ENV"
+SET_ORDER = "SET_ORDER"
+CONCRETE_LABELS = frozenset({CLOCK, RNG, ENV, SET_ORDER})
+
+_PARAM_PREFIX = "param:"
+
+#: Canonical (alias-expanded) spellings of wall-clock reads; superset of
+#: D102's call list so the two rules agree on what a clock is.
+CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+    }
+)
+RNG_CALL_PREFIXES = ("random.", "secrets.", "uuid.uuid")
+ENV_CALLS = frozenset({"os.getenv", "os.environ.get", "os.environb.get"})
+ENV_ATTRS = frozenset({"os.environ", "os.environb"})
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+_EMPTY: frozenset[str] = frozenset()
+
+
+def param_label(name: str) -> str:
+    """The pseudo-label tracking flow from parameter ``name``."""
+    return _PARAM_PREFIX + name
+
+
+def _param_names(labels: frozenset[str]) -> frozenset[str]:
+    return frozenset(
+        l[len(_PARAM_PREFIX) :] for l in labels if l.startswith(_PARAM_PREFIX)
+    )
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What one function does with taint, as seen from a call site."""
+
+    returns: frozenset[str] = _EMPTY  #: concrete labels of the return value
+    param_returns: frozenset[str] = _EMPTY  #: params flowing to the return
+    sink_params: frozenset[str] = _EMPTY  #: params reaching a sink inside
+
+
+_EMPTY_SUMMARY = FunctionSummary()
+
+
+@dataclass(frozen=True)
+class TaintFlow:
+    """A concrete taint label reaching a sink — D106's raw material."""
+
+    relpath: str
+    line: int
+    col: int
+    end_line: int  #: last physical line of the sink call (suppression span)
+    labels: tuple[str, ...]  #: sorted concrete labels that arrived
+    sink: str  #: sink description from the ``sink_of`` callback
+    via: str  #: helper qualname the value was laundered through ('' = direct)
+    function: str  #: qualname of the function containing the flow
+
+
+class TaintAnalyzer:
+    """Whole-program taint pass over a :class:`ProjectGraph`.
+
+    ``sink_of`` maps a :class:`CallSite` to a sink description (or None
+    when the call is not a sink); it is supplied by the rule using the
+    analyzer, so the dataflow layer stays policy-free.
+    """
+
+    def __init__(
+        self,
+        graph: ProjectGraph,
+        sink_of: Callable[[CallSite], str | None] | None = None,
+        max_passes: int = 10,
+    ) -> None:
+        self.graph = graph
+        self.sink_of = sink_of
+        self.max_passes = max_passes
+
+    def compute(self) -> tuple[dict[str, FunctionSummary], list[TaintFlow]]:
+        """Fixpoint summaries for every function, plus the sink flows."""
+        summaries: dict[str, FunctionSummary] = {
+            q: _EMPTY_SUMMARY for q in self.graph.functions
+        }
+        for _ in range(self.max_passes):
+            changed = False
+            for fn in self.graph.iter_functions():
+                summary = self._summarize(fn, summaries, collect=None)
+                if summary != summaries[fn.qualname]:
+                    summaries[fn.qualname] = summary
+                    changed = True
+            if not changed:
+                break
+        flows: list[TaintFlow] = []
+        for fn in self.graph.iter_functions():
+            self._summarize(fn, summaries, collect=flows)
+        unique = sorted(
+            set(flows),
+            key=lambda f: (f.relpath, f.line, f.col, f.sink, f.via, f.labels),
+        )
+        return summaries, unique
+
+    def _summarize(
+        self,
+        fn: FunctionInfo,
+        summaries: dict[str, FunctionSummary],
+        collect: list[TaintFlow] | None,
+    ) -> FunctionSummary:
+        if fn.node is None:
+            return _EMPTY_SUMMARY
+        walker = _FunctionWalker(self, fn, summaries, collect)
+        walker.exec_block(fn.node.body, walker.env)
+        return FunctionSummary(
+            returns=frozenset(walker.returns & CONCRETE_LABELS),
+            param_returns=_param_names(frozenset(walker.returns)),
+            sink_params=frozenset(walker.sink_params),
+        )
+
+
+class _FunctionWalker:
+    """One reaching-definitions pass over a single function body."""
+
+    def __init__(
+        self,
+        analyzer: TaintAnalyzer,
+        fn: FunctionInfo,
+        summaries: dict[str, FunctionSummary],
+        collect: list[TaintFlow] | None,
+    ) -> None:
+        self.a = analyzer
+        self.graph = analyzer.graph
+        self.fn = fn
+        self.module: ModuleInfo = analyzer.graph.modules[fn.module]
+        self.summaries = summaries
+        self.collect = collect
+        self.site_by_node: dict[int, CallSite] = {
+            id(s.node): s for s in analyzer.graph.calls.get(fn.qualname, ())
+        }
+        self.env: dict[str, frozenset[str]] = {
+            p: frozenset({param_label(p)}) for p in fn.params
+        }
+        #: local var -> project class, for resolving x.method() calls.
+        self.types: dict[str, ClassInfo] = {}
+        self.returns: set[str] = set()
+        self.sink_params: set[str] = set()
+
+    # -- statements --------------------------------------------------------
+
+    def exec_block(
+        self, stmts: Iterable[ast.stmt], env: dict[str, frozenset[str]]
+    ) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: dict[str, frozenset[str]]) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value, env)
+            for target in stmt.targets:
+                self.assign(target, taint, env)
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                self._track_type(stmt.targets[0].id, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.eval(stmt.value, env) | self.eval(stmt.target, env)
+            self.assign(stmt.target, taint, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value, env), env)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns |= self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test, env)
+            self._exec_branches(env, stmt.body, stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taint = self.eval(stmt.iter, env)
+            self.assign(stmt.target, taint, env)
+            # Two passes: taint introduced late in the body reaches uses
+            # earlier in the next iteration.
+            self.exec_block(stmt.body, env)
+            self.exec_block(stmt.body, env)
+            self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, env)
+            self.exec_block(stmt.body, env)
+            self.exec_block(stmt.body, env)
+            self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, taint, env)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            branches = [stmt.body + stmt.orelse]
+            branches.extend(handler.body for handler in stmt.handlers)
+            self._exec_branches(env, *branches)
+            self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, env)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test, env)
+            if stmt.msg is not None:
+                self.eval(stmt.msg, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, getattr(ast, "Match", ())):
+            self.eval(stmt.subject, env)
+            self._exec_branches(env, *(case.body for case in stmt.cases))
+        # Nested defs/classes are not executed here; imports, pass,
+        # break/continue and global/nonlocal carry no value flow.
+
+    def _exec_branches(
+        self,
+        env: dict[str, frozenset[str]],
+        *branches: list[ast.stmt],
+    ) -> None:
+        """Run alternative branches on copies, merge by label union."""
+        merged: dict[str, frozenset[str]] = {}
+        for body in branches:
+            branch_env = dict(env)
+            self.exec_block(body, branch_env)
+            for name, labels in branch_env.items():
+                merged[name] = merged.get(name, _EMPTY) | labels
+        env.update(merged)
+
+    def assign(
+        self,
+        target: ast.AST,
+        taint: frozenset[str],
+        env: dict[str, frozenset[str]],
+    ) -> None:
+        if isinstance(target, ast.Name):
+            env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for el in target.elts:
+                self.assign(el, taint, env)
+        elif isinstance(target, ast.Starred):
+            self.assign(target.value, taint, env)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            # Storing into obj.field / obj[key] taints the object itself.
+            root = target
+            while isinstance(root, (ast.Attribute, ast.Subscript)):
+                root = root.value
+            if isinstance(root, ast.Name):
+                env[root.id] = env.get(root.id, _EMPTY) | taint
+
+    def _track_type(self, name: str, value: ast.expr) -> None:
+        cls = self._class_of(value) if isinstance(value, ast.Call) else None
+        if cls is not None:
+            self.types[name] = cls
+        else:
+            self.types.pop(name, None)
+
+    def _class_of(self, call: ast.Call) -> ClassInfo | None:
+        """The project class a constructor-shaped call instantiates."""
+        dotted = dotted_name(call.func)
+        if not dotted:
+            return None
+        return self.graph._resolve_class(self.module, dotted)
+
+    # -- expressions -------------------------------------------------------
+
+    def eval(
+        self, node: ast.expr, env: dict[str, frozenset[str]]
+    ) -> frozenset[str]:
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Attribute):
+            dotted = dotted_name(node)
+            if dotted:
+                expanded = ProjectGraph.expand_alias(self.module, dotted)
+                if expanded in ENV_ATTRS:
+                    return frozenset({ENV})
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Subscript):
+            return self.eval(node.value, env) | self.eval(node.slice, env)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, env)
+        if isinstance(node, ast.BinOp):
+            return self.eval(node.left, env) | self.eval(node.right, env)
+        if isinstance(node, ast.BoolOp):
+            return self._union(node.values, env)
+        if isinstance(node, ast.Compare):
+            return self.eval(node.left, env) | self._union(
+                node.comparators, env
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand, env)
+        if isinstance(node, ast.IfExp):
+            return (
+                self.eval(node.test, env)
+                | self.eval(node.body, env)
+                | self.eval(node.orelse, env)
+            )
+        if isinstance(node, ast.JoinedStr):
+            return self._union(node.values, env)
+        if isinstance(node, ast.FormattedValue):
+            return self.eval(node.value, env)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return self._union(node.elts, env)
+        if isinstance(node, ast.Set):
+            return self._union(node.elts, env) | frozenset({SET_ORDER})
+        if isinstance(node, ast.Dict):
+            taint = self._union([k for k in node.keys if k is not None], env)
+            return taint | self._union(node.values, env)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            self._bind_comprehensions(node.generators, env)
+            return self.eval(node.elt, env)
+        if isinstance(node, ast.SetComp):
+            self._bind_comprehensions(node.generators, env)
+            return self.eval(node.elt, env) | frozenset({SET_ORDER})
+        if isinstance(node, ast.DictComp):
+            self._bind_comprehensions(node.generators, env)
+            return self.eval(node.key, env) | self.eval(node.value, env)
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value, env)
+            if isinstance(node.target, ast.Name):
+                env[node.target.id] = taint
+            return taint
+        if isinstance(node, (ast.Await, ast.Starred, ast.YieldFrom)):
+            return self.eval(node.value, env)
+        if isinstance(node, ast.Yield):
+            return self.eval(node.value, env) if node.value else _EMPTY
+        if isinstance(node, ast.Slice):
+            return self._union(
+                [n for n in (node.lower, node.upper, node.step) if n], env
+            )
+        if isinstance(node, ast.Lambda):
+            return _EMPTY  # body runs elsewhere; not followed
+        return _EMPTY
+
+    def _union(
+        self, nodes: Iterable[ast.expr], env: dict[str, frozenset[str]]
+    ) -> frozenset[str]:
+        taint: frozenset[str] = _EMPTY
+        for node in nodes:
+            taint |= self.eval(node, env)
+        return taint
+
+    def _bind_comprehensions(
+        self,
+        generators: list[ast.comprehension],
+        env: dict[str, frozenset[str]],
+    ) -> None:
+        for gen in generators:
+            self.assign(gen.target, self.eval(gen.iter, env), env)
+            for cond in gen.ifs:
+                self.eval(cond, env)
+
+    # -- calls -------------------------------------------------------------
+
+    def eval_call(
+        self, node: ast.Call, env: dict[str, frozenset[str]]
+    ) -> frozenset[str]:
+        site = self.site_by_node.get(id(node))
+        dotted = site.dotted if site else dotted_name(node.func)
+        expanded = (
+            site.expanded
+            if site
+            else ProjectGraph.expand_alias(self.module, dotted)
+        )
+        arg_taints = [self.eval(arg, env) for arg in node.args]
+        kw_taints = [
+            (kw.arg, self.eval(kw.value, env)) for kw in node.keywords
+        ]
+        receiver = (
+            self.eval(node.func.value, env)
+            if isinstance(node.func, ast.Attribute)
+            else _EMPTY
+        )
+        all_in: frozenset[str] = receiver
+        for taint in arg_taints:
+            all_in |= taint
+        for _, taint in kw_taints:
+            all_in |= taint
+
+        # sorted() is the one sanitizer: it erases SET_ORDER and nothing
+        # else (sorting a timestamp still yields a timestamp).
+        if expanded == "sorted":
+            return all_in - {SET_ORDER}
+
+        result: set[str] = set()
+        if expanded in CLOCK_CALLS:
+            result.add(CLOCK)
+        elif expanded in ENV_CALLS:
+            result.add(ENV)
+        elif expanded.startswith(RNG_CALL_PREFIXES):
+            result.add(RNG)
+        elif expanded in _SET_CONSTRUCTORS:
+            result.add(SET_ORDER)
+
+        sink = self.a.sink_of(site) if (site and self.a.sink_of) else None
+        if sink is not None:
+            self._record_sink(node, all_in, sink, via="")
+            return frozenset(result)  # a sink's return value is not reused
+
+        callee = self._callee_info(site, node)
+        summary = (
+            self.summaries.get(callee.qualname) if callee is not None else None
+        )
+        if callee is None or summary is None or self._has_dynamic_args(node):
+            # Unresolved or dynamic: everything in may come out.
+            return frozenset(result) | all_in
+
+        result |= summary.returns
+        result |= receiver  # a method result may expose receiver state
+        for pname, taint in self._map_args(
+            callee, node, arg_taints, kw_taints
+        ):
+            if pname in summary.param_returns:
+                result |= taint
+            if pname in summary.sink_params:
+                self._record_sink(node, taint, sink="", via=callee.qualname)
+        return frozenset(result)
+
+    def _record_sink(
+        self,
+        node: ast.Call,
+        taint: frozenset[str],
+        sink: str,
+        via: str,
+    ) -> None:
+        self.sink_params |= _param_names(taint)
+        concrete = taint & CONCRETE_LABELS
+        if concrete and self.collect is not None:
+            self.collect.append(
+                TaintFlow(
+                    relpath=self.fn.relpath,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    end_line=getattr(node, "end_lineno", None) or node.lineno,
+                    labels=tuple(sorted(concrete)),
+                    sink=sink,
+                    via=via,
+                    function=self.fn.qualname,
+                )
+            )
+
+    def _callee_info(
+        self, site: CallSite | None, node: ast.Call
+    ) -> FunctionInfo | None:
+        if site is not None and site.callee is not None:
+            return self.graph.functions.get(site.callee)
+        # x.method() on a tracked local instance, or Class(...).method().
+        if isinstance(node.func, ast.Attribute):
+            value = node.func.value
+            cls: ClassInfo | None = None
+            if isinstance(value, ast.Name):
+                cls = self.types.get(value.id)
+            elif isinstance(value, ast.Call):
+                cls = self._class_of(value)
+            if cls is not None:
+                return self.graph._lookup_method(
+                    self.graph.modules.get(cls.module, self.module),
+                    cls,
+                    node.func.attr,
+                )
+        return None
+
+    @staticmethod
+    def _has_dynamic_args(node: ast.Call) -> bool:
+        return any(isinstance(a, ast.Starred) for a in node.args) or any(
+            kw.arg is None for kw in node.keywords
+        )
+
+    def _map_args(
+        self,
+        callee: FunctionInfo,
+        node: ast.Call,
+        arg_taints: list[frozenset[str]],
+        kw_taints: list[tuple[str | None, frozenset[str]]],
+    ) -> list[tuple[str, frozenset[str]]]:
+        """Pair positional/keyword argument taints with callee param names."""
+        params = callee.params
+        offset = 0
+        if params and params[0] in ("self", "cls"):
+            offset = 1  # bound method / constructor: args start at param 1
+        mapped: list[tuple[str, frozenset[str]]] = []
+        for index, taint in enumerate(arg_taints):
+            slot = offset + index
+            if slot < len(params):
+                mapped.append((params[slot], taint))
+        for name, taint in kw_taints:
+            if name is not None and name in params:
+                mapped.append((name, taint))
+        return mapped

@@ -47,6 +47,12 @@ class Finding:
     #: across unrelated edits that only move the line).
     snippet: str = ""
     status: str = STATUS_OPEN
+    #: 1-based (first, last) physical lines a suppression comment may sit
+    #: on: the whole statement for multi-line expressions, decorators
+    #: through the signature for defs.  Engine-internal — not serialized.
+    span: tuple[int, int] | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def location(self) -> str:
         """``path:line:col`` for human output."""
@@ -93,6 +99,7 @@ class FileContext:
             col=col,
             message=message,
             snippet=self.snippet_at(line),
+            span=_suppression_span(node),
         )
 
 
@@ -107,9 +114,19 @@ class Rule:
     rule_id: str = ""
     title: str = ""
     rationale: str = ""
+    #: True when findings depend on nothing but one file's content, which
+    #: lets the incremental :mod:`repro.analysis.cache` reuse them.
+    #: Whole-program rules must leave this False.
+    cacheable: bool = False
+    #: True when the rule wants the shared :class:`ProjectGraph`; the
+    #: engine builds it once per run and calls :meth:`prepare_graph`.
+    requires_graph: bool = False
 
     def prepare(self, root: Path, files: list[Path]) -> None:
         """One-time hook before the (parallel) walk; cross-file setup."""
+
+    def prepare_graph(self, graph) -> None:
+        """Receive the shared project graph (requires_graph rules only)."""
 
     def check_file(self, ctx: FileContext) -> Iterable[Finding]:
         """Yield findings for one parsed file."""
@@ -165,11 +182,33 @@ def suppressed_rules(line_text: str) -> frozenset[str]:
     )
 
 
+def _suppression_span(node: ast.AST) -> tuple[int, int] | None:
+    """Physical lines where an ignore comment counts for this node.
+
+    A multi-line statement accepts the comment on any of its lines; a
+    decorated ``def``/``class`` accepts it on a decorator line or
+    anywhere in the signature (up to the line before the body starts) —
+    previously only the first physical line of the node was checked.
+    """
+    line = getattr(node, "lineno", None)
+    if line is None:
+        return None
+    end = getattr(node, "end_lineno", None) or line
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        decorators = [d.lineno for d in node.decorator_list]
+        line = min([line, *decorators])
+        if node.body:
+            end = max(line, node.body[0].lineno - 1)
+    return (line, end)
+
+
 def _apply_suppressions(ctx: FileContext, findings: list[Finding]) -> None:
     for finding in findings:
-        ids = suppressed_rules(ctx.snippet_at(finding.line))
-        if finding.rule in ids:
-            finding.status = STATUS_SUPPRESSED
+        first, last = finding.span or (finding.line, finding.line)
+        for line in range(first, last + 1):
+            if finding.rule in suppressed_rules(ctx.snippet_at(line)):
+                finding.status = STATUS_SUPPRESSED
+                break
 
 
 # -- walking ---------------------------------------------------------------
@@ -197,25 +236,21 @@ def _relpath(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
-def analyze_file(
-    path: Path, root: Path, rules: Iterable[Rule]
-) -> list[Finding]:
-    """All findings of all rules for one file (suppressions applied)."""
+def _parse_context(path: Path, root: Path) -> FileContext | Finding:
+    """Parse one file into a FileContext, or the E001 finding if it fails."""
     relpath = _relpath(path, root)
     source = path.read_text(encoding="utf-8")
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule=PARSE_RULE_ID,
-                path=relpath,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(
+        return Finding(
+            rule=PARSE_RULE_ID,
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+    return FileContext(
         path=path,
         relpath=relpath,
         source=source,
@@ -223,11 +258,66 @@ def analyze_file(
         tree=tree,
         root=root,
     )
+
+
+def _run_rules(ctx: FileContext, rules: Iterable[Rule]) -> list[Finding]:
     findings: list[Finding] = []
     for rule in rules:
         findings.extend(rule.check_file(ctx))
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
     _apply_suppressions(ctx, findings)
+    return findings
+
+
+def analyze_file(
+    path: Path, root: Path, rules: Iterable[Rule]
+) -> list[Finding]:
+    """All findings of all rules for one file (suppressions applied)."""
+    ctx = _parse_context(path, root)
+    if isinstance(ctx, Finding):
+        return [ctx]
+    return _run_rules(ctx, rules)
+
+
+def _analyze_file_cached(
+    path: Path, root: Path, rules: list[Rule], cache
+) -> list[Finding]:
+    """analyze_file with the cacheable-rule split through a ResultCache.
+
+    Cacheable rules (content-only) are served from the cache on a
+    content-hash hit; whole-program rules always run fresh.  The merged
+    list is re-sorted by ``(line, col, rule)``, so a warm run produces
+    byte-identical output to a cold one.
+    """
+    from repro.analysis.cache import content_hash
+
+    ctx = _parse_context(path, root)
+    if isinstance(ctx, Finding):
+        parse_finding = ctx
+        cache.store(
+            parse_finding.path,
+            content_hash(path.read_text(encoding="utf-8")),
+            [r.rule_id for r in rules if r.cacheable],
+            [parse_finding],
+            parse_failed=True,
+        )
+        return [parse_finding]
+    cacheable = [r for r in rules if r.cacheable]
+    fresh_rules = [r for r in rules if not r.cacheable]
+    digest = content_hash(ctx.source)
+    rule_ids = [r.rule_id for r in cacheable]
+    hit = cache.lookup(ctx.relpath, digest, rule_ids)
+    if hit is not None:
+        cached_findings, parse_failed = hit
+        if parse_failed:  # content re-parsed fine; treat as stale
+            hit = None
+        else:
+            findings = cached_findings
+    if hit is None:
+        findings = _run_rules(ctx, cacheable)
+        cache.store(ctx.relpath, digest, rule_ids, findings)
+    findings = findings + _run_rules(ctx, fresh_rules)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return findings
 
 
@@ -267,6 +357,8 @@ def analyze_paths(
     root: Path | None = None,
     rules: Iterable[Rule] | None = None,
     jobs: int = 0,
+    cache=None,
+    only: set[str] | None = None,
 ) -> AnalysisReport:
     """Run the rules over every Python file under ``paths``.
 
@@ -274,25 +366,50 @@ def analyze_paths(
     sensible default) but results keep the sorted file order, so the
     report is byte-identical to a serial run — the engine holds itself to
     the determinism bar it enforces.
+
+    ``cache`` is an optional :class:`repro.analysis.cache.ResultCache`
+    serving cacheable-rule findings by content hash.  ``only`` restricts
+    which files are *checked* to the given root-relative posix paths
+    (``--changed-only``); cross-file preparation — ``prepare`` and the
+    shared project graph — still sees every collected file, so
+    whole-program rules keep their whole-program view.
     """
     root = (root or Path.cwd()).resolve()
     rule_list = list(rules) if rules is not None else build_rules()
     files = collect_files(paths)
     for rule in rule_list:
         rule.prepare(root, files)
+    if any(rule.requires_graph for rule in rule_list):
+        from repro.analysis.graph import ProjectGraph
+
+        graph = ProjectGraph.build(root, files)
+        for rule in rule_list:
+            if rule.requires_graph:
+                rule.prepare_graph(graph)
+    if cache is not None:
+        # Prune against the full collection, not the checked subset, so a
+        # --changed-only run never evicts entries for unchanged files.
+        cache.prune({_relpath(f, root) for f in files})
+    if only is not None:
+        files = [f for f in files if _relpath(f, root) in only]
     report = AnalysisReport(root=root, files_scanned=len(files))
     if not files:
         return report
+
+    if cache is not None:
+        def run_one(path: Path) -> list[Finding]:
+            return _analyze_file_cached(path, root, rule_list, cache)
+    else:
+        def run_one(path: Path) -> list[Finding]:
+            return analyze_file(path, root, rule_list)
+
     workers = jobs if jobs > 0 else min(8, len(files))
     if workers > 1 and len(files) > 1:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(analyze_file, path, root, rule_list)
-                for path in files
-            ]
+            futures = [pool.submit(run_one, path) for path in files]
             per_file = [future.result() for future in futures]
     else:
-        per_file = [analyze_file(path, root, rule_list) for path in files]
+        per_file = [run_one(path) for path in files]
     for findings in per_file:
         report.findings.extend(findings)
     return report

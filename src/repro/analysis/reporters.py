@@ -65,14 +65,29 @@ def render_text(report: AnalysisReport, verbose: bool = False) -> str:
     return "\n".join(lines)
 
 
+def _entry_key(entry: dict) -> tuple:
+    return (entry.get("path", ""), entry.get("rule", ""), entry.get("snippet", ""))
+
+
 def render_json(report: AnalysisReport) -> str:
-    """Machine-readable report (schema: see docs/ANALYSIS.md)."""
+    """Machine-readable report (schema: see docs/ANALYSIS.md).
+
+    Findings and stale-baseline lists are explicitly sorted, so the
+    document is stable under any engine-internal ordering change —
+    consumers may diff two reports textually.
+    """
+    findings = sorted(
+        report.findings,
+        key=lambda f: (f.path, f.line, f.col, f.rule, f.message, f.status),
+    )
     payload = {
         "schema_version": JSON_SCHEMA_VERSION,
         "root": str(report.root),
         "summary": summarize(report),
-        "findings": [finding.to_json() for finding in report.findings],
-        "expired_baseline": list(report.expired_baseline),
-        "unjustified_baseline": list(report.unjustified_baseline),
+        "findings": [finding.to_json() for finding in findings],
+        "expired_baseline": sorted(report.expired_baseline, key=_entry_key),
+        "unjustified_baseline": sorted(
+            report.unjustified_baseline, key=_entry_key
+        ),
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,261 @@
+"""A501: public-API drift — broken exports and unreachable public symbols.
+
+As the package grows PR by PR, two kinds of rot accumulate silently:
+``__init__.py`` re-exports that no longer resolve (the name was renamed
+or moved and the export kept compiling because nothing imports it), and
+public top-level symbols that nothing — no export, no sibling module,
+no test — reaches anymore.  Both are caught here with the project
+symbol table:
+
+- every name in a module's ``__all__`` must be bound in that module
+  (def, class, assignment, import alias) or name a submodule;
+- every ``from X import Y`` / ``import X.Y`` where ``X`` is a project
+  module must resolve to a symbol or submodule of ``X``;
+- every public (non-underscore) top-level symbol must be *referenced*
+  somewhere — an import, an attribute access, a loaded name (in any
+  module, its own included), an ``__all__`` string, or a use in
+  ``tests/`` / ``benchmarks/`` (parsed as an extra usage universe even
+  when not part of the scan).
+
+Reference detection is deliberately generous (any matching attribute
+name or identifier-like string anywhere counts, and ``main`` is always
+considered referenced — console-script entry points live outside the
+AST), so a finding means the symbol is genuinely unreachable, not that
+the analysis lost track of a dynamic use.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+from repro.analysis.graph import (
+    ModuleInfo,
+    ProjectGraph,
+    _resolve_relative,
+    build_single_file_graph,
+)
+
+#: Directories under the scan root parsed as the extra usage universe.
+USAGE_DIRS = ("tests", "benchmarks")
+#: Names always considered referenced (entry points named in pyproject).
+ALWAYS_REFERENCED = frozenset({"main"})
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@register_rule
+class ApiDriftRule(Rule):
+    """A501: exports that don't resolve; public symbols nothing reaches."""
+
+    rule_id = "A501"
+    requires_graph = True
+    title = "public-API drift (broken export or unreachable symbol)"
+    rationale = (
+        "An __all__ entry or re-export that no longer resolves is a "
+        "latent ImportError; a public symbol no export, module, or test "
+        "reaches is dead API surface — remove it, underscore it, or "
+        "export it."
+    )
+
+    def __init__(self) -> None:
+        self._prepared = False
+        self._root: Path | None = None
+        self._graph: ProjectGraph | None = None
+        self._refs: frozenset[str] = frozenset()
+        self._names_by_module: dict[str, frozenset[str]] = {}
+
+    def prepare(self, root: Path, files: list[Path]) -> None:
+        """Remember the scan root (tests/ and benchmarks/ live under it)."""
+        self._root = root
+
+    def prepare_graph(self, graph: ProjectGraph) -> None:
+        """Index every reference the scanned universe makes."""
+        self._prepared = True
+        self._graph = graph
+        self._collect_references(graph)
+
+    def _collect_references(self, graph: ProjectGraph) -> None:
+        refs: set[str] = set(ALWAYS_REFERENCED)
+        names_by_module: dict[str, frozenset[str]] = {}
+        trees: list[tuple[str, ast.Module]] = [
+            (name, graph.modules[name].tree) for name in sorted(graph.modules)
+        ]
+        for extra in self._extra_trees():
+            trees.append(extra)
+        for key, tree in trees:
+            names: set[str] = set()
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom):
+                    refs.update(
+                        alias.name for alias in node.names if alias.name != "*"
+                    )
+                elif isinstance(node, ast.Attribute):
+                    refs.add(node.attr)
+                elif isinstance(node, ast.Name):
+                    # Load-context only: the Store at a symbol's own
+                    # assignment must not count as a reference to it.
+                    if isinstance(node.ctx, ast.Load):
+                        names.add(node.id)
+                elif isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ):
+                    # __all__ strings, quoted annotations, field names.
+                    if _IDENTIFIER_RE.match(node.value):
+                        refs.add(node.value)
+            names_by_module[key] = frozenset(names)
+        self._refs = frozenset(refs)
+        self._names_by_module = names_by_module
+
+    def _extra_trees(self) -> list[tuple[str, ast.Module]]:
+        """Parsed trees of tests/ and benchmarks/ under the scan root."""
+        if self._root is None:
+            return []
+        extras: list[tuple[str, ast.Module]] = []
+        for dirname in USAGE_DIRS:
+            directory = self._root / dirname
+            if not directory.is_dir():
+                continue
+            for path in sorted(directory.rglob("*.py")):
+                if "__pycache__" in path.parts:
+                    continue
+                try:
+                    tree = ast.parse(path.read_text(encoding="utf-8"))
+                except (OSError, SyntaxError):
+                    continue
+                extras.append((f"{dirname}:{path.name}", tree))
+        return extras
+
+    def _is_referenced(self, name: str, defining_module: str) -> bool:
+        if name in self._refs:
+            return True
+        # In-module loads count too: a constant consumed by its own
+        # module's functions is internal plumbing, not dead API.
+        return any(name in names for names in self._names_by_module.values())
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag broken exports/imports and unreachable public symbols."""
+        graph = self._graph
+        if not self._prepared:  # single-file use (tests, editors)
+            graph = build_single_file_graph(ctx.path, ctx.root)
+            self._collect_references(graph)
+        module = graph.module_by_relpath.get(ctx.relpath)
+        if module is None:
+            return
+        yield from self._check_exports(ctx, graph, module)
+        yield from self._check_imports(ctx, graph, module)
+        if self._prepared:
+            # Reachability needs the whole-program universe; a one-file
+            # graph would flag every symbol of every module.
+            yield from self._check_reachability(ctx, graph, module)
+
+    def _check_exports(
+        self, ctx: FileContext, graph: ProjectGraph, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        if module.exports is None:
+            return
+        anchor = _all_assign_node(module.tree)
+        for name in module.exports:
+            if module.defines(name):
+                continue
+            if f"{module.name}.{name}" in graph.modules:
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                anchor or module.tree,
+                f"__all__ exports {name!r}, which is not bound in "
+                f"{module.name or 'this module'}",
+            )
+
+    def _check_imports(
+        self, ctx: FileContext, graph: ProjectGraph, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        package = (
+            module.name.rsplit(".", 1)[0] if "." in module.name else ""
+        )
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                base = _resolve_relative(node, module.name, package)
+                target = graph.modules.get(base)
+                if target is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    if target.defines(alias.name):
+                        continue
+                    if f"{base}.{alias.name}" in graph.modules:
+                        continue
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"'from {base} import {alias.name}' does not "
+                        f"resolve: {base} defines no such symbol or "
+                        "submodule",
+                    )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    head = alias.name.split(".", 1)[0]
+                    if head not in graph.modules:
+                        continue  # not a project package
+                    if alias.name in graph.modules:
+                        continue
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"'import {alias.name}' does not resolve to a "
+                        "project module",
+                    )
+
+    def _check_reachability(
+        self, ctx: FileContext, graph: ProjectGraph, module: ModuleInfo
+    ) -> Iterator[Finding]:
+        for name, node in sorted(_public_symbols(module)):
+            if self._is_referenced(name, module.name):
+                continue
+            yield ctx.finding(
+                self.rule_id,
+                node,
+                f"public symbol {name!r} is unreachable: no export, "
+                "module, or test references it — remove it, prefix it "
+                "with '_', or export it",
+            )
+
+
+def _public_symbols(
+    module: ModuleInfo,
+) -> list[tuple[str, ast.AST]]:
+    symbols: list[tuple[str, ast.AST]] = []
+    for name, fn in module.functions.items():
+        if not name.startswith("_") and fn.node is not None:
+            symbols.append((name, fn.node))
+    for name, ci in module.classes.items():
+        if not name.startswith("_") and ci.node is not None:
+            symbols.append((name, ci.node))
+    for stmt in module.tree.body:
+        targets: list[ast.Name] = []
+        if isinstance(stmt, ast.Assign):
+            targets = [t for t in stmt.targets if isinstance(t, ast.Name)]
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            targets = [stmt.target]
+        for target in targets:
+            if not target.id.startswith("_") and not (
+                target.id.startswith("__") and target.id.endswith("__")
+            ):
+                symbols.append((target.id, stmt))
+    return symbols
+
+
+def _all_assign_node(tree: ast.Module) -> ast.AST | None:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in stmt.targets
+        ):
+            return stmt
+    return None

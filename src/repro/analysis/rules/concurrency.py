@@ -23,6 +23,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+from repro.analysis.graph import ProjectGraph
 
 _MUTATING_METHODS = frozenset(
     {
@@ -42,50 +43,6 @@ _MUTATING_METHODS = frozenset(
         "move_to_end",
     }
 )
-
-
-def _module_name(path: Path, root: Path) -> str:
-    """Dotted module name of a file relative to the scan root."""
-    try:
-        rel = path.resolve().relative_to(root)
-    except ValueError:
-        rel = Path(path.name)
-    parts = list(rel.with_suffix("").parts)
-    if parts and parts[0] == "src":
-        parts = parts[1:]
-    if parts and parts[-1] == "__init__":
-        parts = parts[:-1]
-    return ".".join(parts)
-
-
-def _imported_modules(tree: ast.Module, module: str, known: set[str]) -> set[str]:
-    """Known modules this module's code can load (incl. nested imports)."""
-    package = module.rsplit(".", 1)[0] if "." in module else ""
-    edges: set[str] = set()
-
-    def add_known(candidate: str) -> None:
-        # Walk up the dotted chain so `import a.b.c` links a, a.b and a.b.c.
-        while candidate:
-            if candidate in known:
-                edges.add(candidate)
-            candidate = candidate.rsplit(".", 1)[0] if "." in candidate else ""
-
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                add_known(alias.name)
-        elif isinstance(node, ast.ImportFrom):
-            base = node.module or ""
-            if node.level:
-                parts = module.split(".")[: -node.level] or [package]
-                prefix = ".".join(p for p in parts if p)
-                base = f"{prefix}.{base}".strip(".") if base else prefix
-            add_known(base)
-            for alias in node.names:
-                if base:
-                    add_known(f"{base}.{alias.name}")
-    edges.discard(module)
-    return edges
 
 
 def _uses_thread_pool(tree: ast.Module) -> bool:
@@ -132,30 +89,19 @@ class SharedStateRule(Rule):
         "registration with a justification."
     )
 
+    requires_graph = True
+
     def __init__(self) -> None:
         self._reachable_files: set[Path] = set()
         self._prepared = False
 
-    def prepare(self, root: Path, files: list[Path]) -> None:
-        """Build the import graph and the pool-reachable module set."""
+    def prepare_graph(self, graph: ProjectGraph) -> None:
+        """Mark the modules pool-using code can (transitively) import."""
         self._prepared = True
-        modules: dict[str, Path] = {}
-        trees: dict[str, ast.Module] = {}
-        for path in files:
-            try:
-                tree = ast.parse(path.read_text(encoding="utf-8"))
-            except (OSError, SyntaxError):
-                continue
-            name = _module_name(path, root)
-            modules[name] = path
-            trees[name] = tree
-        known = set(modules)
-        edges = {
-            name: _imported_modules(tree, name, known)
-            for name, tree in trees.items()
-        }
         pool_roots = sorted(
-            name for name, tree in trees.items() if _uses_thread_pool(tree)
+            name
+            for name, info in graph.modules.items()
+            if _uses_thread_pool(info.tree)
         )
         reachable: set[str] = set()
         frontier = list(pool_roots)
@@ -164,9 +110,9 @@ class SharedStateRule(Rule):
             if current in reachable:
                 continue
             reachable.add(current)
-            frontier.extend(sorted(edges.get(current, ())))
+            frontier.extend(sorted(graph.modules[current].imports))
         self._reachable_files = {
-            modules[name].resolve() for name in reachable if name in modules
+            graph.modules[name].path for name in reachable
         }
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:

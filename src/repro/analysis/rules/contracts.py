@@ -1,4 +1,4 @@
-"""C201: stage bodies must stay within their declared context contract.
+"""C201/C202: stage bodies must stay within their declared context contract.
 
 Every :class:`~repro.core.pipeline.Stage` registered with
 ``@register_stage`` declares the :class:`~repro.core.pipeline.
@@ -10,6 +10,15 @@ is fine), every ``ctx.<field>`` store or mutation-through-field
 declared name must be an actual ``PipelineContext`` field.  The counter
 and scratch APIs (``count``, ``counters``, ``gazetteers``, ``artifacts``)
 are part of the context's service surface and always allowed.
+
+C201 sees only the stage class body, so ``helper(ctx)`` launders any
+access: the helper's ``ctx.pages`` read is invisible.  C202 closes that
+hole with the project call graph: per-function *parameter access
+summaries* record which context fields each function touches through
+each parameter — directly or by passing the parameter on to another
+function — and every stage call site handing its ``ctx`` to a helper is
+checked against the stage's declaration using the helper's transitive
+summary.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from pathlib import Path
 from typing import Iterator
 
 from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+from repro.analysis.graph import ProjectGraph, build_single_file_graph
 
 #: Context attributes every stage may use without declaring them: the
 #: counter/scratch/service API rather than dataflow fields.
@@ -225,6 +235,199 @@ class StageContractRule(Rule):
                         f"stage {label!r} reads ctx.{fieldname} in "
                         f"{func.name}() but does not declare it in reads",
                     )
+
+
+#: (reads, writes) of context fields one function touches via one param.
+_Access = tuple[frozenset[str], frozenset[str]]
+_EMPTY_ACCESS: _Access = (frozenset(), frozenset())
+
+
+def param_access_summaries(
+    graph: ProjectGraph, max_passes: int = 10
+) -> dict[str, dict[str, _Access]]:
+    """Per-function, per-parameter context-field access summaries.
+
+    ``summaries[qualname][param]`` is the ``(reads, writes)`` of
+    ``param.<field>`` accesses the function performs — including,
+    after the fixpoint, accesses made by functions it forwards the
+    parameter to.
+    """
+    summaries: dict[str, dict[str, _Access]] = {}
+    for fn in graph.iter_functions():
+        if fn.node is None or not fn.params:
+            summaries[fn.qualname] = {}
+            continue
+        params = set(fn.params)
+        stores = _store_chain_roots(fn.node, params)
+        per_param: dict[str, tuple[set[str], set[str]]] = {
+            p: (set(), set()) for p in fn.params
+        }
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            base = node.value
+            if not (isinstance(base, ast.Name) and base.id in params):
+                continue
+            reads, writes = per_param[base.id]
+            if id(node) in stores or isinstance(node.ctx, (ast.Store, ast.Del)):
+                writes.add(node.attr)
+            else:
+                reads.add(node.attr)
+        summaries[fn.qualname] = {
+            p: (frozenset(reads), frozenset(writes))
+            for p, (reads, writes) in per_param.items()
+        }
+    # Fixpoint: forwarding a parameter inherits the callee's accesses.
+    for _ in range(max_passes):
+        changed = False
+        for fn in graph.iter_functions():
+            own = summaries[fn.qualname]
+            for site in graph.calls.get(fn.qualname, ()):
+                if site.callee is None:
+                    continue
+                callee = graph.functions.get(site.callee)
+                if callee is None:
+                    continue
+                for pname, arg in _forwarded_params(callee, site.node):
+                    if not (isinstance(arg, ast.Name) and arg.id in own):
+                        continue
+                    reads, writes = own[arg.id]
+                    c_reads, c_writes = summaries[site.callee].get(
+                        pname, _EMPTY_ACCESS
+                    )
+                    merged = (reads | c_reads, writes | c_writes)
+                    if merged != (reads, writes):
+                        own[arg.id] = merged
+                        changed = True
+        if not changed:
+            break
+    return summaries
+
+
+def _forwarded_params(
+    callee, call: ast.Call
+) -> list[tuple[str, ast.expr]]:
+    """(callee param name, argument expression) pairs for one call."""
+    params = callee.params
+    offset = 1 if params and params[0] in ("self", "cls") else 0
+    pairs: list[tuple[str, ast.expr]] = []
+    for index, arg in enumerate(call.args):
+        slot = offset + index
+        if slot < len(params):
+            pairs.append((params[slot], arg))
+    for kw in call.keywords:
+        if kw.arg is not None and kw.arg in params:
+            pairs.append((kw.arg, kw.value))
+    return pairs
+
+
+@register_rule
+class TransitiveStageContractRule(Rule):
+    """C202: contract checking through the helpers a stage calls.
+
+    A stage handing its ``ctx`` to a helper must still respect its
+    declared ``reads``/``writes`` for everything the helper (and
+    anything *it* forwards the context to) touches.  C201 checks the
+    stage body; this rule checks the laundered accesses via call-graph
+    parameter summaries, anchoring each finding at the stage's call
+    site so the fix — declare the field or stop forwarding — is local.
+    """
+
+    rule_id = "C202"
+    requires_graph = True
+    title = "undeclared context access through a called helper"
+    rationale = (
+        "Passing ctx to a helper hides dataflow from the stage's "
+        "declared contract; the docs/PIPELINE.md dataflow table is only "
+        "honest if transitive accesses are declared too."
+    )
+
+    def __init__(self) -> None:
+        self._graph: ProjectGraph | None = None
+        self._summaries: dict[str, dict[str, _Access]] = {}
+
+    def prepare_graph(self, graph: ProjectGraph) -> None:
+        """Store the project graph and compute per-param access summaries."""
+        self._graph = graph
+        self._summaries = param_access_summaries(graph)
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag ctx accesses helpers perform outside the stage contract."""
+        contracts = stage_contracts(ctx.tree)
+        if not contracts:
+            return
+        graph = self._graph
+        summaries = self._summaries
+        if graph is None:  # single-file use (tests, editors)
+            graph = build_single_file_graph(ctx.path, ctx.root)
+            summaries = param_access_summaries(graph)
+        module = graph.module_by_relpath.get(ctx.relpath)
+        if module is None:
+            return
+        for contract in contracts:
+            if contract.reads is None or contract.writes is None:
+                continue  # C201 already demands the declaration
+            yield from self._check_contract(
+                ctx, contract, module, graph, summaries
+            )
+
+    def _check_contract(
+        self,
+        ctx: FileContext,
+        contract: StageContract,
+        module,
+        graph: ProjectGraph,
+        summaries: dict[str, dict[str, _Access]],
+    ) -> Iterator[Finding]:
+        label = contract.stage_name or contract.class_name
+        reads = frozenset(contract.reads)
+        writes = frozenset(contract.writes)
+        for func in contract.node.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            ctx_names = _ctx_param_names(func)
+            if not ctx_names:
+                continue
+            qualname = f"{module.name}:{contract.class_name}.{func.name}"
+            for site in graph.calls.get(qualname, ()):
+                if site.callee is None:
+                    continue
+                callee = graph.functions.get(site.callee)
+                if callee is None:
+                    continue
+                if (
+                    callee.cls_name == contract.class_name
+                    and callee.module == module.name
+                ):
+                    continue  # same-class methods are checked by C201
+                for pname, arg in _forwarded_params(callee, site.node):
+                    if not (
+                        isinstance(arg, ast.Name) and arg.id in ctx_names
+                    ):
+                        continue
+                    acc_reads, acc_writes = summaries.get(
+                        site.callee, {}
+                    ).get(pname, _EMPTY_ACCESS)
+                    helper = callee.name
+                    for name in sorted(
+                        acc_writes - writes - ALWAYS_ALLOWED
+                    ):
+                        yield ctx.finding(
+                            self.rule_id,
+                            site.node,
+                            f"stage {label!r} passes ctx to {helper}() "
+                            f"which writes ctx.{name}, undeclared in "
+                            "writes",
+                        )
+                    for name in sorted(
+                        acc_reads - reads - writes - ALWAYS_ALLOWED
+                    ):
+                        yield ctx.finding(
+                            self.rule_id,
+                            site.node,
+                            f"stage {label!r} passes ctx to {helper}() "
+                            f"which reads ctx.{name}, undeclared in reads",
+                        )
 
 
 def _context_fields_for(stage_file: Path) -> frozenset[str] | None:

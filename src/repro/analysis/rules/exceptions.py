@@ -1,0 +1,264 @@
+"""E401: exception contracts for stage-reachable code.
+
+The pipeline's failure semantics (retry on ``TransientSourceError``,
+discard on ``SourceDiscardedError``, isolate vs fail-fast in
+``run_sources``) only work if code reachable from the stages raises the
+documented hierarchy of ``repro/errors.py``.  A stray ``ValueError``
+six calls below a stage surfaces as an unclassifiable crash the failure
+policies cannot route.  Using the project call graph, this rule marks
+every function transitively callable from a ``@register_stage`` method
+and flags:
+
+- ``raise X(...)`` where ``X`` resolves to a class that is neither
+  defined in (nor derived from a class of) ``errors.py`` nor an
+  explicitly allowed builtin (``NotImplementedError`` for abstract
+  methods) — bare re-raises and raising caught variables are exempt;
+- bare ``except:`` anywhere (it swallows ``KeyboardInterrupt``);
+- silently swallowed broad handlers (``except Exception: pass``) —
+  a narrow type swallowed deliberately is fine, a broad one hides real
+  failures.
+
+The declared *boundary* modules — ``core/pipeline.py``,
+``core/objectrunner.py``, ``core/faults.py`` — are where broad catching
+and translation is the job, and are exempt from the handler checks and
+the raise-type check (``errors.py`` itself likewise).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+from repro.analysis.graph import (
+    ClassInfo,
+    ModuleInfo,
+    ProjectGraph,
+    build_single_file_graph,
+    dotted_name,
+)
+from repro.analysis.rules.contracts import _decorated_with_register_stage
+
+#: Modules whose *job* is catching/translating exceptions at the edge.
+BOUNDARY_MODULE_SUFFIXES = (
+    "core/pipeline.py",
+    "core/objectrunner.py",
+    "core/faults.py",
+)
+#: The module defining the sanctioned exception hierarchy.
+ERROR_MODULE_SUFFIX = "errors.py"
+#: Builtins stage-reachable code may raise.
+ALLOWED_BUILTIN_RAISES = frozenset({"NotImplementedError"})
+#: Builtins whose raise is definitely a contract violation; anything
+#: else unresolved (caught variables, dynamic classes) is left alone.
+FLAGGED_BUILTIN_RAISES = frozenset(
+    {
+        "Exception",
+        "BaseException",
+        "ValueError",
+        "TypeError",
+        "KeyError",
+        "IndexError",
+        "AttributeError",
+        "LookupError",
+        "ArithmeticError",
+        "ZeroDivisionError",
+        "RuntimeError",
+        "OSError",
+        "IOError",
+        "StopIteration",
+        "NameError",
+    }
+)
+_BROAD_HANDLER_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def stage_method_qualnames(graph: ProjectGraph) -> list[str]:
+    """Qualnames of every method of every ``@register_stage`` class."""
+    roots: list[str] = []
+    for module_name in sorted(graph.modules):
+        module = graph.modules[module_name]
+        for class_name in sorted(module.classes):
+            ci = module.classes[class_name]
+            if ci.node is None or not _decorated_with_register_stage(ci.node):
+                continue
+            roots.extend(
+                ci.methods[m].qualname for m in sorted(ci.methods)
+            )
+    return roots
+
+
+def _is_boundary(relpath: str) -> bool:
+    return relpath.endswith(BOUNDARY_MODULE_SUFFIXES) or relpath.endswith(
+        ERROR_MODULE_SUFFIX
+    )
+
+
+@register_rule
+class ExceptionContractRule(Rule):
+    """E401: stage-reachable raises outside errors.py; swallowed handlers."""
+
+    rule_id = "E401"
+    requires_graph = True
+    title = "exception contract violation in stage-reachable code"
+    rationale = (
+        "Retry/isolate failure policies route exceptions by type; a "
+        "builtin raised below a stage is unclassifiable and surfaces as "
+        "a crash.  Raise the repro.errors hierarchy, re-raise, or "
+        "translate at a declared boundary — and never swallow broad "
+        "exception types silently."
+    )
+
+    def __init__(self) -> None:
+        self._prepared = False
+        self._graph: ProjectGraph | None = None
+        self._reachable: frozenset[str] = frozenset()
+
+    def prepare_graph(self, graph: ProjectGraph) -> None:
+        """Compute the set of functions reachable from stage methods."""
+        self._prepared = True
+        self._graph = graph
+        self._reachable = graph.reachable_functions(
+            stage_method_qualnames(graph)
+        )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Flag contract-breaking raises and dangerous except handlers."""
+        graph = self._graph
+        reachable = self._reachable
+        if not self._prepared:  # single-file use (tests, editors)
+            graph = build_single_file_graph(ctx.path, ctx.root)
+            reachable = graph.reachable_functions(
+                stage_method_qualnames(graph)
+            )
+        yield from self._check_handlers(ctx)
+        module = graph.module_by_relpath.get(ctx.relpath)
+        if module is None or _is_boundary(ctx.relpath):
+            return
+        for qualname in sorted(
+            q for q in reachable if q.startswith(f"{module.name}:")
+        ):
+            fn = graph.functions.get(qualname)
+            if fn is None or fn.node is None or fn.module != module.name:
+                continue
+            yield from self._check_raises(ctx, graph, module, fn)
+
+    def _check_raises(
+        self,
+        ctx: FileContext,
+        graph: ProjectGraph,
+        module: ModuleInfo,
+        fn,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            target = node.exc
+            if isinstance(target, ast.Call):
+                target = target.func
+            dotted = dotted_name(target)
+            if not dotted:
+                continue
+            resolved = graph._resolve_class(module, dotted)
+            if resolved is not None:
+                if not self._derives_from_errors(graph, resolved):
+                    yield ctx.finding(
+                        self.rule_id,
+                        node,
+                        f"{fn.name}() is reachable from pipeline stages "
+                        f"but raises {dotted}, which is not part of the "
+                        "repro.errors hierarchy",
+                    )
+                continue
+            if (
+                dotted in FLAGGED_BUILTIN_RAISES
+                and dotted not in ALLOWED_BUILTIN_RAISES
+            ):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    f"{fn.name}() is reachable from pipeline stages but "
+                    f"raises builtin {dotted}; raise a repro.errors type "
+                    "so failure policies can route it",
+                )
+
+    def _derives_from_errors(
+        self,
+        graph: ProjectGraph,
+        ci: ClassInfo,
+        _seen: frozenset[str] = frozenset(),
+    ) -> bool:
+        key = f"{ci.module}:{ci.name}"
+        if key in _seen:
+            return False
+        module = graph.modules.get(ci.module)
+        if module is not None and module.relpath.endswith(ERROR_MODULE_SUFFIX):
+            return True
+        if module is None:
+            return False
+        for base in ci.bases:
+            base_ci = graph._resolve_class(module, base)
+            if base_ci is not None and self._derives_from_errors(
+                graph, base_ci, _seen | {key}
+            ):
+                return True
+            # A direct subclass of an errors.py re-export (e.g. an alias
+            # imported from the errors module) also counts.
+            expanded = ProjectGraph.expand_alias(module, base)
+            resolved = graph.resolve_dotted(expanded)
+            if resolved is not None and graph.modules[
+                resolved[0]
+            ].relpath.endswith(ERROR_MODULE_SUFFIX):
+                return True
+        return False
+
+    def _check_handlers(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.relpath.endswith(BOUNDARY_MODULE_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "bare 'except:' catches KeyboardInterrupt/SystemExit; "
+                    "name the exception types (or move broad handling to "
+                    "a boundary module)",
+                )
+                continue
+            if self._is_broad(node.type) and _body_is_silent(node.body):
+                yield ctx.finding(
+                    self.rule_id,
+                    node,
+                    "broad exception handler silently swallows failures; "
+                    "handle, log, or re-raise (narrow types may be "
+                    "swallowed deliberately)",
+                )
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr) -> bool:
+        nodes = (
+            type_node.elts
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        for node in nodes:
+            name = dotted_name(node)
+            if name.rsplit(".", 1)[-1] in _BROAD_HANDLER_TYPES:
+                return True
+        return False
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        ):
+            continue
+        return False
+    return True

@@ -1,0 +1,116 @@
+"""D106: nondeterministic values flowing into extraction artifacts.
+
+D101/D102 flag *call sites* of randomness and wall-clock reads, but a
+value that is produced legally (inside an allowed module) and then
+handed across a function boundary is invisible to them — exactly the
+leak that would silently break the byte-identical BENCH/wrapper
+artifacts the reproduction's regression gate depends on.  This rule
+runs the whole-program taint pass of :mod:`repro.analysis.dataflow`
+over the project graph and flags every flow of a CLOCK / RNG / ENV /
+SET_ORDER-derived value into an artifact sink:
+
+- ``json.dump`` / ``json.dumps`` (any alias spelling),
+- the BENCH writer (``write_bench`` in ``metrics/bench.py``),
+- any function of ``wrapper/serialize.py``.
+
+Flows are interprocedural: a tainted argument laundered through a
+helper whose summary says the parameter reaches a sink is reported at
+the *call site in the caller* — where the tainted value enters the
+laundering chain — so the finding lands where the fix belongs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.dataflow import TaintAnalyzer, TaintFlow
+from repro.analysis.engine import FileContext, Finding, Rule, register_rule
+from repro.analysis.graph import CallSite, ProjectGraph, build_single_file_graph
+
+#: Calls to any function defined in a module with one of these path
+#: suffixes are artifact sinks.
+SINK_MODULE_SUFFIXES = ("wrapper/serialize.py",)
+#: (module path suffix, function name) pairs naming specific sinks.
+SINK_FUNCTIONS = (("metrics/bench.py", "write_bench"),)
+#: Canonical (alias-expanded) dotted names of serialization sinks.
+JSON_SINKS = frozenset({"json.dump", "json.dumps"})
+
+
+@register_rule
+class TaintToArtifactRule(Rule):
+    """D106: clock/RNG/env/set-order taint reaching an artifact sink."""
+
+    rule_id = "D106"
+    requires_graph = True
+    title = "nondeterministic value flows into a serialized artifact"
+    rationale = (
+        "A wall-clock, RNG, environment or set-order-derived value "
+        "written through json.dump*, the BENCH writer, or "
+        "wrapper/serialize makes artifacts differ run-to-run even when "
+        "every call site is individually legal; route provenance-only "
+        "values into fields the comparison layer ignores, or derive the "
+        "value deterministically."
+    )
+
+    def __init__(self) -> None:
+        self._prepared = False
+        self._flows_by_path: dict[str, list[TaintFlow]] = {}
+
+    def prepare_graph(self, graph: ProjectGraph) -> None:
+        """Run the whole-program taint pass and index flows by file."""
+        self._prepared = True
+        self._flows_by_path = self._compute(graph)
+
+    def _compute(self, graph: ProjectGraph) -> dict[str, list[TaintFlow]]:
+        analyzer = TaintAnalyzer(
+            graph, sink_of=lambda site: self._sink_of(graph, site)
+        )
+        _, flows = analyzer.compute()
+        by_path: dict[str, list[TaintFlow]] = {}
+        for flow in flows:
+            by_path.setdefault(flow.relpath, []).append(flow)
+        return by_path
+
+    @staticmethod
+    def _sink_of(graph: ProjectGraph, site: CallSite) -> str | None:
+        """Sink description for a call site, or None when not a sink."""
+        if site.expanded in JSON_SINKS:
+            return f"{site.expanded}()"
+        if site.callee is not None:
+            fn = graph.functions.get(site.callee)
+            if fn is not None:
+                for suffix in SINK_MODULE_SUFFIXES:
+                    if fn.relpath.endswith(suffix):
+                        return f"{fn.name}() in {suffix}"
+                for mod_suffix, name in SINK_FUNCTIONS:
+                    if fn.relpath.endswith(mod_suffix) and fn.name == name:
+                        return f"the BENCH writer {name}()"
+        return None
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        """Report the taint flows whose sink call sits in this file."""
+        flows_by_path = self._flows_by_path
+        if not self._prepared:  # single-file use (tests, editors)
+            flows_by_path = self._compute(
+                build_single_file_graph(ctx.path, ctx.root)
+            )
+        for flow in flows_by_path.get(ctx.relpath, ()):
+            labels = "/".join(flow.labels)
+            if flow.via:
+                message = (
+                    f"{labels}-tainted value reaches an artifact sink "
+                    f"inside {flow.via}() called here"
+                )
+            else:
+                message = (
+                    f"{labels}-tainted value is serialized by {flow.sink}"
+                )
+            yield Finding(
+                rule=self.rule_id,
+                path=ctx.relpath,
+                line=flow.line,
+                col=flow.col,
+                message=message,
+                snippet=ctx.snippet_at(flow.line),
+                span=(flow.line, flow.end_line),
+            )

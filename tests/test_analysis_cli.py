@@ -10,8 +10,10 @@ from repro.analysis.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
-CLEAN = "VALUE = 1\n\n\ndef double(x):\n    return 2 * x\n"
-DIRTY = "import random\n\n\ndef roll():\n    return random.random()\n"
+# Both fixtures export their symbols so A501 reachability stays quiet
+# and each test isolates the signal it actually cares about.
+CLEAN = '__all__ = ["double"]\n\nVALUE = 1\n\n\ndef double(x):\n    return VALUE * x\n'
+DIRTY = '__all__ = ["roll"]\n\nimport random\n\n\ndef roll():\n    return random.random()\n'
 
 
 def project(tmp_path, source=DIRTY):
@@ -56,7 +58,10 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("D101", "D102", "D103", "D104", "C201", "T301"):
+        for rule_id in (
+            "D101", "D102", "D103", "D104", "D105", "D106",
+            "C201", "C202", "T301", "E401", "A501",
+        ):
             assert rule_id in out
 
     def test_rules_subset_filters(self, tmp_path):
@@ -157,3 +162,122 @@ class TestRepoIsClean:
         for entry in data["entries"]:
             reason = entry["reason"].strip()
             assert reason and reason != PLACEHOLDER_REASON, entry
+
+
+class TestExplain:
+    def test_known_rule_prints_doc(self, capsys):
+        assert main(["--explain", "D106"]) == 0
+        out = capsys.readouterr().out
+        assert "D106" in out
+        assert "Rationale:" in out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["--explain", "Z999"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown rule" in err and "D101" in err
+
+
+class TestIncrementalCli:
+    def test_cold_and_warm_cache_output_byte_identical(
+        self, tmp_path, capsys
+    ):
+        src = project(tmp_path)
+        cache = tmp_path / "cache.json"
+        argv = ["--format", "json", "--cache", str(cache)]
+        assert run(tmp_path, src, *argv) == 1
+        cold = capsys.readouterr().out
+        assert cache.exists()
+        assert run(tmp_path, src, *argv) == 1
+        assert capsys.readouterr().out == cold
+        assert run(tmp_path, src, "--format", "json") == 1
+        assert capsys.readouterr().out == cold  # and identical to no-cache
+
+
+def _git(cwd, *argv):
+    import subprocess
+
+    subprocess.run(
+        ["git", "-C", str(cwd), *argv],
+        check=True,
+        capture_output=True,
+        env={
+            "PATH": "/usr/bin:/bin",
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@example.com",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@example.com",
+            "HOME": str(cwd),
+        },
+    )
+
+
+class TestChangedOnly:
+    def _repo(self, tmp_path):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "stable.py").write_text(DIRTY, encoding="utf-8")
+        (src / "touched.py").write_text(CLEAN, encoding="utf-8")
+        _git(tmp_path, "init", "-q")
+        _git(tmp_path, "add", "-A")
+        _git(tmp_path, "commit", "-qm", "seed")
+        return src
+
+    def test_scans_only_files_the_diff_names(self, tmp_path, capsys):
+        src = self._repo(tmp_path)
+        (src / "touched.py").write_text(
+            CLEAN + "\n\n_extra = double(2)\n", encoding="utf-8"
+        )
+        assert run(tmp_path, src, "--changed-only") == 0
+        out = capsys.readouterr().out
+        # stable.py's D101 violation is out of scope: only 1 file scanned.
+        assert "1 files" in out
+        assert "D101" not in out
+
+    def test_untracked_files_are_in_scope(self, tmp_path, capsys):
+        src = self._repo(tmp_path)
+        (src / "fresh.py").write_text(DIRTY, encoding="utf-8")
+        assert run(tmp_path, src, "--changed-only") == 1
+        out = capsys.readouterr().out
+        assert "src/fresh.py" in out and "src/stable.py" not in out
+
+    def test_matches_scripted_git_diff(self, tmp_path):
+        from repro.analysis.cli import _changed_relpaths
+
+        src = self._repo(tmp_path)
+        (src / "touched.py").write_text("TOUCHED = 1\n", encoding="utf-8")
+        (src / "fresh.py").write_text("FRESH = 1\n", encoding="utf-8")
+        changed = _changed_relpaths(tmp_path, "HEAD")
+        assert changed == {"src/touched.py", "src/fresh.py"}
+
+    def test_unchanged_baseline_entries_survive_partial_scan(
+        self, tmp_path, capsys
+    ):
+        src = self._repo(tmp_path)
+        # Baseline stable.py's findings, then change only touched.py: the
+        # partial run must neither expire nor re-match stable.py's entry,
+        # and --update-baseline must carry it over verbatim.
+        assert run(tmp_path, src, "--update-baseline") == 0
+        baseline = tmp_path / "bl.json"
+        data = json.loads(baseline.read_text(encoding="utf-8"))
+        for entry in data["entries"]:
+            entry["reason"] = "kept"
+        baseline.write_text(json.dumps(data), encoding="utf-8")
+
+        (src / "touched.py").write_text(
+            CLEAN + "\n\n_extra = double(2)\n", encoding="utf-8"
+        )
+        capsys.readouterr()
+        assert run(tmp_path, src, "--changed-only") == 0
+        assert "expired" not in capsys.readouterr().out
+
+        assert run(tmp_path, src, "--changed-only", "--update-baseline") == 0
+        data = json.loads(baseline.read_text(encoding="utf-8"))
+        assert data["entries"], "out-of-scope entries must be carried over"
+        assert {e["reason"] for e in data["entries"]} == {"kept"}
+
+    def test_no_git_repo_exits_two(self, tmp_path, capsys, monkeypatch):
+        src = project(tmp_path, CLEAN)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nope"))
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+        assert run(tmp_path, src, "--changed-only") == 2
+        assert "--changed-only" in capsys.readouterr().err

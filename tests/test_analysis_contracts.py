@@ -227,3 +227,102 @@ class TestRealStages:
         for name, cls in stage_registry().items():
             unknown = (set(cls.reads) | set(cls.writes)) - context_fields
             assert not unknown, f"{name}: {unknown}"
+
+
+def run_transitive_rule(tmp_path, files):
+    """Run C202 over a fixture tree (whole-program mode)."""
+    from repro.analysis import analyze_paths, build_rules
+
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    report = analyze_paths(
+        [tmp_path], root=tmp_path, rules=build_rules(["C202"]), jobs=1
+    )
+    return [f for f in report.findings if f.rule == "C202"]
+
+
+TRANSITIVE_STAGE = """
+    from repro.core.pipeline import Stage, register_stage
+    from helpers import {helper}
+
+    @register_stage
+    class Laundering(Stage):
+        name = "laundering"
+        reads = ("raw_pages",)
+        writes = ("pages",)
+
+        def run(self, ctx):
+            {helper}(ctx)
+"""
+
+
+class TestTransitiveContractsC202:
+    def test_undeclared_write_through_helper_flagged(self, tmp_path):
+        findings = run_transitive_rule(
+            tmp_path,
+            {
+                "stagemod.py": TRANSITIVE_STAGE.format(helper="sneaky"),
+                "helpers.py": """
+                    def sneaky(ctx):
+                        ctx.regions = []
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "writes ctx.regions" in findings[0].message
+        assert findings[0].path == "stagemod.py"  # anchored at the call site
+
+    def test_undeclared_read_through_two_hops_flagged(self, tmp_path):
+        findings = run_transitive_rule(
+            tmp_path,
+            {
+                "stagemod.py": TRANSITIVE_STAGE.format(helper="outer"),
+                "helpers.py": """
+                    def outer(ctx):
+                        return inner(ctx)
+
+                    def inner(ctx):
+                        return ctx.wrapper
+                """,
+            },
+        )
+        assert len(findings) == 1
+        assert "reads ctx.wrapper" in findings[0].message
+
+    def test_declared_access_through_helper_clean(self, tmp_path):
+        assert not run_transitive_rule(
+            tmp_path,
+            {
+                "stagemod.py": TRANSITIVE_STAGE.format(helper="honest"),
+                "helpers.py": """
+                    def honest(ctx):
+                        ctx.pages = list(ctx.raw_pages)
+                """,
+            },
+        )
+
+    def test_observability_fields_always_allowed(self, tmp_path):
+        assert not run_transitive_rule(
+            tmp_path,
+            {
+                "stagemod.py": TRANSITIVE_STAGE.format(helper="counting"),
+                "helpers.py": """
+                    def counting(ctx):
+                        ctx.count("pages", 1)
+                """,
+            },
+        )
+
+    def test_declared_write_allows_helper_read_of_same_field(self, tmp_path):
+        assert not run_transitive_rule(
+            tmp_path,
+            {
+                "stagemod.py": TRANSITIVE_STAGE.format(helper="rereads"),
+                "helpers.py": """
+                    def rereads(ctx):
+                        ctx.pages = [p for p in ctx.pages]
+                """,
+            },
+        )

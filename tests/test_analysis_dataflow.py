@@ -1,0 +1,181 @@
+"""The taint pass: sources, summaries, helper laundering, and sinks."""
+
+import textwrap
+
+from repro.analysis.dataflow import TaintAnalyzer
+from repro.analysis.graph import ProjectGraph
+
+
+def build_graph(tmp_path, files):
+    paths = []
+    for name, source in files.items():
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        paths.append(path)
+    return ProjectGraph.build(tmp_path, paths)
+
+
+def json_dump_sink(site):
+    if site.expanded in ("json.dump", "json.dumps"):
+        return f"{site.expanded}()"
+    return None
+
+
+def analyze(tmp_path, files):
+    graph = build_graph(tmp_path, files)
+    return TaintAnalyzer(graph, sink_of=json_dump_sink).compute()
+
+
+class TestSummaries:
+    def test_clock_return(self, tmp_path):
+        summaries, _ = analyze(
+            tmp_path,
+            {"app.py": "import time\n\ndef stamp():\n    return time.time()\n"},
+        )
+        assert "CLOCK" in summaries["app:stamp"].returns
+
+    def test_env_return(self, tmp_path):
+        summaries, _ = analyze(
+            tmp_path,
+            {
+                "app.py": (
+                    "import os\n\ndef env():\n"
+                    "    return os.environ.get('X', '')\n"
+                )
+            },
+        )
+        assert "ENV" in summaries["app:env"].returns
+
+    def test_param_flows_to_return(self, tmp_path):
+        summaries, _ = analyze(
+            tmp_path,
+            {"app.py": "def ident(x):\n    return x\n"},
+        )
+        assert "x" in summaries["app:ident"].param_returns
+
+    def test_taint_propagates_through_one_helper_hop(self, tmp_path):
+        summaries, _ = analyze(
+            tmp_path,
+            {
+                "app.py": """
+                    import time
+
+                    def stamp():
+                        return time.time()
+
+                    def wraps():
+                        value = stamp()
+                        return {"t": value}
+                """
+            },
+        )
+        assert "CLOCK" in summaries["app:wraps"].returns
+
+    def test_sorted_strips_set_order_only(self, tmp_path):
+        summaries, _ = analyze(
+            tmp_path,
+            {
+                "app.py": """
+                    import time
+
+                    def ordered(items):
+                        return sorted(set(items))
+
+                    def still_clock():
+                        return sorted([time.time()])
+                """
+            },
+        )
+        assert "SET_ORDER" not in summaries["app:ordered"].returns
+        assert "CLOCK" in summaries["app:still_clock"].returns
+
+    def test_sink_param_recorded(self, tmp_path):
+        summaries, _ = analyze(
+            tmp_path,
+            {
+                "app.py": (
+                    "import json\n\ndef save(obj, fh):\n"
+                    "    json.dump(obj, fh)\n"
+                )
+            },
+        )
+        assert "obj" in summaries["app:save"].sink_params
+
+
+class TestFlows:
+    def test_direct_tainted_dump(self, tmp_path):
+        _, flows = analyze(
+            tmp_path,
+            {
+                "app.py": """
+                    import json
+                    import time
+
+                    def emit(fh):
+                        payload = {"t": time.time()}
+                        json.dump(payload, fh)
+                """
+            },
+        )
+        assert len(flows) == 1
+        flow = flows[0]
+        assert flow.labels == ("CLOCK",)
+        assert flow.sink == "json.dump()"
+        assert flow.via == ""
+
+    def test_flow_laundered_through_helper(self, tmp_path):
+        _, flows = analyze(
+            tmp_path,
+            {
+                "app.py": """
+                    import json
+                    import time
+
+                    def save(obj, fh):
+                        json.dump(obj, fh)
+
+                    def emit(fh):
+                        stamp = time.time()
+                        save(stamp, fh)
+                """
+            },
+        )
+        laundered = [f for f in flows if f.via]
+        assert laundered, flows
+        assert laundered[0].via == "app:save"
+        assert laundered[0].function == "app:emit"
+        assert "CLOCK" in laundered[0].labels
+
+    def test_clean_value_no_flow(self, tmp_path):
+        _, flows = analyze(
+            tmp_path,
+            {
+                "app.py": (
+                    "import json\n\ndef emit(fh):\n"
+                    "    json.dump({'n': 1}, fh)\n"
+                )
+            },
+        )
+        assert flows == []
+
+    def test_flows_deterministically_sorted(self, tmp_path):
+        files = {
+            "b.py": """
+                import json
+                import time
+
+                def late(fh):
+                    json.dump(time.time(), fh)
+            """,
+            "a.py": """
+                import json
+                import time
+
+                def early(fh):
+                    json.dump(time.time(), fh)
+            """,
+        }
+        _, flows = analyze(tmp_path, files)
+        keys = [(f.relpath, f.line, f.col) for f in flows]
+        assert keys == sorted(keys)

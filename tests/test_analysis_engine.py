@@ -27,9 +27,10 @@ def write(tmp_path, name, source):
 
 class TestRegistry:
     def test_all_bundled_rules_registered(self):
-        assert {"D101", "D102", "D103", "D104", "C201", "T301"} <= set(
-            rule_registry()
-        )
+        assert {
+            "D101", "D102", "D103", "D104", "D105", "D106",
+            "C201", "C202", "T301", "E401", "A501",
+        } <= set(rule_registry())
 
     def test_unknown_rule_rejected(self):
         with pytest.raises(ValueError, match="unknown rule"):
@@ -152,3 +153,109 @@ class TestReporters:
         )
         assert report.clean
         assert "— clean" in render_text(report)
+
+
+class TestSuppressionSpans:
+    """Suppressions may sit on any physical line of the flagged statement."""
+
+    def test_comment_on_later_line_of_multiline_statement(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """
+            def f(a, b):
+                return tuple(
+                    set(a) & set(b)  # repro: ignore[D103]
+                )
+            """,
+        )
+        findings = analyze_file(path, tmp_path, build_rules(["D103"]))
+        assert findings and all(f.status == "suppressed" for f in findings)
+
+    def test_comment_on_decorator_line_covers_the_def(self, tmp_path):
+        from repro.analysis import analyze_paths
+
+        path = write(
+            tmp_path,
+            "mod.py",
+            """
+            import functools
+
+            @functools.lru_cache  # repro: ignore[A501]
+            def orphan():
+                return 1
+            """,
+        )
+        report = analyze_paths(
+            [path], root=tmp_path, rules=build_rules(["A501"]), jobs=1
+        )
+        findings = [f for f in report.findings if f.rule == "A501"]
+        assert findings and all(f.status == "suppressed" for f in findings)
+
+    def test_unrelated_line_does_not_suppress(self, tmp_path):
+        path = write(
+            tmp_path,
+            "mod.py",
+            """
+            # repro: ignore[D103]
+            def f(a, b):
+                return tuple(set(a) & set(b))
+            """,
+        )
+        findings = analyze_file(path, tmp_path, build_rules(["D103"]))
+        assert [f.status for f in findings] == ["open"]
+
+
+class TestIncrementalCache:
+    def _report_json(self, tmp_path, cache):
+        from repro.analysis import analyze_paths, build_rules, render_json
+
+        report = analyze_paths(
+            [tmp_path / "src"],
+            root=tmp_path,
+            rules=build_rules(None),
+            jobs=1,
+            cache=cache,
+        )
+        return render_json(report)
+
+    def test_warm_run_byte_identical_and_hits_cache(self, tmp_path):
+        from repro.analysis import ResultCache
+
+        write(tmp_path, "src/mod.py", "import random\n")
+        write(tmp_path, "src/clean.py", "def f(x):\n    return x\n\nf(1)\n")
+        cache_path = tmp_path / "cache.json"
+
+        cold_cache = ResultCache.load(cache_path)
+        cold = self._report_json(tmp_path, cold_cache)
+        cold_cache.save()
+        assert cold_cache.misses > 0 and cold_cache.hits == 0
+
+        warm_cache = ResultCache.load(cache_path)
+        warm = self._report_json(tmp_path, warm_cache)
+        assert warm == cold
+        assert warm_cache.hits > 0 and warm_cache.misses == 0
+
+    def test_edited_file_invalidates_its_entry_only(self, tmp_path):
+        from repro.analysis import ResultCache
+
+        write(tmp_path, "src/mod.py", "import random\n")
+        write(tmp_path, "src/clean.py", "def f(x):\n    return x\n\nf(1)\n")
+        cache_path = tmp_path / "cache.json"
+        cache = ResultCache.load(cache_path)
+        self._report_json(tmp_path, cache)
+        cache.save()
+
+        write(tmp_path, "src/mod.py", "import random\nimport glob\n")
+        cache = ResultCache.load(cache_path)
+        edited = self._report_json(tmp_path, cache)
+        assert cache.hits == 1 and cache.misses == 1
+        assert '"D104"' not in edited  # glob imported, never called
+
+    def test_cache_survives_corrupt_file(self, tmp_path):
+        from repro.analysis import ResultCache
+
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("{broken", encoding="utf-8")
+        cache = ResultCache.load(cache_path)
+        assert cache.entries == {}

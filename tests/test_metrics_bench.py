@@ -272,3 +272,24 @@ class TestCapture:
         )
         assert code == 0
         assert (tmp_path / "BENCH_1.json").exists()
+
+
+class TestProvenanceIsolation:
+    """The D106 baseline's justification, kept honest by a test.
+
+    ``generated_at`` and ``config.seed.pythonhashseed`` are wall-clock /
+    environment provenance recorded in every BENCH document; the
+    comparison layer must never read them, or artifact diffs would
+    depend on when and where the capture ran.
+    """
+
+    def test_compare_ignores_provenance_header(self):
+        old = fixture_document()
+        new = copy.deepcopy(old)
+        new["generated_at"] = "2099-01-01T00:00:00+00:00"
+        new["python"] = "9.9.9"
+        new["platform"] = "plan9"
+        new["config"]["seed"]["pythonhashseed"] = "12345"
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert comparison.notes == []
