@@ -14,10 +14,16 @@ Subcommands:
   types (date, price, address, phone, isbn, year, email, url) need no
   dictionary.
 
-  Wrap-once / extract-often: ``--save-wrapper wrapper.json`` persists the
-  learned wrapper after a successful run, and ``--load-wrapper
-  wrapper.json`` re-extracts from fresh pages without re-wrapping (the
-  SOD travels inside the wrapper file, so ``--sod`` may be omitted).
+  Wrap-once / extract-often: ``--registry DIR`` keeps induced wrappers
+  in a content-addressed registry keyed by (SOD, template fingerprint);
+  re-running against the same registry skips induction on every hit.
+  The older single-file flags remain as deprecated aliases:
+  ``--save-wrapper wrapper.json`` persists the learned wrapper after a
+  successful run, and ``--load-wrapper wrapper.json`` re-extracts from
+  fresh pages without re-wrapping (the SOD travels inside the wrapper
+  file, so ``--sod`` may be omitted).  Saved files now record the pages'
+  structural fingerprint; on load a mismatch warns and — when ``--sod``
+  is given — falls back to full induction.
 
   Observability: ``--trace trace.jsonl`` writes one JSON line per
   pipeline event (stage start/end with wall-clock timings and counters,
@@ -27,6 +33,18 @@ Subcommands:
   ``TransientSourceError`` with deterministic exponential backoff, and
   ``--failure-policy {fail_fast,isolate}`` selects how multi-source runs
   react to an unexpected per-source failure.
+
+- ``serve`` — extraction-as-a-service: a JSON-lines request loop on
+  stdin/stdout routing every request through a shared wrapper registry
+  (first request per template induces, later ones hit)::
+
+      python -m repro serve --registry wrappers/ < requests.jsonl
+
+- ``registry`` — inspect and maintain a wrapper registry::
+
+      python -m repro registry ls --root wrappers/
+      python -m repro registry verify --root wrappers/   # exit 1 on problems
+      python -m repro registry gc --root wrappers/       # drop orphan files
 
 - ``describe`` — parse an SOD and print its structure, canonical form and
   entity types (useful while authoring SODs).
@@ -59,12 +77,20 @@ from repro.core.objectrunner import ObjectRunner
 from repro.core.params import RunParams
 from repro.core.pipeline import TraceObserver
 from repro.errors import ReproError
+from repro.htmlkit.clean import clean_tree
+from repro.htmlkit.fingerprint import pages_fingerprint
+from repro.htmlkit.tidy import tidy
 from repro.recognizers.gazetteer import GazetteerRecognizer
 from repro.recognizers.registry import RecognizerRegistry
+from repro.registry.files import (
+    fingerprint_matches,
+    load_wrapper_file,
+    save_wrapper_file,
+)
+from repro.registry.store import WrapperRegistry
 from repro.sod.canonical import canonicalize
 from repro.sod.dsl import parse_sod
 from repro.sod.types import entity_types
-from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
 
 
 def _load_dictionary(path: str) -> list[str]:
@@ -73,6 +99,11 @@ def _load_dictionary(path: str) -> list[str]:
         for line in Path(path).read_text(encoding="utf-8").splitlines()
         if line.strip()
     ]
+
+
+def _cli_fingerprint(pages: list[str]) -> str:
+    """The template fingerprint of raw pages, prepared as the pipeline does."""
+    return pages_fingerprint([clean_tree(tidy(page)) for page in pages])
 
 
 def _cmd_extract(args: argparse.Namespace) -> int:
@@ -96,6 +127,9 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    wrapper_registry = (
+        WrapperRegistry(args.registry) if args.registry else None
+    )
     observers = []
     trace = None
     if args.trace:
@@ -103,26 +137,46 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         observers.append(trace)
     try:
         if args.load_wrapper:
-            try:
-                data = json.loads(
-                    Path(args.load_wrapper).read_text(encoding="utf-8")
-                )
-            except json.JSONDecodeError as exc:
-                print(
-                    f"error: {args.load_wrapper} is not valid JSON: {exc}",
-                    file=sys.stderr,
-                )
-                return 1
-            wrapper = wrapper_from_dict(data)
+            print(
+                "note: --load-wrapper is deprecated; prefer --registry DIR",
+                file=sys.stderr,
+            )
+            wrapper, fingerprint = load_wrapper_file(args.load_wrapper)
             sod = parse_sod(args.sod) if args.sod else wrapper.sod
             runner = ObjectRunner(
                 sod, registry=registry, params=params, observers=observers
             )
-            result = runner.extract_with(wrapper, pages)
+            prepared = (
+                [clean_tree(tidy(page)) for page in pages]
+                if fingerprint is not None
+                else []
+            )
+            if fingerprint_matches(fingerprint, prepared) is False:
+                if args.sod:
+                    print(
+                        "warning: wrapper fingerprint does not match these "
+                        "pages; re-inducing from --sod",
+                        file=sys.stderr,
+                    )
+                    result = runner.run_source(args.source_name, pages)
+                else:
+                    print(
+                        "warning: wrapper fingerprint does not match these "
+                        "pages; extraction may return garbage "
+                        "(pass --sod to re-induce)",
+                        file=sys.stderr,
+                    )
+                    result = runner.extract_with(wrapper, pages)
+            else:
+                result = runner.extract_with(wrapper, pages)
         else:
             sod = parse_sod(args.sod)
             runner = ObjectRunner(
-                sod, registry=registry, params=params, observers=observers
+                sod,
+                registry=registry,
+                params=params,
+                observers=observers,
+                wrapper_registry=wrapper_registry,
             )
             result = runner.run_source(args.source_name, pages)
     finally:
@@ -135,11 +189,21 @@ def _cmd_extract(args: argparse.Namespace) -> int:
         )
         return 1
     if args.save_wrapper and result.wrapper is not None:
-        Path(args.save_wrapper).write_text(
-            json.dumps(wrapper_to_dict(result.wrapper), indent=2),
-            encoding="utf-8",
+        print(
+            "note: --save-wrapper is deprecated; prefer --registry DIR",
+            file=sys.stderr,
+        )
+        save_wrapper_file(
+            args.save_wrapper, result.wrapper, _cli_fingerprint(pages)
         )
         print(f"wrapper saved to {args.save_wrapper}", file=sys.stderr)
+    if wrapper_registry is not None:
+        stats = wrapper_registry.stats()
+        print(
+            f"registry: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{stats['stores']} stores, {stats['demotions']} demotions",
+            file=sys.stderr,
+        )
     for instance in result.objects:
         print(json.dumps(instance.values, ensure_ascii=False))
     print(
@@ -177,7 +241,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     systems = tuple(name.strip() for name in args.systems.split(",") if name.strip())
     config = BenchConfig(
-        scale=args.scale, coverage=args.coverage, systems=systems
+        scale=args.scale,
+        coverage=args.coverage,
+        systems=systems,
+        registry_root=args.registry,
     )
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -210,6 +277,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"comparing {baseline_path} -> {path}")
     print(comparison.render())
     return 0 if comparison.ok or args.warn_only else 3
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the JSON-lines extraction service until shutdown or EOF."""
+    from repro.service.server import serve_loop
+
+    wrapper_registry = WrapperRegistry(args.registry)
+    observers = []
+    trace = None
+    if args.trace:
+        trace = TraceObserver(args.trace)
+        observers.append(trace)
+    print(
+        f"repro serve: registry at {args.registry}, "
+        "one JSON request per line on stdin",
+        file=sys.stderr,
+    )
+    try:
+        served = serve_loop(
+            wrapper_registry, sys.stdin, sys.stdout, observers=observers
+        )
+    finally:
+        if trace is not None:
+            trace.close()
+    stats = wrapper_registry.stats()
+    print(
+        f"served {served} requests ({stats['hits']} registry hits, "
+        f"{stats['misses']} misses, {stats['demotions']} demotions)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    """Inspect or maintain a wrapper registry (``ls``/``gc``/``verify``)."""
+    wrapper_registry = WrapperRegistry(args.root)
+    if args.action == "ls":
+        rows = wrapper_registry.index_rows()
+        for signature, row in rows:
+            print(f"{signature}  source={row['source']}  sod={row['sod']}")
+        print(f"{len(rows)} wrapper(s) in {args.root}", file=sys.stderr)
+        return 0
+    if args.action == "gc":
+        removed = wrapper_registry.gc()
+        for name in removed:
+            print(f"removed orphan {name}")
+        print(f"removed {len(removed)} orphan file(s)", file=sys.stderr)
+        return 0
+    problems = wrapper_registry.verify()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} problem(s) found", file=sys.stderr)
+        return 1
+    print("registry is consistent", file=sys.stderr)
+    return 0
 
 
 def _cmd_describe(args: argparse.Namespace) -> int:
@@ -249,14 +372,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--source-name", default="cli-source", help="label for this source"
     )
     extract.add_argument(
+        "--registry",
+        metavar="DIR",
+        help="wrapper registry directory: reuse a stored wrapper for this "
+        "template or store the freshly induced one",
+    )
+    extract.add_argument(
         "--save-wrapper",
         metavar="FILE",
-        help="persist the learned wrapper as JSON after a successful run",
+        help="(deprecated; prefer --registry) persist the learned wrapper "
+        "as JSON after a successful run",
     )
     extract.add_argument(
         "--load-wrapper",
         metavar="FILE",
-        help="skip wrapping: extract with a previously saved wrapper",
+        help="(deprecated; prefer --registry) skip wrapping: extract with "
+        "a previously saved wrapper",
     )
     extract.add_argument(
         "--trace",
@@ -281,6 +412,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     extract.add_argument("pages", nargs="+", help="HTML files of one source")
     extract.set_defaults(func=_cmd_extract)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="JSON-lines extraction service over a wrapper registry",
+    )
+    serve.add_argument(
+        "--registry",
+        required=True,
+        metavar="DIR",
+        help="wrapper registry directory shared by all requests",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write pipeline events (stage timings, counters) as JSON lines",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    registry = subparsers.add_parser(
+        "registry", help="inspect or maintain a wrapper registry"
+    )
+    registry.add_argument(
+        "action",
+        choices=("ls", "gc", "verify"),
+        help="ls: list stored wrappers; gc: delete orphan entry files; "
+        "verify: check index/entry consistency (exit 1 on problems)",
+    )
+    registry.add_argument(
+        "--root",
+        required=True,
+        metavar="DIR",
+        help="wrapper registry directory",
+    )
+    registry.set_defaults(func=_cmd_registry)
 
     describe = subparsers.add_parser(
         "describe", help="parse an SOD and show its structure"
@@ -310,6 +475,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="objectrunner,exalg,roadrunner",
         help="comma-separated systems to capture "
         "(default: objectrunner,exalg,roadrunner)",
+    )
+    bench.add_argument(
+        "--registry",
+        metavar="DIR",
+        help="wrapper registry for the registry-first path: a populated "
+        "registry captures the warm benchmark (induction skipped on "
+        "every hit), an empty one is cold and populates it",
     )
     bench.add_argument(
         "--out",

@@ -11,6 +11,7 @@ SET_ORDER-derived value into an artifact sink:
 
 - ``json.dump`` / ``json.dumps`` (any alias spelling),
 - the BENCH writer (``write_bench`` in ``metrics/bench.py``),
+- the registry writer (``write_json_atomic`` in ``registry/store.py``),
 - any function of ``wrapper/serialize.py``.
 
 Flows are interprocedural: a tainted argument laundered through a
@@ -31,7 +32,10 @@ from repro.analysis.graph import CallSite, ProjectGraph, build_single_file_graph
 #: suffixes are artifact sinks.
 SINK_MODULE_SUFFIXES = ("wrapper/serialize.py",)
 #: (module path suffix, function name) pairs naming specific sinks.
-SINK_FUNCTIONS = (("metrics/bench.py", "write_bench"),)
+SINK_FUNCTIONS = (
+    ("metrics/bench.py", "write_bench"),
+    ("registry/store.py", "write_json_atomic"),
+)
 #: Canonical (alias-expanded) dotted names of serialization sinks.
 JSON_SINKS = frozenset({"json.dump", "json.dumps"})
 
@@ -45,7 +49,8 @@ class TaintToArtifactRule(Rule):
     title = "nondeterministic value flows into a serialized artifact"
     rationale = (
         "A wall-clock, RNG, environment or set-order-derived value "
-        "written through json.dump*, the BENCH writer, or "
+        "written through json.dump*, the BENCH writer, the registry "
+        "writer, or "
         "wrapper/serialize makes artifacts differ run-to-run even when "
         "every call site is individually legal; route provenance-only "
         "values into fields the comparison layer ignores, or derive the "
@@ -84,7 +89,7 @@ class TaintToArtifactRule(Rule):
                         return f"{fn.name}() in {suffix}"
                 for mod_suffix, name in SINK_FUNCTIONS:
                     if fn.relpath.endswith(mod_suffix) and fn.name == name:
-                        return f"the BENCH writer {name}()"
+                        return f"the artifact writer {name}()"
         return None
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:

@@ -28,6 +28,7 @@ from repro.core.objectrunner import ObjectRunner, ObjectRunnerSystem
 from repro.core.params import RunParams
 from repro.core.pipeline import (
     DEFAULT_STAGE_ORDER,
+    REGISTRY_STAGE_ORDER,
     EventBus,
     Pipeline,
     PipelineContext,
@@ -66,6 +67,7 @@ __all__ = [
     "register_stage",
     "stage_registry",
     "DEFAULT_STAGE_ORDER",
+    "REGISTRY_STAGE_ORDER",
     "PreprocessCache",
     "CachedPages",
     "RetryPolicy",

@@ -38,6 +38,7 @@ from repro.core.faults import (
 from repro.core.params import RunParams
 from repro.core.pipeline import (
     DEFAULT_STAGE_ORDER,
+    REGISTRY_STAGE_ORDER,
     Pipeline,
     PipelineContext,
     PipelineObserver,
@@ -57,6 +58,7 @@ from repro.recognizers.gazetteer import GazetteerRecognizer
 from repro.recognizers.predefined import predefined_names, predefined_recognizer
 from repro.recognizers.registry import RecognizerRegistry
 from repro.recognizers.rules import FullNodeRecognizer
+from repro.registry.store import StagedRegistryView, WrapperRegistry
 from repro.sod.types import (
     KIND_IS_INSTANCE_OF,
     KIND_PREDEFINED,
@@ -84,10 +86,15 @@ class ObjectRunner:
         fault_injector: FaultInjector | None = None,
         retry_policy: RetryPolicy | None = None,
         sleep: SleepFn | None = None,
+        wrapper_registry: WrapperRegistry | None = None,
     ):
         self.sod = sod
         self.params = params or RunParams()
         self.registry = registry or RecognizerRegistry()
+        #: Content-addressed wrapper store; when set, single-pass runs take
+        #: the registry-first path (match -> induce on miss -> extract)
+        #: instead of inducing unconditionally.
+        self.wrapper_registry = wrapper_registry
         #: Optional deterministic fault harness: wraps every stage of
         #: every pipeline this runner builds, and observes retry events.
         self.fault_injector = fault_injector
@@ -203,6 +210,7 @@ class ObjectRunner:
         pages: Iterable[Element] = (),
         pass_index: int = 0,
         total_passes: int = 1,
+        registry: "WrapperRegistry | StagedRegistryView | None" = None,
     ) -> PipelineContext:
         """A fresh context carrying this runner's shared services."""
         return PipelineContext(
@@ -216,6 +224,7 @@ class ObjectRunner:
             cache=self.cache,
             pass_index=pass_index,
             total_passes=total_passes,
+            registry=registry,
         )
 
     # -- entry points ------------------------------------------------------
@@ -224,8 +233,49 @@ class ObjectRunner:
         """Tidy and clean raw HTML pages (through the runner's cache)."""
         return self.cache.clean_pages(raw_pages).pages
 
+    def _active_registry(self) -> WrapperRegistry | None:
+        """The wrapper registry, unless enrichment disables the fast path.
+
+        Enrichment passes deliberately *re-induce* with the dictionaries
+        the previous pass grew; a registry hit would defeat that loop, so
+        enrichment runs always take the classic pipeline.
+        """
+        if self.params.enrich_dictionaries:
+            return None
+        return self.wrapper_registry
+
+    def _run_registry(
+        self,
+        source: str,
+        registry: "WrapperRegistry | StagedRegistryView",
+        raw_pages: Iterable[str] = (),
+        pages: Iterable[Element] = (),
+    ) -> SourceResult:
+        """Registry-first run with one demote-and-reinduce retry.
+
+        If the post-extraction check demoted a stale registry wrapper,
+        the source re-runs once: the second attempt misses (the entry is
+        gone), induces a fresh wrapper and stores it.
+        """
+        from repro.core.stages.registry import DEMOTED_KEY
+
+        result = SourceResult(source=source)
+        for __ in range(2):
+            ctx = self._context(
+                source, raw_pages=raw_pages, pages=pages, registry=registry
+            )
+            result = self._build_pipeline(REGISTRY_STAGE_ORDER).run(ctx)
+            if not ctx.artifacts.get(DEMOTED_KEY):
+                break
+        return result
+
     def run_source(self, source: str, raw_pages: list[str]) -> SourceResult:
         """Run the full pipeline on raw HTML pages of one source.
+
+        With a ``wrapper_registry`` the run is registry-first: a stored
+        wrapper for this (SOD, template) skips segmentation, annotation
+        and wrapper generation entirely, and a freshly induced wrapper is
+        stored for the next run.
 
         With ``enrich_dictionaries`` and ``enrichment_passes > 1`` the
         whole pipeline re-runs on fresh copies of the pages: every pass
@@ -235,6 +285,9 @@ class ObjectRunner:
         Tidying/cleaning is only paid once: later passes draw deep copies
         from the preprocessing cache.
         """
+        registry = self._active_registry()
+        if registry is not None:
+            return self._run_registry(source, registry, raw_pages=raw_pages)
         passes = max(1, self.params.enrichment_passes)
         if not self.params.enrich_dictionaries:
             passes = 1
@@ -255,6 +308,9 @@ class ObjectRunner:
         self, source: str, pages: list[Element]
     ) -> SourceResult:
         """Run on already tidied/cleaned pages (shared-harness entry)."""
+        registry = self._active_registry()
+        if registry is not None:
+            return self._run_registry(source, registry, pages=pages)
         ctx = self._context(source, pages=pages)
         return self._build_pipeline().run(ctx)
 
@@ -317,10 +373,20 @@ class ObjectRunner:
         workers = max(1, int(self.params.max_workers))
         if self.params.enrich_dictionaries:
             workers = 1
+        # Per-source staged registry views: every source sees the
+        # registry as it was at batch start, and buffered writes apply
+        # in input order afterwards — hit/miss never depends on thread
+        # scheduling, so parallel batches snapshot byte-identically to
+        # serial ones.
+        registry = self._active_registry()
+        views: list[StagedRegistryView | None] = [
+            StagedRegistryView(registry) if registry is not None else None
+            for __ in items
+        ]
         if workers > 1 and len(items) > 1:
-            outcomes = self._run_items_parallel(items, workers, isolate)
+            outcomes = self._run_items_parallel(items, views, workers, isolate)
         else:
-            outcomes = self._run_items_serial(items, isolate)
+            outcomes = self._run_items_serial(items, views, isolate)
         results: dict[str, SourceResult] = {}
         failures: dict[str, SourceFailure] = {}
         pooled = []
@@ -344,26 +410,56 @@ class ObjectRunner:
             failures=failures,
         )
 
+    def _run_item(
+        self,
+        source: str,
+        raw_pages: list[str],
+        view: StagedRegistryView | None,
+    ) -> SourceResult:
+        """One batch item: through its staged registry view when present."""
+        if view is not None:
+            return self._run_registry(source, view, raw_pages=raw_pages)
+        return self.run_source(source, raw_pages)
+
+    @staticmethod
+    def _apply_registry_views(
+        views: list["StagedRegistryView | None"], upto: int
+    ) -> None:
+        """Apply the first ``upto`` sources' buffered registry writes.
+
+        Input order, first-write-wins — the batch's registry bytes are a
+        pure function of the input sequence.  On a fail-fast abort only
+        the sources drained before the failure apply, matching what a
+        serial run would have written.
+        """
+        for view in views[:upto]:
+            if view is not None:
+                view.apply_to(view.base)
+
     def _run_items_serial(
         self,
         items: list[tuple[str, list[str]]],
+        views: list["StagedRegistryView | None"],
         isolate: bool,
     ) -> list["SourceResult | SourceFailure"]:
         """One source after another, applying the failure policy."""
         outcomes: list[SourceResult | SourceFailure] = []
-        for source, raw_pages in items:
+        for (source, raw_pages), view in zip(items, views):
             try:
-                outcomes.append(self.run_source(source, raw_pages))
+                outcomes.append(self._run_item(source, raw_pages, view))
             except Exception as exc:
                 failure = SourceFailure.from_exception(source, exc)
                 if not isolate:
+                    self._apply_registry_views(views, len(outcomes))
                     raise self._abort_error(failure, outcomes, items) from exc
                 outcomes.append(failure)
+        self._apply_registry_views(views, len(outcomes))
         return outcomes
 
     def _run_items_parallel(
         self,
         items: list[tuple[str, list[str]]],
+        views: list["StagedRegistryView | None"],
         workers: int,
         isolate: bool,
     ) -> list["SourceResult | SourceFailure"]:
@@ -382,8 +478,8 @@ class ObjectRunner:
             max_workers=min(workers, len(items))
         ) as pool:
             futures = [
-                pool.submit(self.run_source, source, raw_pages)
-                for source, raw_pages in items
+                pool.submit(self._run_item, source, raw_pages, view)
+                for (source, raw_pages), view in zip(items, views)
             ]
             for (source, __), future in zip(items, futures):
                 try:
@@ -399,6 +495,7 @@ class ObjectRunner:
                     break
             # Leaving the ``with`` block joins the pool: running futures
             # finish, cancelled ones never start.
+        self._apply_registry_views(views, len(outcomes))
         if abort is not None:
             failure, cause = abort
             raise self._abort_error(failure, outcomes, items) from cause
@@ -449,6 +546,7 @@ class ObjectRunnerSystem:
         params: RunParams | None = None,
         extra_gazetteer_entries: dict[str, dict[str, float]] | None = None,
         observers: Iterable[PipelineObserver] = (),
+        wrapper_registry: WrapperRegistry | None = None,
     ):
         self._ontology = ontology
         self._corpus = corpus
@@ -456,6 +554,7 @@ class ObjectRunnerSystem:
         self._params = params
         self._extra_gazetteer_entries = extra_gazetteer_entries
         self._observers = list(observers)
+        self._wrapper_registry = wrapper_registry
 
     @property
     def name(self) -> str:
@@ -474,6 +573,7 @@ class ObjectRunnerSystem:
             params=self._params,
             extra_gazetteer_entries=self._extra_gazetteer_entries,
             observers=(collector, *self._observers),
+            wrapper_registry=self._wrapper_registry,
         )
         result = runner.run_source_prepared(source, pages)
         final_event = collector.completed[-1] if collector.completed else None

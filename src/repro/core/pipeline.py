@@ -47,6 +47,7 @@ from repro.sod.types import SodType
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.kb.ontology import Ontology
     from repro.recognizers.base import Recognizer
+    from repro.registry.store import StagedRegistryView, WrapperRegistry
     from repro.vision.segmentation import BlockTree
     from repro.wrapper.generate import Wrapper
 
@@ -59,6 +60,22 @@ DEFAULT_STAGE_ORDER: tuple[str, ...] = (
     "wrapping",
     "extraction",
     "enrichment",
+)
+
+#: Registry-first stage order: match against the wrapper registry after
+#: pre-processing; a hit skips segmentation/annotation/wrapping entirely,
+#: a miss induces as usual and stores the result.  The post-extraction
+#: check demotes stale registry wrappers back to induction.
+REGISTRY_STAGE_ORDER: tuple[str, ...] = (
+    "preprocess",
+    "registry_match",
+    "segmentation",
+    "annotation",
+    "wrapping",
+    "extraction",
+    "enrichment",
+    "registry_check",
+    "registry_store",
 )
 
 
@@ -329,6 +346,9 @@ class PipelineContext:
     wrapper: "Wrapper | None" = None
     result: SourceResult | None = None
     cache: PreprocessCache | None = None
+    #: Content-addressed wrapper store (or a per-source staged view of
+    #: one) for the registry-first path; None runs the classic pipeline.
+    registry: "WrapperRegistry | StagedRegistryView | None" = None
     pass_index: int = 0
     total_passes: int = 1
     counters: Counter = field(default_factory=Counter)

@@ -24,6 +24,8 @@ class StageTimings:
     """
 
     preprocess: float = 0.0
+    #: Registry match/check/store stages of the registry-first path.
+    registry: float = 0.0
     annotation: float = 0.0
     wrapping: float = 0.0
     extraction: float = 0.0

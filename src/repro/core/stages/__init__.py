@@ -14,12 +14,23 @@ IV   / Algorithm 2        :class:`WrapperGenerationStage` ``wrapping``
 IV-B extraction           :class:`ExtractionStage`       ``extraction``
 IV-A feedback (Eq. 4)     :class:`EnrichmentStage`       ``enrichment``
 ========================  =============================  ==================
+
+The registry-first path (``REGISTRY_STAGE_ORDER``) adds three stages
+around the classics: ``registry_match`` (wrapper lookup by template
+fingerprint, a hit skips induction), ``registry_check`` (post-extract
+demotion of stale wrappers) and ``registry_store`` (persist freshly
+induced wrappers).
 """
 
 from repro.core.stages.annotate import AnnotationStage
 from repro.core.stages.enrich import EnrichmentStage
 from repro.core.stages.extract import ExtractionStage
 from repro.core.stages.preprocess import PreprocessStage, SegmentationStage
+from repro.core.stages.registry import (
+    RegistryCheckStage,
+    RegistryMatchStage,
+    RegistryStoreStage,
+)
 from repro.core.stages.wrap import WrapperGenerationStage, prefer_wrapper
 
 __all__ = [
@@ -29,5 +40,8 @@ __all__ = [
     "WrapperGenerationStage",
     "ExtractionStage",
     "EnrichmentStage",
+    "RegistryMatchStage",
+    "RegistryCheckStage",
+    "RegistryStoreStage",
     "prefer_wrapper",
 ]

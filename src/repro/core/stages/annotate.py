@@ -24,8 +24,13 @@ class AnnotationStage(Stage):
 
     name = "annotation"
     timing_field = "annotation"
-    reads = ("params", "ontology", "source", "regions", "recognizers", "block_trees")
+    reads = ("params", "ontology", "source", "regions", "recognizers",
+             "block_trees", "wrapper")
     writes = ("sample_regions", "result")
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        """Skip when a wrapper is already in play (registry hit/preset)."""
+        return ctx.wrapper is None
 
     def run(self, ctx: PipelineContext) -> None:
         """Fill ``ctx.sample_regions`` and the result's sample indexes."""

@@ -60,8 +60,12 @@ class SegmentationStage(Stage):
 
     name = "segmentation"
     timing_field = "preprocess"
-    reads = ("pages", "params")
+    reads = ("pages", "params", "wrapper")
     writes = ("regions", "block_trees")
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        """Skip when a wrapper is already in play (registry hit/preset)."""
+        return ctx.wrapper is None
 
     def run(self, ctx: PipelineContext) -> None:
         """Fill ``ctx.regions`` (and ``ctx.block_trees`` when segmenting)."""

@@ -48,8 +48,12 @@ class WrapperGenerationStage(Stage):
 
     name = "wrapping"
     timing_field = "wrapping"
-    reads = ("params", "source", "sample_regions", "sod")
+    reads = ("params", "source", "sample_regions", "sod", "wrapper")
     writes = ("wrapper", "result")
+
+    def enabled(self, ctx: PipelineContext) -> bool:
+        """Skip when a wrapper is already in play (registry hit/preset)."""
+        return ctx.wrapper is None
 
     def run(self, ctx: PipelineContext) -> None:
         """Set ``ctx.wrapper`` to the preferred wrapper across supports."""

@@ -94,6 +94,27 @@ class WrapperError(ReproError):
     """Raised when wrapper generation fails for internal reasons."""
 
 
+class WrapperSchemaError(WrapperError):
+    """Raised when persisted wrapper data is malformed or schema-incompatible.
+
+    Loading a wrapper (single file or registry entry) validates the schema
+    version and every required field before reconstruction, so old-format,
+    truncated or hand-edited payloads surface as one typed error naming
+    the offending field instead of a bare ``KeyError`` deep inside
+    :mod:`repro.wrapper.serialize`.
+    """
+
+
+class RegistryError(ReproError):
+    """Raised for wrapper-registry storage problems.
+
+    Covers corrupt or unreadable registry entries, index/entry signature
+    mismatches and malformed index files — everything the
+    content-addressed store (:mod:`repro.registry`) can detect about its
+    own persistence layer.
+    """
+
+
 class MatchingError(WrapperError):
     """Raised when the SOD cannot be matched against the template tree."""
 

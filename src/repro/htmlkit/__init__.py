@@ -12,10 +12,16 @@ third-party dependencies:
 - :mod:`repro.htmlkit.clean` — removal of scripts, comments, hidden tags,
   empty nodes and other template chrome, per the paper's cleaning step.
 - :mod:`repro.htmlkit.serialize` — render a DOM back to HTML text.
+- :mod:`repro.htmlkit.fingerprint` — content-free structural fingerprints
+  identifying a page's template (registry keys).
 """
 
 from repro.htmlkit.clean import CleanerConfig, clean_tree
 from repro.htmlkit.dom import Element, Node, Text
+from repro.htmlkit.fingerprint import (
+    pages_fingerprint,
+    structural_fingerprint,
+)
 from repro.htmlkit.parser import parse_html
 from repro.htmlkit.serialize import to_html
 from repro.htmlkit.tidy import tidy
@@ -35,7 +41,9 @@ __all__ = [
     "Element",
     "Node",
     "Text",
+    "pages_fingerprint",
     "parse_html",
+    "structural_fingerprint",
     "to_html",
     "tidy",
     "tokenize_html",

@@ -44,6 +44,7 @@ from repro.datasets.knowledge import completion_entries
 from repro.eval import aggregate_domain, grade_source
 from repro.metrics.observer import MetricsObserver, peak_rss_bytes, wall_timestamp
 from repro.metrics.registry import MetricsRegistry
+from repro.registry.store import WrapperRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.eval.metrics import DomainMetrics
@@ -103,13 +104,16 @@ def build_system(
     coverage: float = DICTIONARY_COVERAGE,
     params: RunParams | None = None,
     observers: Iterable = (),
+    wrapper_registry: WrapperRegistry | None = None,
 ):
     """Instantiate a system by short name for one catalog source.
 
     ObjectRunner gets the domain knowledge plus the per-source dictionary
     completion (the paper ensured every dictionary covered at least 20% of
     each source's instances); ``observers`` subscribe to every pipeline
-    run the system makes.
+    run the system makes.  A ``wrapper_registry`` puts ObjectRunner on
+    the registry-first path (the warm-path benchmark); baselines ignore
+    it.
     """
     if name == "objectrunner":
         domain_name = entry.spec.domain
@@ -129,6 +133,7 @@ def build_system(
             params=params,
             extra_gazetteer_entries=extra,
             observers=tuple(observers),
+            wrapper_registry=wrapper_registry,
         )
     if name == "exalg":
         return ExAlgSystem()
@@ -147,6 +152,9 @@ class BenchConfig:
     #: LRU capacity of the session preprocessing cache; sized so a full
     #: catalog sweep at default scale never evicts.
     cache_entries: int = 4096
+    #: Wrapper registry directory for the registry-first (warm) path;
+    #: ``None`` captures the classic cold pipeline.
+    registry_root: str | None = None
 
 
 class BenchSession:
@@ -163,6 +171,11 @@ class BenchSession:
         self.catalog = CatalogCache()
         self.preprocess_cache = PreprocessCache(
             max_entries=self.config.cache_entries
+        )
+        self.registry = (
+            WrapperRegistry(self.config.registry_root)
+            if self.config.registry_root
+            else None
         )
 
     def pages(self, entry: CatalogEntry):
@@ -195,6 +208,7 @@ class BenchSession:
                 self.catalog,
                 coverage=self.config.coverage,
                 observers=(metrics,),
+                wrapper_registry=self.registry,
             )
             output = system.run(entry.spec.name, pages, domain.sod)
             evaluations[entry.spec.domain].append(
@@ -236,6 +250,7 @@ class BenchSession:
                 "coverage": self.config.coverage,
                 "systems": list(self.config.systems),
                 "sources": len(entries),
+                "registry": bool(self.registry),
                 "seed": {
                     "sampling_seed": RunParams().sampling_seed,
                     "pythonhashseed": os.environ.get("PYTHONHASHSEED", ""),
@@ -243,6 +258,7 @@ class BenchSession:
             },
             "process": {"peak_rss_bytes": peak_rss_bytes()},
             "cache": self.preprocess_cache.stats(),
+            "registry": self.registry.stats() if self.registry else None,
             "systems": systems_doc,
         }
 

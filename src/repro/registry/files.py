@@ -1,0 +1,68 @@
+"""Single-file wrapper persistence with a template-identity check.
+
+The pre-registry flow (``--save-wrapper``/``--load-wrapper``) persisted a
+bare ``wrapper_to_dict`` payload, so nothing stopped a wrapper from being
+applied to pages of a *different* template — extraction would quietly
+return garbage.  These helpers keep the one-file format (the wrapper dict
+itself, ``version`` at top level) but add an optional ``fingerprint`` key
+recording the structural fingerprint of the pages the wrapper was induced
+from, and a verification hook for load time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import WrapperSchemaError
+from repro.htmlkit.dom import Element
+from repro.htmlkit.fingerprint import pages_fingerprint
+from repro.wrapper.generate import Wrapper
+from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
+
+
+def save_wrapper_file(
+    path: str | Path, wrapper: Wrapper, fingerprint: str | None = None
+) -> None:
+    """Persist a wrapper (plus its template fingerprint) as one JSON file."""
+    document = wrapper_to_dict(wrapper)
+    if fingerprint is not None:
+        document["fingerprint"] = fingerprint
+    Path(path).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_wrapper_file(path: str | Path) -> tuple[Wrapper, str | None]:
+    """Load a single-file wrapper; returns ``(wrapper, fingerprint)``.
+
+    ``fingerprint`` is ``None`` for files written before fingerprints
+    existed (the legacy ``--save-wrapper`` format remains loadable).
+    Malformed or schema-incompatible payloads raise
+    :class:`~repro.errors.WrapperSchemaError`.
+    """
+    raw = Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise WrapperSchemaError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise WrapperSchemaError(f"{path}: expected a JSON object")
+    fingerprint = data.get("fingerprint")
+    return wrapper_from_dict(data), fingerprint
+
+
+def fingerprint_matches(
+    fingerprint: str | None, pages: Sequence[Element]
+) -> bool | None:
+    """Check a stored fingerprint against freshly prepared pages.
+
+    Returns ``True``/``False`` for a recorded fingerprint, or ``None``
+    when the wrapper predates fingerprints (nothing to check) or there
+    are no pages to fingerprint.
+    """
+    if fingerprint is None or not pages:
+        return None
+    return pages_fingerprint(pages) == fingerprint

@@ -1,0 +1,417 @@
+"""Content-addressed wrapper registry: the wrap-once / extract-often store.
+
+A wrapper is keyed by its *template signature* — the canonical SOD text
+plus the structural fingerprint of the tidied pages
+(:mod:`repro.htmlkit.fingerprint`) — so any page rendered by a template
+the registry has seen resolves to the stored wrapper without paying
+induction again.
+
+Layout on disk::
+
+    <root>/index.json               # signature -> {sod, fingerprint, source}
+    <root>/wrappers/<signature>.json  # schema-versioned entry + wrapper
+
+Both files are JSON with sorted keys and are written atomically
+(temp file + ``os.replace``), so a crashed writer never leaves a torn
+file and two registries holding the same entries are byte-identical.
+The store is thread-safe; batch runs additionally go through
+:class:`StagedRegistryView` so parallel ``run_sources`` snapshots are
+byte-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.errors import RegistryError
+from repro.sod.canonical import canonicalize
+from repro.sod.dsl import format_sod
+from repro.sod.types import SodType
+from repro.wrapper.generate import Wrapper
+from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
+
+#: Version of the on-disk entry/index layout; bumped on breaking change.
+REGISTRY_SCHEMA_VERSION = 1
+
+
+def signature_for(sod: SodType, fingerprint: str) -> str:
+    """The registry key: canonical SOD text + structural fingerprint.
+
+    Two requests for the same domain (same canonical SOD) over pages of
+    the same template resolve to the same signature regardless of SOD
+    spelling (nesting sugar, whitespace) or page content.
+    """
+    canonical = format_sod(canonicalize(sod))
+    text = f"{REGISTRY_SCHEMA_VERSION}\n{canonical}\n{fingerprint}"
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def write_json_atomic(path: Path, document: dict[str, Any]) -> None:
+    """Write ``document`` as canonical JSON via a same-directory temp file.
+
+    Sorted keys and a trailing newline make the bytes a pure function of
+    the document; ``os.replace`` makes the update all-or-nothing.
+    """
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
+
+
+@dataclass
+class RegistryEntry:
+    """One stored wrapper with the identity that keys it."""
+
+    signature: str
+    sod: str
+    fingerprint: str
+    source: str
+    wrapper: dict[str, Any]
+
+    def to_dict(self) -> dict[str, Any]:
+        """The schema-versioned on-disk form of this entry."""
+        return {
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "signature": self.signature,
+            "sod": self.sod,
+            "fingerprint": self.fingerprint,
+            "source": self.source,
+            "wrapper": self.wrapper,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any, where: str = "entry") -> "RegistryEntry":
+        """Validate and rebuild an entry; raises :class:`RegistryError`."""
+        if not isinstance(data, dict):
+            raise RegistryError(f"{where}: expected a JSON object")
+        version = data.get("schema_version")
+        if version != REGISTRY_SCHEMA_VERSION:
+            raise RegistryError(
+                f"{where}: unsupported registry schema version {version!r} "
+                f"(expected {REGISTRY_SCHEMA_VERSION})"
+            )
+        try:
+            return cls(
+                signature=data["signature"],
+                sod=data["sod"],
+                fingerprint=data["fingerprint"],
+                source=data["source"],
+                wrapper=data["wrapper"],
+            )
+        except KeyError as exc:
+            raise RegistryError(f"{where}: missing field {exc}") from exc
+
+
+class WrapperRegistry:
+    """Thread-safe content-addressed store of induced wrappers.
+
+    Lookup/put/demote mirror the pipeline's ``match -> (induce on miss)
+    -> extract -> check`` path; lifetime counters (hits, misses, stores,
+    races, demotions) feed the metrics registry and BENCH artifacts.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._wrappers_dir = self.root / "wrappers"
+        self._wrappers_dir.mkdir(exist_ok=True)
+        self._lock = threading.RLock()
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "races": 0,
+            "demotions": 0,
+        }
+        self._index: dict[str, dict[str, str]] = self._load_index()
+
+    # -- persistence -------------------------------------------------------
+
+    @property
+    def index_path(self) -> Path:
+        """Path of the deterministic-ordered index file."""
+        return self.root / "index.json"
+
+    def entry_path(self, signature: str) -> Path:
+        """Path of the entry file holding ``signature``'s wrapper."""
+        return self._wrappers_dir / f"{signature}.json"
+
+    def _load_index(self) -> dict[str, dict[str, str]]:
+        if not self.index_path.exists():
+            return {}
+        try:
+            data = json.loads(self.index_path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise RegistryError(f"{self.index_path}: not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise RegistryError(f"{self.index_path}: expected a JSON object")
+        version = data.get("schema_version")
+        if version != REGISTRY_SCHEMA_VERSION:
+            raise RegistryError(
+                f"{self.index_path}: unsupported registry schema version "
+                f"{version!r} (expected {REGISTRY_SCHEMA_VERSION})"
+            )
+        entries = data.get("entries")
+        if not isinstance(entries, dict):
+            raise RegistryError(f"{self.index_path}: missing 'entries' object")
+        return {sig: dict(row) for sig, row in sorted(entries.items())}
+
+    def _write_index(self) -> None:
+        document = {
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "entries": {sig: self._index[sig] for sig in sorted(self._index)},
+        }
+        write_json_atomic(self.index_path, document)
+
+    # -- core operations ---------------------------------------------------
+
+    def lookup(self, sod: SodType, fingerprint: str) -> Wrapper | None:
+        """Return the stored wrapper for this (SOD, template), or ``None``.
+
+        Counts a hit or a miss; a present-but-unreadable entry raises
+        :class:`RegistryError` rather than silently inducing again.
+        """
+        signature = signature_for(sod, fingerprint)
+        with self._lock:
+            present = signature in self._index
+            self._count("hits" if present else "misses")
+        if not present:
+            return None
+        return self.get(signature)
+
+    def get(self, signature: str) -> Wrapper | None:
+        """Load the wrapper stored under ``signature`` (``None`` if absent)."""
+        path = self.entry_path(signature)
+        if not path.exists():
+            return None
+        entry = self._read_entry(path)
+        if entry.signature != signature:
+            raise RegistryError(
+                f"{path}: entry signature {entry.signature!r} does not match "
+                f"its address {signature!r}"
+            )
+        return wrapper_from_dict(entry.wrapper)
+
+    def put(
+        self, sod: SodType, fingerprint: str, wrapper: Wrapper
+    ) -> str:
+        """Store an induced wrapper; returns its signature.
+
+        First write wins: if the signature is already present the
+        existing entry is kept and a ``races`` count is recorded, so
+        concurrent inductions of the same template converge on one
+        stored wrapper.
+        """
+        signature = signature_for(sod, fingerprint)
+        entry = RegistryEntry(
+            signature=signature,
+            sod=format_sod(canonicalize(sod)),
+            fingerprint=fingerprint,
+            source=wrapper.source,
+            wrapper=wrapper_to_dict(wrapper),
+        )
+        with self._lock:
+            if signature in self._index:
+                self._count("races")
+                return signature
+            write_json_atomic(self.entry_path(signature), entry.to_dict())
+            self._index[signature] = {
+                "sod": entry.sod,
+                "fingerprint": entry.fingerprint,
+                "source": entry.source,
+            }
+            self._write_index()
+            self._count("stores")
+        return signature
+
+    def demote(self, signature: str) -> bool:
+        """Evict a stale wrapper so the next request re-induces.
+
+        Returns ``True`` if an entry was removed.  Fired by the
+        post-extract annotation-rate check when a stored wrapper no
+        longer extracts at threshold ``alpha``.
+        """
+        with self._lock:
+            if signature not in self._index:
+                return False
+            del self._index[signature]
+            self._write_index()
+            path = self.entry_path(signature)
+            if path.exists():
+                path.unlink()
+            self._count("demotions")
+        return True
+
+    # -- inspection ---------------------------------------------------------
+
+    def entries(self) -> list[RegistryEntry]:
+        """All stored entries in signature order (loads every entry file)."""
+        with self._lock:
+            signatures = sorted(self._index)
+        out = []
+        for signature in signatures:
+            path = self.entry_path(signature)
+            if path.exists():
+                out.append(self._read_entry(path))
+        return out
+
+    def index_rows(self) -> list[tuple[str, dict[str, str]]]:
+        """The index content as ``(signature, row)`` pairs, sorted."""
+        with self._lock:
+            return [(sig, dict(self._index[sig])) for sig in sorted(self._index)]
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime counters: hits, misses, stores, races, demotions."""
+        with self._lock:
+            return dict(self._stats)
+
+    def _count(self, name: str) -> None:
+        with self._lock:
+            self._stats[name] += 1
+
+    def _read_entry(self, path: Path) -> RegistryEntry:
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise RegistryError(f"{path}: not valid JSON: {exc}") from exc
+        return RegistryEntry.from_dict(data, where=str(path))
+
+    # -- maintenance ---------------------------------------------------------
+
+    def verify(self) -> list[str]:
+        """Check index/entry consistency; returns sorted problem strings.
+
+        Detects index rows without an entry file, unreadable or
+        schema-incompatible entries, entries whose stored identity does
+        not reproduce their address, and orphan entry files.
+        """
+        problems = []
+        with self._lock:
+            index = {sig: dict(row) for sig, row in self._index.items()}
+        for signature in sorted(index):
+            path = self.entry_path(signature)
+            if not path.exists():
+                problems.append(f"{signature}: index row has no entry file")
+                continue
+            try:
+                entry = self._read_entry(path)
+            except RegistryError as exc:
+                problems.append(f"{signature}: {exc}")
+                continue
+            if entry.signature != signature:
+                problems.append(
+                    f"{signature}: entry file claims signature "
+                    f"{entry.signature!r}"
+                )
+        for path in sorted(self._wrappers_dir.glob("*.json")):
+            if path.stem not in index:
+                problems.append(f"{path.name}: orphan entry file (not in index)")
+        return sorted(problems)
+
+    def gc(self) -> list[str]:
+        """Delete orphan entry files; returns their names, sorted."""
+        removed = []
+        with self._lock:
+            for path in sorted(self._wrappers_dir.glob("*.json")):
+                if path.stem not in self._index:
+                    path.unlink()
+                    removed.append(path.name)
+        return removed
+
+    @classmethod
+    def merged(
+        cls, root: str | Path, parts: Sequence["WrapperRegistry"]
+    ) -> "WrapperRegistry":
+        """Fold shard registries into a new registry at ``root``.
+
+        Shards are applied in input order with first-write-wins conflict
+        semantics (the same rule as :meth:`put`), so the combined
+        registry's bytes are a pure function of the shard sequence —
+        the order-pinned merge contract shared with the metrics layer.
+        """
+        combined = cls(root)
+        for part in parts:
+            for entry in part.entries():
+                with combined._lock:
+                    if entry.signature in combined._index:
+                        combined._count("races")
+                        continue
+                    write_json_atomic(
+                        combined.entry_path(entry.signature), entry.to_dict()
+                    )
+                    combined._index[entry.signature] = {
+                        "sod": entry.sod,
+                        "fingerprint": entry.fingerprint,
+                        "source": entry.source,
+                    }
+                    combined._write_index()
+                    combined._count("stores")
+        return combined
+
+
+@dataclass
+class StagedRegistryView:
+    """A per-source view of a registry with buffered writes.
+
+    Batch runs (``ObjectRunner.run_sources``) give every source its own
+    view: lookups see the registry as it was at batch start plus this
+    source's *own* staged writes; puts and demotions are buffered and
+    applied to the base registry in input order once the batch finishes
+    (:meth:`apply_to`).  Hit/miss per source therefore never depends on
+    thread scheduling, which is what makes a parallel batch snapshot
+    byte-identical to a serial one.
+    """
+
+    base: WrapperRegistry
+    staged: dict[str, tuple[SodType, str, Wrapper]] = field(default_factory=dict)
+    demoted: set[str] = field(default_factory=set)
+
+    def lookup(self, sod: SodType, fingerprint: str) -> Wrapper | None:
+        """Lookup against the batch-start state plus this view's writes."""
+        signature = signature_for(sod, fingerprint)
+        if signature in self.demoted:
+            self.base._count("misses")
+            return None
+        if signature in self.staged:
+            self.base._count("hits")
+            return self.staged[signature][2]
+        return self.base.lookup(sod, fingerprint)
+
+    def put(self, sod: SodType, fingerprint: str, wrapper: Wrapper) -> str:
+        """Buffer a store; applied to the base registry at batch end."""
+        signature = signature_for(sod, fingerprint)
+        self.demoted.discard(signature)
+        self.staged[signature] = (sod, fingerprint, wrapper)
+        return signature
+
+    def demote(self, signature: str) -> bool:
+        """Buffer a demotion; applied to the base registry at batch end."""
+        self.staged.pop(signature, None)
+        self.demoted.add(signature)
+        return True
+
+    def apply_to(self, base: WrapperRegistry) -> None:
+        """Apply buffered demotions then stores to ``base``."""
+        for signature in sorted(self.demoted):
+            base.demote(signature)
+        for sod, fingerprint, wrapper in self.staged.values():
+            base.put(sod, fingerprint, wrapper)
+
+
+def apply_staged_views(
+    base: WrapperRegistry, views: Iterable[StagedRegistryView]
+) -> None:
+    """Apply per-source views to the base registry in input order.
+
+    Called once per batch after every source finished; combined with
+    first-write-wins ``put``, the base registry's final bytes depend only
+    on the input order of the sources, never on scheduling.
+    """
+    for view in views:
+        view.apply_to(base)

@@ -1,0 +1,11 @@
+"""Extraction-as-a-service: the ``repro serve`` request loop.
+
+Wraps the registry-first pipeline behind a long-running JSON-lines
+service (:mod:`repro.service.server`): the first request for a template
+pays wrapper induction, every later request for the same template is a
+registry hit that goes straight to extraction.
+"""
+
+from repro.service.server import ExtractionService, serve_loop
+
+__all__ = ["ExtractionService", "serve_loop"]

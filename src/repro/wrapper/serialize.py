@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any
 
-from repro.errors import WrapperError
+from repro.errors import WrapperSchemaError
 from repro.sod.dsl import format_sod, parse_sod
 from repro.wrapper.generate import Wrapper
 from repro.wrapper.matching import MatchResult
@@ -62,9 +62,14 @@ def _node_to_dict(node: TemplateNode) -> dict[str, Any]:
 
 
 def _node_from_dict(data: dict[str, Any]) -> TemplateNode:
+    if not isinstance(data, dict):
+        raise WrapperSchemaError(
+            f"malformed wrapper data: template node is not an object "
+            f"({type(data).__name__})"
+        )
     kind = data.get("kind")
     if kind == "field":
-        slot = FieldSlot(slot_id=data["slot_id"])
+        slot = FieldSlot(slot_id=_require(data, "slot_id", "field node"))
         slot.annotation_counts = Counter(data.get("annotation_counts", {}))
         slot.occurrences = data.get("occurrences", 0)
         slot.optional = data.get("optional", False)
@@ -73,23 +78,23 @@ def _node_from_dict(data: dict[str, Any]) -> TemplateNode:
         slot.strip_suffix = data.get("strip_suffix", 0)
         return slot
     if kind == "static":
-        return StaticSlot(text=data["text"])
+        return StaticSlot(text=_require(data, "text", "static node"))
     if kind == "iterator":
         return IteratorSlot(
-            slot_id=data["slot_id"],
-            unit=_node_from_dict(data["unit"]),
+            slot_id=_require(data, "slot_id", "iterator node"),
+            unit=_node_from_dict(_require(data, "unit", "iterator node")),
             min_repeats=data.get("min_repeats", 0),
             max_repeats=data.get("max_repeats", 0),
         )
     if kind == "element":
         return ElementTemplate(
-            tag=data["tag"],
+            tag=_require(data, "tag", "element node"),
             attr_class=data.get("attr_class", ""),
             optional=data.get("optional", False),
             annotation_counts=Counter(data.get("annotation_counts", {})),
             children=[_node_from_dict(child) for child in data.get("children", [])],
         )
-    raise WrapperError(f"unknown template node kind {kind!r}")
+    raise WrapperSchemaError(f"unknown template node kind {kind!r}")
 
 
 def wrapper_to_dict(wrapper: Wrapper) -> dict[str, Any]:
@@ -125,47 +130,90 @@ def wrapper_to_dict(wrapper: Wrapper) -> dict[str, Any]:
     }
 
 
+def _require(data: dict[str, Any], key: str, where: str) -> Any:
+    """Fetch a required field, raising a typed error naming it if absent."""
+    try:
+        return data[key]
+    except KeyError:
+        raise WrapperSchemaError(
+            f"malformed wrapper data: missing {where}[{key!r}]"
+        ) from None
+
+
 def wrapper_from_dict(data: dict[str, Any]) -> Wrapper:
-    """Rebuild a wrapper from :func:`wrapper_to_dict` output."""
+    """Rebuild a wrapper from :func:`wrapper_to_dict` output.
+
+    Malformed, truncated or old-schema payloads raise
+    :class:`~repro.errors.WrapperSchemaError` naming the missing field,
+    never a bare ``KeyError``.
+    """
+    if not isinstance(data, dict):
+        raise WrapperSchemaError(
+            f"malformed wrapper data: expected a JSON object, "
+            f"got {type(data).__name__}"
+        )
     version = data.get("version")
     if version != FORMAT_VERSION:
-        raise WrapperError(
+        raise WrapperSchemaError(
             f"unsupported wrapper format version {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
+    template_data = _require(data, "template", "wrapper")
+    if not isinstance(template_data, dict):
+        raise WrapperSchemaError(
+            "malformed wrapper data: wrapper['template'] is not an object"
+        )
     template = Template(
-        roots=[_node_from_dict(node) for node in data["template"]["roots"]],
-        conflicts=data["template"].get("conflicts", 0),
-        sample_records=data["template"].get("sample_records", 0),
+        roots=[
+            _node_from_dict(node)
+            for node in _require(template_data, "roots", "template")
+        ],
+        conflicts=template_data.get("conflicts", 0),
+        sample_records=template_data.get("sample_records", 0),
     )
-    match_data = data["match"]
+    match_data = _require(data, "match", "wrapper")
+    if not isinstance(match_data, dict):
+        raise WrapperSchemaError(
+            "malformed wrapper data: wrapper['match'] is not an object"
+        )
     match = MatchResult(
         entity_to_slots={
-            key: list(value) for key, value in match_data["entity_to_slots"].items()
+            key: list(value)
+            for key, value in _require(
+                match_data, "entity_to_slots", "match"
+            ).items()
         },
-        set_to_iterator=dict(match_data["set_to_iterator"]),
+        set_to_iterator=dict(_require(match_data, "set_to_iterator", "match")),
         set_inner_slots={
             key: {k: list(v) for k, v in value.items()}
-            for key, value in match_data["set_inner_slots"].items()
+            for key, value in _require(
+                match_data, "set_inner_slots", "match"
+            ).items()
         },
         set_fallback_slots={
             key: {k: list(v) for k, v in value.items()}
-            for key, value in match_data["set_fallback_slots"].items()
+            for key, value in _require(
+                match_data, "set_fallback_slots", "match"
+            ).items()
         },
         missing=list(match_data.get("missing", [])),
         matched=match_data.get("matched", False),
     )
-    record = data["record"]
+    record = _require(data, "record", "wrapper")
+    if not isinstance(record, dict):
+        raise WrapperSchemaError(
+            "malformed wrapper data: wrapper['record'] is not an object"
+        )
     return Wrapper(
-        source=data["source"],
-        sod=parse_sod(data["sod"]),
+        source=_require(data, "source", "wrapper"),
+        sod=parse_sod(_require(data, "sod", "wrapper")),
         template=template,
         match=match,
-        record_tag=record["tag"],
-        record_path=record["path"],
+        record_tag=_require(record, "tag", "record"),
+        record_path=_require(record, "path", "record"),
         record_class_attr=record.get("class", ""),
-        record_single_element=record["single_element"],
-        is_list_source=record["is_list_source"],
+        record_single_element=_require(record, "single_element", "record"),
+        is_list_source=_require(record, "is_list_source", "record"),
         support=data.get("support", 3),
         conflicts=data.get("conflicts", 0),
         annotation_types_seen=set(data.get("annotation_types_seen", [])),

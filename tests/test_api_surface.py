@@ -17,6 +17,8 @@ PUBLIC_MODULES = [
     "repro.kb",
     "repro.metrics",
     "repro.recognizers",
+    "repro.registry",
+    "repro.service",
     "repro.sod",
     "repro.turk",
     "repro.utils",

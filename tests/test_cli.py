@@ -228,3 +228,158 @@ class TestDescribe:
     def test_describe_invalid(self, capsys):
         code = main(["describe", "((("])
         assert code == 1
+
+
+class TestRegistryFlag:
+    def test_cold_then_warm_registry_runs(self, figure3_files, capsys, tmp_path):
+        pages, artists, theaters = figure3_files
+        registry_dir = str(tmp_path / "reg")
+        argv = [
+            "extract",
+            "--sod", SOD,
+            "--dict", f"artist={artists}",
+            "--dict", f"theater={theaters}",
+            "--registry", registry_dir,
+            *pages,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "1 misses" in cold.err and "1 stores" in cold.err
+
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "1 hits" in warm.err
+        assert "wrapping 0 ms" in warm.err
+
+    def test_registry_ls_gc_verify(self, figure3_files, capsys, tmp_path):
+        pages, artists, theaters = figure3_files
+        registry_dir = str(tmp_path / "reg")
+        main(
+            [
+                "extract",
+                "--sod", SOD,
+                "--dict", f"artist={artists}",
+                "--dict", f"theater={theaters}",
+                "--registry", registry_dir,
+                *pages,
+            ]
+        )
+        capsys.readouterr()
+
+        assert main(["registry", "ls", "--root", registry_dir]) == 0
+        out = capsys.readouterr()
+        assert "1 wrapper(s)" in out.err
+        assert "source=cli-source" in out.out
+
+        assert main(["registry", "verify", "--root", registry_dir]) == 0
+        assert "consistent" in capsys.readouterr().err
+
+        assert main(["registry", "gc", "--root", registry_dir]) == 0
+        assert "0 orphan" in capsys.readouterr().err
+
+    def test_registry_verify_flags_problems(self, figure3_files, capsys, tmp_path):
+        pages, artists, theaters = figure3_files
+        registry_dir = tmp_path / "reg"
+        main(
+            [
+                "extract",
+                "--sod", SOD,
+                "--dict", f"artist={artists}",
+                "--dict", f"theater={theaters}",
+                "--registry", str(registry_dir),
+                *pages,
+            ]
+        )
+        capsys.readouterr()
+        (registry_dir / "wrappers" / ("0" * 64 + ".json")).write_text("{}")
+        assert main(["registry", "verify", "--root", str(registry_dir)]) == 1
+        assert "orphan" in capsys.readouterr().out
+
+
+class TestWrapperFingerprintCheck:
+    def test_saved_wrapper_records_fingerprint(
+        self, figure3_files, capsys, tmp_path
+    ):
+        pages, artists, theaters = figure3_files
+        wrapper_path = tmp_path / "wrapper.json"
+        main(
+            [
+                "extract",
+                "--sod", SOD,
+                "--dict", f"artist={artists}",
+                "--dict", f"theater={theaters}",
+                "--save-wrapper", str(wrapper_path),
+                *pages,
+            ]
+        )
+        capsys.readouterr()
+        saved = json.loads(wrapper_path.read_text())
+        assert saved["version"] == 1
+        assert len(saved["fingerprint"]) == 64
+
+    def test_mismatch_with_sod_reinduces(self, figure3_files, capsys, tmp_path):
+        pages, artists, theaters = figure3_files
+        wrapper_path = tmp_path / "wrapper.json"
+        base = [
+            "--sod", SOD,
+            "--dict", f"artist={artists}",
+            "--dict", f"theater={theaters}",
+        ]
+        main(["extract", *base, "--save-wrapper", str(wrapper_path), *pages])
+        first = capsys.readouterr()
+        saved = json.loads(wrapper_path.read_text())
+        saved["fingerprint"] = "0" * 64
+        wrapper_path.write_text(json.dumps(saved))
+
+        code = main(
+            ["extract", *base, "--load-wrapper", str(wrapper_path), *pages]
+        )
+        assert code == 0
+        second = capsys.readouterr()
+        assert "does not match" in second.err
+        assert "re-inducing" in second.err
+        assert second.out == first.out
+
+    def test_mismatch_without_sod_warns_and_proceeds(
+        self, figure3_files, capsys, tmp_path
+    ):
+        pages, artists, theaters = figure3_files
+        wrapper_path = tmp_path / "wrapper.json"
+        main(
+            [
+                "extract",
+                "--sod", SOD,
+                "--dict", f"artist={artists}",
+                "--dict", f"theater={theaters}",
+                "--save-wrapper", str(wrapper_path),
+                *pages,
+            ]
+        )
+        first = capsys.readouterr()
+        saved = json.loads(wrapper_path.read_text())
+        saved["fingerprint"] = "0" * 64
+        wrapper_path.write_text(json.dumps(saved))
+
+        code = main(["extract", "--load-wrapper", str(wrapper_path), *pages])
+        assert code == 0
+        second = capsys.readouterr()
+        assert "does not match" in second.err
+        assert second.out == first.out
+
+    def test_deprecation_notes(self, figure3_files, capsys, tmp_path):
+        pages, artists, theaters = figure3_files
+        wrapper_path = str(tmp_path / "wrapper.json")
+        main(
+            [
+                "extract",
+                "--sod", SOD,
+                "--dict", f"artist={artists}",
+                "--dict", f"theater={theaters}",
+                "--save-wrapper", wrapper_path,
+                *pages,
+            ]
+        )
+        assert "--save-wrapper is deprecated" in capsys.readouterr().err
+        main(["extract", "--load-wrapper", wrapper_path, *pages])
+        assert "--load-wrapper is deprecated" in capsys.readouterr().err

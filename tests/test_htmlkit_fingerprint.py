@@ -1,0 +1,82 @@
+"""Tests for structural page fingerprints (the registry's template key)."""
+
+import pytest
+
+from repro.errors import HtmlParseError
+from repro.htmlkit import (
+    clean_tree,
+    pages_fingerprint,
+    structural_fingerprint,
+    tidy,
+)
+
+
+def page(html):
+    return clean_tree(tidy(html))
+
+
+RECORD = "<li><div>{artist}</div><div>{date}</div></li>"
+
+
+def listing(*artists):
+    rows = "".join(
+        RECORD.format(artist=a, date=f"May {i + 1}") for i, a in enumerate(artists)
+    )
+    return f"<html><body><ul>{rows}</ul></body></html>"
+
+
+class TestStructuralFingerprint:
+    def test_content_invariant(self):
+        one = structural_fingerprint(page(listing("Metallica")))
+        other = structural_fingerprint(page(listing("Coldplay")))
+        assert one == other
+
+    def test_record_count_invariant(self):
+        one = structural_fingerprint(page(listing("Metallica")))
+        many = structural_fingerprint(
+            page(listing("Metallica", "Coldplay", "Madonna"))
+        )
+        assert one == many
+
+    def test_structure_change_changes_fingerprint(self):
+        base = structural_fingerprint(page(listing("Metallica")))
+        reshaped = structural_fingerprint(
+            page("<html><body><ol><li><p>Metallica</p></li></ol></body></html>")
+        )
+        assert base != reshaped
+
+    def test_class_attribute_is_part_of_the_shape(self):
+        plain = structural_fingerprint(page("<html><body><div>x</div></body></html>"))
+        classed = structural_fingerprint(
+            page('<html><body><div class="row">x</div></body></html>')
+        )
+        assert plain != classed
+
+    def test_stable_across_runs(self):
+        tree = page(listing("Metallica", "Muse"))
+        assert structural_fingerprint(tree) == structural_fingerprint(tree)
+
+    def test_figure3_pages_share_one_fingerprint(self, figure3_pages):
+        fingerprints = {structural_fingerprint(p) for p in figure3_pages}
+        assert len(fingerprints) == 1
+
+
+class TestPagesFingerprint:
+    def test_majority_vote(self):
+        pages = [
+            page(listing("a")),
+            page(listing("b")),
+            page("<html><body><p>odd one out</p></body></html>"),
+        ]
+        assert pages_fingerprint(pages) == structural_fingerprint(pages[0])
+
+    def test_tie_breaks_to_lexicographic_minimum(self):
+        a = page(listing("a"))
+        b = page("<html><body><p>other shape</p></body></html>")
+        expected = min(structural_fingerprint(a), structural_fingerprint(b))
+        assert pages_fingerprint([a, b]) == expected
+        assert pages_fingerprint([b, a]) == expected
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(HtmlParseError):
+            pages_fingerprint([])

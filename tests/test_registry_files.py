@@ -1,0 +1,80 @@
+"""Tests for single-file wrapper persistence with fingerprint checks."""
+
+import json
+
+import pytest
+
+from repro.annotation.annotator import annotate_page
+from repro.errors import WrapperSchemaError
+from repro.htmlkit import pages_fingerprint
+from repro.registry import (
+    fingerprint_matches,
+    load_wrapper_file,
+    save_wrapper_file,
+)
+from repro.sod.dsl import parse_sod
+from repro.wrapper.generate import WrapperConfig, generate_wrapper
+from repro.wrapper.serialize import wrapper_to_dict
+
+SOD = parse_sod(
+    "concert(artist, date<kind=predefined>, "
+    "location(theater, address<kind=predefined>?))"
+)
+
+
+@pytest.fixture()
+def induced(figure3_pages, figure3_recognizers):
+    for page in figure3_pages:
+        annotate_page(page, figure3_recognizers)
+    wrapper = generate_wrapper(
+        "figure3", figure3_pages, SOD, WrapperConfig(support=2)
+    )
+    return wrapper, figure3_pages
+
+
+class TestSaveLoad:
+    def test_round_trip_with_fingerprint(self, tmp_path, induced):
+        wrapper, pages = induced
+        fingerprint = pages_fingerprint(pages)
+        path = tmp_path / "wrapper.json"
+        save_wrapper_file(path, wrapper, fingerprint)
+        loaded, loaded_fingerprint = load_wrapper_file(path)
+        assert loaded_fingerprint == fingerprint
+        assert wrapper_to_dict(loaded) == wrapper_to_dict(wrapper)
+
+    def test_legacy_file_without_fingerprint_loads(self, tmp_path, induced):
+        wrapper, __ = induced
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(wrapper_to_dict(wrapper)))
+        loaded, fingerprint = load_wrapper_file(path)
+        assert fingerprint is None
+        assert wrapper_to_dict(loaded) == wrapper_to_dict(wrapper)
+
+    def test_corrupt_json_is_schema_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(WrapperSchemaError):
+            load_wrapper_file(path)
+
+    def test_non_object_is_schema_error(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(WrapperSchemaError):
+            load_wrapper_file(path)
+
+
+class TestFingerprintMatches:
+    def test_matching_pages(self, induced):
+        __, pages = induced
+        assert fingerprint_matches(pages_fingerprint(pages), pages) is True
+
+    def test_mismatched_pages(self, induced):
+        __, pages = induced
+        assert fingerprint_matches("0" * 64, pages) is False
+
+    def test_unknown_fingerprint_is_none(self, induced):
+        __, pages = induced
+        assert fingerprint_matches(None, pages) is None
+
+    def test_no_pages_is_none(self):
+        assert fingerprint_matches("abc", []) is None

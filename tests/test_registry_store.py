@@ -1,0 +1,251 @@
+"""Tests for the content-addressed wrapper registry store."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.annotation.annotator import annotate_page
+from repro.errors import RegistryError
+from repro.htmlkit import pages_fingerprint
+from repro.registry import (
+    REGISTRY_SCHEMA_VERSION,
+    RegistryEntry,
+    StagedRegistryView,
+    WrapperRegistry,
+    apply_staged_views,
+    signature_for,
+    write_json_atomic,
+)
+from repro.sod.dsl import parse_sod
+from repro.wrapper.generate import WrapperConfig, generate_wrapper
+from repro.wrapper.serialize import wrapper_to_dict
+
+SOD = parse_sod(
+    "concert(artist, date<kind=predefined>, "
+    "location(theater, address<kind=predefined>?))"
+)
+
+
+@pytest.fixture()
+def induced(figure3_pages, figure3_recognizers):
+    """A real wrapper plus the fingerprint of the pages it came from."""
+    for page in figure3_pages:
+        annotate_page(page, figure3_recognizers)
+    wrapper = generate_wrapper(
+        "figure3", figure3_pages, SOD, WrapperConfig(support=2)
+    )
+    return wrapper, pages_fingerprint(figure3_pages)
+
+
+def registry_bytes(root):
+    """Every registry file's bytes, keyed by relative path."""
+    root = Path(root)
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*.json"))
+    }
+
+
+class TestSignature:
+    def test_sod_spelling_invariant(self):
+        flat = parse_sod(
+            "concert(artist, date<kind=predefined>, "
+            "location(theater, address<kind=predefined>?))"
+        )
+        spaced = parse_sod(
+            "concert( artist , date<kind=predefined> , "
+            "location( theater , address<kind=predefined>? ) )"
+        )
+        assert signature_for(flat, "fp") == signature_for(spaced, "fp")
+
+    def test_fingerprint_changes_signature(self):
+        assert signature_for(SOD, "fp-a") != signature_for(SOD, "fp-b")
+
+
+class TestRoundTrip:
+    def test_serialize_store_load_serialize_is_byte_stable(
+        self, tmp_path, induced
+    ):
+        wrapper, fingerprint = induced
+        before = json.dumps(wrapper_to_dict(wrapper), sort_keys=True)
+        registry = WrapperRegistry(tmp_path)
+        registry.put(SOD, fingerprint, wrapper)
+        loaded = WrapperRegistry(tmp_path).lookup(SOD, fingerprint)
+        after = json.dumps(wrapper_to_dict(loaded), sort_keys=True)
+        assert after == before
+
+    def test_lookup_counts_hits_and_misses(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        assert registry.lookup(SOD, fingerprint) is None
+        registry.put(SOD, fingerprint, wrapper)
+        assert registry.lookup(SOD, fingerprint) is not None
+        stats = registry.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+
+    def test_reopened_registry_sees_entries(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        WrapperRegistry(tmp_path).put(SOD, fingerprint, wrapper)
+        reopened = WrapperRegistry(tmp_path)
+        assert reopened.lookup(SOD, fingerprint) is not None
+
+
+class TestDiskLayout:
+    def test_no_temp_files_left_behind(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        WrapperRegistry(tmp_path).put(SOD, fingerprint, wrapper)
+        assert not sorted(Path(tmp_path).rglob("*.tmp"))
+
+    def test_index_is_sorted_and_schema_versioned(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        registry.put(SOD, fingerprint, wrapper)
+        registry.put(SOD, "zz-other-template", wrapper)
+        registry.put(SOD, "aa-other-template", wrapper)
+        index = json.loads(registry.index_path.read_text())
+        assert index["schema_version"] == REGISTRY_SCHEMA_VERSION
+        signatures = list(index["entries"])
+        assert signatures == sorted(signatures)
+
+    def test_first_write_wins(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        registry.put(SOD, fingerprint, wrapper)
+        entry_bytes = registry_bytes(tmp_path)
+        registry.put(SOD, fingerprint, wrapper)
+        assert registry.stats()["races"] == 1
+        assert registry_bytes(tmp_path) == entry_bytes
+
+    def test_write_json_atomic_is_canonical(self, tmp_path):
+        path = tmp_path / "doc.json"
+        write_json_atomic(path, {"b": 1, "a": 2})
+        write_json_atomic(tmp_path / "doc2.json", {"a": 2, "b": 1})
+        assert path.read_bytes() == (tmp_path / "doc2.json").read_bytes()
+        assert path.read_text().endswith("\n")
+
+
+class TestDemoteVerifyGc:
+    def test_demote_removes_entry(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        signature = registry.put(SOD, fingerprint, wrapper)
+        assert registry.demote(signature)
+        assert registry.lookup(SOD, fingerprint) is None
+        assert not registry.entry_path(signature).exists()
+        assert registry.stats()["demotions"] == 1
+        assert not registry.demote(signature)
+
+    def test_verify_reports_missing_entry_and_orphan(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        signature = registry.put(SOD, fingerprint, wrapper)
+        registry.entry_path(signature).rename(
+            registry.entry_path("0" * 64)
+        )
+        problems = registry.verify()
+        assert any("no entry file" in p for p in problems)
+        assert any("orphan" in p for p in problems)
+
+    def test_gc_removes_orphans_only(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        signature = registry.put(SOD, fingerprint, wrapper)
+        orphan = registry.entry_path("f" * 64)
+        orphan.write_text("{}")
+        removed = registry.gc()
+        assert removed == [orphan.name]
+        assert registry.entry_path(signature).exists()
+        assert registry.verify() == []
+
+    def test_corrupt_entry_fails_verification(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        signature = registry.put(SOD, fingerprint, wrapper)
+        registry.entry_path(signature).write_text("{not json")
+        assert registry.verify()
+        with pytest.raises(RegistryError):
+            registry.get(signature)
+
+
+class TestEntrySchema:
+    def test_rejects_wrong_schema_version(self):
+        with pytest.raises(RegistryError):
+            RegistryEntry.from_dict({"schema_version": 99})
+
+    def test_rejects_non_object(self):
+        with pytest.raises(RegistryError):
+            RegistryEntry.from_dict(["nope"])
+
+    def test_rejects_missing_field(self):
+        with pytest.raises(RegistryError):
+            RegistryEntry.from_dict(
+                {"schema_version": REGISTRY_SCHEMA_VERSION, "signature": "x"}
+            )
+
+
+class TestMerge:
+    def test_shards_merge_in_input_order_first_write_wins(
+        self, tmp_path, induced
+    ):
+        wrapper, fingerprint = induced
+        shard_a = WrapperRegistry(tmp_path / "a")
+        shard_b = WrapperRegistry(tmp_path / "b")
+        shard_a.put(SOD, fingerprint, wrapper)
+        shard_b.put(SOD, fingerprint, wrapper)
+        shard_b.put(SOD, "only-in-b", wrapper)
+        merged = WrapperRegistry.merged(tmp_path / "m", [shard_a, shard_b])
+        assert len(merged.index_rows()) == 2
+        assert merged.stats()["races"] == 1
+
+    def test_merge_bytes_equal_serial_construction(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        shard_a = WrapperRegistry(tmp_path / "a")
+        shard_b = WrapperRegistry(tmp_path / "b")
+        shard_a.put(SOD, fingerprint, wrapper)
+        shard_b.put(SOD, "only-in-b", wrapper)
+        WrapperRegistry.merged(tmp_path / "m", [shard_a, shard_b])
+        serial = WrapperRegistry(tmp_path / "s")
+        serial.put(SOD, fingerprint, wrapper)
+        serial.put(SOD, "only-in-b", wrapper)
+        assert registry_bytes(tmp_path / "m") == registry_bytes(tmp_path / "s")
+
+
+class TestStagedView:
+    def test_own_writes_visible_others_deferred(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        base = WrapperRegistry(tmp_path)
+        writer = StagedRegistryView(base)
+        reader = StagedRegistryView(base)
+        writer.put(SOD, fingerprint, wrapper)
+        assert writer.lookup(SOD, fingerprint) is not None
+        assert reader.lookup(SOD, fingerprint) is None
+        assert base.lookup(SOD, fingerprint) is None
+
+    def test_apply_in_input_order_is_deterministic(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        base = WrapperRegistry(tmp_path / "one")
+        views = [StagedRegistryView(base), StagedRegistryView(base)]
+        views[0].put(SOD, fingerprint, wrapper)
+        views[1].put(SOD, fingerprint, wrapper)
+        apply_staged_views(base, views)
+        other = WrapperRegistry(tmp_path / "two")
+        swapped = [StagedRegistryView(other), StagedRegistryView(other)]
+        swapped[1].put(SOD, fingerprint, wrapper)
+        swapped[0].put(SOD, fingerprint, wrapper)
+        apply_staged_views(other, swapped)
+        assert registry_bytes(tmp_path / "one") == registry_bytes(tmp_path / "two")
+        assert base.stats()["stores"] == 1
+        assert base.stats()["races"] == 1
+
+    def test_staged_demotion_applies_before_puts(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        base = WrapperRegistry(tmp_path)
+        signature = base.put(SOD, fingerprint, wrapper)
+        view = StagedRegistryView(base)
+        view.demote(signature)
+        assert view.lookup(SOD, fingerprint) is None
+        apply_staged_views(base, [view])
+        assert base.lookup(SOD, fingerprint) is None

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.annotation.annotator import annotate_page
-from repro.errors import WrapperError
+from repro.errors import WrapperError, WrapperSchemaError
 from repro.sod.dsl import parse_sod
 from repro.wrapper.extraction import extract_objects
 from repro.wrapper.generate import WrapperConfig, generate_wrapper
@@ -79,3 +79,43 @@ class TestVersioning:
         data["template"]["roots"][0] = {"kind": "mystery"}
         with pytest.raises(WrapperError):
             wrapper_from_dict(data)
+
+
+class TestMalformedInput:
+    """wrapper_from_dict raises typed schema errors, never bare KeyError."""
+
+    def test_non_object_rejected(self):
+        with pytest.raises(WrapperSchemaError):
+            wrapper_from_dict(["not", "a", "dict"])
+
+    def test_missing_version_rejected(self, wrapped):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        del data["version"]
+        with pytest.raises(WrapperSchemaError):
+            wrapper_from_dict(data)
+
+    def test_missing_top_level_field_is_schema_error(self, wrapped):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        del data["template"]
+        with pytest.raises(WrapperSchemaError) as excinfo:
+            wrapper_from_dict(data)
+        assert "template" in str(excinfo.value)
+
+    def test_missing_node_field_is_schema_error(self, wrapped):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        del data["template"]["roots"][0]["tag"]
+        with pytest.raises(WrapperSchemaError):
+            wrapper_from_dict(data)
+
+    def test_non_dict_node_is_schema_error(self, wrapped):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        data["template"]["roots"][0] = "not a node"
+        with pytest.raises(WrapperSchemaError):
+            wrapper_from_dict(data)
+
+    def test_schema_error_is_a_wrapper_error(self):
+        assert issubclass(WrapperSchemaError, WrapperError)
