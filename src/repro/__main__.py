@@ -45,6 +45,10 @@ Subcommands:
       python -m repro registry ls --root wrappers/
       python -m repro registry verify --root wrappers/   # exit 1 on problems
       python -m repro registry gc --root wrappers/       # drop orphan files
+      python -m repro registry gc --root wrappers/ --dry-run  # preview only
+
+  ``gc`` exits 0 whether or not orphans existed (``--dry-run`` included);
+  only ``verify`` signals problems through its exit code.
 
 - ``describe`` — parse an SOD and print its structure, canonical form and
   entity types (useful while authoring SODs).
@@ -320,10 +324,11 @@ def _cmd_registry(args: argparse.Namespace) -> int:
         print(f"{len(rows)} wrapper(s) in {args.root}", file=sys.stderr)
         return 0
     if args.action == "gc":
-        removed = wrapper_registry.gc()
+        removed = wrapper_registry.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
         for name in removed:
-            print(f"removed orphan {name}")
-        print(f"removed {len(removed)} orphan file(s)", file=sys.stderr)
+            print(f"{verb} orphan {name}")
+        print(f"{verb} {len(removed)} orphan file(s)", file=sys.stderr)
         return 0
     problems = wrapper_registry.verify()
     for problem in problems:
@@ -436,7 +441,8 @@ def build_parser() -> argparse.ArgumentParser:
     registry.add_argument(
         "action",
         choices=("ls", "gc", "verify"),
-        help="ls: list stored wrappers; gc: delete orphan entry files; "
+        help="ls: list stored wrappers; gc: delete orphan entry files "
+        "(exit 0 whether or not orphans existed); "
         "verify: check index/entry consistency (exit 1 on problems)",
     )
     registry.add_argument(
@@ -444,6 +450,12 @@ def build_parser() -> argparse.ArgumentParser:
         required=True,
         metavar="DIR",
         help="wrapper registry directory",
+    )
+    registry.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="gc only: print the sorted removal list without deleting "
+        "anything (still exit 0)",
     )
     registry.set_defaults(func=_cmd_registry)
 

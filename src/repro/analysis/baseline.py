@@ -16,6 +16,11 @@ Workflow:
 - Entries whose finding disappeared are *expired*: the engine reports them
   and exits non-zero until they are removed (``--update-baseline`` drops
   them automatically).
+- An entry may carry an ``expires`` ISO date (``YYYY-MM-DD``): a deadline
+  for actually fixing the grandfathered finding.  When the CLI is given
+  ``--today`` (CI passes ``$(date -u +%F)``), entries past their deadline
+  are *overdue* — still matched, but reported and failing the run until
+  the code is fixed or the deadline is consciously extended.
 """
 
 from __future__ import annotations
@@ -46,17 +51,23 @@ class BaselineEntry:
     path: str
     snippet: str
     reason: str = ""
+    #: Optional fix-by deadline (ISO ``YYYY-MM-DD``; '' = no deadline).
+    expires: str = ""
 
     def key(self) -> tuple[str, str, str]:
         return (self.rule, self.path, self.snippet)
 
     def to_json(self) -> dict:
-        return {
+        """Serializable form; `expires` is included only when set."""
+        payload = {
             "rule": self.rule,
             "path": self.path,
             "snippet": self.snippet,
             "reason": self.reason,
         }
+        if self.expires:
+            payload["expires"] = self.expires
+        return payload
 
 
 class BaselineError(ValueError):
@@ -82,6 +93,7 @@ def load_baseline(path: Path) -> list[BaselineEntry]:
                     path=raw["path"],
                     snippet=raw["snippet"],
                     reason=str(raw.get("reason", "")),
+                    expires=str(raw.get("expires", "")),
                 )
             )
         except (TypeError, KeyError) as exc:
@@ -105,21 +117,26 @@ def entries_in_scope(
     entries: list[BaselineEntry],
     prefixes: list[str] | None,
     only: set[str] | None = None,
+    rules: set[str] | None = None,
 ) -> tuple[list[BaselineEntry], list[BaselineEntry]]:
     """Split entries into (in scope, out of scope) for a partial scan.
 
     ``prefixes`` are root-relative posix paths of the scanned files or
     directories; ``only`` further restricts to an explicit file set
-    (``--changed-only``).  Entries outside the scope must neither match
+    (``--changed-only``); ``rules`` restricts to the rule ids actually
+    running (``--rules``).  Entries outside the scope must neither match
     nor expire — a scan of ``tests/`` knows nothing about ``src/``
-    entries, and a changed-only scan knows nothing about unchanged
-    files — and ``--update-baseline`` carries them over verbatim.
+    entries, a changed-only scan knows nothing about unchanged files,
+    and a rule-scoped run knows nothing about other rules' findings —
+    and ``--update-baseline`` carries them over verbatim.
     """
     def in_scope(entry: BaselineEntry) -> bool:
         if prefixes is not None and not any(
             entry.path == p or entry.path.startswith(p + "/")
             for p in prefixes
         ):
+            return False
+        if rules is not None and entry.rule not in rules:
             return False
         return only is None or entry.path in only
 
@@ -155,16 +172,31 @@ def apply_baseline(
             report.unjustified_baseline.append(entry.to_json())
 
 
+def overdue_entries(
+    entries: list[BaselineEntry], today: str
+) -> list[BaselineEntry]:
+    """Entries whose ``expires`` deadline is strictly before ``today``.
+
+    Both sides are ISO ``YYYY-MM-DD`` strings, which compare correctly
+    as plain text; entries without a deadline never come due.
+    """
+    return [
+        entry
+        for entry in entries
+        if entry.expires and entry.expires < today
+    ]
+
+
 def updated_baseline(
     report: AnalysisReport, previous: list[BaselineEntry]
 ) -> list[BaselineEntry]:
     """The baseline covering the report's open + baselined findings.
 
-    Reasons of still-matching previous entries carry over; genuinely new
-    findings get the placeholder reason so they cannot slip through
-    unjustified.  Expired entries are dropped.
+    Reasons and deadlines of still-matching previous entries carry over;
+    genuinely new findings get the placeholder reason so they cannot
+    slip through unjustified.  Expired entries are dropped.
     """
-    reasons = {entry.key(): entry.reason for entry in previous}
+    carried = {entry.key(): entry for entry in previous}
     fresh: dict[tuple[str, str, str], BaselineEntry] = {}
     for finding in report.findings:
         if finding.status not in (STATUS_OPEN, STATUS_BASELINED):
@@ -172,10 +204,12 @@ def updated_baseline(
         key = (finding.rule, finding.path, finding.snippet)
         if key in fresh:
             continue
+        prior = carried.get(key)
         fresh[key] = BaselineEntry(
             rule=finding.rule,
             path=finding.path,
             snippet=finding.snippet,
-            reason=reasons.get(key, PLACEHOLDER_REASON),
+            reason=prior.reason if prior else PLACEHOLDER_REASON,
+            expires=prior.expires if prior else "",
         )
     return list(fresh.values())

@@ -11,12 +11,20 @@ checked set to files the git diff (vs ``--diff-base``, default HEAD)
 touches plus untracked files — whole-program rules still see the whole
 tree, and either mode's output stays byte-identical to a cold full run
 over the same checked set.
+
+Schema snapshots: ``--schemas-out FILE`` additionally writes the
+machine-readable schema-contract snapshot of
+:mod:`repro.analysis.schemas` (the committed copy is ``schemas.json``;
+S502 and the CI diff check both compare against it).  Baseline
+deadlines: ``--today YYYY-MM-DD`` enforces the ``expires`` field of
+baseline entries — overdue entries fail the run.
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -26,6 +34,7 @@ from repro.analysis.baseline import (
     apply_baseline,
     entries_in_scope,
     load_baseline,
+    overdue_entries,
     save_baseline,
     updated_baseline,
 )
@@ -127,6 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="incremental result cache: reuse per-file findings of "
         "content-only rules when the file's hash is unchanged",
     )
+    parser.add_argument(
+        "--schemas-out",
+        metavar="FILE",
+        help="also write the schema-contract snapshot (writer keys, "
+        "reader contracts, versions per artifact family) to FILE",
+    )
+    parser.add_argument(
+        "--today",
+        metavar="YYYY-MM-DD",
+        help="enforce baseline 'expires' deadlines against this date "
+        "(CI passes $(date -u +%%F); omitted = deadlines not enforced)",
+    )
     return parser
 
 
@@ -208,6 +229,29 @@ def _scope_prefixes(paths: list[Path], root: Path) -> list[str] | None:
     return prefixes
 
 
+def _write_schemas(out: str, report, paths: list[Path], root: Path) -> None:
+    """Write the schema-contract snapshot, reusing the run's graph.
+
+    A run whose rules needed the project graph already built it; a
+    rule-scoped run without graph rules builds one here from the same
+    collected file set, so the snapshot is identical either way.
+    """
+    from repro.analysis.engine import collect_files
+    from repro.analysis.graph import ProjectGraph
+    from repro.analysis.schemas import (
+        project_schemas,
+        render_snapshot,
+        schemas_snapshot,
+    )
+
+    graph = report.graph
+    if graph is None:
+        graph = ProjectGraph.build(root, collect_files(paths))
+    text = render_snapshot(schemas_snapshot(project_schemas(graph)))
+    Path(out).write_text(text, encoding="utf-8")
+    print(f"reprolint: schema snapshot written to {out}", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -241,6 +285,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"reprolint: error: no such path: {names}", file=sys.stderr)
         return 2
 
+    if args.today and not re.fullmatch(r"\d{4}-\d{2}-\d{2}", args.today):
+        print(
+            f"reprolint: error: --today must be YYYY-MM-DD, "
+            f"got {args.today!r}",
+            file=sys.stderr,
+        )
+        return 2
+
     only = None
     if args.changed_only:
         only = _changed_relpaths(root, args.diff_base)
@@ -262,6 +314,9 @@ def main(argv: list[str] | None = None) -> int:
     if cache is not None:
         cache.save()
 
+    if args.schemas_out:
+        _write_schemas(args.schemas_out, report, paths, root)
+
     baseline_path = Path(args.baseline)
     entries: list = []
     if not args.no_baseline:
@@ -270,10 +325,13 @@ def main(argv: list[str] | None = None) -> int:
         except BaselineError as exc:
             print(f"reprolint: error: {exc}", file=sys.stderr)
             return 2
-    # A partial scan (subset paths, --changed-only) must leave baseline
-    # entries it cannot see alone: they neither match nor expire.
+    # A partial scan (subset paths, --changed-only, --rules) must leave
+    # baseline entries it cannot see alone: they neither match nor expire.
     in_scope, out_of_scope = entries_in_scope(
-        entries, _scope_prefixes(paths, root), only
+        entries,
+        _scope_prefixes(paths, root),
+        only,
+        {rule.rule_id for rule in rules},
     )
 
     if args.update_baseline:
@@ -286,6 +344,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     apply_baseline(report, in_scope)
+
+    if args.today:
+        # An entry that no longer matches is already in expired_baseline;
+        # report it once, not twice.
+        already = {
+            (e["rule"], e["path"], e["snippet"])
+            for e in report.expired_baseline
+        }
+        report.overdue_baseline = [
+            entry.to_json()
+            for entry in overdue_entries(in_scope, args.today)
+            if entry.key() not in already
+        ]
 
     if args.format == "json":
         print(render_json(report))

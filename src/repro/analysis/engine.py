@@ -333,6 +333,11 @@ class AnalysisReport:
     expired_baseline: list[dict] = field(default_factory=list)
     #: Baseline entries without a meaningful justification.
     unjustified_baseline: list[dict] = field(default_factory=list)
+    #: Baseline entries past their ``expires`` deadline (``--today``).
+    overdue_baseline: list[dict] = field(default_factory=list)
+    #: The shared project graph, when a requires_graph rule forced its
+    #: construction this run (``--schemas-out`` reuses it).
+    graph: object = field(default=None, repr=False, compare=False)
 
     def by_status(self, status: str) -> list[Finding]:
         """The findings currently carrying the given status."""
@@ -349,6 +354,7 @@ class AnalysisReport:
             not self.open_findings
             and not self.expired_baseline
             and not self.unjustified_baseline
+            and not self.overdue_baseline
         )
 
 
@@ -379,20 +385,23 @@ def analyze_paths(
     files = collect_files(paths)
     for rule in rule_list:
         rule.prepare(root, files)
+    shared_graph = None
     if any(rule.requires_graph for rule in rule_list):
         from repro.analysis.graph import ProjectGraph
 
-        graph = ProjectGraph.build(root, files)
+        shared_graph = ProjectGraph.build(root, files)
         for rule in rule_list:
             if rule.requires_graph:
-                rule.prepare_graph(graph)
+                rule.prepare_graph(shared_graph)
     if cache is not None:
         # Prune against the full collection, not the checked subset, so a
         # --changed-only run never evicts entries for unchanged files.
         cache.prune({_relpath(f, root) for f in files})
     if only is not None:
         files = [f for f in files if _relpath(f, root) in only]
-    report = AnalysisReport(root=root, files_scanned=len(files))
+    report = AnalysisReport(
+        root=root, files_scanned=len(files), graph=shared_graph
+    )
     if not files:
         return report
 

@@ -12,7 +12,8 @@ from repro.analysis.engine import (
 )
 
 #: Version of the JSON report schema (bumped on breaking changes).
-JSON_SCHEMA_VERSION = 1
+#: v2 added the ``overdue_baseline`` list and summary count.
+JSON_SCHEMA_VERSION = 2
 
 
 def summarize(report: AnalysisReport) -> dict:
@@ -25,6 +26,7 @@ def summarize(report: AnalysisReport) -> dict:
         "baselined": len(report.by_status(STATUS_BASELINED)),
         "expired_baseline": len(report.expired_baseline),
         "unjustified_baseline": len(report.unjustified_baseline),
+        "overdue_baseline": len(report.overdue_baseline),
         "open_by_rule": {rule: open_by_rule[rule] for rule in sorted(open_by_rule)},
         "clean": report.clean,
     }
@@ -49,6 +51,12 @@ def render_text(report: AnalysisReport, verbose: bool = False) -> str:
         lines.append(
             f"{entry['path']}: {entry['rule']}: baseline entry needs a real "
             f"one-line reason (currently {entry['reason']!r})"
+        )
+    for entry in report.overdue_baseline:
+        lines.append(
+            f"{entry['path']}: {entry['rule']}: baseline entry is past its "
+            f"expiry ({entry.get('expires', '')}) — fix the finding or "
+            "extend the deadline"
         )
     summary = summarize(report)
     lines.append(
@@ -89,5 +97,6 @@ def render_json(report: AnalysisReport) -> str:
         "unjustified_baseline": sorted(
             report.unjustified_baseline, key=_entry_key
         ),
+        "overdue_baseline": sorted(report.overdue_baseline, key=_entry_key),
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -111,7 +111,13 @@ class PipelineEvent:
     retry_delay: float = 0.0
 
     def to_json(self) -> dict[str, Any]:
-        """The event as a JSON-serializable dict (empty fields dropped)."""
+        """The event as a JSON-serializable dict (empty fields dropped).
+
+        This is the writer of the ``trace_event`` artifact family in
+        :mod:`repro.analysis.schemas` — the key set emitted here is
+        pinned by the committed ``schemas.json`` snapshot, so renames
+        show up in review instead of silently breaking trace consumers.
+        """
         data: dict[str, Any] = {"event": self.kind, "source": self.source}
         if self.stage:
             data["stage"] = self.stage

@@ -222,7 +222,15 @@ class BenchSession:
         return domains, wrap, metrics
 
     def capture(self) -> dict:
-        """Run every configured system and build the BENCH document."""
+        """Run every configured system and build the BENCH document.
+
+        The document's top-level shape is the ``bench`` artifact family
+        statically tracked by :mod:`repro.analysis.schemas`: adding or
+        renaming a key here without bumping ``BENCH_SCHEMA_VERSION``
+        fails reprolint S502 against the committed ``schemas.json``, and
+        S504 checks :func:`compare_documents` stays tolerant of every
+        committed ``BENCH_*.json``.
+        """
         systems_doc: dict[str, dict] = {}
         for system_name in self.config.systems:
             domains, wrap, metrics = self.run_system(system_name)

@@ -50,7 +50,9 @@ def load_wrapper_file(path: str | Path) -> tuple[Wrapper, str | None]:
         raise WrapperSchemaError(f"{path}: not valid JSON: {exc}") from exc
     if not isinstance(data, dict):
         raise WrapperSchemaError(f"{path}: expected a JSON object")
-    fingerprint = data.get("fingerprint")
+    # The persistence layer owns this key; strip it before the strict
+    # (unknown-key-rejecting) wrapper deserializer sees the payload.
+    fingerprint = data.pop("fingerprint", None)
     return wrapper_from_dict(data), fingerprint
 
 

@@ -37,6 +37,9 @@ from repro.wrapper.generate import Wrapper
 from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
 
 #: Version of the on-disk entry/index layout; bumped on breaking change.
+#: The entry and index shapes are the ``registry_entry``/
+#: ``registry_index`` artifact families of :mod:`repro.analysis.schemas`;
+#: reprolint S502 demands a bump here when either shape changes.
 REGISTRY_SCHEMA_VERSION = 1
 
 
@@ -314,13 +317,19 @@ class WrapperRegistry:
                 problems.append(f"{path.name}: orphan entry file (not in index)")
         return sorted(problems)
 
-    def gc(self) -> list[str]:
-        """Delete orphan entry files; returns their names, sorted."""
+    def gc(self, dry_run: bool = False) -> list[str]:
+        """Delete orphan entry files; returns their names, sorted.
+
+        With ``dry_run`` nothing is deleted — the returned list is the
+        exact (deterministically sorted) set a real run would remove,
+        so operators can preview a cleanup byte-for-byte.
+        """
         removed = []
         with self._lock:
             for path in sorted(self._wrappers_dir.glob("*.json")):
                 if path.stem not in self._index:
-                    path.unlink()
+                    if not dry_run:
+                        path.unlink()
                     removed.append(path.name)
         return removed
 

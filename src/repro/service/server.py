@@ -17,7 +17,15 @@ registry/cache statistics; ``{"cmd": "shutdown"}`` acknowledges and ends
 the loop.  Per-request isolation mirrors the multi-source ``isolate``
 failure policy: an exception while serving one request becomes an
 ``ok: false`` response (with the failing stage when known) and the loop
-keeps serving.
+keeps serving.  Malformed input — a line that is not JSON, a payload
+that is not an object, or a request carrying keys outside
+:data:`KNOWN_REQUEST_KEYS` — gets a typed ``ok: false`` response and
+never takes the loop down.
+
+The request key set read here and the response shapes built here are
+the ``serve_request``/``serve_response`` artifact families statically
+tracked by :mod:`repro.analysis.schemas` (rules S501/S503 and the
+committed ``schemas.json`` snapshot).
 """
 
 from __future__ import annotations
@@ -38,6 +46,12 @@ from repro.recognizers.registry import RecognizerRegistry
 from repro.registry.store import WrapperRegistry
 from repro.sod.canonical import canonicalize
 from repro.sod.dsl import format_sod, parse_sod
+
+#: Every key the request protocol understands; anything else is a typo
+#: or forward drift from a newer client and is rejected up front.
+KNOWN_REQUEST_KEYS = frozenset(
+    {"id", "cmd", "sod", "pages", "source", "dicts"}
+)
 
 
 class ExtractionService:
@@ -92,6 +106,14 @@ class ExtractionService:
     def _dispatch(self, request: Any) -> dict[str, Any]:
         if not isinstance(request, dict):
             return {"ok": False, "error": "request must be a JSON object"}
+        unknown = sorted(set(request) - KNOWN_REQUEST_KEYS)
+        if unknown:
+            names = ", ".join(repr(key) for key in unknown)
+            return {
+                "ok": False,
+                "error": f"unknown request key(s) {names} "
+                f"(known: {', '.join(sorted(KNOWN_REQUEST_KEYS))})",
+            }
         command = request.get("cmd")
         if command == "stats":
             return {"ok": True, "stats": self.stats()}

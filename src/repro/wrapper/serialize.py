@@ -27,6 +27,76 @@ from repro.wrapper.template import (
 
 FORMAT_VERSION = 1
 
+#: Known top-level keys of a serialized wrapper (the persistence layer
+#: adds ``fingerprint`` and strips it before deserialization).
+_WRAPPER_KEYS = frozenset(
+    {
+        "version",
+        "source",
+        "sod",
+        "template",
+        "match",
+        "record",
+        "support",
+        "conflicts",
+        "annotation_types_seen",
+    }
+)
+_TEMPLATE_KEYS = frozenset({"roots", "conflicts", "sample_records"})
+_MATCH_KEYS = frozenset(
+    {
+        "entity_to_slots",
+        "set_to_iterator",
+        "set_inner_slots",
+        "set_fallback_slots",
+        "missing",
+        "matched",
+    }
+)
+_RECORD_KEYS = frozenset(
+    {"tag", "path", "class", "single_element", "is_list_source"}
+)
+_NODE_KEYS = {
+    "field": frozenset(
+        {
+            "kind",
+            "slot_id",
+            "annotation_counts",
+            "occurrences",
+            "optional",
+            "examples",
+            "strip_prefix",
+            "strip_suffix",
+        }
+    ),
+    "static": frozenset({"kind", "text"}),
+    "iterator": frozenset(
+        {"kind", "slot_id", "unit", "min_repeats", "max_repeats"}
+    ),
+    "element": frozenset(
+        {"kind", "tag", "attr_class", "optional", "annotation_counts",
+         "children"}
+    ),
+}
+
+
+def _reject_unknown(
+    data: dict[str, Any], known: frozenset[str], where: str
+) -> None:
+    """Raise a typed error naming every unknown key of one payload level.
+
+    Silently dropping unrecognized keys makes forward-schema drift (a
+    newer writer, a typo, a half-renamed field) undiagnosable; naming
+    them all at once turns it into a one-line fix.
+    """
+    unknown = sorted(set(data) - known)
+    if unknown:
+        names = ", ".join(repr(key) for key in unknown)
+        raise WrapperSchemaError(
+            f"malformed wrapper data: unknown {where} key(s) {names} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+
 
 def _node_to_dict(node: TemplateNode) -> dict[str, Any]:
     if isinstance(node, FieldSlot):
@@ -68,6 +138,8 @@ def _node_from_dict(data: dict[str, Any]) -> TemplateNode:
             f"({type(data).__name__})"
         )
     kind = data.get("kind")
+    if kind in _NODE_KEYS:
+        _reject_unknown(data, _NODE_KEYS[kind], f"{kind} node")
     if kind == "field":
         slot = FieldSlot(slot_id=_require(data, "slot_id", "field node"))
         slot.annotation_counts = Counter(data.get("annotation_counts", {}))
@@ -145,7 +217,9 @@ def wrapper_from_dict(data: dict[str, Any]) -> Wrapper:
 
     Malformed, truncated or old-schema payloads raise
     :class:`~repro.errors.WrapperSchemaError` naming the missing field,
-    never a bare ``KeyError``.
+    never a bare ``KeyError``.  Unknown keys — forward drift from a newer
+    writer, or a rename only one side picked up — are rejected the same
+    way, naming every unrecognized key at that payload level.
     """
     if not isinstance(data, dict):
         raise WrapperSchemaError(
@@ -158,11 +232,13 @@ def wrapper_from_dict(data: dict[str, Any]) -> Wrapper:
             f"unsupported wrapper format version {version!r} "
             f"(expected {FORMAT_VERSION})"
         )
+    _reject_unknown(data, _WRAPPER_KEYS, "wrapper")
     template_data = _require(data, "template", "wrapper")
     if not isinstance(template_data, dict):
         raise WrapperSchemaError(
             "malformed wrapper data: wrapper['template'] is not an object"
         )
+    _reject_unknown(template_data, _TEMPLATE_KEYS, "template")
     template = Template(
         roots=[
             _node_from_dict(node)
@@ -176,6 +252,7 @@ def wrapper_from_dict(data: dict[str, Any]) -> Wrapper:
         raise WrapperSchemaError(
             "malformed wrapper data: wrapper['match'] is not an object"
         )
+    _reject_unknown(match_data, _MATCH_KEYS, "match")
     match = MatchResult(
         entity_to_slots={
             key: list(value)
@@ -204,6 +281,7 @@ def wrapper_from_dict(data: dict[str, Any]) -> Wrapper:
         raise WrapperSchemaError(
             "malformed wrapper data: wrapper['record'] is not an object"
         )
+    _reject_unknown(record, _RECORD_KEYS, "record")
     return Wrapper(
         source=_require(data, "source", "wrapper"),
         sod=parse_sod(_require(data, "sod", "wrapper")),

@@ -138,6 +138,60 @@ class TestBaselineWorkflow:
         assert run(tmp_path, src, "--no-baseline") == 1
 
 
+class TestBaselineExpiry:
+    """Entries can carry an `expires` date enforced via --today."""
+
+    def _baselined(self, tmp_path, expires):
+        src = project(tmp_path)
+        assert run(tmp_path, src, "--update-baseline") == 0
+        baseline = tmp_path / "bl.json"
+        data = json.loads(baseline.read_text(encoding="utf-8"))
+        for entry in data["entries"]:
+            entry["reason"] = "deadline-tracked debt"
+            entry["expires"] = expires
+        baseline.write_text(json.dumps(data), encoding="utf-8")
+        return src, baseline
+
+    def test_overdue_entry_fails_the_run(self, tmp_path, capsys):
+        src, __ = self._baselined(tmp_path, "2026-01-01")
+        capsys.readouterr()
+        assert run(tmp_path, src, "--today", "2026-06-01") == 1
+        out = capsys.readouterr().out
+        assert "past its expiry" in out
+        assert "2026-01-01" in out
+
+    def test_future_deadline_still_clean(self, tmp_path):
+        src, __ = self._baselined(tmp_path, "2027-01-01")
+        assert run(tmp_path, src, "--today", "2026-06-01") == 0
+
+    def test_without_today_expires_is_inert(self, tmp_path):
+        src, __ = self._baselined(tmp_path, "2026-01-01")
+        assert run(tmp_path, src) == 0
+
+    def test_bad_today_format_exits_two(self, tmp_path, capsys):
+        src = project(tmp_path, CLEAN)
+        assert run(tmp_path, src, "--today", "June 1st") == 2
+        assert "--today" in capsys.readouterr().err
+
+    def test_update_baseline_carries_expires(self, tmp_path):
+        src, baseline = self._baselined(tmp_path, "2027-01-01")
+        assert run(tmp_path, src, "--update-baseline") == 0
+        data = json.loads(baseline.read_text(encoding="utf-8"))
+        assert data["entries"]
+        assert {e["expires"] for e in data["entries"]} == {"2027-01-01"}
+
+    def test_overdue_count_in_json_summary(self, tmp_path, capsys):
+        src, __ = self._baselined(tmp_path, "2026-01-01")
+        capsys.readouterr()
+        code = run(
+            tmp_path, src, "--today", "2026-06-01", "--format", "json"
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["overdue_baseline"] >= 1
+        assert payload["overdue_baseline"]
+
+
 class TestRepoIsClean:
     """Acceptance: the committed tree passes its own linter."""
 

@@ -127,6 +127,7 @@ class TestReporters:
             "findings",
             "expired_baseline",
             "unjustified_baseline",
+            "overdue_baseline",
         }
         summary = payload["summary"]
         assert summary["files_scanned"] == 2

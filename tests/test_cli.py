@@ -278,6 +278,27 @@ class TestRegistryFlag:
         assert main(["registry", "gc", "--root", registry_dir]) == 0
         assert "0 orphan" in capsys.readouterr().err
 
+        # Seed two orphans: --dry-run lists them sorted, deletes nothing.
+        wrappers_dir = tmp_path / "reg" / "wrappers"
+        for letter in ("b", "a"):
+            (wrappers_dir / (letter * 64 + ".json")).write_text("{}")
+        assert (
+            main(["registry", "gc", "--root", registry_dir, "--dry-run"])
+            == 0
+        )
+        dry = capsys.readouterr()
+        listed = [
+            line for line in dry.out.splitlines() if "would remove" in line
+        ]
+        assert listed == sorted(listed) and len(listed) == 2
+        assert "would remove 2 orphan file(s)" in dry.err
+        assert len(sorted(wrappers_dir.glob("*.json"))) == 3  # nothing deleted
+
+        assert main(["registry", "gc", "--root", registry_dir]) == 0
+        real = capsys.readouterr()
+        assert "removed 2 orphan file(s)" in real.err
+        assert len(sorted(wrappers_dir.glob("*.json"))) == 1
+
     def test_registry_verify_flags_problems(self, figure3_files, capsys, tmp_path):
         pages, artists, theaters = figure3_files
         registry_dir = tmp_path / "reg"

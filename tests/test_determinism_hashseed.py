@@ -50,12 +50,74 @@ print(digest.hexdigest())
 """
 
 
-def run_with_hashseed(seed: str) -> str:
+WRAPPER_ROUNDTRIP_SCRIPT = """
+import hashlib
+import json
+from collections import Counter
+
+from repro.sod.dsl import parse_sod
+from repro.wrapper.generate import Wrapper
+from repro.wrapper.matching import MatchResult
+from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
+from repro.wrapper.template import (
+    ElementTemplate,
+    FieldSlot,
+    IteratorSlot,
+    StaticSlot,
+    Template,
+)
+
+# One wrapper exercising every node kind (field, static, iterator,
+# element) plus the set/Counter-typed fields whose iteration order is
+# hash-seed sensitive.
+title = FieldSlot(slot_id=0)
+title.annotation_counts = Counter({"title": 3, "artist": 1})
+title.occurrences = 7
+title.examples = ["Kind of Blue", "A Love Supreme"]
+artist = FieldSlot(slot_id=1)
+artist.annotation_counts = Counter({"artist": 5})
+artist.optional = True
+row = ElementTemplate(
+    tag="li",
+    attr_class="row",
+    children=[StaticSlot(text="by "), artist],
+)
+template = Template(
+    roots=[title, IteratorSlot(slot_id=2, unit=row, max_repeats=4)],
+    conflicts=1,
+    sample_records=9,
+)
+wrapper = Wrapper(
+    source="hashseed-check",
+    sod=parse_sod("album(title, artist<kind=predefined>?)"),
+    template=template,
+    match=MatchResult(
+        entity_to_slots={"title": [0], "artist": [1]},
+        set_to_iterator={"tracks": 2},
+        matched=True,
+    ),
+    record_tag="li",
+    record_path="html/body/ul/li",
+    record_class_attr="row",
+    record_single_element=False,
+    is_list_source=True,
+    support=3,
+    annotation_types_seen={"title", "artist", "date"},
+)
+
+once = json.dumps(wrapper_to_dict(wrapper))
+twice = json.dumps(wrapper_to_dict(wrapper_from_dict(json.loads(once))))
+assert once == twice, "wrapper -> dict -> wrapper -> dict is not a fixpoint"
+print(hashlib.sha256(once.encode("utf-8")).hexdigest())
+"""
+
+
+def run_with_hashseed(seed: str, script: str = DIGEST_SCRIPT) -> str:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = seed
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     proc = subprocess.run(
-        [sys.executable, "-c", DIGEST_SCRIPT],
+        [sys.executable, "-c", script],
         capture_output=True,
         text=True,
         env=env,
@@ -69,3 +131,17 @@ def run_with_hashseed(seed: str) -> str:
 def test_sites_and_turk_selection_stable_across_hash_seeds():
     digests = {run_with_hashseed(seed) for seed in ("0", "1", "4242")}
     assert len(digests) == 1, f"hash-seed dependent output: {digests}"
+
+
+def test_wrapper_roundtrip_bytes_stable_across_hash_seeds():
+    """to_dict∘from_dict∘to_dict is a byte-level fixpoint, any hash seed.
+
+    The wrapper covers all four template node kinds; the in-process
+    fixpoint assertion runs inside each subprocess, and the digests of
+    the serialized bytes must agree across seeds.
+    """
+    digests = {
+        run_with_hashseed(seed, WRAPPER_ROUNDTRIP_SCRIPT)
+        for seed in ("0", "1", "4242")
+    }
+    assert len(digests) == 1, f"hash-seed dependent wrapper bytes: {digests}"

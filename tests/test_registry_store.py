@@ -160,6 +160,22 @@ class TestDemoteVerifyGc:
         assert registry.entry_path(signature).exists()
         assert registry.verify() == []
 
+    def test_gc_dry_run_previews_without_deleting(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        registry.put(SOD, fingerprint, wrapper)
+        orphans = [
+            registry.entry_path(letter * 64) for letter in ("a", "b", "c")
+        ]
+        for orphan in orphans:
+            orphan.write_text("{}")
+        preview = registry.gc(dry_run=True)
+        assert preview == sorted(orphan.name for orphan in orphans)
+        assert all(orphan.exists() for orphan in orphans)
+        # The real run removes exactly the previewed set.
+        assert registry.gc() == preview
+        assert not any(orphan.exists() for orphan in orphans)
+
     def test_corrupt_entry_fails_verification(self, tmp_path, induced):
         wrapper, fingerprint = induced
         registry = WrapperRegistry(tmp_path)

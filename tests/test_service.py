@@ -149,3 +149,89 @@ class TestServeLoop:
         served, responses = self.run_loop(tmp_path, [{"id": 1, "cmd": "stats"}])
         assert served == 1
         assert responses[-1].get("shutdown") is None
+
+
+class TestProtocolEdges:
+    """Malformed protocol input: typed errors, loop alive, counters sane."""
+
+    def run_lines(self, tmp_path, lines):
+        stdin = io.StringIO("".join(line + "\n" for line in lines))
+        stdout = io.StringIO()
+        served = serve_loop(WrapperRegistry(tmp_path), stdin, stdout)
+        responses = [
+            json.loads(line) for line in stdout.getvalue().splitlines()
+        ]
+        return served, responses
+
+    def test_truncated_json_line_keeps_loop_alive(self, tmp_path):
+        served, responses = self.run_lines(
+            tmp_path,
+            [
+                '{"id": 1, "cmd": "sta',  # truncated mid-object
+                json.dumps({"id": 2, "cmd": "stats"}),
+                json.dumps({"id": 3, "cmd": "shutdown"}),
+            ],
+        )
+        truncated, stats, bye = responses
+        assert truncated["ok"] is False
+        assert truncated["id"] is None
+        assert "not valid JSON" in truncated["error"]
+        # The garbage line was never a served request, and no extraction
+        # was attempted or failed on its account.
+        assert served == 2
+        assert stats["stats"]["requests"] == 0
+        assert stats["stats"]["requests_failed"] == 0
+        assert bye["shutdown"] is True
+
+    def test_non_dict_payload_gets_typed_error(self, tmp_path):
+        served, responses = self.run_lines(
+            tmp_path,
+            [
+                json.dumps(["not", "an", "object"]),
+                json.dumps('"just a string"'),
+                json.dumps({"id": 2, "cmd": "stats"}),
+            ],
+        )
+        assert served == 3
+        for response in responses[:2]:
+            assert response["ok"] is False
+            assert response["id"] is None
+            assert "must be a JSON object" in response["error"]
+        assert responses[2]["ok"] is True
+        assert responses[2]["stats"]["requests"] == 0
+
+    def test_unknown_request_keys_rejected_with_names(self, tmp_path):
+        served, responses = self.run_lines(
+            tmp_path,
+            [
+                json.dumps({"id": 7, "cmd": "stats", "verbose": True}),
+                json.dumps({"id": 8, "sod": "a(b)", "payges": []}),
+                json.dumps({"id": 9, "cmd": "stats"}),
+            ],
+        )
+        assert served == 3
+        first, second, stats = responses
+        assert first["ok"] is False and first["id"] == 7
+        assert "'verbose'" in first["error"]
+        assert second["ok"] is False and second["id"] == 8
+        assert "'payges'" in second["error"]
+        assert "known:" in second["error"]
+        # Rejected-before-dispatch requests never reach the extraction
+        # counters, and nothing counts as an internal failure.
+        assert stats["stats"]["requests"] == 0
+        assert stats["stats"]["requests_failed"] == 0
+
+    def test_loop_survives_mixed_garbage_then_extracts(self, tmp_path):
+        served, responses = self.run_lines(
+            tmp_path,
+            [
+                '{"broken',
+                json.dumps([1, 2]),
+                json.dumps({"id": 1, "bogus_key": 1}),
+                json.dumps(extract_request(2, source="after-garbage")),
+            ],
+        )
+        assert served == 3  # bad-JSON line is not a served request
+        assert [r["ok"] for r in responses] == [False, False, False, True]
+        assert responses[-1]["outcome"] == "miss"
+        assert responses[-1]["objects"]

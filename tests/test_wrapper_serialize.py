@@ -119,3 +119,44 @@ class TestMalformedInput:
 
     def test_schema_error_is_a_wrapper_error(self):
         assert issubclass(WrapperSchemaError, WrapperError)
+
+
+class TestUnknownKeys:
+    """Forward-schema drift is surfaced, naming every unknown key."""
+
+    def test_unknown_top_level_keys_all_named(self, wrapped):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        data["zz_later"] = 1
+        data["aa_earlier"] = 2
+        with pytest.raises(WrapperSchemaError) as excinfo:
+            wrapper_from_dict(data)
+        message = str(excinfo.value)
+        assert "'aa_earlier'" in message and "'zz_later'" in message
+        assert message.index("'aa_earlier'") < message.index("'zz_later'")
+
+    @pytest.mark.parametrize("section", ["template", "match", "record"])
+    def test_unknown_section_keys_rejected(self, wrapped, section):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        data[section]["mystery"] = True
+        with pytest.raises(WrapperSchemaError) as excinfo:
+            wrapper_from_dict(data)
+        assert "mystery" in str(excinfo.value)
+        assert section in str(excinfo.value)
+
+    def test_unknown_node_keys_rejected_per_kind(self, wrapped):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        node = data["template"]["roots"][0]
+        node["mystery_attr"] = "x"
+        with pytest.raises(WrapperSchemaError) as excinfo:
+            wrapper_from_dict(data)
+        assert "mystery_attr" in str(excinfo.value)
+        assert f"{node['kind']} node" in str(excinfo.value)
+
+    def test_clean_payload_still_roundtrips(self, wrapped):
+        wrapper, __ = wrapped
+        data = wrapper_to_dict(wrapper)
+        restored = wrapper_from_dict(json.loads(json.dumps(data)))
+        assert wrapper_to_dict(restored) == data
