@@ -1,0 +1,43 @@
+"""Benchmark-suite surface of the profiling harness.
+
+Delegates to :mod:`repro.metrics.profiling` (the same pattern
+:mod:`benchmarks.harness` follows for :mod:`repro.metrics.bench`), so the
+interactive benchmark suite and ``repro bench --profile`` profile the
+same machinery.  Run directly for a quick profile at a chosen scale::
+
+    PYTHONPATH=src:. python -m benchmarks.profiling 0.02
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.metrics.bench import BenchConfig
+from repro.metrics.profiling import (
+    PROJECT_FRAGMENTS,
+    ProfileReport,
+    ProfileRow,
+    profile_session,
+    render_profile,
+)
+
+__all__ = [
+    "PROJECT_FRAGMENTS",
+    "ProfileReport",
+    "ProfileRow",
+    "profile_session",
+    "render_profile",
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Profile the catalog at the scale given as the only argument."""
+    args = sys.argv[1:] if argv is None else argv
+    scale = float(args[0]) if args else 0.1
+    report = profile_session(BenchConfig(scale=scale))
+    print(render_profile(report))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -250,6 +250,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         systems=systems,
         registry_root=args.registry,
     )
+    if args.profile:
+        from repro.metrics.profiling import profile_session, render_profile
+
+        print(
+            f"repro bench --profile: scale={config.scale} "
+            f"systems={','.join(systems)}",
+            file=sys.stderr,
+        )
+        report = profile_session(config)
+        rendered = render_profile(report, top=args.profile_top)
+        print(rendered)
+        if args.profile_out:
+            Path(args.profile_out).write_text(rendered + "\n", encoding="utf-8")
+            print(f"profile written to {args.profile_out}", file=sys.stderr)
+        return 0
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     seq = next_seq(out_dir)
@@ -320,8 +335,12 @@ def _cmd_registry(args: argparse.Namespace) -> int:
     if args.action == "ls":
         rows = wrapper_registry.index_rows()
         for signature, row in rows:
-            print(f"{signature}  source={row['source']}  sod={row['sod']}")
-        print(f"{len(rows)} wrapper(s) in {args.root}", file=sys.stderr)
+            kind = row.get("kind", "wrapper")
+            print(
+                f"{signature}  kind={kind}  source={row['source']}  "
+                f"sod={row['sod']}"
+            )
+        print(f"{len(rows)} entries in {args.root}", file=sys.stderr)
         return 0
     if args.action == "gc":
         removed = wrapper_registry.gc(dry_run=args.dry_run)
@@ -535,6 +554,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--warn-only",
         action="store_true",
         help="report regressions but always exit 0 (CI advisory mode)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="skip the BENCH capture: run the catalog under cProfile and "
+        "print per-stage timers plus the top project functions by "
+        "cumulative time",
+    )
+    bench.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of function rows in the --profile table (default: 25)",
+    )
+    bench.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="also write the rendered --profile tables to this file "
+        "(the CI profile artifact)",
     )
     bench.set_defaults(func=_cmd_bench)
     return parser

@@ -256,8 +256,18 @@ class ObjectRunner:
         If the post-extraction check demoted a stale registry wrapper,
         the source re-runs once: the second attempt misses (the entry is
         gone), induces a fresh wrapper and stores it.
+
+        A discard raised during induction never reaches the store stage
+        (the pipeline stops at the discarding stage), so the write-back
+        happens here: the discard is stored as a registry tombstone under
+        the fingerprint from match time, and warm runs replay it instead
+        of re-paying the doomed induction.
         """
-        from repro.core.stages.registry import DEMOTED_KEY
+        from repro.core.stages.registry import (
+            DEMOTED_KEY,
+            FINGERPRINT_KEY,
+            ORIGIN_KEY,
+        )
 
         result = SourceResult(source=source)
         for __ in range(2):
@@ -265,6 +275,18 @@ class ObjectRunner:
                 source, raw_pages=raw_pages, pages=pages, registry=registry
             )
             result = self._build_pipeline(REGISTRY_STAGE_ORDER).run(ctx)
+            if (
+                result.discarded
+                and ctx.artifacts.get(ORIGIN_KEY) == "induced"
+                and FINGERPRINT_KEY in ctx.artifacts
+            ):
+                registry.put_discard(
+                    ctx.sod,
+                    ctx.artifacts[FINGERPRINT_KEY],
+                    source=source,
+                    stage=result.discard_stage,
+                    reason=result.discard_reason,
+                )
             if not ctx.artifacts.get(DEMOTED_KEY):
                 break
         return result

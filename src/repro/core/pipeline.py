@@ -50,6 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.registry.store import StagedRegistryView, WrapperRegistry
     from repro.vision.segmentation import BlockTree
     from repro.wrapper.generate import Wrapper
+    from repro.wrapper.tokens import TokenTable
 
 
 #: Canonical stage order, mirroring the paper's Figure 1 left to right.
@@ -351,6 +352,9 @@ class PipelineContext:
     sample_regions: list[Element] = field(default_factory=list)
     wrapper: "Wrapper | None" = None
     result: SourceResult | None = None
+    #: Shared role-interning table of the source's tokenized sample (set by
+    #: the wrapping stage, reused by anything re-tokenizing the same pages).
+    token_table: "TokenTable | None" = None
     cache: PreprocessCache | None = None
     #: Content-addressed wrapper store (or a per-source staged view of
     #: one) for the registry-first path; None runs the classic pipeline.

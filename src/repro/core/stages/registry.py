@@ -25,8 +25,9 @@ pre-registry code path.
 from __future__ import annotations
 
 from repro.core.pipeline import PipelineContext, Stage, register_stage
+from repro.errors import SourceDiscardedError
 from repro.htmlkit.fingerprint import pages_fingerprint
-from repro.registry.store import signature_for
+from repro.registry.store import StoredDiscard, signature_for
 
 #: ``ctx.artifacts`` key holding the fingerprint computed at match time.
 FINGERPRINT_KEY = "registry_fingerprint"
@@ -46,7 +47,7 @@ class RegistryMatchStage(Stage):
 
     name = "registry_match"
     timing_field = "registry"
-    reads = ("registry", "pages", "sod", "wrapper")
+    reads = ("registry", "pages", "sod", "source", "wrapper")
     writes = ("wrapper", "result")
 
     def enabled(self, ctx: PipelineContext) -> bool:
@@ -54,20 +55,30 @@ class RegistryMatchStage(Stage):
         return ctx.registry is not None and ctx.wrapper is None
 
     def run(self, ctx: PipelineContext) -> None:
-        """Fingerprint the pages and install the stored wrapper on a hit."""
+        """Fingerprint the pages and install the stored wrapper on a hit.
+
+        A stored discard tombstone is also a hit: the recorded discard is
+        replayed verbatim, so a warm run reports the same stage and
+        reason as the cold run that first discarded the source — without
+        re-paying the doomed induction.
+        """
         fingerprint = pages_fingerprint(ctx.pages)
         ctx.artifacts[FINGERPRINT_KEY] = fingerprint
-        wrapper = ctx.registry.lookup(ctx.sod, fingerprint)
-        if wrapper is None:
+        stored = ctx.registry.lookup(ctx.sod, fingerprint)
+        if stored is None:
             ctx.artifacts[ORIGIN_KEY] = "induced"
             ctx.count("registry_misses")
             return
         ctx.artifacts[ORIGIN_KEY] = "registry"
-        ctx.wrapper = wrapper
-        ctx.result.wrapper = wrapper
-        ctx.result.support_used = wrapper.support
-        ctx.result.conflicts = wrapper.conflicts
         ctx.count("registry_hits")
+        if isinstance(stored, StoredDiscard):
+            raise SourceDiscardedError(
+                ctx.source, stage=stored.stage, reason=stored.reason
+            )
+        ctx.wrapper = stored
+        ctx.result.wrapper = stored
+        ctx.result.support_used = stored.support
+        ctx.result.conflicts = stored.conflicts
 
 
 @register_stage

@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from repro.core.pipeline import PipelineContext, Stage, register_stage
 from repro.errors import SourceDiscardedError
-from repro.wrapper.generate import Wrapper, WrapperConfig, generate_wrapper
+from repro.wrapper.generate import (
+    Wrapper,
+    WrapperConfig,
+    annotation_types_on,
+    generate_wrapper,
+)
+from repro.wrapper.tokens import TokenTable, tokenize_element
 
 
 def wrapper_preference(wrapper: Wrapper) -> tuple[int, int, int]:
@@ -49,7 +55,7 @@ class WrapperGenerationStage(Stage):
     name = "wrapping"
     timing_field = "wrapping"
     reads = ("params", "source", "sample_regions", "sod", "wrapper")
-    writes = ("wrapper", "result")
+    writes = ("wrapper", "result", "token_table")
 
     def enabled(self, ctx: PipelineContext) -> bool:
         """Skip when a wrapper is already in play (registry hit/preset)."""
@@ -58,6 +64,16 @@ class WrapperGenerationStage(Stage):
     def run(self, ctx: PipelineContext) -> None:
         """Set ``ctx.wrapper`` to the preferred wrapper across supports."""
         params = ctx.params
+        # The sample is fixed across the support loop: tokenize it once
+        # into one shared role table and scan its annotation types once,
+        # instead of redoing both per support value.
+        table = TokenTable()
+        token_pages = [
+            tokenize_element(region, page_index=index, table=table)
+            for index, region in enumerate(ctx.sample_regions)
+        ]
+        ctx.token_table = table
+        annotation_types = annotation_types_on(ctx.sample_regions)
         best: Wrapper | None = None
         last_error: SourceDiscardedError | None = None
         attempted: list[int] = []
@@ -71,7 +87,12 @@ class WrapperGenerationStage(Stage):
             )
             try:
                 wrapper = generate_wrapper(
-                    ctx.source, ctx.sample_regions, ctx.sod, config
+                    ctx.source,
+                    ctx.sample_regions,
+                    ctx.sod,
+                    config,
+                    token_pages=token_pages,
+                    annotation_types=annotation_types,
                 )
             except SourceDiscardedError as exc:
                 last_error = exc

@@ -14,8 +14,9 @@ one schema-versioned JSON artifact at the repository root —
 the next sequence number, so the repo accumulates a queryable performance
 trajectory instead of throwing each run's numbers away with the process.
 :func:`compare_documents` diffs two artifacts and flags regressions
-beyond configurable thresholds (quality always; timings only when the
-scales match, because timings at different workload scales are not
+beyond configurable thresholds (quality always; timings and volumes only
+when scale and registry mode both match, because timings at different
+workload scales — or cold induction vs warm registry hits — are not
 comparable).
 """
 
@@ -367,10 +368,15 @@ def compare_documents(
     Quality (per-domain ``Pc``/``Pp``) is compared unconditionally: an
     absolute drop greater than ``quality_threshold`` is a regression.
     Timings (stage means, wrapping means) and object counts are compared
-    only when both documents were captured at the same scale — a relative
-    increase greater than ``timing_threshold`` (for example ``0.5`` =
-    +50%) is a regression.  Peak RSS growth is reported as a note, never
-    a failure, because absolute memory depends on the host.
+    only when both documents were captured at the same scale *and* in the
+    same registry mode — a warm (registry-first) capture skips induction
+    entirely, so cold-vs-warm timing diffs are workload differences, not
+    regressions.  A relative increase greater than ``timing_threshold``
+    (for example ``0.5`` = +50%) is a regression.  Registry hit/miss
+    statistics are compared only when *both* documents carry a registry
+    block (pre-registry documents like ``BENCH_0.json`` have none).  Peak
+    RSS growth is reported as a note, never a failure, because absolute
+    memory depends on the host.
     """
     comparison = BenchComparison()
     if old.get("schema_version") != new.get("schema_version"):
@@ -386,6 +392,17 @@ def compare_documents(
             f"scale differs ({old_scale} -> {new_scale}); "
             "skipping timing and volume comparisons"
         )
+    old_mode = bool(old.get("config", {}).get("registry"))
+    new_mode = bool(new.get("config", {}).get("registry"))
+    same_mode = old_mode == new_mode
+    if not same_mode:
+        comparison.notes.append(
+            "registry mode differs "
+            f"({'warm' if old_mode else 'cold'} -> "
+            f"{'warm' if new_mode else 'cold'}); "
+            "skipping timing and volume comparisons"
+        )
+    comparable = same_scale and same_mode
     old_systems = old.get("systems", {})
     new_systems = new.get("systems", {})
     for system_name in sorted(set(old_systems) & set(new_systems)):
@@ -396,8 +413,9 @@ def compare_documents(
             new_systems[system_name],
             quality_threshold,
             timing_threshold,
-            same_scale,
+            comparable,
         )
+    _compare_registry(comparison, old, new, comparable)
     old_rss = old.get("process", {}).get("peak_rss_bytes", 0)
     new_rss = new.get("process", {}).get("peak_rss_bytes", 0)
     if old_rss and new_rss and new_rss > old_rss * (1 + timing_threshold):
@@ -408,6 +426,41 @@ def compare_documents(
     return comparison
 
 
+def _compare_registry(
+    comparison: BenchComparison,
+    old: dict,
+    new: dict,
+    comparable: bool,
+) -> None:
+    """Diff registry hit/miss stats when both documents carry the block.
+
+    Pre-registry artifacts (``BENCH_0.json``) have no ``registry`` key and
+    cold captures record it as null — a mixed-era or cold-vs-warm pair is
+    noted and skipped rather than mis-flagged.  At equal scale and mode,
+    growth of the miss count means sources that used to be served from
+    the store are re-inducing: a regression.
+    """
+    old_registry = old.get("registry")
+    new_registry = new.get("registry")
+    if old_registry is None and new_registry is None:
+        return
+    if old_registry is None or new_registry is None:
+        comparison.notes.append(
+            "registry stats present in only one document; "
+            "skipping registry comparison"
+        )
+        return
+    if not comparable:
+        return
+    old_misses = old_registry.get("misses", 0)
+    new_misses = new_registry.get("misses", 0)
+    if new_misses > old_misses:
+        comparison.regressions.append(
+            f"registry: misses grew {old_misses} -> {new_misses} "
+            "(sources no longer served from the store)"
+        )
+
+
 def _compare_system(
     comparison: BenchComparison,
     system_name: str,
@@ -415,9 +468,13 @@ def _compare_system(
     new: dict,
     quality_threshold: float,
     timing_threshold: float,
-    same_scale: bool,
+    comparable: bool,
 ) -> None:
-    """Fold one system's quality/timing diffs into the comparison."""
+    """Fold one system's quality/timing diffs into the comparison.
+
+    ``comparable`` is True when both captures share scale and registry
+    mode; volume and timing diffs are skipped otherwise.
+    """
     old_domains = old.get("domains", {})
     new_domains = new.get("domains", {})
     for domain in sorted(set(old_domains) & set(new_domains)):
@@ -430,7 +487,7 @@ def _compare_system(
                     f"{before[rate]:.4f} -> {after[rate]:.4f} "
                     f"(-{drop:.4f} > {quality_threshold})"
                 )
-        if same_scale:
+        if comparable:
             old_total = before.get("objects_total", 0)
             new_total = after.get("objects_total", 0)
             if old_total and new_total < old_total * (1 - quality_threshold):
@@ -438,7 +495,7 @@ def _compare_system(
                     f"{system_name}/{domain}: objects_total fell "
                     f"{old_total} -> {new_total}"
                 )
-    if not same_scale:
+    if not comparable:
         return
     _compare_timer(
         comparison,

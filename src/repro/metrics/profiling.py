@@ -1,0 +1,132 @@
+"""Deterministic ``cProfile`` harness over the benchmark catalog.
+
+``repro bench --profile`` drives this module: it runs the same catalog
+sweep as a BENCH capture (same sources, same session-wide preprocess
+cache, same systems) under ``cProfile`` and renders two tables —
+
+- the per-stage timer summaries the :class:`~repro.metrics.observer.
+  MetricsObserver` already aggregates (wall-clock measurement stays
+  confined to that boundary; this module never reads the clock itself),
+- the top project functions by cumulative profiler time, with repo-
+  relative locations and deterministic tie-breaking, so two profiles of
+  the same build rank the same frames in the same order.
+
+The numbers themselves vary with the host — the *structure* (which
+frames dominate, how stage time decomposes) is the reproducible part,
+and is what the hot-path work in ``src/repro/wrapper/`` was driven by.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass, field
+
+from repro.metrics.bench import BenchConfig, BenchSession
+
+#: Path fragments identifying project frames worth showing; everything
+#: else (stdlib, interpreter builtins) is noise at this granularity.
+PROJECT_FRAGMENTS = ("repro", "benchmarks")
+
+
+@dataclass
+class ProfileRow:
+    """One function's aggregate profiler statistics."""
+
+    location: str
+    calls: int
+    tottime: float
+    cumtime: float
+
+
+@dataclass
+class ProfileReport:
+    """Everything ``render_profile`` needs to print the profile tables."""
+
+    scale: float
+    systems: tuple[str, ...]
+    #: ``"system: timer"`` -> summary dict (count/total/mean/p50/p95),
+    #: straight from the metrics observer of each profiled run.
+    stage_timers: dict[str, dict] = field(default_factory=dict)
+    rows: list[ProfileRow] = field(default_factory=list)
+
+
+def _normalize_location(filename: str, line: int, name: str) -> str | None:
+    """Repo-relative ``path:line(function)`` for project frames, else None."""
+    normalized = filename.replace("\\", "/")
+    for anchor in ("src/repro/", "benchmarks/"):
+        index = normalized.rfind(anchor)
+        if index >= 0:
+            return f"{normalized[index:]}:{line}({name})"
+    return None
+
+
+def profile_session(config: BenchConfig | None = None) -> ProfileReport:
+    """Profile one catalog sweep per configured system.
+
+    Each system's ``run_system`` call runs under the shared profiler, so
+    the function table aggregates across systems while the stage table
+    stays per-system.
+    """
+    config = config or BenchConfig()
+    session = BenchSession(config)
+    profiler = cProfile.Profile()
+    report = ProfileReport(scale=config.scale, systems=tuple(config.systems))
+    for system_name in config.systems:
+        profiler.enable()
+        __, wrap, metrics = session.run_system(system_name)
+        profiler.disable()
+        merged = metrics.merged_registry().snapshot()
+        for timer_name in sorted(merged["timers"]):
+            key = f"{system_name}: {timer_name}"
+            report.stage_timers[key] = merged["timers"][timer_name]
+        wrap_summary = wrap.summary("wrap")
+        if wrap_summary is not None:
+            report.stage_timers[f"{system_name}: wrap"] = (
+                wrap_summary.as_dict()
+            )
+    stats = pstats.Stats(profiler)
+    rows: list[ProfileRow] = []
+    for (filename, line, name), entry in stats.stats.items():  # type: ignore[attr-defined]
+        location = _normalize_location(filename, line, name)
+        if location is None:
+            continue
+        cc, nc, tt, ct, __ = entry
+        rows.append(
+            ProfileRow(location=location, calls=nc, tottime=tt, cumtime=ct)
+        )
+    # Deterministic order: cumulative time, then total time, then the
+    # location string so equal-time frames never swap between runs.
+    rows.sort(key=lambda row: (-row.cumtime, -row.tottime, row.location))
+    report.rows = rows
+    return report
+
+
+def render_profile(report: ProfileReport, top: int = 25) -> str:
+    """Fixed-width text rendering of the stage and function tables."""
+    lines: list[str] = []
+    lines.append(
+        f"profile: scale={report.scale} systems={','.join(report.systems)}"
+    )
+    lines.append("")
+    lines.append("stage timers (observer boundary)")
+    header = f"  {'timer':<40} {'count':>7} {'total s':>9} {'mean ms':>9}"
+    lines.append(header)
+    for key in sorted(report.stage_timers):
+        summary = report.stage_timers[key]
+        lines.append(
+            f"  {key:<40} {summary.get('count', 0):>7} "
+            f"{summary.get('total', 0.0):>9.3f} "
+            f"{summary.get('mean', 0.0) * 1000:>9.2f}"
+        )
+    lines.append("")
+    lines.append(f"top {top} project functions by cumulative time")
+    lines.append(
+        f"  {'cum s':>8} {'tot s':>8} {'calls':>9}  function"
+    )
+    for row in report.rows[:top]:
+        lines.append(
+            f"  {row.cumtime:>8.3f} {row.tottime:>8.3f} {row.calls:>9}  "
+            f"{row.location}"
+        )
+    return "\n".join(lines)

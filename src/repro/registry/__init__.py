@@ -20,9 +20,12 @@ from repro.registry.files import (
     save_wrapper_file,
 )
 from repro.registry.store import (
+    KIND_DISCARD,
+    KIND_WRAPPER,
     REGISTRY_SCHEMA_VERSION,
     RegistryEntry,
     StagedRegistryView,
+    StoredDiscard,
     WrapperRegistry,
     apply_staged_views,
     signature_for,
@@ -30,9 +33,12 @@ from repro.registry.store import (
 )
 
 __all__ = [
+    "KIND_DISCARD",
+    "KIND_WRAPPER",
     "REGISTRY_SCHEMA_VERSION",
     "RegistryEntry",
     "StagedRegistryView",
+    "StoredDiscard",
     "WrapperRegistry",
     "apply_staged_views",
     "fingerprint_matches",

@@ -8,8 +8,8 @@ induction again.
 
 Layout on disk::
 
-    <root>/index.json               # signature -> {sod, fingerprint, source}
-    <root>/wrappers/<signature>.json  # schema-versioned entry + wrapper
+    <root>/index.json               # signature -> {kind, sod, fingerprint, source}
+    <root>/wrappers/<signature>.json  # schema-versioned entry + wrapper/discard
 
 Both files are JSON with sorted keys and are written atomically
 (temp file + ``os.replace``), so a crashed writer never leaves a torn
@@ -40,7 +40,30 @@ from repro.wrapper.serialize import wrapper_from_dict, wrapper_to_dict
 #: The entry and index shapes are the ``registry_entry``/
 #: ``registry_index`` artifact families of :mod:`repro.analysis.schemas`;
 #: reprolint S502 demands a bump here when either shape changes.
-REGISTRY_SCHEMA_VERSION = 1
+#: v2: entries carry a ``kind`` ("wrapper" or "discard") and discard
+#: tombstones (nullable ``wrapper``, ``discard`` stage/reason block), so
+#: a source whose induction ended in a principled discard is *remembered*
+#: instead of re-paying the doomed induction on every warm run.
+REGISTRY_SCHEMA_VERSION = 2
+
+#: ``RegistryEntry.kind`` values.
+KIND_WRAPPER = "wrapper"
+KIND_DISCARD = "discard"
+
+
+@dataclass(frozen=True)
+class StoredDiscard:
+    """A remembered discard: this (SOD, template) can never be wrapped.
+
+    Returned by :meth:`WrapperRegistry.lookup` in place of a wrapper when
+    the stored entry is a tombstone; the registry-match stage replays the
+    recorded discard so a warm run reports byte-identically to the cold
+    run that created it.
+    """
+
+    source: str
+    stage: str
+    reason: str
 
 
 def signature_for(sod: SodType, fingerprint: str) -> str:
@@ -69,23 +92,29 @@ def write_json_atomic(path: Path, document: dict[str, Any]) -> None:
 
 @dataclass
 class RegistryEntry:
-    """One stored wrapper with the identity that keys it."""
+    """One stored wrapper — or discard tombstone — with its keying identity."""
 
     signature: str
     sod: str
     fingerprint: str
     source: str
-    wrapper: dict[str, Any]
+    #: Serialized wrapper for ``kind == "wrapper"`` entries, else ``None``.
+    wrapper: dict[str, Any] | None
+    kind: str = KIND_WRAPPER
+    #: ``{"stage": ..., "reason": ...}`` for ``kind == "discard"``.
+    discard: dict[str, str] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """The schema-versioned on-disk form of this entry."""
         return {
             "schema_version": REGISTRY_SCHEMA_VERSION,
             "signature": self.signature,
+            "kind": self.kind,
             "sod": self.sod,
             "fingerprint": self.fingerprint,
             "source": self.source,
             "wrapper": self.wrapper,
+            "discard": self.discard,
         }
 
     @classmethod
@@ -99,16 +128,35 @@ class RegistryEntry:
                 f"{where}: unsupported registry schema version {version!r} "
                 f"(expected {REGISTRY_SCHEMA_VERSION})"
             )
+        kind = data.get("kind", KIND_WRAPPER)
+        if kind not in (KIND_WRAPPER, KIND_DISCARD):
+            raise RegistryError(f"{where}: unknown entry kind {kind!r}")
         try:
-            return cls(
+            entry = cls(
                 signature=data["signature"],
                 sod=data["sod"],
                 fingerprint=data["fingerprint"],
                 source=data["source"],
                 wrapper=data["wrapper"],
+                kind=kind,
+                discard=data.get("discard"),
             )
         except KeyError as exc:
             raise RegistryError(f"{where}: missing field {exc}") from exc
+        if entry.kind == KIND_WRAPPER and entry.wrapper is None:
+            raise RegistryError(f"{where}: wrapper entry has no wrapper")
+        if entry.kind == KIND_DISCARD and not isinstance(entry.discard, dict):
+            raise RegistryError(f"{where}: discard entry has no discard block")
+        return entry
+
+    def stored_discard(self) -> StoredDiscard:
+        """The tombstone payload of a ``kind == "discard"`` entry."""
+        assert self.discard is not None
+        return StoredDiscard(
+            source=self.source,
+            stage=str(self.discard.get("stage", "")),
+            reason=str(self.discard.get("reason", "")),
+        )
 
 
 class WrapperRegistry:
@@ -174,10 +222,13 @@ class WrapperRegistry:
 
     # -- core operations ---------------------------------------------------
 
-    def lookup(self, sod: SodType, fingerprint: str) -> Wrapper | None:
-        """Return the stored wrapper for this (SOD, template), or ``None``.
+    def lookup(
+        self, sod: SodType, fingerprint: str
+    ) -> Wrapper | StoredDiscard | None:
+        """The stored wrapper or discard for this (SOD, template), or None.
 
-        Counts a hit or a miss; a present-but-unreadable entry raises
+        Counts a hit or a miss (a tombstone is a hit — the registry
+        resolved the source); a present-but-unreadable entry raises
         :class:`RegistryError` rather than silently inducing again.
         """
         signature = signature_for(sod, fingerprint)
@@ -188,8 +239,8 @@ class WrapperRegistry:
             return None
         return self.get(signature)
 
-    def get(self, signature: str) -> Wrapper | None:
-        """Load the wrapper stored under ``signature`` (``None`` if absent)."""
+    def get(self, signature: str) -> Wrapper | StoredDiscard | None:
+        """Load what ``signature`` stores (``None`` if absent)."""
         path = self.entry_path(signature)
         if not path.exists():
             return None
@@ -199,6 +250,9 @@ class WrapperRegistry:
                 f"{path}: entry signature {entry.signature!r} does not match "
                 f"its address {signature!r}"
             )
+        if entry.kind == KIND_DISCARD:
+            return entry.stored_discard()
+        assert entry.wrapper is not None
         return wrapper_from_dict(entry.wrapper)
 
     def put(
@@ -211,20 +265,50 @@ class WrapperRegistry:
         concurrent inductions of the same template converge on one
         stored wrapper.
         """
-        signature = signature_for(sod, fingerprint)
         entry = RegistryEntry(
-            signature=signature,
+            signature=signature_for(sod, fingerprint),
             sod=format_sod(canonicalize(sod)),
             fingerprint=fingerprint,
             source=wrapper.source,
             wrapper=wrapper_to_dict(wrapper),
         )
+        return self._store_entry(entry)
+
+    def put_discard(
+        self,
+        sod: SodType,
+        fingerprint: str,
+        source: str,
+        stage: str,
+        reason: str,
+    ) -> str:
+        """Store a discard tombstone; returns its signature.
+
+        Remembers that inducing this (SOD, template) ends in a principled
+        discard, so warm runs replay the discard instead of re-paying the
+        doomed induction.  Same first-write-wins semantics as :meth:`put`.
+        """
+        entry = RegistryEntry(
+            signature=signature_for(sod, fingerprint),
+            sod=format_sod(canonicalize(sod)),
+            fingerprint=fingerprint,
+            source=source,
+            wrapper=None,
+            kind=KIND_DISCARD,
+            discard={"stage": stage, "reason": reason},
+        )
+        return self._store_entry(entry)
+
+    def _store_entry(self, entry: RegistryEntry) -> str:
+        """First-write-wins store of one entry + its index row."""
+        signature = entry.signature
         with self._lock:
             if signature in self._index:
                 self._count("races")
                 return signature
             write_json_atomic(self.entry_path(signature), entry.to_dict())
             self._index[signature] = {
+                "kind": entry.kind,
                 "sod": entry.sod,
                 "fingerprint": entry.fingerprint,
                 "source": entry.source,
@@ -347,20 +431,7 @@ class WrapperRegistry:
         combined = cls(root)
         for part in parts:
             for entry in part.entries():
-                with combined._lock:
-                    if entry.signature in combined._index:
-                        combined._count("races")
-                        continue
-                    write_json_atomic(
-                        combined.entry_path(entry.signature), entry.to_dict()
-                    )
-                    combined._index[entry.signature] = {
-                        "sod": entry.sod,
-                        "fingerprint": entry.fingerprint,
-                        "source": entry.source,
-                    }
-                    combined._write_index()
-                    combined._count("stores")
+                combined._store_entry(entry)
         return combined
 
 
@@ -378,10 +449,14 @@ class StagedRegistryView:
     """
 
     base: WrapperRegistry
-    staged: dict[str, tuple[SodType, str, Wrapper]] = field(default_factory=dict)
+    staged: dict[str, tuple[SodType, str, "Wrapper | StoredDiscard"]] = field(
+        default_factory=dict
+    )
     demoted: set[str] = field(default_factory=set)
 
-    def lookup(self, sod: SodType, fingerprint: str) -> Wrapper | None:
+    def lookup(
+        self, sod: SodType, fingerprint: str
+    ) -> Wrapper | StoredDiscard | None:
         """Lookup against the batch-start state plus this view's writes."""
         signature = signature_for(sod, fingerprint)
         if signature in self.demoted:
@@ -399,6 +474,24 @@ class StagedRegistryView:
         self.staged[signature] = (sod, fingerprint, wrapper)
         return signature
 
+    def put_discard(
+        self,
+        sod: SodType,
+        fingerprint: str,
+        source: str,
+        stage: str,
+        reason: str,
+    ) -> str:
+        """Buffer a discard tombstone; applied at batch end."""
+        signature = signature_for(sod, fingerprint)
+        self.demoted.discard(signature)
+        self.staged[signature] = (
+            sod,
+            fingerprint,
+            StoredDiscard(source=source, stage=stage, reason=reason),
+        )
+        return signature
+
     def demote(self, signature: str) -> bool:
         """Buffer a demotion; applied to the base registry at batch end."""
         self.staged.pop(signature, None)
@@ -409,8 +502,17 @@ class StagedRegistryView:
         """Apply buffered demotions then stores to ``base``."""
         for signature in sorted(self.demoted):
             base.demote(signature)
-        for sod, fingerprint, wrapper in self.staged.values():
-            base.put(sod, fingerprint, wrapper)
+        for sod, fingerprint, stored in self.staged.values():
+            if isinstance(stored, StoredDiscard):
+                base.put_discard(
+                    sod,
+                    fingerprint,
+                    source=stored.source,
+                    stage=stored.stage,
+                    reason=stored.reason,
+                )
+            else:
+                base.put(sod, fingerprint, stored)
 
 
 def apply_staged_views(

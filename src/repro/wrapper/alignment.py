@@ -68,6 +68,22 @@ def _items_of(nodes: list[Node]) -> list[_Item]:
     return items
 
 
+def _subtree_annotation_sets(elements: list[Element]) -> list[set[str]]:
+    """Per element, the union of annotations over its whole subtree.
+
+    Computed once and shared between :meth:`TemplateBuilder._subtree_dominant`
+    and :meth:`TemplateBuilder._container_field`, which previously each
+    re-walked every container subtree.
+    """
+    sets: list[set[str]] = []
+    for element in elements:
+        subtree_types: set[str] = set()
+        for node in element.iter():
+            subtree_types |= getattr(node, "annotations", set())
+        sets.append(subtree_types)
+    return sets
+
+
 def _detect_iterator_shapes(
     records_items: list[list[_Item]],
     use_annotations: bool = True,
@@ -403,9 +419,14 @@ class TemplateBuilder:
             and self._irregular_children(children, len(elements))
             and not self._children_already_typed(children)
         ):
-            dominant = self._subtree_dominant(elements)
+            # One subtree walk per container, shared by the dominance test
+            # and the collapsed-field construction.
+            subtree_sets = _subtree_annotation_sets(elements)  # type: ignore[arg-type]
+            dominant = self._subtree_dominant(subtree_sets)
             if dominant is not None:
-                children = [self._container_field(elements, dominant)]
+                children = [
+                    self._container_field(elements, subtree_sets, dominant)  # type: ignore[arg-type]
+                ]
 
         template = ElementTemplate(
             tag=tag,
@@ -462,19 +483,20 @@ class TemplateBuilder:
             walk(child)
         return len(dominants) >= 2
 
-    def _subtree_dominant(self, elements: list[Element]) -> str | None:
-        """The one entity type the containers denote, if any."""
+    def _subtree_dominant(self, subtree_sets: list[set[str]]) -> str | None:
+        """The one entity type the containers denote, if any.
+
+        Takes the precomputed per-container subtree annotation sets (see
+        :func:`_subtree_annotation_sets`).
+        """
         counts: Counter = Counter()
         annotated_elements = 0
-        for element in elements:
-            subtree_types: set[str] = set()
-            for node in element.iter():
-                subtree_types |= getattr(node, "annotations", set())
+        for subtree_types in subtree_sets:
             if subtree_types:
                 annotated_elements += 1
                 for type_name in subtree_types:
                     counts[type_name] += 1
-        if not counts or annotated_elements < max(2, len(elements) // 4):
+        if not counts or annotated_elements < max(2, len(subtree_sets) // 4):
             return None
         type_name, count = counts.most_common(1)[0]
         if count / sum(counts.values()) >= self._threshold:
@@ -482,15 +504,15 @@ class TemplateBuilder:
         return None
 
     def _container_field(
-        self, elements: list[Element], dominant: str
+        self,
+        elements: list[Element],
+        subtree_sets: list[set[str]],
+        dominant: str,
     ) -> FieldSlot:
         """One field slot covering each container's entire content."""
         slot = self._new_slot()
         texts: list[str] = []
-        for element in elements:
-            subtree_types: set[str] = set()
-            for node in element.iter():
-                subtree_types |= getattr(node, "annotations", set())
+        for element, subtree_types in zip(elements, subtree_sets):
             slot.record_annotations(subtree_types & {dominant})
             text = element.text_content()
             if text:

@@ -15,7 +15,12 @@ from repro.errors import SourceDiscardedError
 from repro.htmlkit.dom import Element, Node
 from repro.sod.types import SodType, required_entity_types
 from repro.wrapper.alignment import TemplateBuilder
-from repro.wrapper.matching import MatchResult, match_sod, partially_matchable
+from repro.wrapper.matching import (
+    MatchResult,
+    match_sod,
+    never_partially_matchable,
+    partially_matchable,
+)
 from repro.wrapper.records import RecordSegmentation, segment_records
 from repro.wrapper.template import Template
 from repro.wrapper.tokens import KIND_OPEN, PageToken, TokenizedPage, tokenize_element
@@ -176,7 +181,8 @@ def _top_level_nodes(span_tokens: list[PageToken]) -> list[Node]:
     return kept
 
 
-def _annotation_types_on(pages: list[Element]) -> set[str]:
+def annotation_types_on(pages: list[Element]) -> set[str]:
+    """Every entity type annotated anywhere on ``pages`` (shared helper)."""
     types: set[str] = set()
     for page in pages:
         for node in page.iter():
@@ -191,6 +197,8 @@ def generate_wrapper(
     sample_regions: list[Element],
     sod: SodType,
     config: WrapperConfig | None = None,
+    token_pages: list[TokenizedPage] | None = None,
+    annotation_types: set[str] | None = None,
 ) -> Wrapper:
     """Generate a wrapper for one source from its annotated sample regions.
 
@@ -198,12 +206,35 @@ def generate_wrapper(
     (already annotated).  Raises :class:`SourceDiscardedError` when the
     source shows no usable template structure, or when the SOD is not even
     partially matchable against the inferred template.
+
+    ``token_pages`` and ``annotation_types`` let the caller reuse one
+    tokenization/annotation scan across the support-variation loop (the
+    sample never changes between supports); both are recomputed here when
+    not given.
     """
     config = config or WrapperConfig()
-    token_pages = [
-        tokenize_element(region, page_index=index)
-        for index, region in enumerate(sample_regions)
-    ]
+    if annotation_types is None:
+        annotation_types = annotation_types_on(sample_regions)
+
+    # Hoisted early-stop (Section III-E): when no template over these pages
+    # can ever partially match the SOD, skip the whole EQ/template
+    # construction.  The abstract test is sound — any source it aborts
+    # would reach the template-based ``partially_matchable`` check below
+    # and discard with the same reason.
+    if config.use_annotations:
+        required = {entity.name for entity in required_entity_types(sod)}
+        if required and never_partially_matchable(sod, annotation_types):
+            raise SourceDiscardedError(
+                source,
+                stage="wrapper",
+                reason="no partial SOD matching can be completed on this template",
+            )
+
+    if token_pages is None:
+        token_pages = [
+            tokenize_element(region, page_index=index)
+            for index, region in enumerate(sample_regions)
+        ]
     segmentation = segment_records(
         token_pages,
         min_support=config.support,
@@ -226,7 +257,6 @@ def generate_wrapper(
     )
     template = builder.build(records)
 
-    annotation_types = _annotation_types_on(sample_regions)
     if config.use_annotations:
         required = {entity.name for entity in required_entity_types(sod)}
         if required and not partially_matchable(

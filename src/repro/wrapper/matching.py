@@ -297,6 +297,63 @@ def _restore(result: MatchResult, taken: set[int], checkpoint) -> None:
     taken.update(saved_taken)
 
 
+def never_partially_matchable(
+    sod: SodType, page_annotation_types: set[str]
+) -> bool:
+    """True when no template over these pages can ever partially match.
+
+    Abstract version of :func:`partially_matchable` that needs no template:
+    it assumes the *best possible* template — a slot exists for a type name
+    exactly when the pages carry that annotation at all.  Every concrete
+    serving route (dominant slots, iterator units, the conflicting-slot
+    rescue pass) requires the name to appear in ``page_annotation_types``,
+    so a name missing under this optimistic abstraction is missing under
+    every real template, and if such a name has no annotated token on the
+    pages either, no parameter variation can complete the match.  Safe to
+    evaluate before tokenization — the basis for hoisting the early-stop
+    gate of Section III-E above the whole EQ/template construction.
+    """
+    canonical = canonicalize(sod)
+    available = set(page_annotation_types)
+
+    def abstract_missing(node: SodType) -> list[str]:
+        if isinstance(node, EntityType):
+            if node.name in available or node.optional:
+                return []
+            return [node.name]
+        if isinstance(node, SetType):
+            inner = canonicalize(node.inner)
+            if isinstance(inner, EntityType):
+                inner_entities = [inner]
+            elif isinstance(inner, TupleType):
+                inner_entities = [
+                    component
+                    for component in inner.components
+                    if isinstance(component, EntityType)
+                ]
+            else:
+                return [node.name]  # nested sets-of-sets never match
+            required = [e for e in inner_entities if not e.optional]
+            if required and all(e.name in available for e in required):
+                return []
+            if node.multiplicity.optional_allowed:
+                return []
+            return [node.name]
+        if isinstance(node, TupleType):
+            out: list[str] = []
+            for component in node.components:
+                out.extend(abstract_missing(component))
+            return out
+        assert isinstance(node, DisjunctionType)
+        left = abstract_missing(node.left)
+        if left:
+            return abstract_missing(node.right)
+        return []
+
+    missing = abstract_missing(canonical)
+    return bool(missing) and any(name not in available for name in missing)
+
+
 def partially_matchable(
     sod: SodType,
     template: Template,

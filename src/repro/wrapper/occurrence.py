@@ -4,16 +4,30 @@ For a token role ``r`` and sample pages ``p_1..p_n``, the occurrence
 vector is ``<count(r, p_1), ..., count(r, p_n)>``.  Roles sharing a vector
 form candidate equivalence classes (paper Section III-C; the ``<3,3,6>``
 example for ``<div>``).
+
+Counting works on interned role ids (:class:`~repro.wrapper.tokens.
+TokenTable`): one preallocated count array per page, indexed by role id,
+instead of a hash-tuple ``Counter`` per page.  Roles are emitted in
+first-appearance document order (the table's id order), so the returned
+mappings are deterministic under any ``PYTHONHASHSEED`` — the previous
+implementation iterated a set of role tuples, which was hash-order
+dependent.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.wrapper.tokens import PageToken, TokenizedPage
+from repro.wrapper.tokens import RoleKey, TokenizedPage, ensure_shared_table
 
-RoleKey = tuple[str, str, str, str]
+__all__ = [
+    "OccurrenceVector",
+    "RoleKey",
+    "group_by_vector",
+    "occurrence_vectors",
+    "role_positions",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +61,27 @@ class OccurrenceVector:
         return self.total / len(self.counts)
 
 
+def occurrence_counts(
+    pages: list[TokenizedPage],
+) -> tuple[list[RoleKey], list[list[int]]]:
+    """Per-page occurrence counts over the shared role table.
+
+    Returns ``(keys, per_page)`` where ``keys[i]`` is the role with id
+    ``i`` and ``per_page[p][i]`` its count on page ``p`` — the preallocated
+    array form of the per-page role ``Counter`` the vector construction
+    used to build.
+    """
+    table = ensure_shared_table(pages)
+    n_roles = len(table)
+    per_page: list[list[int]] = []
+    for page in pages:
+        counts = [0] * n_roles
+        for role_id in page.role_id_sequence():
+            counts[role_id] += 1
+        per_page.append(counts)
+    return table.keys_by_id(), per_page
+
+
 def occurrence_vectors(
     pages: list[TokenizedPage], min_support: int = 3
 ) -> dict[RoleKey, OccurrenceVector]:
@@ -58,23 +93,13 @@ def occurrence_vectors(
     clamped to the sample size so tiny samples still work.
     """
     min_support = min(min_support, len(pages)) if pages else min_support
-    per_page_counts: list[Counter] = []
-    for page in pages:
-        counter: Counter = Counter()
-        for token in page.tokens:
-            counter[token.role_key] += 1
-        per_page_counts.append(counter)
-
-    all_roles: set[RoleKey] = set()
-    for counter in per_page_counts:
-        all_roles.update(counter)
-
+    keys, per_page = occurrence_counts(pages)
     vectors: dict[RoleKey, OccurrenceVector] = {}
-    for role in all_roles:
-        counts = tuple(counter.get(role, 0) for counter in per_page_counts)
-        vector = OccurrenceVector(counts)
-        if vector.support >= min_support:
-            vectors[role] = vector
+    for role_id, role in enumerate(keys):
+        counts = tuple(counts_of_page[role_id] for counts_of_page in per_page)
+        support = sum(1 for count in counts if count > 0)
+        if support >= min_support:
+            vectors[role] = OccurrenceVector(counts)
     return vectors
 
 

@@ -41,8 +41,13 @@ class RecordSegmentation:
 
 
 def _tag_profile(tokens: list[PageToken]) -> Counter:
-    """Multiset of tag role keys in a span (words ignored — they are data)."""
-    return Counter(token.role_key for token in tokens if token.is_tag)
+    """Multiset of tag roles in a span (words ignored — they are data).
+
+    Counts interned role ids: by the time spans are measured the pages
+    have been through the shared role table, so ids are comparable and
+    much cheaper to hash than 4-string role tuples.
+    """
+    return Counter(token.role_id for token in tokens if token.is_tag)
 
 
 def _similarity(a: Counter, b: Counter) -> float:

@@ -269,7 +269,8 @@ class TestRegistryFlag:
 
         assert main(["registry", "ls", "--root", registry_dir]) == 0
         out = capsys.readouterr()
-        assert "1 wrapper(s)" in out.err
+        assert "1 entries" in out.err
+        assert "kind=wrapper" in out.out
         assert "source=cli-source" in out.out
 
         assert main(["registry", "verify", "--root", registry_dir]) == 0

@@ -157,6 +157,47 @@ class TestCompare:
         comparison = compare_documents(old, new)
         assert any("objects_total fell" in r for r in comparison.regressions)
 
+    def test_registry_mode_mismatch_skips_timings_with_note(self):
+        # A cold capture vs a warm (registry-first) capture: induction is
+        # skipped on hits, so timing and volume diffs are meaningless.
+        old = fixture_document(stage_mean=0.05)
+        new = fixture_document(stage_mean=0.001)
+        new["config"]["registry"] = True
+        new["registry"] = {
+            "hits": 48, "misses": 1, "stores": 1, "races": 0, "demotions": 0
+        }
+        new["systems"]["objectrunner"]["domains"]["concerts"]["objects_total"] = 100
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert any("registry mode differs" in note for note in comparison.notes)
+
+    def test_registry_stats_in_one_document_only_is_a_note(self):
+        old = fixture_document()
+        new = fixture_document()
+        new["registry"] = {
+            "hits": 48, "misses": 1, "stores": 1, "races": 0, "demotions": 0
+        }
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert any(
+            "registry stats present in only one document" in note
+            for note in comparison.notes
+        )
+
+    def test_registry_miss_growth_flags_regression(self):
+        old = fixture_document()
+        new = fixture_document()
+        for document in (old, new):
+            document["config"]["registry"] = True
+        old["registry"] = {
+            "hits": 49, "misses": 0, "stores": 0, "races": 0, "demotions": 0
+        }
+        new["registry"] = {
+            "hits": 46, "misses": 3, "stores": 3, "races": 0, "demotions": 0
+        }
+        comparison = compare_documents(old, new)
+        assert any("misses grew" in r for r in comparison.regressions)
+
     def test_rss_growth_is_a_note_not_a_regression(self):
         old = fixture_document()
         new = fixture_document()

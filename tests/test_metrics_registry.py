@@ -59,6 +59,29 @@ class TestSummaries:
         assert summary.p95 == 95.0
         assert summary.p50 == 50.0
 
+    def test_nearest_rank_n1_is_the_only_value(self):
+        # Nearest-rank with one observation: rank = max(1, ceil(q*1)) = 1
+        # for every q, so p50 and p95 are exactly that observation — never
+        # an interpolated or zero-filled value.
+        registry = MetricsRegistry()
+        registry.observe("t", 0.125)
+        summary = registry.summary("t")
+        assert summary == TimerSummary(
+            count=1, total=0.125, min=0.125, max=0.125, mean=0.125,
+            p50=0.125, p95=0.125,
+        )
+
+    def test_nearest_rank_n2_p50_low_p95_high(self):
+        # Two observations: p50 rank = ceil(0.5*2) = 1 (the LOWER value,
+        # per nearest-rank; no averaging), p95 rank = ceil(0.95*2) = 2.
+        registry = MetricsRegistry()
+        registry.observe("t", 4.0)
+        registry.observe("t", 1.0)
+        summary = registry.summary("t")
+        assert summary == TimerSummary(
+            count=2, total=5.0, min=1.0, max=4.0, mean=2.5, p50=1.0, p95=4.0
+        )
+
 
 class TestMerge:
     def test_merge_semantics(self):

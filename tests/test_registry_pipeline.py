@@ -11,7 +11,7 @@ from repro.datasets import build_knowledge, domain_spec, generate_source
 from repro.datasets.sites import SiteSpec
 from repro.htmlkit import clean_tree, pages_fingerprint, tidy
 from repro.recognizers import RecognizerRegistry
-from repro.registry import WrapperRegistry
+from repro.registry import StoredDiscard, WrapperRegistry
 from repro.sod.dsl import parse_sod
 from repro.wrapper.generate import WrapperConfig, generate_wrapper
 from tests.conftest import FIGURE3_P1, FIGURE3_P2, FIGURE3_P3
@@ -223,3 +223,50 @@ class TestEnrichmentGating:
         assert stats == {
             "hits": 0, "misses": 0, "stores": 0, "races": 0, "demotions": 0,
         }
+
+
+class TestDiscardTombstones:
+    def doomed_runner(self, wrapper_registry=None):
+        # No recognizers at all: the annotation gate (alpha) always fires,
+        # so every induction of this source ends in a discard.
+        return ObjectRunner(
+            SOD,
+            registry=RecognizerRegistry(),
+            params=RunParams(),
+            wrapper_registry=wrapper_registry,
+        )
+
+    def test_cold_discard_stores_a_tombstone(self, tmp_path):
+        registry = WrapperRegistry(tmp_path)
+        cold = self.doomed_runner(registry).run_source("doomed", FIGURE3_RAW)
+        assert cold.discarded
+        stats = registry.stats()
+        assert stats["misses"] == 1
+        assert stats["stores"] == 1
+        assert isinstance(
+            registry.lookup(SOD, pages_fingerprint(
+                [clean_tree(tidy(raw)) for raw in FIGURE3_RAW]
+            )),
+            StoredDiscard,
+        )
+
+    def test_warm_run_replays_the_discard_without_inducing(self, tmp_path):
+        registry = WrapperRegistry(tmp_path)
+        cold = self.doomed_runner(registry).run_source("doomed", FIGURE3_RAW)
+        warm = self.doomed_runner(registry).run_source("doomed", FIGURE3_RAW)
+        assert warm.discarded
+        assert warm.discard_stage == cold.discard_stage
+        assert warm.discard_reason == cold.discard_reason
+        assert warm.timings.wrapping == 0
+        assert warm.timings.annotation == 0
+        assert registry.stats()["hits"] == 1
+
+    def test_batch_discard_stores_through_staged_view(self, tmp_path):
+        registry = WrapperRegistry(tmp_path)
+        runner = self.doomed_runner(registry)
+        batch = runner.run_sources({"doomed": FIGURE3_RAW})
+        assert batch.results["doomed"].discarded
+        assert registry.stats()["stores"] == 1
+        warm = runner.run_sources({"doomed": FIGURE3_RAW})
+        assert warm.results["doomed"].discarded
+        assert registry.stats()["hits"] == 1

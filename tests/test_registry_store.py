@@ -9,9 +9,12 @@ from repro.annotation.annotator import annotate_page
 from repro.errors import RegistryError
 from repro.htmlkit import pages_fingerprint
 from repro.registry import (
+    KIND_DISCARD,
+    KIND_WRAPPER,
     REGISTRY_SCHEMA_VERSION,
     RegistryEntry,
     StagedRegistryView,
+    StoredDiscard,
     WrapperRegistry,
     apply_staged_views,
     signature_for,
@@ -265,3 +268,82 @@ class TestStagedView:
         assert view.lookup(SOD, fingerprint) is None
         apply_staged_views(base, [view])
         assert base.lookup(SOD, fingerprint) is None
+
+
+class TestDiscardTombstones:
+    def test_put_discard_roundtrips_as_hit(self, tmp_path):
+        registry = WrapperRegistry(tmp_path)
+        registry.put_discard(
+            SOD, "fp", source="doomed", stage="wrapper", reason="no match"
+        )
+        stored = WrapperRegistry(tmp_path).lookup(SOD, "fp")
+        assert isinstance(stored, StoredDiscard)
+        assert stored == StoredDiscard(
+            source="doomed", stage="wrapper", reason="no match"
+        )
+
+    def test_tombstone_lookup_counts_a_hit(self, tmp_path):
+        registry = WrapperRegistry(tmp_path)
+        registry.put_discard(SOD, "fp", source="s", stage="wrapper", reason="r")
+        registry.lookup(SOD, "fp")
+        stats = registry.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 0
+        assert stats["stores"] == 1
+
+    def test_index_rows_carry_kind(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        registry.put(SOD, fingerprint, wrapper)
+        registry.put_discard(SOD, "fp", source="s", stage="wrapper", reason="r")
+        kinds = sorted(row["kind"] for __, row in registry.index_rows())
+        assert kinds == [KIND_DISCARD, KIND_WRAPPER]
+
+    def test_first_write_wins_across_kinds(self, tmp_path, induced):
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        registry.put(SOD, fingerprint, wrapper)
+        registry.put_discard(
+            SOD, fingerprint, source="s", stage="wrapper", reason="r"
+        )
+        assert registry.stats() == {
+            "hits": 0, "misses": 0, "stores": 1, "races": 1, "demotions": 0
+        }
+        assert not isinstance(registry.lookup(SOD, fingerprint), StoredDiscard)
+
+    def test_discard_entry_schema_is_validated(self):
+        entry = {
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "signature": "sig",
+            "kind": "discard",
+            "sod": "t(a)",
+            "fingerprint": "fp",
+            "source": "s",
+            "wrapper": None,
+            "discard": None,
+        }
+        with pytest.raises(RegistryError, match="no discard block"):
+            RegistryEntry.from_dict(entry)
+        entry["kind"] = "nonsense"
+        with pytest.raises(RegistryError, match="unknown entry kind"):
+            RegistryEntry.from_dict(entry)
+
+    def test_staged_view_buffers_and_applies_tombstones(self, tmp_path):
+        base = WrapperRegistry(tmp_path)
+        view = StagedRegistryView(base)
+        view.put_discard(SOD, "fp", source="s", stage="wrapper", reason="r")
+        assert isinstance(view.lookup(SOD, "fp"), StoredDiscard)
+        assert base.lookup(SOD, "fp") is None
+        apply_staged_views(base, [view])
+        assert isinstance(
+            WrapperRegistry(tmp_path).lookup(SOD, "fp"), StoredDiscard
+        )
+
+    def test_merged_preserves_tombstones_and_kind_rows(self, tmp_path):
+        shard = WrapperRegistry(tmp_path / "shard")
+        shard.put_discard(SOD, "fp", source="s", stage="wrapper", reason="r")
+        combined = WrapperRegistry.merged(tmp_path / "merged", [shard])
+        assert isinstance(combined.lookup(SOD, "fp"), StoredDiscard)
+        assert registry_bytes(tmp_path / "shard") == registry_bytes(
+            tmp_path / "merged"
+        )

@@ -1,0 +1,384 @@
+"""Golden byte-equality guarantees for the tokenize -> EQ -> fixpoint hot path.
+
+The hot-path rewrite (interned role ids, pushed-down DOM paths,
+preallocated occurrence arrays, memoized role refinement, hoisted SOD
+early-abort) must be a pure performance change: every observable artifact
+— token sequences, occurrence vectors, equivalence classes, induced
+templates, extracted objects — stays identical to the straightforward
+reference semantics, under any ``PYTHONHASHSEED``.  The reference
+implementations in this module are deliberately naive transliterations of
+the pre-rewrite code paths; any divergence from them is a correctness bug
+in the optimization, never a tuning matter.
+"""
+
+import os
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.annotation.annotator import annotate_page
+from repro.htmlkit.dom import Element, Text
+from repro.sod.dsl import parse_sod
+from repro.utils.text import tokenize_words
+from repro.wrapper.equivalence import find_equivalence_classes
+from repro.wrapper.generate import WrapperConfig, generate_wrapper
+from repro.wrapper.occurrence import OccurrenceVector, occurrence_vectors
+from repro.wrapper.template import (
+    ElementTemplate,
+    FieldSlot,
+    IteratorSlot,
+    StaticSlot,
+)
+from repro.wrapper.tokens import tokenize_element
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SOD = parse_sod(
+    "concert(artist, date<kind=predefined>, "
+    "location(theater, address<kind=predefined>?))"
+)
+
+
+def reference_tokens(element, include_words=True):
+    """The seed tokenizer's output: per-node ``dom_path()`` walks.
+
+    The rewrite pushes paths down the recursion instead of re-walking the
+    ancestor chain per node; this reference recomputes every token's path
+    from scratch, so the two must agree token-for-token.
+    """
+    out = []
+
+    def visit(node):
+        path = node.dom_path()
+        attr_class = node.attributes.get("class", "")
+        annotations = frozenset(node.annotations)
+        out.append(("open", node.tag, path, attr_class, annotations))
+        for child in node.children:
+            if isinstance(child, Text):
+                if not include_words:
+                    continue
+                for word in tokenize_words(child.text):
+                    out.append(
+                        ("word", word, path, "", frozenset(child.annotations))
+                    )
+                continue
+            visit(child)
+        out.append(("close", node.tag, path, attr_class, annotations))
+
+    visit(element)
+    return out
+
+
+def reference_vectors(pages, min_support=3):
+    """Per-role ``Counter`` occurrence vectors (the pre-rewrite shape)."""
+    min_support = min(min_support, len(pages)) if pages else min_support
+    counters = [Counter(token.role_key for token in page.tokens) for page in pages]
+    roles = set()
+    for counter in counters:
+        roles.update(counter)
+    vectors = {}
+    for role in roles:
+        counts = tuple(counter.get(role, 0) for counter in counters)
+        if sum(1 for count in counts if count > 0) >= min_support:
+            vectors[role] = OccurrenceVector(counts)
+    return vectors
+
+
+class TestTokenizerEquivalence:
+    def test_token_stream_matches_reference(self, figure3_pages):
+        for page in figure3_pages:
+            fast = tokenize_element(page)
+            observed = [
+                (t.kind, t.value, t.path, t.attr_class, t.annotations)
+                for t in fast.tokens
+            ]
+            assert observed == reference_tokens(page)
+
+    def test_token_stream_matches_reference_without_words(self, figure3_pages):
+        for page in figure3_pages:
+            fast = tokenize_element(page, include_words=False)
+            observed = [
+                (t.kind, t.value, t.path, t.attr_class, t.annotations)
+                for t in fast.tokens
+            ]
+            assert observed == reference_tokens(page, include_words=False)
+
+    def test_annotations_survive_tokenization(
+        self, figure3_pages, figure3_recognizers
+    ):
+        for page in figure3_pages:
+            annotate_page(page, figure3_recognizers)
+        for page in figure3_pages:
+            fast = tokenize_element(page)
+            observed = [
+                (t.kind, t.value, t.path, t.attr_class, t.annotations)
+                for t in fast.tokens
+            ]
+            assert observed == reference_tokens(page)
+
+    def test_role_ids_are_first_appearance_document_order(self, figure3_pages):
+        page = tokenize_element(figure3_pages[0])
+        seen = {}
+        for token in page.tokens:
+            if token.role_key not in seen:
+                seen[token.role_key] = token.role_id
+            assert token.role_id == seen[token.role_key]
+        # Ids count up from zero in the order roles first appear.
+        assert sorted(seen.values()) == list(range(len(seen)))
+
+
+class TestOccurrenceEquivalence:
+    def test_vectors_match_reference_counters(self, figure3_pages):
+        pages = [
+            tokenize_element(page, page_index=index)
+            for index, page in enumerate(figure3_pages)
+        ]
+        assert occurrence_vectors(pages) == reference_vectors(pages)
+
+    def test_private_tables_are_normalized(self, figure3_pages):
+        # Pages tokenized one-by-one (each with its own table) must yield
+        # the same vectors as pages sharing a table from the start.
+        private = [tokenize_element(page) for page in figure3_pages]
+        from repro.wrapper.tokens import TokenTable
+
+        table = TokenTable()
+        shared = [
+            tokenize_element(page, table=table) for page in figure3_pages
+        ]
+        assert occurrence_vectors(private) == occurrence_vectors(shared)
+
+
+class TestEquivalenceClassEquivalence:
+    def test_classes_identical_for_private_and_shared_tables(
+        self, figure3_pages
+    ):
+        from repro.wrapper.tokens import TokenTable
+
+        private = [tokenize_element(page) for page in figure3_pages]
+        table = TokenTable()
+        shared = [
+            tokenize_element(page, table=table) for page in figure3_pages
+        ]
+        a = find_equivalence_classes(private, min_support=2)
+        b = find_equivalence_classes(shared, min_support=2)
+        assert [
+            (eq.roles, eq.ordered_roles, eq.vector, eq.valid) for eq in a
+        ] == [
+            (eq.roles, eq.ordered_roles, eq.vector, eq.valid) for eq in b
+        ]
+
+    def test_ordered_roles_follow_first_occurrence(self, figure3_pages):
+        pages = [tokenize_element(page) for page in figure3_pages]
+        for eq in find_equivalence_classes(pages, min_support=2):
+            if not eq.valid:
+                continue
+            reference = None
+            for page in pages:
+                firsts = {}
+                for index, token in enumerate(page.tokens):
+                    if (
+                        token.role_key in eq.roles
+                        and token.role_key not in firsts
+                    ):
+                        firsts[token.role_key] = index
+                if len(firsts) != len(eq.roles):
+                    continue
+                ordered = [
+                    role for __, role in sorted(
+                        (firsts[role], role) for role in eq.roles
+                    )
+                ]
+                if reference is None:
+                    reference = ordered
+                assert ordered == reference
+            assert reference is not None
+            assert list(eq.ordered_roles) == reference
+
+
+def _genre_page(records):
+    """One page of concert records with a varying-length genre list.
+
+    The varying ``<span class=genre>`` repetition induces an IteratorSlot,
+    the constant "Tickets available" label a StaticSlot, artist/date
+    FieldSlots, and the containers ElementTemplates — all four template
+    node kinds from one source.
+    """
+    body = ""
+    for artist, date, genres in records:
+        spans = "".join(f"<span class='genre'>{g}</span>" for g in genres)
+        body += (
+            f"<li><div class='artist'>{artist}</div>"
+            f"<div class='label'>Tickets available</div>"
+            f"<div class='date'>{date}</div>"
+            f"<ul class='genres'>{spans}</ul></li>"
+        )
+    return f"<html><body><ul class='list'>{body}</ul></body></html>"
+
+
+GENRE_RAW = [
+    _genre_page(
+        [
+            ("Muse", "May 5, 2011", ["rock"]),
+            ("Coldplay", "June 1, 2011", ["pop", "rock"]),
+        ]
+    ),
+    _genre_page(
+        [
+            ("Madonna", "July 2, 2011", ["pop", "dance", "electro"]),
+            ("Muse", "May 9, 2011", ["rock"]),
+        ]
+    ),
+    _genre_page(
+        [
+            ("Coldplay", "June 8, 2011", ["pop"]),
+            ("Madonna", "August 3, 2011", ["pop", "dance"]),
+        ]
+    ),
+]
+
+GENRE_SOD = parse_sod("concert(artist, date<kind=predefined>)")
+
+
+def induce_genre_wrapper():
+    from repro.htmlkit.tidy import tidy
+    from repro.recognizers import GazetteerRecognizer, predefined_recognizer
+
+    pages = [tidy(raw) for raw in GENRE_RAW]
+    recognizers = [
+        GazetteerRecognizer("artist", ["Muse", "Coldplay", "Madonna"]),
+        predefined_recognizer("date", type_name="date"),
+    ]
+    for page in pages:
+        annotate_page(page, recognizers)
+    return generate_wrapper(
+        "genre-demo", pages, GENRE_SOD, WrapperConfig(support=2)
+    )
+
+
+class TestTemplateNodeKinds:
+    def test_induced_template_covers_all_four_kinds(self):
+        wrapper = induce_genre_wrapper()
+        kinds = {type(node) for node in wrapper.template.iter_nodes()}
+        assert {FieldSlot, StaticSlot, ElementTemplate, IteratorSlot} <= kinds
+
+    def test_figure3_template_kinds(self, figure3_pages, figure3_recognizers):
+        # The running example exercises everything but iteration.
+        for page in figure3_pages:
+            annotate_page(page, figure3_recognizers)
+        wrapper = generate_wrapper(
+            "figure3", figure3_pages, SOD, WrapperConfig(support=2)
+        )
+        kinds = {type(node) for node in wrapper.template.iter_nodes()}
+        assert {FieldSlot, StaticSlot, ElementTemplate} <= kinds
+
+
+HASHSEED_SCRIPT = """
+import hashlib
+import json
+
+from repro.annotation.annotator import annotate_page
+from repro.core import ObjectRunner, RunParams
+from repro.datasets import build_knowledge, domain_spec, generate_source
+from repro.datasets.sites import SiteSpec
+from repro.htmlkit import tidy
+from repro.recognizers import RecognizerRegistry
+from repro.sod.dsl import parse_sod
+from repro.wrapper.generate import WrapperConfig, generate_wrapper
+from repro.wrapper.serialize import wrapper_to_dict
+from tests.conftest import FIGURE3_P1, FIGURE3_P2, FIGURE3_P3
+
+digest = hashlib.sha256()
+
+# Channel 1: the running example, induced directly (all four node kinds).
+from repro.recognizers import GazetteerRecognizer, predefined_recognizer
+
+SOD = parse_sod(
+    "concert(artist, date<kind=predefined>, "
+    "location(theater, address<kind=predefined>?))"
+)
+pages = [tidy(raw) for raw in (FIGURE3_P1, FIGURE3_P2, FIGURE3_P3)]
+recognizers = [
+    GazetteerRecognizer("artist", ["Metallica", "Coldplay", "Madonna", "Muse"]),
+    GazetteerRecognizer(
+        "theater",
+        [
+            "Madison Square Garden",
+            "Bowery Ballroom",
+            "The Town Hall",
+            "B.B King Blues and Grill",
+        ],
+    ),
+    predefined_recognizer("date", type_name="date"),
+    predefined_recognizer("address", type_name="address"),
+]
+for page in pages:
+    annotate_page(page, recognizers)
+wrapper = generate_wrapper("figure3", pages, SOD, WrapperConfig(support=2))
+digest.update(
+    json.dumps(wrapper_to_dict(wrapper), sort_keys=True).encode("utf-8")
+)
+
+# Channel 2: the varying-repetition source covering all four template
+# node kinds (FieldSlot, StaticSlot, ElementTemplate, IteratorSlot).
+from tests.test_wrapper_hotpath import induce_genre_wrapper
+
+digest.update(
+    json.dumps(
+        wrapper_to_dict(induce_genre_wrapper()), sort_keys=True
+    ).encode("utf-8")
+)
+
+# Channel 3: a synthetic source through the full pipeline, extraction
+# values included.
+domain = domain_spec("albums")
+knowledge = build_knowledge(domain, coverage=0.25)
+spec = SiteSpec(
+    name="hotpath-golden",
+    domain="albums",
+    archetype="mixed_structure",
+    total_objects=24,
+    seed=("hotpath", 1),
+)
+source = generate_source(spec, domain)
+runner = ObjectRunner(
+    domain.sod,
+    ontology=knowledge.ontology,
+    corpus=knowledge.corpus,
+    gazetteer_classes=domain.gazetteer_classes,
+    params=RunParams(),
+)
+result = runner.run_source(spec.name, source.pages)
+digest.update(json.dumps(wrapper_to_dict(result.wrapper), sort_keys=True).encode("utf-8"))
+for instance in result.objects:
+    digest.update(str(instance.page_index).encode("utf-8"))
+    digest.update(
+        json.dumps(instance.values, sort_keys=True, default=str).encode("utf-8")
+    )
+
+print(digest.hexdigest())
+"""
+
+
+def run_with_hashseed(seed):
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = seed
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}{os.pathsep}{REPO_ROOT}"
+    proc = subprocess.run(
+        [sys.executable, "-c", HASHSEED_SCRIPT],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+def test_induction_and_extraction_stable_across_hash_seeds():
+    """Wrapper bytes and extracted objects match at seeds 0, 1 and 4242."""
+    digests = {run_with_hashseed(seed) for seed in ("0", "1", "4242")}
+    assert len(digests) == 1, f"hash-seed dependent output: {digests}"
