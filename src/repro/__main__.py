@@ -78,7 +78,8 @@ from pathlib import Path
 
 from repro.core.faults import FAILURE_POLICIES
 from repro.core.objectrunner import ObjectRunner
-from repro.core.params import RunParams
+from repro.core.params import BACKENDS, RunParams
+from repro.core.sharding import ShardSpec
 from repro.core.pipeline import TraceObserver
 from repro.errors import ReproError
 from repro.htmlkit.clean import clean_tree
@@ -110,10 +111,29 @@ def _cli_fingerprint(pages: list[str]) -> str:
     return pages_fingerprint([clean_tree(tidy(page)) for page in pages])
 
 
+def _parse_shard(text: str | None) -> "ShardSpec | None":
+    """Parse an ``I/N`` shard argument (``None`` passes through)."""
+    if not text:
+        return None
+    return ShardSpec.parse(text)
+
+
 def _cmd_extract(args: argparse.Namespace) -> int:
     if not args.sod and not args.load_wrapper:
         print("--sod is required unless --load-wrapper is given", file=sys.stderr)
         return 2
+    try:
+        shard = _parse_shard(args.shard)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if shard is not None and not shard.contains(args.source_name):
+        print(
+            f"source {args.source_name!r} is outside shard {shard}; "
+            "nothing to do",
+            file=sys.stderr,
+        )
+        return 0
     registry = RecognizerRegistry()
     for spec in args.dict or []:
         if "=" not in spec:
@@ -126,7 +146,10 @@ def _cmd_extract(args: argparse.Namespace) -> int:
     pages = [Path(page).read_text(encoding="utf-8") for page in args.pages]
     try:
         params = RunParams().with_overrides(
-            failure_policy=args.failure_policy, max_retries=args.max_retries
+            failure_policy=args.failure_policy,
+            max_retries=args.max_retries,
+            backend=args.backend,
+            shard=shard,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -222,15 +245,44 @@ def _cmd_extract(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the benchmark catalog and/or compare BENCH artifacts."""
     from repro.metrics.bench import (
+        BENCH_PREFIX,
         BenchConfig,
         BenchSession,
+        bench_digest,
+        claim_bench_path,
         compare_documents,
         latest_bench,
         load_bench,
-        next_seq,
+        merge_documents,
         write_bench,
     )
 
+    if args.digest_files:
+        digests = []
+        for name in args.digest_files:
+            digest = bench_digest(load_bench(Path(name)))
+            digests.append(digest)
+            print(f"{digest}  {name}")
+        if len(set(digests)) > 1:
+            print("digest mismatch", file=sys.stderr)
+            return 3
+        return 0
+    if args.merge_shards:
+        try:
+            merged = merge_documents(
+                [load_bench(Path(name)) for name in args.merge_shards]
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        out_path = (
+            Path(args.merge_out)
+            if args.merge_out
+            else Path(args.out) / "BENCH_merged.json"
+        )
+        write_bench(out_path, merged)
+        print(f"wrote {out_path}")
+        return 0
     if args.compare_files:
         old_path, new_path = (Path(p) for p in args.compare_files)
         comparison = compare_documents(
@@ -244,12 +296,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0 if comparison.ok or args.warn_only else 3
 
     systems = tuple(name.strip() for name in args.systems.split(",") if name.strip())
-    config = BenchConfig(
-        scale=args.scale,
-        coverage=args.coverage,
-        systems=systems,
-        registry_root=args.registry,
-    )
+    try:
+        config = BenchConfig(
+            scale=args.scale,
+            coverage=args.coverage,
+            systems=systems,
+            registry_root=args.registry,
+            shard=_parse_shard(args.shard),
+            backend=args.backend,
+            workers=args.workers,
+            compare_backends=args.compare_backends,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.profile:
         from repro.metrics.profiling import profile_session, render_profile
 
@@ -267,14 +327,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return 0
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
-    seq = next_seq(out_dir)
+    shard_note = f" shard={config.shard}" if config.shard else ""
     print(
         f"repro bench: scale={config.scale} coverage={config.coverage} "
-        f"systems={','.join(systems)}",
+        f"systems={','.join(systems)} backend={config.backend} "
+        f"workers={config.workers}{shard_note}",
         file=sys.stderr,
     )
     document = BenchSession(config).capture()
-    path = out_dir / f"BENCH_{seq}.json"
+    # Claim the sequence number only after the (long) capture, so two
+    # concurrent captures cannot both decide on the same file.
+    path = claim_bench_path(out_dir)
+    seq = int(path.stem[len(BENCH_PREFIX):])
     write_bench(path, document)
     print(f"wrote {path}")
     if not args.compare and not args.compare_to:
@@ -330,7 +394,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_registry(args: argparse.Namespace) -> int:
-    """Inspect or maintain a wrapper registry (``ls``/``gc``/``verify``)."""
+    """Inspect or maintain a wrapper registry (``ls``/``gc``/``verify``/``merge``)."""
+    if args.action == "merge":
+        if not args.from_roots:
+            print("merge requires at least one --from DIR", file=sys.stderr)
+            return 2
+        parts = [WrapperRegistry(root) for root in args.from_roots]
+        merged = WrapperRegistry.merged(args.root, parts)
+        stats = merged.stats()
+        print(
+            f"merged {len(parts)} registr{'y' if len(parts) == 1 else 'ies'} "
+            f"into {args.root} ({stats['stores']} stores, "
+            f"{stats['races']} conflicts resolved canonically)",
+            file=sys.stderr,
+        )
+        return 0
     wrapper_registry = WrapperRegistry(args.root)
     if args.action == "ls":
         rows = wrapper_registry.index_rows()
@@ -434,6 +512,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="retry a stage raising TransientSourceError up to N times "
         "with deterministic exponential backoff (default: 0, no retries)",
     )
+    extract.add_argument(
+        "--shard",
+        metavar="I/N",
+        help="process this source only when its name hashes into shard I "
+        "of N (stable across processes and PYTHONHASHSEED); a driver "
+        "fanning invocations out across shards gets a disjoint, "
+        "exhaustive partition of its sources",
+    )
+    extract.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="thread",
+        help="multi-source fan-out backend for programmatic run_sources "
+        "batches (default: thread)",
+    )
     extract.add_argument("pages", nargs="+", help="HTML files of one source")
     extract.set_defaults(func=_cmd_extract)
 
@@ -459,10 +552,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     registry.add_argument(
         "action",
-        choices=("ls", "gc", "verify"),
+        choices=("ls", "gc", "verify", "merge"),
         help="ls: list stored wrappers; gc: delete orphan entry files "
         "(exit 0 whether or not orphans existed); "
-        "verify: check index/entry consistency (exit 1 on problems)",
+        "verify: check index/entry consistency (exit 1 on problems); "
+        "merge: fold --from registries into --root; conflicting entries "
+        "resolve canonically (wrapper before tombstone, then smaller "
+        "source id), independent of part order",
     )
     registry.add_argument(
         "--root",
@@ -475,6 +571,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="gc only: print the sorted removal list without deleting "
         "anything (still exit 0)",
+    )
+    registry.add_argument(
+        "--from",
+        dest="from_roots",
+        action="append",
+        metavar="DIR",
+        help="merge only: a shard registry to fold in (repeatable; "
+        "applied in the given order)",
     )
     registry.set_defaults(func=_cmd_registry)
 
@@ -519,6 +623,52 @@ def build_parser() -> argparse.ArgumentParser:
         default=".",
         metavar="DIR",
         help="directory receiving BENCH_<seq>.json (default: cwd)",
+    )
+    bench.add_argument(
+        "--shard",
+        metavar="I/N",
+        help="capture only the catalog sources hashing into shard I of N; "
+        "merge the per-shard documents with --merge-shards afterwards",
+    )
+    bench.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="sweep backend: serial loop, or hash-mod sub-shards on a "
+        "thread/process pool (default: serial)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="pool width of the thread/process backends (default: 1)",
+    )
+    bench.add_argument(
+        "--compare-backends",
+        action="store_true",
+        help="also time the alternate pooled backend over the same "
+        "catalog and record it under sharding.reference in the document",
+    )
+    bench.add_argument(
+        "--merge-shards",
+        nargs="+",
+        metavar="FILE",
+        help="skip the run: merge per-shard BENCH documents into one "
+        "whole-catalog document (see --merge-out)",
+    )
+    bench.add_argument(
+        "--merge-out",
+        metavar="FILE",
+        help="output path for --merge-shards "
+        "(default: BENCH_merged.json in --out)",
+    )
+    bench.add_argument(
+        "--digest-files",
+        nargs="+",
+        metavar="FILE",
+        help="skip the run: print each document's run-stable digest; "
+        "exit 3 when the digests differ (the byte-identity check)",
     )
     bench.add_argument(
         "--compare",

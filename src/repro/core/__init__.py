@@ -25,7 +25,8 @@ from repro.core.faults import (
     wall_sleep,
 )
 from repro.core.objectrunner import ObjectRunner, ObjectRunnerSystem
-from repro.core.params import RunParams
+from repro.core.params import BACKENDS, RunParams
+from repro.core.sharding import ShardSpec, stable_shard
 from repro.core.pipeline import (
     DEFAULT_STAGE_ORDER,
     REGISTRY_STAGE_ORDER,
@@ -48,6 +49,9 @@ __all__ = [
     "ObjectRunner",
     "ObjectRunnerSystem",
     "RunParams",
+    "BACKENDS",
+    "ShardSpec",
+    "stable_shard",
     "SourceResult",
     "MultiSourceResult",
     "StageTimings",

@@ -23,7 +23,8 @@ and counters of every run.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.baselines.interface import SystemOutput
@@ -36,6 +37,7 @@ from repro.core.faults import (
     SourceFailure,
 )
 from repro.core.params import RunParams
+from repro.core.sharding import stable_shard
 from repro.core.pipeline import (
     DEFAULT_STAGE_ORDER,
     REGISTRY_STAGE_ORDER,
@@ -52,13 +54,18 @@ from repro.errors import MultiSourceError, SodError
 from repro.htmlkit.dom import Element
 from repro.kb.ontology import Ontology
 from repro.metrics.observer import MetricsObserver
+from repro.metrics.registry import MetricsRegistry
 from repro.recognizers.base import Recognizer
 from repro.recognizers.build import DictionaryBuilder
 from repro.recognizers.gazetteer import GazetteerRecognizer
 from repro.recognizers.predefined import predefined_names, predefined_recognizer
 from repro.recognizers.registry import RecognizerRegistry
 from repro.recognizers.rules import FullNodeRecognizer
-from repro.registry.store import StagedRegistryView, WrapperRegistry
+from repro.registry.store import (
+    StagedRegistryView,
+    StagedWrites,
+    WrapperRegistry,
+)
 from repro.sod.types import (
     KIND_IS_INSTANCE_OF,
     KIND_PREDEFINED,
@@ -67,6 +74,106 @@ from repro.sod.types import (
     entity_types,
 )
 from repro.wrapper.generate import Wrapper
+
+
+@dataclass(frozen=True)
+class _ProcessShardTask:
+    """Everything one worker process needs to run its shard serially.
+
+    Every field is picklable: the runner is *rebuilt* in the worker (with
+    its own :class:`PreprocessCache`, :class:`MetricsObserver` and
+    wrapper-registry handle) rather than shipped, because the live runner
+    holds locks and open observers.  ``params`` arrives pre-flattened to
+    a serial thread backend so workers never recurse into fan-out.
+    """
+
+    sod: SodType
+    registry: RecognizerRegistry
+    ontology: Ontology | None
+    corpus: Corpus | None
+    gazetteer_classes: dict[str, str]
+    extra_gazetteer_entries: dict[str, dict[str, float]]
+    params: RunParams
+    retry_policy: RetryPolicy | None
+    registry_root: str | None
+    items: tuple[tuple[str, tuple[str, ...]], ...]
+    isolate: bool
+
+
+@dataclass(frozen=True)
+class _ProcessShardResult:
+    """What one worker ships home: outcomes plus mergeable state.
+
+    ``outcomes`` aligns with the task's item prefix (a fail-fast worker
+    stops at its first failure); ``registries`` hold per-source metrics
+    for :meth:`MetricsObserver.adopt_source`; ``writes`` hold each
+    completed source's buffered registry writes for the order-pinned
+    apply; ``registry_stats``/``cache_stats`` are the worker's lifetime
+    counters, folded into the parent's reporting.
+    """
+
+    outcomes: tuple["SourceResult | SourceFailure", ...]
+    registries: dict[str, "MetricsRegistry"]
+    writes: dict[str, StagedWrites]
+    registry_stats: dict[str, int] | None
+    cache_stats: dict[str, int]
+
+
+def _run_process_shard(task: _ProcessShardTask) -> _ProcessShardResult:
+    """Run one shard inside a worker process (module-level for pickling).
+
+    The worker mirrors the serial batch path: per-source staged registry
+    views over a private registry handle, one :class:`MetricsObserver`,
+    sources in shard input order.  Nothing is written to the shared
+    registry here — writes are exported and applied by the parent in
+    global input order, which is what keeps an N-way process run
+    byte-identical to the serial one.
+    """
+    observer = MetricsObserver()
+    wrapper_registry = (
+        WrapperRegistry(task.registry_root) if task.registry_root else None
+    )
+    runner = ObjectRunner(
+        sod=task.sod,
+        registry=task.registry,
+        ontology=task.ontology,
+        corpus=task.corpus,
+        gazetteer_classes=task.gazetteer_classes,
+        params=task.params,
+        extra_gazetteer_entries=task.extra_gazetteer_entries,
+        observers=(observer,),
+        retry_policy=task.retry_policy,
+        wrapper_registry=wrapper_registry,
+    )
+    observer.note_source_order(source for source, __ in task.items)
+    outcomes: list[SourceResult | SourceFailure] = []
+    writes: dict[str, StagedWrites] = {}
+    for source, raw_pages in task.items:
+        view = (
+            StagedRegistryView(wrapper_registry)
+            if wrapper_registry is not None
+            else None
+        )
+        try:
+            outcomes.append(runner._run_item(source, list(raw_pages), view))
+        except Exception as exc:
+            outcomes.append(SourceFailure.from_exception(source, exc))
+            if not task.isolate:
+                break
+        if view is not None:
+            writes[source] = view.export()
+    return _ProcessShardResult(
+        outcomes=tuple(outcomes),
+        registries={
+            source: observer.source_registry(source)
+            for source in observer.sources()
+        },
+        writes=writes,
+        registry_stats=(
+            wrapper_registry.stats() if wrapper_registry is not None else None
+        ),
+        cache_stats=runner.cache.stats(),
+    )
 
 
 class ObjectRunner:
@@ -386,6 +493,14 @@ class ObjectRunner:
         from repro.core.dedup import DedupConfig, deduplicate
 
         items = list(sources.items())
+        if self.params.shard is not None:
+            # Deterministic hash-mod membership: the same source lands in
+            # the same shard in every process, under every PYTHONHASHSEED.
+            items = [
+                (source, raw_pages)
+                for source, raw_pages in items
+                if self.params.shard.contains(source)
+            ]
         # Pin the metrics merge order to the input order before fanning
         # out, so parallel runs snapshot identically to serial ones.
         for observer in self.observers:
@@ -395,20 +510,29 @@ class ObjectRunner:
         workers = max(1, int(self.params.max_workers))
         if self.params.enrich_dictionaries:
             workers = 1
-        # Per-source staged registry views: every source sees the
-        # registry as it was at batch start, and buffered writes apply
-        # in input order afterwards — hit/miss never depends on thread
-        # scheduling, so parallel batches snapshot byte-identically to
-        # serial ones.
-        registry = self._active_registry()
-        views: list[StagedRegistryView | None] = [
-            StagedRegistryView(registry) if registry is not None else None
-            for __ in items
-        ]
-        if workers > 1 and len(items) > 1:
-            outcomes = self._run_items_parallel(items, views, workers, isolate)
+        if (
+            self.params.backend == "process"
+            and workers > 1
+            and len(items) > 1
+        ):
+            outcomes = self._run_items_process(items, workers, isolate)
         else:
-            outcomes = self._run_items_serial(items, views, isolate)
+            # Per-source staged registry views: every source sees the
+            # registry as it was at batch start, and buffered writes apply
+            # in input order afterwards — hit/miss never depends on thread
+            # scheduling, so parallel batches snapshot byte-identically to
+            # serial ones.
+            registry = self._active_registry()
+            views: list[StagedRegistryView | None] = [
+                StagedRegistryView(registry) if registry is not None else None
+                for __ in items
+            ]
+            if workers > 1 and len(items) > 1:
+                outcomes = self._run_items_parallel(
+                    items, views, workers, isolate
+                )
+            else:
+                outcomes = self._run_items_serial(items, views, isolate)
         results: dict[str, SourceResult] = {}
         failures: dict[str, SourceFailure] = {}
         pooled = []
@@ -449,8 +573,9 @@ class ObjectRunner:
     ) -> None:
         """Apply the first ``upto`` sources' buffered registry writes.
 
-        Input order, first-write-wins — the batch's registry bytes are a
-        pure function of the input sequence.  On a fail-fast abort only
+        Input order, conflicts resolved canonically — the batch's
+        registry bytes are a pure function of the applied-source set.
+        On a fail-fast abort only
         the sources drained before the failure apply, matching what a
         serial run would have written.
         """
@@ -521,6 +646,128 @@ class ObjectRunner:
         if abort is not None:
             failure, cause = abort
             raise self._abort_error(failure, outcomes, items) from cause
+        return outcomes
+
+    def _check_process_backend_support(self) -> None:
+        """Reject runner features that cannot cross a process boundary.
+
+        Fault injectors and custom sleep callables hold process-local
+        state (locks, recorded calls) the workers could not honor;
+        non-metrics observers would silently see nothing.  Failing loudly
+        beats a run that quietly measures less than it claims.
+        """
+        if self.fault_injector is not None:
+            raise ValueError(
+                "the process backend does not support a fault injector; "
+                "use backend='thread' for fault-injection runs"
+            )
+        if self._sleep is not None:
+            raise ValueError(
+                "the process backend does not support a custom sleep "
+                "callable; use backend='thread'"
+            )
+        unsupported = [
+            type(observer).__name__
+            for observer in self.observers
+            if not isinstance(observer, MetricsObserver)
+        ]
+        if unsupported:
+            raise ValueError(
+                "the process backend supports only MetricsObserver "
+                f"observers; got {', '.join(sorted(unsupported))}"
+            )
+
+    def _run_items_process(
+        self,
+        items: list[tuple[str, list[str]]],
+        workers: int,
+        isolate: bool,
+    ) -> list["SourceResult | SourceFailure"]:
+        """Sources fanned out to worker processes, one hash-mod shard each.
+
+        Every worker rebuilds the runner from a picklable spec and runs
+        its shard serially with its own ``PreprocessCache``,
+        ``MetricsRegistry`` per source and ``StagedRegistryView`` per
+        source; the parent merges in global input order — per-source
+        metrics through :meth:`MetricsObserver.adopt_source`, registry
+        writes with conflicts resolved canonically, cache and registry
+        counters summed — so the batch output is byte-identical to the
+        serial run.
+
+        Failure policy matches the serial semantics: under ``fail_fast``
+        every worker stops at its shard's first failure, and the parent
+        keeps exactly the sources preceding the *globally* first failure
+        in input order (those are guaranteed complete in every shard).
+        """
+        self._check_process_backend_support()
+        registry = self._active_registry()
+        shard_items: list[list[tuple[str, tuple[str, ...]]]] = [
+            [] for __ in range(workers)
+        ]
+        for source, raw_pages in items:
+            shard_items[stable_shard(source, workers)].append(
+                (source, tuple(raw_pages))
+            )
+        child_params = self.params.with_overrides(
+            backend="thread", max_workers=1, shard=None
+        )
+        tasks = [
+            _ProcessShardTask(
+                sod=self.sod,
+                registry=self.registry,
+                ontology=self._ontology,
+                corpus=self._corpus,
+                gazetteer_classes=self._gazetteer_classes,
+                extra_gazetteer_entries=self._extra_gazetteer_entries,
+                params=child_params,
+                retry_policy=self.retry_policy,
+                registry_root=str(registry.root) if registry else None,
+                items=tuple(chunk),
+                isolate=isolate,
+            )
+            for chunk in shard_items
+            if chunk
+        ]
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            shard_results = list(pool.map(_run_process_shard, tasks))
+        outcome_by_source: dict[str, SourceResult | SourceFailure] = {}
+        writes_by_source: dict[str, StagedWrites] = {}
+        metrics_observers = [
+            observer
+            for observer in self.observers
+            if isinstance(observer, MetricsObserver)
+        ]
+        for task, result in zip(tasks, shard_results):
+            for (source, __), outcome in zip(task.items, result.outcomes):
+                outcome_by_source[source] = outcome
+            writes_by_source.update(result.writes)
+            for observer in metrics_observers:
+                for source, shipped in result.registries.items():
+                    observer.adopt_source(source, shipped)
+                observer.adopt_cache_stats(result.cache_stats)
+            if registry is not None and result.registry_stats is not None:
+                registry.adopt_stats(result.registry_stats)
+        # The globally-first failure, in input order, decides the cut.
+        cut = len(items)
+        first_failure: SourceFailure | None = None
+        if not isolate:
+            for position, (source, __) in enumerate(items):
+                outcome = outcome_by_source.get(source)
+                if isinstance(outcome, SourceFailure):
+                    cut = position
+                    first_failure = outcome
+                    break
+        outcomes: list[SourceResult | SourceFailure] = []
+        for source, __ in items[:cut]:
+            outcomes.append(outcome_by_source[source])
+        if registry is not None:
+            kept = items if isolate else items[:cut]
+            for source, __ in kept:
+                staged = writes_by_source.get(source)
+                if staged is not None:
+                    staged.apply_to(registry)
+        if first_failure is not None:
+            raise self._abort_error(first_failure, outcomes, items)
         return outcomes
 
     def _abort_error(

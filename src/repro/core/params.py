@@ -6,6 +6,12 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.core.faults import FAILURE_POLICIES
+from repro.core.sharding import ShardSpec
+
+#: Execution backends of ``run_sources``: worker threads (cheap, shares
+#: every in-process cache, but GIL-bound on the CPU-heavy induction path)
+#: or worker processes (per-shard fan-out with true parallelism).
+BACKENDS = ("thread", "process")
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,18 @@ class RunParams:
     #: :class:`~repro.errors.TransientSourceError` (0 disables retrying);
     #: backoff follows :class:`~repro.core.faults.RetryPolicy`.
     max_retries: int = 0
+    #: Execution backend of ``run_sources``: ``"thread"`` fans sources out
+    #: on a thread pool sharing the runner's caches; ``"process"`` splits
+    #: them into ``max_workers`` hash-mod shards, runs each in a worker
+    #: process with its own cache/metrics/registry view, and merges with
+    #: the order-pinned semantics — byte-identical output either way.
+    backend: str = "thread"
+    #: Restrict ``run_sources`` to the sources of one deterministic
+    #: hash-mod shard (:class:`~repro.core.sharding.ShardSpec`); ``None``
+    #: runs everything.  Membership is ``PYTHONHASHSEED``-independent, so
+    #: N cooperating processes given shards 0/N .. N-1/N cover every
+    #: source exactly once.
+    shard: ShardSpec | None = None
 
     def __post_init__(self) -> None:
         """Reject out-of-range values that would silently distort runs."""
@@ -76,6 +94,15 @@ class RunParams:
         if self.max_retries < 0:
             raise ValueError(
                 f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backend not in BACKENDS:
+            known = ", ".join(BACKENDS)
+            raise ValueError(
+                f"unknown backend {self.backend!r} (known: {known})"
+            )
+        if self.shard is not None and not isinstance(self.shard, ShardSpec):
+            raise ValueError(
+                f"shard must be a ShardSpec or None, got {self.shard!r}"
             )
 
     def with_overrides(self, **kwargs) -> "RunParams":

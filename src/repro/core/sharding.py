@@ -1,0 +1,87 @@
+"""Deterministic hash-mod sharding of the source-id space.
+
+Production-scale runs split a source catalog across processes or
+machines; correctness of the order-pinned merges downstream (metrics,
+wrapper registry) requires that the *partition itself* is a pure
+function of the source ids.  Python's builtin ``hash`` is salted per
+process (``PYTHONHASHSEED``), so membership is derived from SHA-256
+instead: :func:`stable_shard` maps a source id to a shard index
+byte-identically in every process, on every platform, under every hash
+seed.
+
+A :class:`ShardSpec` names one slice of an ``N``-way partition.  Every
+source id belongs to exactly one shard, so running shards ``0/N ..
+N-1/N`` and merging (metrics in input order, registry conflicts resolved
+canonically) reproduces the unsharded run byte for byte — the contract
+``tests/test_core_sharding.py`` and the byte-identity acceptance suite
+pin down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Bytes of the SHA-256 digest folded into the shard index.  8 bytes give
+#: a uniform 64-bit key — far beyond any realistic shard count — while
+#: keeping the modulo cheap.
+_DIGEST_BYTES = 8
+
+
+def stable_shard(source_id: str, count: int) -> int:
+    """The shard index of ``source_id`` in an ``count``-way partition.
+
+    Derived from the SHA-256 of the UTF-8 source id, so the assignment
+    is identical across processes, platforms and ``PYTHONHASHSEED``
+    values — unlike the salted builtin ``hash``.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    digest = hashlib.sha256(source_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:_DIGEST_BYTES], "big") % count
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice of a deterministic ``count``-way source partition."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        """Reject specs that do not name a slice of a real partition."""
+        if self.count < 1:
+            raise ValueError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index must be in [0, {self.count}), got {self.index}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI spelling ``"I/N"`` (for example ``"0/4"``)."""
+        index_text, sep, count_text = text.partition("/")
+        if not sep or not index_text.strip() or not count_text.strip():
+            raise ValueError(
+                f"shard spec must look like I/N (for example 0/4), got {text!r}"
+            )
+        try:
+            index = int(index_text)
+            count = int(count_text)
+        except ValueError as exc:
+            raise ValueError(
+                f"shard spec must be two integers I/N, got {text!r}"
+            ) from exc
+        return cls(index=index, count=count)
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+    def contains(self, source_id: str) -> bool:
+        """Whether ``source_id`` belongs to this shard."""
+        return stable_shard(source_id, self.count) == self.index
+
+    def partition(self, source_ids: Iterable[str]) -> list[str]:
+        """The ids belonging to this shard, keeping the input order."""
+        return [sid for sid in source_ids if self.contains(sid)]

@@ -19,6 +19,9 @@ sources of Table I with the paper's reported numbers).
 """
 
 from repro.datasets.catalog import (
+    SCALE_TIER_OBJECT_SCALE,
+    SCALE_TIER_SOURCES,
+    SCALE_TIER_THRESHOLD,
     CatalogEntry,
     PaperNumbers,
     catalog_entries,
@@ -30,6 +33,9 @@ from repro.datasets.knowledge import DomainKnowledge, build_knowledge
 from repro.datasets.sites import GeneratedSource, SiteSpec, generate_source
 
 __all__ = [
+    "SCALE_TIER_OBJECT_SCALE",
+    "SCALE_TIER_SOURCES",
+    "SCALE_TIER_THRESHOLD",
     "CatalogEntry",
     "PaperNumbers",
     "catalog_entries",

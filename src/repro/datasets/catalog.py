@@ -12,9 +12,26 @@ Attribute/object tallies from the paper are encoded as
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.datasets.sites import SiteSpec
+
+#: Scales at or above this threshold select the replicated *scale tier*:
+#: instead of growing per-source volumes, the 49-source catalog is
+#: replicated to ``round(scale * SCALE_TIER_SOURCES)`` sources (so scale
+#: 1.0 is the 1000-source tier the sharding/process-backend benchmarks
+#: run at).  Below the threshold the classic 49-source catalog is
+#: returned with per-source volumes scaled, exactly as before.
+SCALE_TIER_THRESHOLD = 1.0
+
+#: Sources in the scale tier at scale 1.0.
+SCALE_TIER_SOURCES = 1000
+
+#: Per-source volume of replicated entries: the established small-tier
+#: fraction, so a 1000-source sweep stays tractable while exercising
+#: 20x the catalog's source count.
+SCALE_TIER_OBJECT_SCALE = 0.1
 
 
 @dataclass(frozen=True)
@@ -86,14 +103,55 @@ def _entry(
 
 
 def catalog_entries(scale: float = 0.1) -> list[CatalogEntry]:
-    """All 49 Table I sources.
+    """The benchmark catalog at the requested scale.
 
-    ``scale`` shrinks per-source object counts relative to the paper (1.0
-    regenerates the full volumes; the default keeps runs fast while leaving
-    dozens of records per source).  Books and publications sources use a
-    constant record count per page — the paper observed those lists are
-    "too regular" for RoadRunner, and the generator preserves that.
+    Below :data:`SCALE_TIER_THRESHOLD` this is the classic 49-source
+    Table I catalog with per-source object counts scaled relative to the
+    paper (0.1 keeps runs fast while leaving dozens of records per
+    source).  Books and publications sources use a constant record count
+    per page — the paper observed those lists are "too regular" for
+    RoadRunner, and the generator preserves that.
+
+    At or above the threshold the *scale tier* kicks in: the 49 sources
+    are replicated round-robin to ``round(scale * SCALE_TIER_SOURCES)``
+    sources (1000 at scale 1.0).  Replica 0 is the original catalog
+    verbatim; replica ``r`` of a source is named ``{name}--r{r}`` and
+    draws from its own deterministic seed ``("table1", row, new_name)``
+    following the established per-source seeding scheme, so every
+    replica generates distinct pages while per-source volumes stay at
+    the small-tier fraction (:data:`SCALE_TIER_OBJECT_SCALE`).
     """
+    if scale >= SCALE_TIER_THRESHOLD:
+        return _scale_tier_entries(scale)
+    return _table1_entries(scale)
+
+
+def _replicated(entry: CatalogEntry, replica: int) -> CatalogEntry:
+    """Replica ``replica`` of a Table I source, reseeded by its new name."""
+    name = f"{entry.spec.name}--r{replica}"
+    spec = dataclasses.replace(
+        entry.spec, name=name, seed=("table1", entry.row, name)
+    )
+    return dataclasses.replace(entry, spec=spec)
+
+
+def _scale_tier_entries(scale: float) -> list[CatalogEntry]:
+    """Round-robin replication of the catalog to the scale-tier size."""
+    base = _table1_entries(SCALE_TIER_OBJECT_SCALE)
+    total = max(len(base), round(scale * SCALE_TIER_SOURCES))
+    entries = list(base)
+    replica = 1
+    while len(entries) < total:
+        for entry in base:
+            if len(entries) >= total:
+                break
+            entries.append(_replicated(entry, replica))
+        replica += 1
+    return entries
+
+
+def _table1_entries(scale: float) -> list[CatalogEntry]:
+    """The 49 Table I sources at one per-source object scale."""
     s = scale
     entries = [
         # -- Concerts (4 attributes) ------------------------------------

@@ -55,7 +55,7 @@ def _flatten(values: dict) -> dict[str, list[str]]:
 
 
 class _DomainPools:
-    """Lazily built pools shared across sources of one run."""
+    """Pools shared across sources of one run (built once at import)."""
 
     def __init__(self) -> None:
         self.artists = pools.artist_pool()
@@ -78,14 +78,15 @@ class _DomainPools:
         }[class_name]
 
 
-_SHARED_POOLS: _DomainPools | None = None
+#: Built eagerly at import time so no function ever rebinds a
+#: module-level name — gold generation is reachable from the bench
+#: sweep's worker pools, and reprolint T301 bans pool-reachable global
+#: rebinding (the same pattern as ``metrics.registry._DEFAULT_REGISTRY``).
+_SHARED_POOLS = _DomainPools()
 
 
 def shared_pools() -> _DomainPools:
     """The singleton pools instance (pools are deterministic anyway)."""
-    global _SHARED_POOLS
-    if _SHARED_POOLS is None:
-        _SHARED_POOLS = _DomainPools()
     return _SHARED_POOLS
 
 

@@ -22,19 +22,25 @@ comparable).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import json
 import os
 import platform
 import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.baselines import ExAlgSystem, RoadRunnerSystem
 from repro.core.cache import PreprocessCache
 from repro.core.objectrunner import ObjectRunnerSystem
 from repro.core.params import RunParams
+from repro.core.sharding import ShardSpec, stable_shard
 from repro.datasets import (
+    SCALE_TIER_THRESHOLD,
     CatalogEntry,
     build_knowledge,
     catalog_entries,
@@ -43,15 +49,39 @@ from repro.datasets import (
 )
 from repro.datasets.knowledge import completion_entries
 from repro.eval import aggregate_domain, grade_source
-from repro.metrics.observer import MetricsObserver, peak_rss_bytes, wall_timestamp
+from repro.metrics.observer import (
+    MetricsObserver,
+    monotonic_seconds,
+    peak_rss_bytes,
+    wall_timestamp,
+)
 from repro.metrics.registry import MetricsRegistry
-from repro.registry.store import WrapperRegistry
+from repro.registry.store import (
+    StagedRegistryView,
+    StagedWrites,
+    WrapperRegistry,
+    write_json_atomic,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.eval.metrics import DomainMetrics
 
 #: Version of the BENCH artifact schema; bump on incompatible changes.
-BENCH_SCHEMA_VERSION = 1
+#: v2 added the execution keys (``config.shard``/``backend``/``workers``)
+#: and the top-level ``sharding`` block with per-shard wall timings.
+BENCH_SCHEMA_VERSION = 2
+
+#: Sweep backends of :class:`BenchSession`: ``serial`` runs the catalog
+#: in one loop; ``thread``/``process`` partition it into ``workers``
+#: hash-mod shards run on a pool, reassembled in catalog order.
+BENCH_BACKENDS: tuple[str, ...] = ("serial", "thread", "process")
+
+#: CatalogCache bound at the scale tier: replicated sources are visited
+#: once per sweep, so only a small working set needs to stay resident.
+SCALE_TIER_CATALOG_SOURCES = 64
+
+#: Preprocess-cache bound at the scale tier (trees are the big objects).
+SCALE_TIER_CACHE_ENTRIES = 256
 
 #: Filename prefix of persisted benchmark artifacts.
 BENCH_PREFIX = "BENCH_"
@@ -74,28 +104,53 @@ class CatalogCache:
     Domain knowledge (ontology + corpus) per domain/coverage, generated
     sources per entry — shared by the benchmark suite's harness and the
     ``repro bench`` session so repeated sweeps never regenerate them.
+
+    Thread-safe (the thread backend's shards share one cache), and
+    optionally bounded: ``max_sources`` caps the generated-source map
+    with least-recently-used eviction, so a 1000-source scale-tier sweep
+    — where every source is visited once and never again — holds a small
+    working set instead of a gigabyte of page trees.  Generation is
+    deterministic, so an evicted-and-regenerated source is identical.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_sources: int | None = None) -> None:
+        self._lock = threading.Lock()
         self._knowledge: dict[tuple[str, float], object] = {}
         self._sources: dict[str, object] = {}
+        self._max_sources = max_sources
 
     def knowledge(self, domain_name: str, coverage: float):
         """The built domain knowledge for one domain at one coverage."""
         key = (domain_name, coverage)
-        if key not in self._knowledge:
-            self._knowledge[key] = build_knowledge(
-                domain_spec(domain_name), coverage=coverage
-            )
-        return self._knowledge[key]
+        with self._lock:
+            hit = self._knowledge.get(key)
+        if hit is not None:
+            return hit
+        built = build_knowledge(domain_spec(domain_name), coverage=coverage)
+        with self._lock:
+            return self._knowledge.setdefault(key, built)
 
     def source(self, entry: CatalogEntry):
         """The deterministic generated source of one catalog entry."""
-        if entry.spec.name not in self._sources:
-            self._sources[entry.spec.name] = generate_source(
-                entry.spec, domain_spec(entry.spec.domain)
-            )
-        return self._sources[entry.spec.name]
+        name = entry.spec.name
+        with self._lock:
+            hit = self._sources.get(name)
+            if hit is not None:
+                # Reinsert to refresh recency (dicts iterate insertion
+                # order, so the first key is always the LRU victim).
+                self._sources.pop(name)
+                self._sources[name] = hit
+                return hit
+        built = generate_source(entry.spec, domain_spec(entry.spec.domain))
+        with self._lock:
+            existing = self._sources.get(name)
+            if existing is not None:
+                return existing
+            self._sources[name] = built
+            if self._max_sources is not None:
+                while len(self._sources) > self._max_sources:
+                    self._sources.pop(next(iter(self._sources)))
+            return built
 
 
 def build_system(
@@ -105,16 +160,17 @@ def build_system(
     coverage: float = DICTIONARY_COVERAGE,
     params: RunParams | None = None,
     observers: Iterable = (),
-    wrapper_registry: WrapperRegistry | None = None,
+    wrapper_registry: WrapperRegistry | StagedRegistryView | None = None,
 ):
     """Instantiate a system by short name for one catalog source.
 
     ObjectRunner gets the domain knowledge plus the per-source dictionary
     completion (the paper ensured every dictionary covered at least 20% of
     each source's instances); ``observers`` subscribe to every pipeline
-    run the system makes.  A ``wrapper_registry`` puts ObjectRunner on
-    the registry-first path (the warm-path benchmark); baselines ignore
-    it.
+    run the system makes.  A ``wrapper_registry`` — the registry itself or
+    a per-source :class:`~repro.registry.store.StagedRegistryView` — puts
+    ObjectRunner on the registry-first path (the warm-path benchmark);
+    baselines ignore it.
     """
     if name == "objectrunner":
         domain_name = entry.spec.domain
@@ -151,11 +207,35 @@ class BenchConfig:
     coverage: float = DICTIONARY_COVERAGE
     systems: tuple[str, ...] = DEFAULT_SYSTEMS
     #: LRU capacity of the session preprocessing cache; sized so a full
-    #: catalog sweep at default scale never evicts.
+    #: catalog sweep at default scale never evicts.  Clamped to
+    #: :data:`SCALE_TIER_CACHE_ENTRIES` at the scale tier.
     cache_entries: int = 4096
     #: Wrapper registry directory for the registry-first (warm) path;
     #: ``None`` captures the classic cold pipeline.
     registry_root: str | None = None
+    #: Which slice of the catalog this capture covers; ``None`` is the
+    #: whole catalog.  Shard documents merge via :func:`merge_documents`.
+    shard: ShardSpec | None = None
+    #: Sweep backend (:data:`BENCH_BACKENDS`); thread/process partition
+    #: the (shard-filtered) catalog into ``workers`` hash-mod sub-shards.
+    backend: str = "serial"
+    #: Pool width of the thread/process backends; 1 means serial.
+    workers: int = 1
+    #: Also time the alternate pooled backend (process vs thread) over
+    #: the same catalog and record it under ``sharding.reference`` —
+    #: quality results of the reference sweep are discarded.
+    compare_backends: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in BENCH_BACKENDS:
+            known = ", ".join(BENCH_BACKENDS)
+            raise ValueError(
+                f"unknown bench backend {self.backend!r} (known: {known})"
+            )
+        if self.shard is not None and not isinstance(self.shard, ShardSpec):
+            raise ValueError(
+                f"shard must be a ShardSpec or None, got {self.shard!r}"
+            )
 
 
 class BenchSession:
@@ -165,57 +245,233 @@ class BenchSession:
     :class:`~repro.core.cache.PreprocessCache`, so the second and third
     systems draw cache hits instead of re-paying preprocessing — and every
     system receives fresh copies instead of sharing mutated trees.
+
+    Registry writes are staged per source and applied in catalog order
+    at the end of each sweep — the same batch-start semantics
+    ``ObjectRunner.run_sources`` uses — so a serial sweep, a thread- or
+    process-pooled sweep, and a merge of per-shard runs all leave the
+    registry byte-identical.
     """
 
     def __init__(self, config: BenchConfig | None = None):
         self.config = config or BenchConfig()
-        self.catalog = CatalogCache()
-        self.preprocess_cache = PreprocessCache(
-            max_entries=self.config.cache_entries
+        at_tier = self.config.scale >= SCALE_TIER_THRESHOLD
+        self.catalog = CatalogCache(
+            max_sources=SCALE_TIER_CATALOG_SOURCES if at_tier else None
         )
+        cache_entries = self.config.cache_entries
+        if at_tier:
+            cache_entries = min(cache_entries, SCALE_TIER_CACHE_ENTRIES)
+        self.preprocess_cache = PreprocessCache(max_entries=cache_entries)
         self.registry = (
             WrapperRegistry(self.config.registry_root)
             if self.config.registry_root
             else None
         )
+        #: Per-system shard-timing rows and sweep walls of the last
+        #: capture, folded into the document's ``sharding`` block.
+        self._shard_rows: dict[str, list[dict]] = {}
+        self._walls: dict[str, float] = {}
+        self._worker_cache_stats: list[dict[str, int]] = []
+
+    def entries(self) -> list[CatalogEntry]:
+        """The catalog slice this session covers, in catalog order."""
+        entries = catalog_entries(scale=self.config.scale)
+        if self.config.shard is not None:
+            # Membership hashes the source *name* (sha256, not hash()),
+            # so it is identical across processes and PYTHONHASHSEED.
+            entries = [
+                entry
+                for entry in entries
+                if self.config.shard.contains(entry.spec.name)
+            ]
+        return entries
 
     def pages(self, entry: CatalogEntry):
         """Freshly cloned, cleaned page trees of one entry (via the cache)."""
         source = self.catalog.source(entry)
         return self.preprocess_cache.clean_pages(source.pages).pages
 
+    def _shard_label(self) -> str | None:
+        return str(self.config.shard) if self.config.shard else None
+
+    def _run_entry(
+        self,
+        system_name: str,
+        entry: CatalogEntry,
+        metrics: MetricsObserver,
+        registry_view: StagedRegistryView | None,
+    ):
+        """Run one system over one entry; grade it against its gold."""
+        domain = domain_spec(entry.spec.domain)
+        source = self.catalog.source(entry)
+        pages = self.pages(entry)
+        system = build_system(
+            system_name,
+            entry,
+            self.catalog,
+            coverage=self.config.coverage,
+            observers=(metrics,),
+            wrapper_registry=registry_view,
+        )
+        output = system.run(entry.spec.name, pages, domain.sod)
+        return grade_source(domain, source.gold, output), output.wrap_seconds
+
+    def _sweep_serial(self, system_name, entries, metrics):
+        """One-loop sweep; the single timing row covers the whole slice."""
+        start = monotonic_seconds()
+        assembled = []
+        for entry in entries:
+            view = (
+                StagedRegistryView(self.registry) if self.registry else None
+            )
+            evaluation, wrap_seconds = self._run_entry(
+                system_name, entry, metrics, view
+            )
+            assembled.append((entry, evaluation, wrap_seconds, view))
+        row = {
+            "shard": self._shard_label(),
+            "index": 0,
+            "count": 1,
+            "sources": len(entries),
+            "wall_seconds": round(monotonic_seconds() - start, 6),
+        }
+        return assembled, [row]
+
+    def _sweep_thread(self, system_name, entries, metrics, workers):
+        """Hash-mod sub-shards on a thread pool, sharing session caches."""
+        chunks = _shard_chunks(entries, workers)
+
+        def run_chunk(index: int, chunk: list[CatalogEntry]):
+            start = monotonic_seconds()
+            results = []
+            for entry in chunk:
+                view = (
+                    StagedRegistryView(self.registry)
+                    if self.registry
+                    else None
+                )
+                evaluation, wrap_seconds = self._run_entry(
+                    system_name, entry, metrics, view
+                )
+                results.append((entry.spec.name, evaluation, wrap_seconds, view))
+            return index, results, monotonic_seconds() - start
+
+        with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [
+                pool.submit(run_chunk, index, chunk) for index, chunk in chunks
+            ]
+            outcomes = [future.result() for future in futures]
+        rows = []
+        by_name: dict[str, tuple] = {}
+        for index, results, wall in outcomes:
+            rows.append({
+                "shard": self._shard_label(),
+                "index": index,
+                "count": workers,
+                "sources": len(results),
+                "wall_seconds": round(wall, 6),
+            })
+            for name, evaluation, wrap_seconds, view in results:
+                by_name[name] = (evaluation, wrap_seconds, view)
+        assembled = [
+            (entry, *by_name[entry.spec.name]) for entry in entries
+        ]
+        return assembled, rows
+
+    def _sweep_process(self, system_name, entries, metrics, workers):
+        """Hash-mod sub-shards fanned out to worker processes.
+
+        Each worker runs its slice serially with its own caches and a
+        read-only view of the registry root, shipping back evaluations,
+        per-source metrics registries, staged registry writes and cache
+        stats.  The parent adopts the metrics (merge order stays pinned
+        to catalog order) and applies the writes in catalog order, so
+        the result is byte-identical to the serial sweep.
+        """
+        chunks = _shard_chunks(entries, workers)
+        tasks = [
+            _BenchShardTask(
+                config=self.config,
+                system_name=system_name,
+                names=tuple(entry.spec.name for entry in chunk),
+                index=index,
+                count=workers,
+            )
+            for index, chunk in chunks
+        ]
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            results = list(pool.map(_bench_shard_worker, tasks))
+        rows = []
+        by_name: dict[str, tuple] = {}
+        writes_by_name: dict[str, StagedWrites | None] = {}
+        for result in results:
+            rows.append({
+                "shard": self._shard_label(),
+                "index": result.index,
+                "count": result.count,
+                "sources": result.sources,
+                "wall_seconds": result.wall_seconds,
+            })
+            for name, registry in result.registries.items():
+                metrics.adopt_source(name, registry)
+            metrics.adopt_cache_stats(result.cache_stats)
+            self._worker_cache_stats.append(dict(result.cache_stats))
+            if result.registry_stats is not None and self.registry is not None:
+                self.registry.adopt_stats(result.registry_stats)
+            for name, evaluation, wrap_seconds in result.evaluations:
+                by_name[name] = (evaluation, wrap_seconds)
+            writes_by_name.update(result.writes)
+        assembled = [
+            (
+                entry,
+                *by_name[entry.spec.name],
+                writes_by_name.get(entry.spec.name),
+            )
+            for entry in entries
+        ]
+        return assembled, rows
+
     def run_system(
         self, system_name: str
     ) -> tuple[list["DomainMetrics"], MetricsRegistry, MetricsObserver]:
-        """Run one system over the whole catalog and aggregate per domain.
+        """Run one system over the session's catalog slice.
 
         Returns the per-domain metrics (paper order), a registry holding
         the per-source ``wrap`` timer, and the pipeline metrics observer
-        (meaningful for ObjectRunner; empty for the baselines).
+        (meaningful for ObjectRunner; empty for the baselines).  The
+        backend only changes *how* the slice is swept; evaluations, the
+        wrap timer and the staged registry writes are always assembled
+        in catalog order afterwards.
         """
+        entries = self.entries()
         metrics = MetricsObserver()
         metrics.observe_cache(self.preprocess_cache)
-        wrap = MetricsRegistry()
-        evaluations: dict[str, list] = {name: [] for name in DOMAIN_ORDER}
-        entries = catalog_entries(scale=self.config.scale)
         metrics.note_source_order(entry.spec.name for entry in entries)
-        for entry in entries:
-            domain = domain_spec(entry.spec.domain)
-            source = self.catalog.source(entry)
-            pages = self.pages(entry)
-            system = build_system(
-                system_name,
-                entry,
-                self.catalog,
-                coverage=self.config.coverage,
-                observers=(metrics,),
-                wrapper_registry=self.registry,
+        wrap = MetricsRegistry()
+        workers = max(1, int(self.config.workers))
+        pooled = workers > 1 and len(entries) > 1
+        start = monotonic_seconds()
+        if self.config.backend == "process" and pooled:
+            assembled, rows = self._sweep_process(
+                system_name, entries, metrics, workers
             )
-            output = system.run(entry.spec.name, pages, domain.sod)
-            evaluations[entry.spec.domain].append(
-                grade_source(domain, source.gold, output)
+        elif self.config.backend == "thread" and pooled:
+            assembled, rows = self._sweep_thread(
+                system_name, entries, metrics, workers
             )
-            wrap.observe("wrap", output.wrap_seconds)
+        else:
+            assembled, rows = self._sweep_serial(system_name, entries, metrics)
+        evaluations: dict[str, list] = {name: [] for name in DOMAIN_ORDER}
+        for entry, evaluation, wrap_seconds, staged in assembled:
+            evaluations[entry.spec.domain].append(evaluation)
+            wrap.observe("wrap", wrap_seconds)
+            if staged is not None and self.registry is not None:
+                staged.apply_to(self.registry)
+        self._shard_rows[system_name] = rows
+        # The sweep wall includes pool startup/teardown and the merge —
+        # the number the thread-vs-process comparison is about.
+        self._walls[system_name] = round(monotonic_seconds() - start, 6)
         domains = [
             aggregate_domain(domain_name, system_name, evaluations[domain_name])
             for domain_name in DOMAIN_ORDER
@@ -248,7 +504,6 @@ class BenchSession:
                 "metrics": merged if has_events else None,
                 "cache": metrics.cache_stats() if has_events else None,
             }
-        entries = catalog_entries(scale=self.config.scale)
         return {
             "schema_version": BENCH_SCHEMA_VERSION,
             "generated_at": wall_timestamp(),
@@ -258,17 +513,80 @@ class BenchSession:
                 "scale": self.config.scale,
                 "coverage": self.config.coverage,
                 "systems": list(self.config.systems),
-                "sources": len(entries),
+                "sources": len(self.entries()),
                 "registry": bool(self.registry),
+                "shard": self._shard_label(),
+                "backend": self.config.backend,
+                "workers": max(1, int(self.config.workers)),
                 "seed": {
                     "sampling_seed": RunParams().sampling_seed,
                     "pythonhashseed": os.environ.get("PYTHONHASHSEED", ""),
                 },
             },
             "process": {"peak_rss_bytes": peak_rss_bytes()},
-            "cache": self.preprocess_cache.stats(),
+            "cache": self._session_cache_stats(),
             "registry": self.registry.stats() if self.registry else None,
             "systems": systems_doc,
+            "sharding": {
+                "shard": self._shard_label(),
+                "backend": self.config.backend,
+                "workers": max(1, int(self.config.workers)),
+                "merged_from": None,
+                "per_shard": {
+                    name: rows for name, rows in self._shard_rows.items()
+                } or None,
+                "wall_seconds": dict(self._walls) or None,
+                "reference": (
+                    self._reference_backend()
+                    if self.config.compare_backends
+                    else None
+                ),
+            },
+        }
+
+    def _session_cache_stats(self) -> dict[str, int]:
+        """Session preprocess-cache stats plus adopted worker stats.
+
+        Process-backend sweeps preprocess in the workers, whose caches
+        die with them; their final stats are summed into the session's
+        (otherwise idle) cache numbers so the document still accounts
+        for every hit and miss of the capture.
+        """
+        totals = dict(self.preprocess_cache.stats())
+        for stats in self._worker_cache_stats:
+            for name, value in stats.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
+    def _reference_backend(self) -> dict | None:
+        """Time the alternate pooled backend over the same catalog slice.
+
+        Runs every configured system once more under the other pooled
+        backend (process ⇄ thread) in a fresh session — fresh caches, no
+        registry — and reports only the walls and per-shard rows.  This
+        is the honest thread-vs-process comparison the BENCH_4 capture
+        demonstrates; quality output is discarded (it is byte-identical
+        by construction).
+        """
+        if self.config.backend == "serial":
+            return None
+        alternate = "thread" if self.config.backend == "process" else "process"
+        config = dataclasses.replace(
+            self.config,
+            backend=alternate,
+            registry_root=None,
+            compare_backends=False,
+        )
+        session = BenchSession(config)
+        for system_name in self.config.systems:
+            session.run_system(system_name)
+        return {
+            "backend": alternate,
+            "workers": max(1, int(config.workers)),
+            "wall_seconds": dict(session._walls),
+            "per_shard": {
+                name: rows for name, rows in session._shard_rows.items()
+            } or None,
         }
 
 
@@ -286,6 +604,108 @@ def _domain_doc(metrics: "DomainMetrics") -> dict:
             1 for e in metrics.evaluations if e.discarded
         ),
     }
+
+
+# -- pooled sweeps --------------------------------------------------------
+
+
+def _shard_chunks(
+    entries: list[CatalogEntry], workers: int
+) -> list[tuple[int, list[CatalogEntry]]]:
+    """``(shard_index, chunk)`` hash-mod partition of a catalog slice.
+
+    Membership is :func:`~repro.core.sharding.stable_shard` of the source
+    name, so the same entry always lands on the same shard index
+    regardless of process, platform or ``PYTHONHASHSEED``; empty shards
+    are dropped.  Order within a chunk is catalog order.
+    """
+    chunks: list[list[CatalogEntry]] = [[] for _ in range(workers)]
+    for entry in entries:
+        chunks[stable_shard(entry.spec.name, workers)].append(entry)
+    return [
+        (index, chunk) for index, chunk in enumerate(chunks) if chunk
+    ]
+
+
+@dataclass(frozen=True)
+class _BenchShardTask:
+    """Everything a bench worker process needs (all picklable)."""
+
+    config: BenchConfig
+    system_name: str
+    names: tuple[str, ...]
+    index: int
+    count: int
+
+
+@dataclass(frozen=True)
+class _BenchShardResult:
+    """What one bench worker ships back to the parent."""
+
+    index: int
+    count: int
+    sources: int
+    wall_seconds: float
+    #: ``(source_name, evaluation, wrap_seconds)`` in the chunk's order.
+    evaluations: tuple
+    #: Per-source metrics registries, adopted into the parent observer.
+    registries: dict
+    #: Per-source staged registry writes (``None`` without a registry).
+    writes: dict
+    registry_stats: dict | None
+    cache_stats: dict
+
+
+def _bench_shard_worker(task: _BenchShardTask) -> _BenchShardResult:
+    """Run one shard of a bench sweep in a worker process.
+
+    The worker builds its own serial session (own caches, own read view
+    of the registry root) and never applies registry writes — it exports
+    them as :class:`~repro.registry.store.StagedWrites` for the parent
+    to apply in catalog order, exactly like the serial sweep would.
+    """
+    config = dataclasses.replace(
+        task.config,
+        backend="serial",
+        workers=1,
+        shard=None,
+        compare_backends=False,
+    )
+    session = BenchSession(config)
+    start = monotonic_seconds()
+    wanted = set(task.names)
+    entries = [
+        entry
+        for entry in catalog_entries(scale=config.scale)
+        if entry.spec.name in wanted
+    ]
+    metrics = MetricsObserver()
+    metrics.observe_cache(session.preprocess_cache)
+    metrics.note_source_order(entry.spec.name for entry in entries)
+    evaluations = []
+    writes: dict[str, StagedWrites | None] = {}
+    for entry in entries:
+        view = (
+            StagedRegistryView(session.registry) if session.registry else None
+        )
+        evaluation, wrap_seconds = session._run_entry(
+            task.system_name, entry, metrics, view
+        )
+        evaluations.append((entry.spec.name, evaluation, wrap_seconds))
+        writes[entry.spec.name] = view.export() if view is not None else None
+    return _BenchShardResult(
+        index=task.index,
+        count=task.count,
+        sources=len(entries),
+        wall_seconds=round(monotonic_seconds() - start, 6),
+        evaluations=tuple(evaluations),
+        registries={
+            name: metrics.source_registry(name) for name in metrics.sources()
+        },
+        writes=writes,
+        registry_stats=session.registry.stats() if session.registry else None,
+        cache_stats=session.preprocess_cache.stats(),
+    )
 
 
 # -- artifact files -------------------------------------------------------
@@ -318,11 +738,36 @@ def latest_bench(root: Path, before: int | None = None) -> Path | None:
 
 
 def write_bench(path: Path, document: dict) -> None:
-    """Persist one BENCH document as stable, sorted, indented JSON."""
-    path.write_text(
-        json.dumps(document, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
-    )
+    """Persist one BENCH document as stable, sorted, indented JSON.
+
+    Routed through the same-directory temp-file + ``os.replace`` writer,
+    so a crashed or concurrent capture can never leave a torn,
+    half-written artifact at the final name: readers see the old bytes
+    or the new bytes, nothing in between.
+    """
+    write_json_atomic(path, document)
+
+
+def claim_bench_path(root: Path) -> Path:
+    """Atomically claim the next free ``BENCH_<seq>.json`` under ``root``.
+
+    Scanning for the next sequence and then writing it is a two-writer
+    race: both scan, both see the same free number, one clobbers the
+    other.  The claim instead *creates* the file with
+    ``O_CREAT | O_EXCL`` — the kernel hands the name to exactly one
+    claimant; the loser sees ``FileExistsError`` (or a fresh scan that
+    already counts the winner's file) and retries at the next sequence.
+    The claimed file is empty; :func:`write_bench` then replaces it
+    atomically with the document.
+    """
+    while True:
+        path = root / f"{BENCH_PREFIX}{next_seq(root)}.json"
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            continue
+        os.close(fd)
+        return path
 
 
 def load_bench(path: Path) -> dict:
@@ -365,8 +810,14 @@ def compare_documents(
 ) -> BenchComparison:
     """Diff two BENCH documents, flagging regressions beyond thresholds.
 
-    Quality (per-domain ``Pc``/``Pp``) is compared unconditionally: an
-    absolute drop greater than ``quality_threshold`` is a regression.
+    Quality (per-domain ``Pc``/``Pp``) is compared whenever both captures
+    ran the same source population: an absolute drop greater than
+    ``quality_threshold`` is a regression.  Every scale below 1.0 runs the
+    paper's 49-source catalog (scale only shrinks per-source volume), so
+    sub-1.0 captures always gate each other; the replica tier at scale >=
+    1.0 measures ``round(scale*1000)`` synthetic sources — a different
+    population whose rates are not comparable to the base catalog's, so
+    cross-tier (or cross-shard-slice) drops are reported as notes instead.
     Timings (stage means, wrapping means) and object counts are compared
     only when both documents were captured at the same scale *and* in the
     same registry mode — a warm (registry-first) capture skips induction
@@ -402,7 +853,23 @@ def compare_documents(
             f"{'warm' if new_mode else 'cold'}); "
             "skipping timing and volume comparisons"
         )
-    comparable = same_scale and same_mode
+    old_exec = _exec_config(old)
+    new_exec = _exec_config(new)
+    same_exec = old_exec == new_exec
+    if not same_exec:
+        comparison.notes.append(
+            "execution config differs "
+            f"(shard/backend/workers {old_exec} -> {new_exec}); "
+            "skipping timing and volume comparisons"
+        )
+    comparable = same_scale and same_mode and same_exec
+    same_population = _catalog_population(old) == _catalog_population(new)
+    if not same_population:
+        comparison.notes.append(
+            "source populations differ "
+            f"({_describe_population(old)} -> {_describe_population(new)}); "
+            "quality drops reported as notes"
+        )
     old_systems = old.get("systems", {})
     new_systems = new.get("systems", {})
     for system_name in sorted(set(old_systems) & set(new_systems)):
@@ -414,8 +881,10 @@ def compare_documents(
             quality_threshold,
             timing_threshold,
             comparable,
+            same_population,
         )
     _compare_registry(comparison, old, new, comparable)
+    _compare_sharding(comparison, old, new, comparable, timing_threshold)
     old_rss = old.get("process", {}).get("peak_rss_bytes", 0)
     new_rss = new.get("process", {}).get("peak_rss_bytes", 0)
     if old_rss and new_rss and new_rss > old_rss * (1 + timing_threshold):
@@ -424,6 +893,74 @@ def compare_documents(
             f"(+{(new_rss / old_rss - 1) * 100:.0f}%)"
         )
     return comparison
+
+
+def _catalog_population(document: dict) -> tuple:
+    """The source population a document's quality rates range over.
+
+    Sub-1.0 scales all run the paper's 49-source catalog (scale only
+    shrinks per-source volume), so they share one population; the replica
+    tier at scale >= 1.0 runs ``round(scale*1000)`` synthetic sources — a
+    distinct population per replica count.  A shard capture measures only
+    its hash slice, so the shard label is part of the population too.
+    """
+    config = document.get("config", {})
+    scale = float(config.get("scale") or 0.0)
+    tier = round(scale * 1000) if scale >= 1.0 else "catalog"
+    return (tier, config.get("shard"))
+
+
+def _describe_population(document: dict) -> str:
+    """Render a document's population for comparison notes."""
+    tier, shard = _catalog_population(document)
+    label = "base catalog" if tier == "catalog" else f"{tier} replicas"
+    return f"{label} shard {shard}" if shard else label
+
+
+def _exec_config(document: dict) -> tuple:
+    """The execution triple ``(shard, backend, workers)`` of a document.
+
+    Schema-v1 documents predate the keys; they were all whole-catalog
+    serial runs, which is exactly what the defaults say — so a v1/v2
+    pair of identical runs still compares timings.
+    """
+    config = document.get("config", {})
+    return (
+        config.get("shard"),
+        config.get("backend", "serial"),
+        int(config.get("workers", 1)),
+    )
+
+
+def _compare_sharding(
+    comparison: BenchComparison,
+    old: dict,
+    new: dict,
+    comparable: bool,
+    timing_threshold: float,
+) -> None:
+    """Note sweep-wall growth recorded in the v2 ``sharding`` blocks.
+
+    Sweep walls are end-to-end wall-clock per system — noisy and
+    host-dependent, like peak RSS — so growth beyond the timing
+    threshold is reported as a note, never a regression.  Schema-v1
+    documents have no ``sharding`` block and are skipped silently.
+    """
+    old_block = old.get("sharding")
+    new_block = new.get("sharding")
+    if not old_block or not new_block or not comparable:
+        return
+    old_walls = old_block.get("wall_seconds") or {}
+    new_walls = new_block.get("wall_seconds") or {}
+    for name in sorted(set(old_walls) & set(new_walls)):
+        before = float(old_walls[name])
+        after = float(new_walls[name])
+        if before > 0 and after > before * (1 + timing_threshold):
+            comparison.notes.append(
+                f"{name}: sweep wall grew {before:.2f}s -> {after:.2f}s "
+                f"(+{(after / before - 1) * 100:.0f}%; host-dependent, "
+                "informational only)"
+            )
 
 
 def _compare_registry(
@@ -469,11 +1006,15 @@ def _compare_system(
     quality_threshold: float,
     timing_threshold: float,
     comparable: bool,
+    same_population: bool,
 ) -> None:
     """Fold one system's quality/timing diffs into the comparison.
 
     ``comparable`` is True when both captures share scale and registry
     mode; volume and timing diffs are skipped otherwise.
+    ``same_population`` is True when both captures measured the same
+    source population; quality drops across different populations are
+    notes, not regressions.
     """
     old_domains = old.get("domains", {})
     new_domains = new.get("domains", {})
@@ -482,11 +1023,18 @@ def _compare_system(
         for rate in ("pc", "pp"):
             drop = before.get(rate, 0.0) - after.get(rate, 0.0)
             if drop > quality_threshold:
-                comparison.regressions.append(
+                message = (
                     f"{system_name}/{domain}: {rate.capitalize()} dropped "
                     f"{before[rate]:.4f} -> {after[rate]:.4f} "
                     f"(-{drop:.4f} > {quality_threshold})"
                 )
+                if same_population:
+                    comparison.regressions.append(message)
+                else:
+                    comparison.notes.append(
+                        f"{message} (different source populations; "
+                        "informational only)"
+                    )
         if comparable:
             old_total = before.get("objects_total", 0)
             new_total = after.get("objects_total", 0)
@@ -535,3 +1083,275 @@ def _compare_timer(
             f"(+{(new_mean / old_mean - 1) * 100:.0f}% > "
             f"{timing_threshold * 100:.0f}%)"
         )
+
+
+# -- shard merging and digests --------------------------------------------
+
+
+def _sum_stats(parts: list[dict]) -> dict:
+    """Key-wise integer sum of stat mappings (union of keys, sorted)."""
+    totals: dict[str, int] = {}
+    for part in parts:
+        for name, value in part.items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def _merge_summary(parts: list[dict | None]) -> dict | None:
+    """Fold per-shard timer summaries into one conservative summary.
+
+    Counts and totals add exactly; min/max are exact; the mean is
+    recomputed from them.  Percentiles of a pooled population cannot be
+    recovered from per-shard summaries, so ``p50``/``p95`` take the
+    worst (largest) shard value — an upper bound, never an undercount.
+    """
+    summaries = [part for part in parts if part]
+    if not summaries:
+        return None
+    count = sum(int(part.get("count", 0)) for part in summaries)
+    total = sum(float(part.get("total", 0.0)) for part in summaries)
+    return {
+        "count": count,
+        "total": round(total, 9),
+        "min": round(min(float(p.get("min", 0.0)) for p in summaries), 9),
+        "max": round(max(float(p.get("max", 0.0)) for p in summaries), 9),
+        "mean": round(total / count, 9) if count else 0.0,
+        "p50": round(max(float(p.get("p50", 0.0)) for p in summaries), 9),
+        "p95": round(max(float(p.get("p95", 0.0)) for p in summaries), 9),
+    }
+
+
+def _merge_domain(parts: list[dict]) -> dict:
+    """Pool per-shard domain counts; Pc/Pp recompute exactly.
+
+    ``Pc = correct/total`` over pooled counts equals the unsharded value
+    because both sides count the same objects — summing numerators and
+    denominators then dividing is the same arithmetic the serial
+    aggregation does.
+    """
+    counts = {
+        name: sum(int(part.get(name, 0)) for part in parts)
+        for name in (
+            "objects_total",
+            "objects_correct",
+            "objects_partial",
+            "objects_incorrect",
+            "sources",
+            "sources_discarded",
+        )
+    }
+    total = counts["objects_total"]
+    return {
+        "pc": round(counts["objects_correct"] / total, 6) if total else 0.0,
+        "pp": (
+            round(
+                (counts["objects_correct"] + counts["objects_partial"]) / total,
+                6,
+            )
+            if total
+            else 0.0
+        ),
+        **counts,
+    }
+
+
+def _merge_system(parts: list[dict]) -> dict:
+    """Fold one system's per-shard blocks into a whole-catalog block."""
+    domain_names: list[str] = []
+    for part in parts:
+        for name in part.get("domains", {}):
+            if name not in domain_names:
+                domain_names.append(name)
+    domains = {
+        name: _merge_domain(
+            [part["domains"][name] for part in parts if name in part.get("domains", {})]
+        )
+        for name in domain_names
+    }
+    metrics_parts = [part.get("metrics") for part in parts]
+    metrics = None
+    if any(metrics_parts):
+        present = [part for part in metrics_parts if part]
+        counters = _sum_stats([part.get("counters", {}) for part in present])
+        gauges: dict[str, float] = {}
+        for part in present:
+            gauges.update(part.get("gauges", {}))
+        timer_names = sorted(
+            {name for part in present for name in part.get("timers", {})}
+        )
+        timers = {
+            name: _merge_summary(
+                [part.get("timers", {}).get(name) for part in present]
+            )
+            for name in timer_names
+        }
+        metrics = {
+            "counters": counters,
+            "gauges": {name: gauges[name] for name in sorted(gauges)},
+            "timers": timers,
+        }
+    cache_parts = [part.get("cache") for part in parts]
+    cache = (
+        _sum_stats([part for part in cache_parts if part])
+        if any(cache_parts)
+        else None
+    )
+    return {
+        "domains": domains,
+        "wrap_seconds": _merge_summary(
+            [part.get("wrap_seconds") for part in parts]
+        ),
+        "metrics": metrics,
+        "cache": cache,
+    }
+
+
+def merge_documents(documents: Sequence[dict]) -> dict:
+    """Fold per-shard BENCH documents into one whole-catalog document.
+
+    The inputs must agree on scale, coverage, system list and registry
+    mode (:class:`ValueError` otherwise) — they are meant to be the
+    ``--shard 0/N`` … ``N-1/N`` captures of one logical run.  Counts sum
+    and Pc/Pp recompute exactly, so the merged quality and counter
+    numbers are byte-identical to an unsharded run over the same
+    catalog (:func:`bench_digest` is the comparison tool).  Pooled
+    percentiles are not recoverable from per-shard summaries; timer
+    summaries merge conservatively (see :func:`_merge_summary`), and the
+    merged ``sharding`` block keeps every shard's rows with
+    ``merged_from`` listing the input slices.
+    """
+    if not documents:
+        raise ValueError("merge_documents needs at least one document")
+    first = documents[0]
+    for key in ("scale", "coverage", "systems"):
+        values = {
+            json.dumps(doc.get("config", {}).get(key), sort_keys=True)
+            for doc in documents
+        }
+        if len(values) > 1:
+            raise ValueError(
+                f"cannot merge BENCH documents with differing config.{key}"
+            )
+    modes = {bool(doc.get("config", {}).get("registry")) for doc in documents}
+    if len(modes) > 1:
+        raise ValueError("cannot merge warm and cold BENCH documents")
+    system_names: list[str] = []
+    for doc in documents:
+        for name in doc.get("systems", {}):
+            if name not in system_names:
+                system_names.append(name)
+    systems = {
+        name: _merge_system(
+            [doc["systems"][name] for doc in documents if name in doc.get("systems", {})]
+        )
+        for name in system_names
+    }
+    registry_parts = [doc.get("registry") for doc in documents]
+    registry = (
+        _sum_stats([part for part in registry_parts if part is not None])
+        if all(part is not None for part in registry_parts)
+        else None
+    )
+    config = dict(first.get("config", {}))
+    config["sources"] = sum(
+        int(doc.get("config", {}).get("sources", 0)) for doc in documents
+    )
+    config["shard"] = None
+    per_shard: dict[str, list] = {}
+    walls: dict[str, float] = {}
+    for doc in documents:
+        sharding = doc.get("sharding") or {}
+        for name, rows in (sharding.get("per_shard") or {}).items():
+            per_shard.setdefault(name, []).extend(rows)
+        for name, wall in (sharding.get("wall_seconds") or {}).items():
+            walls[name] = round(walls.get(name, 0.0) + float(wall), 6)
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_at": max(
+            str(doc.get("generated_at", "")) for doc in documents
+        ),
+        "python": first.get("python"),
+        "platform": first.get("platform"),
+        "config": config,
+        "process": {
+            "peak_rss_bytes": max(
+                int(doc.get("process", {}).get("peak_rss_bytes", 0))
+                for doc in documents
+            )
+        },
+        "cache": _sum_stats([doc.get("cache", {}) or {} for doc in documents]),
+        "registry": registry,
+        "systems": systems,
+        "sharding": {
+            "shard": None,
+            "backend": first.get("config", {}).get("backend", "serial"),
+            "workers": int(first.get("config", {}).get("workers", 1)),
+            "merged_from": [
+                doc.get("config", {}).get("shard") for doc in documents
+            ],
+            "per_shard": per_shard or None,
+            "wall_seconds": walls or None,
+            "reference": None,
+        },
+    }
+
+
+def digest_projection(document: dict) -> dict:
+    """The order-insensitive, run-stable projection a digest hashes.
+
+    Keeps exactly what the byte-identity contract promises — quality
+    counts and rates, merged pipeline counters, registry hit/miss/
+    demotion stats and the identifying configuration — and drops what
+    legitimately varies run to run or shard to shard: wall-clock timings,
+    timestamps, peak RSS, cache-entry gauges, ``PYTHONHASHSEED``, and the
+    registry ``stores``/``races`` split.  The last is layout-dependent:
+    when replica sources share a template signature, a serial run
+    discards the duplicates at one registry while per-shard runs each
+    store their own copy and the duplicates fall at merge time — same
+    final registry bytes (the canonical conflict rule), different
+    counter split, so the split cannot be part of run identity.
+    """
+    systems = {}
+    for name, system in sorted(document.get("systems", {}).items()):
+        metrics_doc = system.get("metrics") or {}
+        systems[name] = {
+            "domains": system.get("domains"),
+            "counters": metrics_doc.get("counters") or None,
+        }
+    config = document.get("config", {})
+    return {
+        "config": {
+            "scale": config.get("scale"),
+            "coverage": config.get("coverage"),
+            "systems": config.get("systems"),
+            "sources": config.get("sources"),
+            "registry": bool(config.get("registry")),
+            "sampling_seed": config.get("seed", {}).get("sampling_seed"),
+        },
+        "systems": systems,
+        "registry": _registry_identity(document.get("registry")),
+    }
+
+
+def _registry_identity(stats: dict | None) -> dict | None:
+    """Registry stats with the layout-dependent counters dropped."""
+    if not isinstance(stats, dict):
+        return stats
+    return {
+        key: value
+        for key, value in sorted(stats.items())
+        if key not in ("stores", "races")
+    }
+
+
+def bench_digest(document: dict) -> str:
+    """Deterministic hex digest of a document's run-stable content.
+
+    Two documents digest equal exactly when their
+    :func:`digest_projection` is equal — the check the CI shard-smoke
+    job and the byte-identity suite use to compare an unsharded run
+    against merged per-shard runs without tripping over timings.
+    """
+    projection = digest_projection(document)
+    text = json.dumps(projection, sort_keys=True)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

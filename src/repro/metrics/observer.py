@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import sys
 import threading
+import time
 from datetime import datetime, timezone
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.core.pipeline import PipelineEvent, PipelineObserver
 from repro.metrics.registry import MetricsRegistry
@@ -51,18 +52,36 @@ def wall_timestamp() -> str:
     return datetime.now(timezone.utc).isoformat(timespec="seconds")
 
 
-def peak_rss_bytes() -> int:
-    """The process's peak resident set size in bytes (0 if unavailable).
+def monotonic_seconds() -> float:
+    """A monotonic clock reading, for interval measurement only.
 
-    Uses :func:`resource.getrusage`, which reports kilobytes on Linux and
-    bytes on macOS; normalized to bytes here.  Platforms without the
+    Callers outside the observer layer (for example the bench session's
+    per-shard wall timings) subtract two readings; the absolute value is
+    meaningless.  Lives here so clock reads stay confined to this module
+    (reprolint ``D102``).
+    """
+    return time.monotonic()
+
+
+def peak_rss_bytes() -> int:
+    """The run's peak resident set size in bytes (0 if unavailable).
+
+    Reads both ``RUSAGE_SELF`` and ``RUSAGE_CHILDREN`` and reports the
+    **maximum of the two** — the high-water mark of the largest single
+    process, not a sum (``ru_maxrss`` values of processes alive at
+    different times do not add meaningfully).  Without the children
+    reading, a process-backend run would attribute all worker memory to
+    nobody.  ``resource.getrusage`` reports kilobytes on Linux and bytes
+    on macOS; normalized to bytes here.  Platforms without the
     ``resource`` module (Windows) report 0 rather than failing.
     """
     try:
         import resource
     except ImportError:  # pragma: no cover - non-POSIX platforms
         return 0
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    peak = max(own, children)
     if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
         return int(peak)
     return int(peak) * 1024
@@ -88,6 +107,7 @@ class MetricsObserver(PipelineObserver):
         self._per_source: dict[str, MetricsRegistry] = {}
         self._source_order: list[str] = []
         self._caches: list["PreprocessCache"] = []
+        self._adopted_cache_stats: list[dict[str, int]] = []
 
     # -- wiring -----------------------------------------------------------
 
@@ -107,6 +127,27 @@ class MetricsObserver(PipelineObserver):
         with self._lock:
             if not any(existing is cache for existing in self._caches):
                 self._caches.append(cache)
+
+    def adopt_source(self, source: str, registry: MetricsRegistry) -> None:
+        """Fold a per-source registry produced elsewhere into this observer.
+
+        The process backend runs each source in a worker with its own
+        :class:`MetricsRegistry`; the parent adopts them here.  Merging
+        into the source's own slot keeps the cross-source fold pinned to
+        :meth:`note_source_order`, so a process-backend run snapshots
+        byte-identically to a serial one.
+        """
+        self._registry(source).merge(registry)
+
+    def adopt_cache_stats(self, stats: Mapping[str, int]) -> None:
+        """Fold a static cache-stats mapping into future snapshots.
+
+        Worker processes cannot share live :class:`PreprocessCache`
+        objects with the parent, so they report their final stats and the
+        parent adopts the dict — summed alongside the observed caches.
+        """
+        with self._lock:
+            self._adopted_cache_stats.append(dict(stats))
 
     def _registry(self, source: str) -> MetricsRegistry:
         """The per-source registry, created (and ordered) on first use."""
@@ -149,6 +190,14 @@ class MetricsObserver(PipelineObserver):
             stragglers = sorted(set(self._per_source) - set(ordered))
             return tuple(ordered + stragglers)
 
+    def source_registry(self, source: str) -> MetricsRegistry:
+        """The per-source registry (created empty on first access).
+
+        Worker processes use this to export what they observed for each
+        source; the parent side pairs it with :meth:`adopt_source`.
+        """
+        return self._registry(source)
+
     def merged_registry(self) -> MetricsRegistry:
         """All per-source registries folded together in merge order."""
         order = self.sources()
@@ -160,9 +209,10 @@ class MetricsObserver(PipelineObserver):
         """Summed lifetime stats of every observed preprocessing cache."""
         with self._lock:
             caches = list(self._caches)
+            adopted = [dict(stats) for stats in self._adopted_cache_stats]
         totals = {"hits": 0, "misses": 0, "races": 0, "entries": 0}
-        for cache in caches:
-            for name, value in cache.stats().items():
+        for stats in [cache.stats() for cache in caches] + adopted:
+            for name, value in stats.items():
                 totals[name] = totals.get(name, 0) + value
         return totals
 

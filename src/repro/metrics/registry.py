@@ -168,6 +168,27 @@ class MetricsRegistry:
                 {name: list(values) for name, values in self._timers.items()},
             )
 
+    # -- pickling ---------------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        """A lock-free state copy, so registries cross process boundaries.
+
+        The process backend of ``run_sources`` ships each worker's
+        per-source registries back to the parent for the order-pinned
+        merge; the lock is dropped here and recreated on unpickle.
+        """
+        counters, gauges, timers = self._state()
+        return {"counters": counters, "gauges": gauges, "timers": timers}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        """Rebuild the registry (and a fresh lock) from pickled state."""
+        self._lock = threading.Lock()
+        self._counters = dict(state["counters"])
+        self._gauges = dict(state["gauges"])
+        self._timers = {
+            name: list(values) for name, values in state["timers"].items()
+        }
+
     # -- snapshots --------------------------------------------------------
 
     def snapshot(self) -> dict[str, object]:

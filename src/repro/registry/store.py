@@ -50,6 +50,24 @@ REGISTRY_SCHEMA_VERSION = 2
 KIND_WRAPPER = "wrapper"
 KIND_DISCARD = "discard"
 
+#: Conflict precedence of entry kinds: a real wrapper always beats a
+#: discard tombstone for the same signature.
+_KIND_RANK = {KIND_WRAPPER: 0, KIND_DISCARD: 1}
+
+
+def _entry_precedence(kind: str, source: str) -> tuple[int, str]:
+    """Canonical order of conflicting entries for one signature.
+
+    When two sources produce entries under the same key (replica sources
+    sharing a template structure, or a concurrent race), the *minimum* of
+    this tuple wins: wrappers before discard tombstones, then the smaller
+    source id.  A minimum is associative and order-independent, so a
+    registry built by applying staged writes in catalog order, by any
+    thread interleaving, or by merging shard registries in any part order
+    converges on the same bytes.
+    """
+    return (_KIND_RANK.get(kind, len(_KIND_RANK)), source)
+
 
 @dataclass(frozen=True)
 class StoredDiscard:
@@ -76,6 +94,36 @@ def signature_for(sod: SodType, fingerprint: str) -> str:
     canonical = format_sod(canonicalize(sod))
     text = f"{REGISTRY_SCHEMA_VERSION}\n{canonical}\n{fingerprint}"
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def entry_for(
+    sod: SodType, fingerprint: str, stored: "Wrapper | StoredDiscard"
+) -> "RegistryEntry":
+    """The registry entry a store of ``stored`` under this key produces.
+
+    Shared by the live ``put``/``put_discard`` paths and the staged-view
+    export, so an entry serialized in a worker process is byte-identical
+    to the one a serial run would have written.
+    """
+    signature = signature_for(sod, fingerprint)
+    canonical = format_sod(canonicalize(sod))
+    if isinstance(stored, StoredDiscard):
+        return RegistryEntry(
+            signature=signature,
+            sod=canonical,
+            fingerprint=fingerprint,
+            source=stored.source,
+            wrapper=None,
+            kind=KIND_DISCARD,
+            discard={"stage": stored.stage, "reason": stored.reason},
+        )
+    return RegistryEntry(
+        signature=signature,
+        sod=canonical,
+        fingerprint=fingerprint,
+        source=stored.source,
+        wrapper=wrapper_to_dict(stored),
+    )
 
 
 def write_json_atomic(path: Path, document: dict[str, Any]) -> None:
@@ -260,19 +308,13 @@ class WrapperRegistry:
     ) -> str:
         """Store an induced wrapper; returns its signature.
 
-        First write wins: if the signature is already present the
-        existing entry is kept and a ``races`` count is recorded, so
-        concurrent inductions of the same template converge on one
-        stored wrapper.
+        Conflicts resolve canonically: if the signature is already
+        present, the entry earlier in :func:`_entry_precedence` order
+        (wrapper before tombstone, then smaller source id) is kept and a
+        ``races`` count is recorded, so concurrent or differently-ordered
+        inductions of the same template converge on one stored wrapper.
         """
-        entry = RegistryEntry(
-            signature=signature_for(sod, fingerprint),
-            sod=format_sod(canonicalize(sod)),
-            fingerprint=fingerprint,
-            source=wrapper.source,
-            wrapper=wrapper_to_dict(wrapper),
-        )
-        return self._store_entry(entry)
+        return self._store_entry(entry_for(sod, fingerprint, wrapper))
 
     def put_discard(
         self,
@@ -286,26 +328,35 @@ class WrapperRegistry:
 
         Remembers that inducing this (SOD, template) ends in a principled
         discard, so warm runs replay the discard instead of re-paying the
-        doomed induction.  Same first-write-wins semantics as :meth:`put`.
+        doomed induction.  Same canonical conflict semantics as
+        :meth:`put` — and since a wrapper precedes a tombstone, a
+        successful induction from any source shadows the discard.
         """
-        entry = RegistryEntry(
-            signature=signature_for(sod, fingerprint),
-            sod=format_sod(canonicalize(sod)),
-            fingerprint=fingerprint,
-            source=source,
-            wrapper=None,
-            kind=KIND_DISCARD,
-            discard={"stage": stage, "reason": reason},
-        )
-        return self._store_entry(entry)
+        stored = StoredDiscard(source=source, stage=stage, reason=reason)
+        return self._store_entry(entry_for(sod, fingerprint, stored))
 
     def _store_entry(self, entry: RegistryEntry) -> str:
-        """First-write-wins store of one entry + its index row."""
+        """Canonical-winner store of one entry + its index row.
+
+        The first store of a signature lands; a conflicting later store
+        replaces it only when it precedes the incumbent in
+        :func:`_entry_precedence` order.  The final entry is therefore
+        the minimum over every entry ever offered for the key — a fold
+        that does not depend on offer order, which is what makes a shard
+        merge byte-identical to the serial catalog-order apply even when
+        distinct sources induce under the same signature.
+        """
         signature = entry.signature
         with self._lock:
-            if signature in self._index:
+            incumbent = self._index.get(signature)
+            if incumbent is not None:
                 self._count("races")
-                return signature
+                offered = _entry_precedence(entry.kind, entry.source)
+                kept = _entry_precedence(
+                    incumbent["kind"], incumbent["source"]
+                )
+                if offered >= kept:
+                    return signature
             write_json_atomic(self.entry_path(signature), entry.to_dict())
             self._index[signature] = {
                 "kind": entry.kind,
@@ -314,7 +365,8 @@ class WrapperRegistry:
                 "source": entry.source,
             }
             self._write_index()
-            self._count("stores")
+            if incumbent is None:
+                self._count("stores")
         return signature
 
     def demote(self, signature: str) -> bool:
@@ -357,6 +409,19 @@ class WrapperRegistry:
         """Lifetime counters: hits, misses, stores, races, demotions."""
         with self._lock:
             return dict(self._stats)
+
+    def adopt_stats(self, stats: "dict[str, int]") -> None:
+        """Add another registry's lifetime counters to this one's.
+
+        The process backend opens a per-worker registry over the same
+        root; the hits and misses it counted belong to the run, so the
+        parent folds them in before reporting.  Unknown keys are ignored
+        (stats from a newer schema stay additive).
+        """
+        with self._lock:
+            for name, value in stats.items():
+                if name in self._stats:
+                    self._stats[name] += int(value)
 
     def _count(self, name: str) -> None:
         with self._lock:
@@ -423,16 +488,44 @@ class WrapperRegistry:
     ) -> "WrapperRegistry":
         """Fold shard registries into a new registry at ``root``.
 
-        Shards are applied in input order with first-write-wins conflict
-        semantics (the same rule as :meth:`put`), so the combined
-        registry's bytes are a pure function of the shard sequence —
-        the order-pinned merge contract shared with the metrics layer.
+        Conflicts resolve canonically (the same rule as :meth:`put`), so
+        the combined registry's bytes are a pure function of the *set* of
+        shard entries — independent of part order, and byte-identical to
+        the registry a serial whole-catalog run would have written even
+        when replica sources in different shards induced under the same
+        signature.
         """
         combined = cls(root)
         for part in parts:
             for entry in part.entries():
                 combined._store_entry(entry)
         return combined
+
+
+@dataclass(frozen=True)
+class StagedWrites:
+    """A picklable snapshot of one source's buffered registry writes.
+
+    Worker processes cannot ship a :class:`StagedRegistryView` home (it
+    holds the live, lock-bearing base registry), so they export this
+    value object instead: the sorted demotions plus the staged entries in
+    insertion order.  :meth:`apply_to` replays them with exactly the
+    semantics of :meth:`StagedRegistryView.apply_to`, so a sharded run's
+    registry bytes match the serial run.  (The stores/races counter split
+    still reflects where duplicate inductions were discarded, so those
+    counts are layout-dependent — which is why the bench digest excludes
+    them.)
+    """
+
+    demoted: tuple[str, ...]
+    entries: tuple[RegistryEntry, ...]
+
+    def apply_to(self, base: WrapperRegistry) -> None:
+        """Apply the buffered demotions then stores to ``base``."""
+        for signature in self.demoted:
+            base.demote(signature)
+        for entry in self.entries:
+            base._store_entry(entry)
 
 
 @dataclass
@@ -514,15 +607,26 @@ class StagedRegistryView:
             else:
                 base.put(sod, fingerprint, stored)
 
+    def export(self) -> StagedWrites:
+        """This view's buffered writes as a picklable value object."""
+        return StagedWrites(
+            demoted=tuple(sorted(self.demoted)),
+            entries=tuple(
+                entry_for(sod, fingerprint, stored)
+                for sod, fingerprint, stored in self.staged.values()
+            ),
+        )
+
 
 def apply_staged_views(
     base: WrapperRegistry, views: Iterable[StagedRegistryView]
 ) -> None:
     """Apply per-source views to the base registry in input order.
 
-    Called once per batch after every source finished; combined with
-    first-write-wins ``put``, the base registry's final bytes depend only
-    on the input order of the sources, never on scheduling.
+    Called once per batch after every source finished; combined with the
+    canonical conflict rule of ``put``, the base registry's final bytes
+    depend only on the *set* of staged writes — never on scheduling, and
+    not even on the input order of the sources.
     """
     for view in views:
         view.apply_to(base)

@@ -112,6 +112,106 @@ print(hashlib.sha256(once.encode("utf-8")).hexdigest())
 """
 
 
+SHARDED_RUN_SCRIPT = """
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core import ObjectRunner, RunParams, ShardSpec
+from repro.datasets import build_knowledge, domain_spec, generate_source
+from repro.datasets.sites import SiteSpec
+from repro.metrics import MetricsObserver
+from repro.metrics.bench import (
+    BenchConfig,
+    BenchSession,
+    bench_digest,
+    merge_documents,
+)
+from repro.registry.store import WrapperRegistry
+
+digest = hashlib.sha256()
+domain = domain_spec("albums")
+knowledge = build_knowledge(domain, coverage=0.25)
+sources = {}
+for index in range(4):
+    spec = SiteSpec(
+        name=f"hs-{index}",
+        domain="albums",
+        archetype="clean",
+        total_objects=8,
+        seed=("hashseed-shard", index),
+    )
+    sources[spec.name] = generate_source(spec, domain).pages
+
+
+def run(backend, workers, shard=None, root=None):
+    observer = MetricsObserver()
+    runner = ObjectRunner(
+        domain.sod,
+        ontology=knowledge.ontology,
+        corpus=knowledge.corpus,
+        gazetteer_classes=domain.gazetteer_classes,
+        params=RunParams(max_workers=workers, backend=backend, shard=shard),
+        observers=(observer,),
+        wrapper_registry=WrapperRegistry(root) if root else None,
+    )
+    return runner.run_sources(sources), observer
+
+
+def values(outcome):
+    return {
+        name: [o.values for o in result.objects]
+        for name, result in outcome.results.items()
+    }
+
+
+with tempfile.TemporaryDirectory() as tmp:
+    # Every backend leaves identical objects, counters and registry bytes.
+    for label, backend, workers in (
+        ("serial", "thread", 1),
+        ("thread", "thread", 4),
+        ("process", "process", 4),
+    ):
+        root = Path(tmp) / label
+        outcome, observer = run(backend, workers, root=root)
+        digest.update(json.dumps(values(outcome), sort_keys=True).encode())
+        digest.update(
+            json.dumps(
+                observer.merged_registry().counters_snapshot(),
+                sort_keys=True,
+            ).encode()
+        )
+        digest.update((root / "index.json").read_bytes())
+
+# A 2-way shard split covers the batch exactly once and reproduces it.
+full, __ = run("thread", 1)
+union = {}
+for index in range(2):
+    part, __ = run("thread", 1, shard=ShardSpec(index=index, count=2))
+    for name in union:
+        assert name not in values(part), "shard overlap"
+    union.update(values(part))
+assert union == values(full), "shard union differs from full run"
+digest.update(json.dumps(union, sort_keys=True).encode())
+
+# Sharded bench captures merge digest-identically to the unsharded one.
+base = dict(scale=0.02, systems=("objectrunner",))
+unsharded = BenchSession(BenchConfig(**base)).capture()
+parts = [
+    BenchSession(
+        BenchConfig(shard=ShardSpec(index=index, count=2), **base)
+    ).capture()
+    for index in range(2)
+]
+merged = merge_documents(parts)
+assert bench_digest(merged) == bench_digest(unsharded), "merge digest drift"
+digest.update(bench_digest(unsharded).encode())
+
+print(digest.hexdigest())
+"""
+
+
 def run_with_hashseed(seed: str, script: str = DIGEST_SCRIPT) -> str:
     env = dict(os.environ)
     env["PYTHONHASHSEED"] = seed
@@ -145,3 +245,20 @@ def test_wrapper_roundtrip_bytes_stable_across_hash_seeds():
         for seed in ("0", "1", "4242")
     }
     assert len(digests) == 1, f"hash-seed dependent wrapper bytes: {digests}"
+
+
+def test_sharded_runs_byte_identical_across_hash_seeds():
+    """The full sharding contract holds under every hash seed.
+
+    Each subprocess asserts in-process that serial, thread and process
+    backends produce identical objects, metrics counters and registry
+    index bytes; that a 2-way shard split reproduces the full run; and
+    that merged per-shard bench captures digest-equal the unsharded
+    capture.  The subprocess digests must then agree across seeds, so
+    none of those bytes depend on PYTHONHASHSEED either.
+    """
+    digests = {
+        run_with_hashseed(seed, SHARDED_RUN_SCRIPT)
+        for seed in ("0", "1", "4242")
+    }
+    assert len(digests) == 1, f"hash-seed dependent sharded run: {digests}"

@@ -145,10 +145,40 @@ class TestCompare:
         assert any("scale differs" in note for note in comparison.notes)
 
     def test_quality_still_compared_across_scales(self):
+        # 0.1 and 0.02 both run the same 49-source catalog (scale only
+        # shrinks per-source volume), so the quality gate still fires.
         old = fixture_document(scale=0.1, pc=0.8)
         new = fixture_document(scale=0.02, pc=0.5)
         comparison = compare_documents(old, new)
         assert not comparison.ok
+
+    def test_quality_across_scale_tiers_is_a_note(self):
+        # The replica tier measures a different source population than
+        # the base catalog; its rates cannot regress the catalog's.
+        old = fixture_document(scale=0.1, pc=0.8)
+        new = fixture_document(scale=1.0, pc=0.5)
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert any(
+            "source populations differ" in note for note in comparison.notes
+        )
+        assert any("Pc dropped" in note for note in comparison.notes)
+
+    def test_quality_within_replica_tier_still_gates(self):
+        old = fixture_document(scale=1.0, pc=0.8)
+        new = fixture_document(scale=1.0, pc=0.5)
+        comparison = compare_documents(old, new)
+        assert not comparison.ok
+
+    def test_quality_across_shard_slices_is_a_note(self):
+        old = fixture_document(pc=0.8)
+        new = fixture_document(pc=0.5)
+        new["config"]["shard"] = "0/2"
+        comparison = compare_documents(old, new)
+        assert comparison.ok
+        assert any(
+            "source populations differ" in note for note in comparison.notes
+        )
 
     def test_object_volume_drop_flags_regression(self):
         old = fixture_document()

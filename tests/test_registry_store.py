@@ -1,6 +1,7 @@
 """Tests for the content-addressed wrapper registry store."""
 
 import json
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -113,7 +114,7 @@ class TestDiskLayout:
         signatures = list(index["entries"])
         assert signatures == sorted(signatures)
 
-    def test_first_write_wins(self, tmp_path, induced):
+    def test_repeat_store_keeps_incumbent(self, tmp_path, induced):
         wrapper, fingerprint = induced
         registry = WrapperRegistry(tmp_path)
         registry.put(SOD, fingerprint, wrapper)
@@ -121,6 +122,27 @@ class TestDiskLayout:
         registry.put(SOD, fingerprint, wrapper)
         assert registry.stats()["races"] == 1
         assert registry_bytes(tmp_path) == entry_bytes
+
+    def test_smaller_source_id_wins_in_either_order(self, tmp_path, induced):
+        # Replica sources can induce under the same signature; the
+        # canonical rule keeps the lexicographically smaller source id,
+        # so the final bytes do not depend on encounter order.
+        wrapper, fingerprint = induced
+        first = replace(wrapper, source="bbb-replica")
+        second = replace(wrapper, source="aaa-replica")
+        one = WrapperRegistry(tmp_path / "one")
+        one.put(SOD, fingerprint, first)
+        one.put(SOD, fingerprint, second)
+        two = WrapperRegistry(tmp_path / "two")
+        two.put(SOD, fingerprint, second)
+        two.put(SOD, fingerprint, first)
+        assert registry_bytes(tmp_path / "one") == registry_bytes(
+            tmp_path / "two"
+        )
+        (__, row), = one.index_rows()
+        assert row["source"] == "aaa-replica"
+        assert one.stats()["stores"] == 1
+        assert one.stats()["races"] == 1
 
     def test_write_json_atomic_is_canonical(self, tmp_path):
         path = tmp_path / "doc.json"
@@ -206,9 +228,7 @@ class TestEntrySchema:
 
 
 class TestMerge:
-    def test_shards_merge_in_input_order_first_write_wins(
-        self, tmp_path, induced
-    ):
+    def test_shards_merge_counting_conflicts(self, tmp_path, induced):
         wrapper, fingerprint = induced
         shard_a = WrapperRegistry(tmp_path / "a")
         shard_b = WrapperRegistry(tmp_path / "b")
@@ -218,6 +238,24 @@ class TestMerge:
         merged = WrapperRegistry.merged(tmp_path / "m", [shard_a, shard_b])
         assert len(merged.index_rows()) == 2
         assert merged.stats()["races"] == 1
+
+    def test_merge_is_part_order_independent(self, tmp_path, induced):
+        # Two shards whose sources collided on one signature: whichever
+        # part order the merge sees, the canonical winner (smaller
+        # source id) prevails and the merged bytes are identical.
+        wrapper, fingerprint = induced
+        shard_a = WrapperRegistry(tmp_path / "a")
+        shard_b = WrapperRegistry(tmp_path / "b")
+        shard_a.put(SOD, fingerprint, replace(wrapper, source="zz-late"))
+        shard_b.put(SOD, fingerprint, replace(wrapper, source="aa-early"))
+        WrapperRegistry.merged(tmp_path / "ab", [shard_a, shard_b])
+        WrapperRegistry.merged(tmp_path / "ba", [shard_b, shard_a])
+        assert registry_bytes(tmp_path / "ab") == registry_bytes(
+            tmp_path / "ba"
+        )
+        merged = WrapperRegistry(tmp_path / "ab")
+        (__, row), = merged.index_rows()
+        assert row["source"] == "aa-early"
 
     def test_merge_bytes_equal_serial_construction(self, tmp_path, induced):
         wrapper, fingerprint = induced
@@ -299,7 +337,7 @@ class TestDiscardTombstones:
         kinds = sorted(row["kind"] for __, row in registry.index_rows())
         assert kinds == [KIND_DISCARD, KIND_WRAPPER]
 
-    def test_first_write_wins_across_kinds(self, tmp_path, induced):
+    def test_wrapper_beats_tombstone_across_kinds(self, tmp_path, induced):
         wrapper, fingerprint = induced
         registry = WrapperRegistry(tmp_path)
         registry.put(SOD, fingerprint, wrapper)
@@ -310,6 +348,22 @@ class TestDiscardTombstones:
             "hits": 0, "misses": 0, "stores": 1, "races": 1, "demotions": 0
         }
         assert not isinstance(registry.lookup(SOD, fingerprint), StoredDiscard)
+
+    def test_wrapper_shadows_earlier_tombstone(self, tmp_path, induced):
+        # A successful induction from any source replaces a discard
+        # tombstone for the same signature — even one whose source id
+        # sorts first — so warm runs extract instead of replaying the
+        # discard.
+        wrapper, fingerprint = induced
+        registry = WrapperRegistry(tmp_path)
+        registry.put_discard(
+            SOD, fingerprint, source="aaa", stage="wrapper", reason="r"
+        )
+        registry.put(SOD, fingerprint, wrapper)
+        assert registry.stats()["races"] == 1
+        assert not isinstance(registry.lookup(SOD, fingerprint), StoredDiscard)
+        (__, row), = registry.index_rows()
+        assert row["kind"] == KIND_WRAPPER
 
     def test_discard_entry_schema_is_validated(self):
         entry = {
