@@ -1,0 +1,134 @@
+"""CI smoke test: P602 catches the re-introduced miss-counter bug.
+
+Writes a fixture tree that re-introduces the process backend's original
+miss-counter bug shape — a worker-side counter absent from
+``__getstate__``, so every worker's misses silently vanish on merge —
+and asserts:
+
+- the full P-rule pass (P601–P604) flags exactly that attribute (P602),
+- the SARIF rendering of the run carries the finding,
+- the repaired twin (counter added to ``__getstate__``) is clean.
+
+Run from the repository root:
+``PYTHONPATH=src python scripts/smoke_procbound.py``.
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BUGGY = '''\
+"""Seeded regression: the miss counter never ships home."""
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+
+@dataclass
+class ShardTask:
+    """Picklable task spec."""
+
+    items: tuple
+
+
+class ShardStats:
+    """Worker stats whose homeward surface misses one counter."""
+
+    def __init__(self):
+        self._hits = 0
+        self._misses = 0
+
+    def record(self, hit):
+        """Count one lookup."""
+        if hit:
+            self._hits += 1
+        else:
+            self._misses += 1
+
+    def __getstate__(self):
+        """Ships hits only — worker-side misses die with the worker."""
+        return {"hits": self._hits}
+
+
+def _worker(task):
+    """Worker entrypoint."""
+    stats = ShardStats()
+    for item in task.items:
+        stats.record(bool(item))
+    return stats
+
+
+def run(items, workers):
+    """Dispatcher."""
+    tasks = [ShardTask(items=tuple(items))]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_worker, tasks))
+'''
+
+FIXED = BUGGY.replace(
+    '        """Ships hits only — worker-side misses die with the worker."""\n'
+    '        return {"hits": self._hits}',
+    '        """Ships both counters."""\n'
+    '        return {"hits": self._hits, "misses": self._misses}',
+)
+
+
+def reprolint(root: Path, fmt: str = "json") -> tuple[int, dict]:
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.analysis",
+            str(root / "backend"),
+            "--root",
+            str(root),
+            "--no-baseline",
+            "--rules",
+            "P601,P602,P603,P604",
+            "--format",
+            fmt,
+        ],
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode, json.loads(proc.stdout)
+
+
+def write_fixture(root: Path, source: str) -> None:
+    (root / "backend").mkdir(parents=True, exist_ok=True)
+    (root / "backend" / "runner.py").write_text(source, encoding="utf-8")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+
+        write_fixture(root, BUGGY)
+        code, doc = reprolint(root)
+        assert code == 1, f"buggy fixture must fail the lint, got {code}"
+        open_findings = [
+            f for f in doc["findings"] if f["status"] == "open"
+        ]
+        assert len(open_findings) == 1, open_findings
+        finding = open_findings[0]
+        assert finding["rule"] == "P602", finding
+        assert "'_misses'" in finding["message"], finding
+        print("ok: P602 flags the reintroduced miss-counter bug")
+
+        code, sarif = reprolint(root, fmt="sarif")
+        assert code == 1
+        results = sarif["runs"][0]["results"]
+        assert len(results) == 1 and results[0]["ruleId"] == "P602", results
+        print("ok: SARIF rendering carries the finding")
+
+        write_fixture(root, FIXED)
+        code, doc = reprolint(root)
+        assert code == 0, doc
+        assert doc["summary"]["open"] == 0, doc["summary"]
+        print("ok: repaired homeward surface is clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ from repro.core.pipeline import (
 from repro.core.results import MultiSourceResult, SourceResult
 from repro.errors import (
     MultiSourceError,
+    ProcessBackendConfigError,
     ReproError,
     SodError,
     SourceDiscardedError,
@@ -73,6 +74,7 @@ __all__ = [
     "TupleType",
     "DisjunctionType",
     "Multiplicity",
+    "ProcessBackendConfigError",
     "ReproError",
     "SodError",
     "SourceDiscardedError",

@@ -45,7 +45,7 @@ from repro.analysis.engine import (
     iter_rule_docs,
     rule_registry,
 )
-from repro.analysis.reporters import render_json, render_text
+from repro.analysis.reporters import render_json, render_sarif, render_text
 
 DEFAULT_BASELINE = "reprolint-baseline.json"
 
@@ -87,9 +87,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif emits SARIF 2.1.0 "
+        "for code-scanning upload)",
     )
     parser.add_argument(
         "--rules",
@@ -116,7 +117,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--explain",
         metavar="RULE_ID",
-        help="print one rule's documentation (docstring, rationale) and exit",
+        help="print one rule's documentation (docstring, rationale, "
+        "firing example) and exit",
     )
     parser.add_argument(
         "--changed-only",
@@ -169,6 +171,11 @@ def _explain(rule_id: str) -> int:
     if cls.rationale:
         print()
         print(f"Rationale: {cls.rationale}")
+    if cls.example:
+        print()
+        print("Example (fires the rule):")
+        for line in cls.example.strip("\n").splitlines():
+            print(f"    {line}")
     return 0
 
 
@@ -360,6 +367,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         print(render_json(report))
+    elif args.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report, verbose=args.verbose))
     return 0 if report.clean else 1

@@ -114,6 +114,10 @@ class Rule:
     rule_id: str = ""
     title: str = ""
     rationale: str = ""
+    #: A minimal self-contained code sample that fires the rule, shown by
+    #: ``reprolint --explain RULE-ID``.  Every registered rule must set
+    #: one (enforced by test_explain_catalog_complete).
+    example: str = ""
     #: True when findings depend on nothing but one file's content, which
     #: lets the incremental :mod:`repro.analysis.cache` reuse them.
     #: Whole-program rules must leave this False.

@@ -1,4 +1,4 @@
-"""Text and JSON reporters for reprolint analysis reports."""
+"""Text, JSON and SARIF reporters for reprolint analysis reports."""
 
 from __future__ import annotations
 
@@ -98,5 +98,87 @@ def render_json(report: AnalysisReport) -> str:
             report.unjustified_baseline, key=_entry_key
         ),
         "overdue_baseline": sorted(report.overdue_baseline, key=_entry_key),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render_sarif(report: AnalysisReport) -> str:
+    """The report as a SARIF 2.1.0 document (GitHub code scanning).
+
+    Only *open* findings become SARIF results — suppressed and baselined
+    findings are accepted states, and stale-baseline problems are lint
+    bookkeeping, not source annotations (the text/JSON reporters and the
+    exit code still surface them).  Rules and results are sorted, so the
+    document is byte-stable for a given report.
+    """
+    from repro.analysis.engine import rule_registry
+
+    registry = rule_registry()
+    open_findings = sorted(
+        report.open_findings,
+        key=lambda f: (f.path, f.line, f.col, f.rule, f.message),
+    )
+    used_rules = sorted({f.rule for f in open_findings})
+    rules = []
+    for rule_id in used_rules:
+        cls = registry.get(rule_id)
+        descriptor: dict[str, object] = {"id": rule_id}
+        if cls is not None:
+            descriptor["shortDescription"] = {"text": cls.title}
+            if cls.rationale:
+                descriptor["fullDescription"] = {"text": cls.rationale}
+        else:  # E001 parse failures have no registered rule class
+            descriptor["shortDescription"] = {"text": "file does not parse"}
+        rules.append(descriptor)
+    results = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": used_rules.index(finding.rule),
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            # SARIF columns are 1-based.
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in open_findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "docs/ANALYSIS.md",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": report.root.as_uri() + "/"}
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -60,6 +60,12 @@ class ApiDriftRule(Rule):
         "reaches is dead API surface — remove it, underscore it, or "
         "export it."
     )
+    example = (
+        "__all__ = ['extract_page', 'ExtractError']\n"
+        "def extract_pages(corpus): ...\n"
+        "# A501: __all__ names 'extract_page' but the module defines "
+        "'extract_pages'"
+    )
 
     def __init__(self) -> None:
         self._prepared = False

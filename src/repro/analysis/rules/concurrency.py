@@ -88,6 +88,13 @@ class SharedStateRule(Rule):
         "or behind a lock-owning object, or baseline import-time-only "
         "registration with a justification."
     )
+    example = (
+        "_CACHE: dict[str, str] = {}\n"
+        "def _process(source):          # submitted to ThreadPoolExecutor\n"
+        "    _CACHE[source.id] = fetch(source)   # T301: racy module "
+        "state\n"
+        "# fix: keep the cache on the context or a lock-owning object"
+    )
 
     requires_graph = True
 

@@ -157,6 +157,15 @@ class StageContractRule(Rule):
         "an undeclared access means hidden dataflow between stages that "
         "the pipeline order no longer documents or protects."
     )
+    example = (
+        "@register_stage\n"
+        "class Align(Stage):\n"
+        "    reads = ('records',)\n"
+        "    writes = ('aligned',)\n"
+        "    def run(self, ctx):\n"
+        "        ctx.aligned = align(ctx.records, ctx.ontology)   # C201: "
+        "'ontology' not in reads"
+    )
 
     #: Fields of PipelineContext, parsed lazily from core/pipeline.py next
     #: to the analyzed stage file; None when it cannot be located (fixture
@@ -340,6 +349,16 @@ class TransitiveStageContractRule(Rule):
         "Passing ctx to a helper hides dataflow from the stage's "
         "declared contract; the docs/PIPELINE.md dataflow table is only "
         "honest if transitive accesses are declared too."
+    )
+    example = (
+        "def _enrich(ctx):\n"
+        "    return ctx.gazetteer.lookup(ctx.records)\n"
+        "@register_stage\n"
+        "class Enrich(Stage):\n"
+        "    reads = ('records',)\n"
+        "    def run(self, ctx):\n"
+        "        _enrich(ctx)   # C202: helper reads undeclared "
+        "'gazetteer'"
     )
 
     def __init__(self) -> None:

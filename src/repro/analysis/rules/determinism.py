@@ -67,6 +67,12 @@ class UnseededRandomRule(Rule):
         "route every random draw through repro.utils.rng.DeterministicRng "
         "so runs are reproducible bit-for-bit given a seed."
     )
+    example = (
+        "import random\n"
+        "def pick_sample(pages):\n"
+        "    return random.choice(pages)   # D101: unseeded global RNG\n"
+        "# fix: rng = DeterministicRng(seed); rng.choice(pages)"
+    )
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
         """Flag imports of and calls into the stdlib ``random`` module."""
@@ -113,6 +119,12 @@ class WallClockRule(Rule):
         "observability layer may measure, and durations should use "
         "time.perf_counter(), which is always allowed."
     )
+    example = (
+        "import time\n"
+        "def extract(page):\n"
+        "    started = time.time()   # D102: wall clock outside observers\n"
+        "# fix: measure in the observer layer, or use time.perf_counter()"
+    )
 
     _CLOCK_CALLS = {
         "time.time",
@@ -157,6 +169,12 @@ class WallSleepRule(Rule):
         "from the observability layer; route every wait through the "
         "injectable sleep of repro.core.faults (wall_sleep is the single "
         "real call site) so tests can fake time."
+    )
+    example = (
+        "import time\n"
+        "def retry_fetch(url):\n"
+        "    time.sleep(0.5)   # D105: direct sleep outside core/faults\n"
+        "# fix: route the wait through repro.core.faults (injectable)"
     )
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:
@@ -239,6 +257,11 @@ class SetOrderRule(Rule):
         "output order flip between runs — sort first (sorted(...) "
         "neutralizes the finding)."
     )
+    example = (
+        "labels = {a.label for a in attrs}\n"
+        "header = ', '.join(labels)   # D103: order flips with hash seed\n"
+        "# fix: ', '.join(sorted(labels))"
+    )
 
     _ORDERED_CASTS = ("list", "tuple")
 
@@ -312,6 +335,11 @@ class UnsortedListingRule(Rule):
         "os.listdir/Path.glob/iterdir order is filesystem-dependent; wrap "
         "the listing in sorted(...) so page sets and corpora load in a "
         "stable order on every machine."
+    )
+    example = (
+        "for page in corpus_dir.glob('*.html'):   # D104: FS order varies\n"
+        "    load(page)\n"
+        "# fix: for page in sorted(corpus_dir.glob('*.html')): ..."
     )
 
     def check_file(self, ctx: FileContext) -> Iterator[Finding]:

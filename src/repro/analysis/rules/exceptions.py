@@ -108,6 +108,13 @@ class ExceptionContractRule(Rule):
         "translate at a declared boundary — and never swallow broad "
         "exception types silently."
     )
+    example = (
+        "def _parse_price(text):        # reachable from a stage\n"
+        "    if not text:\n"
+        "        raise ValueError('empty price')   # E401: builtin "
+        "below a stage\n"
+        "# fix: raise ExtractionError('empty price') from repro.errors"
+    )
 
     def __init__(self) -> None:
         self._prepared = False

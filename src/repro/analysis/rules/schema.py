@@ -167,6 +167,14 @@ class SchemaDriftRule(_SchemaRule):
         "Rename both sides together, or mark provenance-only keys in "
         "the family configuration."
     )
+    example = (
+        "def write_doc(path, rows):\n"
+        "    json.dump({'rows': rows, 'vers': 2}, path.open('w'))\n"
+        "def read_doc(path):\n"
+        "    doc = json.load(path.open())\n"
+        "    return doc['version']   # S501: writer says 'vers', reader "
+        "wants 'version'"
+    )
 
     def _compute(self, schemas: ProjectSchemas, root: Path) -> _ProtoMap:
         proto: _ProtoMap = {}
@@ -218,6 +226,13 @@ class SchemaVersionRule(_SchemaRule):
         "and new documents indistinguishable to readers. Bump the "
         "family's version constant and regenerate schemas.json with "
         "reprolint --schemas-out."
+    )
+    example = (
+        "BENCH_SCHEMA_VERSION = 3   # unchanged\n"
+        "def write_bench(path, doc):\n"
+        "    doc['shards'] = shard_layout()   # S502: new key, version "
+        "not bumped\n"
+        "    json.dump(doc, path.open('w'))"
     )
 
     def _compute(self, schemas: ProjectSchemas, root: Path) -> _ProtoMap:
@@ -298,6 +313,13 @@ class ExternalInputRule(_SchemaRule):
         "RegistryError, route it through a _require-style helper, or "
         "use .get with explicit validation."
     )
+    example = (
+        "def load_wrapper(path):\n"
+        "    doc = json.load(path.open())\n"
+        "    return doc['rules']   # S503: malformed file -> anonymous "
+        "KeyError\n"
+        "# fix: _require(doc, 'rules') raising WrapperSchemaError"
+    )
 
     def _compute(self, schemas: ProjectSchemas, root: Path) -> _ProtoMap:
         proto: _ProtoMap = {}
@@ -333,6 +355,12 @@ class HistoryToleranceRule(_SchemaRule):
         "document does not carry crashes exactly when the comparison "
         "matters most. Read it tolerantly (.get) or gate the access on "
         "the document's schema_version."
+    )
+    example = (
+        "def compare(old_doc, new_doc):\n"
+        "    return old_doc['shards'] == new_doc['shards']   # S504: "
+        "committed v2 docs lack 'shards'\n"
+        "# fix: old_doc.get('shards') or gate on schema_version"
     )
 
     def _compute(self, schemas: ProjectSchemas, root: Path) -> _ProtoMap:

@@ -56,6 +56,13 @@ class TaintToArtifactRule(Rule):
         "values into fields the comparison layer ignores, or derive the "
         "value deterministically."
     )
+    example = (
+        "def write_report(path):\n"
+        "    stamp = time.time()            # tainted source\n"
+        "    json.dump({'run_at': stamp}, path.open('w'))   # D106: "
+        "taint reaches artifact\n"
+        "# fix: keep stamps in provenance fields compare ignores"
+    )
 
     def __init__(self) -> None:
         self._prepared = False

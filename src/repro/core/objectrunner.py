@@ -50,7 +50,11 @@ from repro.core.pipeline import (
 )
 from repro.core.results import MultiSourceResult, SourceResult
 from repro.corpus.store import Corpus
-from repro.errors import MultiSourceError, SodError
+from repro.errors import (
+    MultiSourceError,
+    ProcessBackendConfigError,
+    SodError,
+)
 from repro.htmlkit.dom import Element
 from repro.kb.ontology import Ontology
 from repro.metrics.observer import MetricsObserver
@@ -222,6 +226,8 @@ class ObjectRunner:
         for observer in self.observers:
             if isinstance(observer, MetricsObserver):
                 observer.observe_cache(self.cache)
+        if self.params.backend == "process":
+            self._check_process_backend_support()
         self._setup_recognizers()
 
     # -- recognizer setup -------------------------------------------------
@@ -287,7 +293,21 @@ class ObjectRunner:
     # -- pipeline assembly ------------------------------------------------
 
     def add_observer(self, observer: PipelineObserver) -> None:
-        """Subscribe an observer to every subsequent pipeline run."""
+        """Subscribe an observer to every subsequent pipeline run.
+
+        Under the process backend the same construction-time rule
+        applies: only :class:`MetricsObserver` observers can follow
+        their measurements across the boundary, so anything else is
+        rejected here, at subscription time.
+        """
+        if self.params.backend == "process" and not isinstance(
+            observer, MetricsObserver
+        ):
+            raise ProcessBackendConfigError(
+                "observers",
+                "the process backend supports only MetricsObserver "
+                f"observers; got {type(observer).__name__}",
+            )
         self.observers.append(observer)
         if isinstance(observer, MetricsObserver):
             observer.observe_cache(self.cache)
@@ -655,16 +675,25 @@ class ObjectRunner:
         state (locks, recorded calls) the workers could not honor;
         non-metrics observers would silently see nothing.  Failing loudly
         beats a run that quietly measures less than it claims.
+
+        Runs at construction time (``__init__``/:meth:`add_observer`
+        when ``params.backend == "process"``), so a misconfigured
+        ``repro extract --backend process`` fails with a typed
+        :class:`ProcessBackendConfigError` naming the offending field
+        before any worker spawns.  The dispatch path re-checks as a
+        backstop for callers that mutate runner attributes directly.
         """
         if self.fault_injector is not None:
-            raise ValueError(
+            raise ProcessBackendConfigError(
+                "fault_injector",
                 "the process backend does not support a fault injector; "
-                "use backend='thread' for fault-injection runs"
+                "use backend='thread' for fault-injection runs",
             )
         if self._sleep is not None:
-            raise ValueError(
+            raise ProcessBackendConfigError(
+                "sleep",
                 "the process backend does not support a custom sleep "
-                "callable; use backend='thread'"
+                "callable; use backend='thread'",
             )
         unsupported = [
             type(observer).__name__
@@ -672,9 +701,10 @@ class ObjectRunner:
             if not isinstance(observer, MetricsObserver)
         ]
         if unsupported:
-            raise ValueError(
+            raise ProcessBackendConfigError(
+                "observers",
                 "the process backend supports only MetricsObserver "
-                f"observers; got {', '.join(sorted(unsupported))}"
+                f"observers; got {', '.join(sorted(unsupported))}",
             )
 
     def _run_items_process(
@@ -740,7 +770,11 @@ class ObjectRunner:
         for task, result in zip(tasks, shard_results):
             for (source, __), outcome in zip(task.items, result.outcomes):
                 outcome_by_source[source] = outcome
-            writes_by_source.update(result.writes)
+            # Keyed per-source stores, not dict.update: each source lives
+            # in exactly one shard, so the merged mapping cannot depend
+            # on shard layout (reprolint P604).
+            for source, staged in result.writes.items():
+                writes_by_source[source] = staged
             for observer in metrics_observers:
                 for source, shipped in result.registries.items():
                     observer.adopt_source(source, shipped)

@@ -63,6 +63,24 @@ class TransientSourceError(ReproError):
     """
 
 
+class ProcessBackendConfigError(ReproError, ValueError):
+    """Raised when a runner configuration cannot cross a process boundary.
+
+    The process backend ships task specs to worker processes by pickle;
+    fault injectors, custom sleep callables and non-metrics observers
+    hold process-local state the workers could not honor.  The error is
+    raised at :class:`~repro.core.objectrunner.ObjectRunner` construction
+    time — before any worker spawns — and ``field`` names the offending
+    constructor argument (``"fault_injector"``, ``"sleep"`` or
+    ``"observers"``).  Subclasses :class:`ValueError` so callers treating
+    it as a plain configuration error keep working.
+    """
+
+    def __init__(self, field: str, message: str):
+        super().__init__(message)
+        self.field = field
+
+
 class MultiSourceError(ReproError):
     """Raised by ``run_sources`` under the ``fail_fast`` policy.
 

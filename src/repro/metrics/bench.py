@@ -421,7 +421,11 @@ class BenchSession:
                 self.registry.adopt_stats(result.registry_stats)
             for name, evaluation, wrap_seconds in result.evaluations:
                 by_name[name] = (evaluation, wrap_seconds)
-            writes_by_name.update(result.writes)
+            # Keyed per-source stores, not dict.update: each source lives
+            # in exactly one chunk, so the merged mapping cannot depend
+            # on chunk layout (reprolint P604).
+            for name, staged in result.writes.items():
+                writes_by_name[name] = staged
         assembled = [
             (
                 entry,

@@ -224,11 +224,70 @@ class TestExplain:
         out = capsys.readouterr().out
         assert "D106" in out
         assert "Rationale:" in out
+        assert "Example (fires the rule):" in out
 
     def test_unknown_rule_exits_two(self, capsys):
         assert main(["--explain", "Z999"]) == 2
         err = capsys.readouterr().err
         assert "unknown rule" in err and "D101" in err
+
+    def test_catalog_is_complete(self, capsys):
+        """Every registered rule explains itself: doc, rationale, example."""
+        from repro.analysis.engine import rule_registry
+
+        for rule_id, cls in sorted(rule_registry().items()):
+            assert cls.title, f"{rule_id} has no title"
+            assert cls.__doc__, f"{rule_id} has no docstring"
+            assert cls.rationale, f"{rule_id} has no rationale"
+            assert cls.example, f"{rule_id} has no example"
+            assert main(["--explain", rule_id]) == 0
+            out = capsys.readouterr().out
+            assert "Rationale:" in out
+            assert "Example (fires the rule):" in out
+
+
+class TestSarifOutput:
+    def test_sarif_document_shape(self, tmp_path, capsys):
+        src = project(tmp_path)
+        assert run(tmp_path, src, "--format", "sarif") == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (sarif_run,) = doc["runs"]
+        assert sarif_run["tool"]["driver"]["name"] == "reprolint"
+        results = [
+            r for r in sarif_run["results"] if r["ruleId"] == "D101"
+        ]
+        assert results
+        (location,) = results[0]["locations"]
+        region = location["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        uri = location["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri == "src/mod.py"
+        rule_ids = [r["id"] for r in sarif_run["tool"]["driver"]["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert "D101" in rule_ids
+
+    def test_clean_tree_emits_empty_results(self, tmp_path, capsys):
+        src = project(tmp_path, CLEAN)
+        assert run(tmp_path, src, "--format", "sarif") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
+
+    def test_baselined_findings_are_not_results(self, tmp_path, capsys):
+        src = project(tmp_path)
+        assert run(tmp_path, src, "--update-baseline") == 0
+        capsys.readouterr()
+        baseline = json.loads(
+            (tmp_path / "bl.json").read_text(encoding="utf-8")
+        )
+        for entry in baseline["entries"]:
+            entry["reason"] = "seeded for the SARIF reporter test"
+        (tmp_path / "bl.json").write_text(
+            json.dumps(baseline), encoding="utf-8"
+        )
+        assert run(tmp_path, src, "--format", "sarif") == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
 
 
 class TestIncrementalCli:

@@ -10,7 +10,7 @@ from repro.core.faults import FaultInjector, FaultSpec
 from repro.core.pipeline import TimingObserver
 from repro.datasets import build_knowledge, domain_spec, generate_source
 from repro.datasets.sites import SiteSpec
-from repro.errors import MultiSourceError
+from repro.errors import MultiSourceError, ProcessBackendConfigError
 from repro.metrics import MetricsObserver, MetricsRegistry
 from repro.metrics.observer import peak_rss_bytes
 from repro.registry.store import WrapperRegistry
@@ -217,53 +217,86 @@ class TestProcessFailurePolicies:
 
 
 class TestProcessBackendSupport:
+    # Rejection happens at *construction* time — before any worker
+    # spawns — with a typed ProcessBackendConfigError naming the
+    # offending constructor field.
+
     def test_rejects_fault_injector(self, four_sources):
-        domain, knowledge, sources = four_sources
-        runner = ObjectRunner(
-            domain.sod,
-            ontology=knowledge.ontology,
-            corpus=knowledge.corpus,
-            gazetteer_classes=domain.gazetteer_classes,
-            params=RunParams(max_workers=4, backend="process"),
-            fault_injector=FaultInjector(
-                [FaultSpec(stage="wrapping", source="proc-0")]
-            ),
-        )
-        with pytest.raises(ValueError, match="fault injector"):
-            runner.run_sources(sources)
+        domain, knowledge, __ = four_sources
+        with pytest.raises(
+            ProcessBackendConfigError, match="fault injector"
+        ) as excinfo:
+            ObjectRunner(
+                domain.sod,
+                ontology=knowledge.ontology,
+                corpus=knowledge.corpus,
+                gazetteer_classes=domain.gazetteer_classes,
+                params=RunParams(max_workers=4, backend="process"),
+                fault_injector=FaultInjector(
+                    [FaultSpec(stage="wrapping", source="proc-0")]
+                ),
+            )
+        assert excinfo.value.field == "fault_injector"
 
     def test_rejects_custom_sleep(self, four_sources):
-        domain, knowledge, sources = four_sources
-        runner = ObjectRunner(
-            domain.sod,
-            ontology=knowledge.ontology,
-            corpus=knowledge.corpus,
-            gazetteer_classes=domain.gazetteer_classes,
-            params=RunParams(max_workers=4, backend="process"),
-            sleep=lambda seconds: None,
-        )
-        with pytest.raises(ValueError, match="sleep"):
-            runner.run_sources(sources)
+        domain, knowledge, __ = four_sources
+        with pytest.raises(
+            ProcessBackendConfigError, match="sleep"
+        ) as excinfo:
+            ObjectRunner(
+                domain.sod,
+                ontology=knowledge.ontology,
+                corpus=knowledge.corpus,
+                gazetteer_classes=domain.gazetteer_classes,
+                params=RunParams(max_workers=4, backend="process"),
+                sleep=lambda seconds: None,
+            )
+        assert excinfo.value.field == "sleep"
 
     def test_rejects_non_metrics_observers(self, four_sources):
-        domain, knowledge, sources = four_sources
-        runner = make_runner(
-            domain, knowledge, observers=(TimingObserver(),),
-            max_workers=4, backend="process",
-        )
-        with pytest.raises(ValueError, match="MetricsObserver"):
-            runner.run_sources(sources)
+        domain, knowledge, __ = four_sources
+        with pytest.raises(
+            ProcessBackendConfigError, match="MetricsObserver"
+        ) as excinfo:
+            make_runner(
+                domain, knowledge, observers=(TimingObserver(),),
+                max_workers=4, backend="process",
+            )
+        assert excinfo.value.field == "observers"
 
-    def test_small_batches_fall_back_to_thread_path(self, four_sources):
+    def test_rejects_late_observer_subscription(self, four_sources):
+        domain, knowledge, __ = four_sources
+        runner = make_runner(
+            domain, knowledge, max_workers=4, backend="process"
+        )
+        with pytest.raises(
+            ProcessBackendConfigError, match="MetricsObserver"
+        ) as excinfo:
+            runner.add_observer(TimingObserver())
+        assert excinfo.value.field == "observers"
+        # MetricsObserver subscriptions stay fine.
+        runner.add_observer(MetricsObserver())
+
+    def test_config_error_is_a_value_error(self):
+        # Callers treating backend misconfiguration as a plain
+        # configuration error keep working.
+        assert issubclass(ProcessBackendConfigError, ValueError)
+
+    def test_small_batches_fall_back_to_thread_path(
+        self, four_sources, monkeypatch
+    ):
         # One source (or one worker) never pays process fan-out cost.
         domain, knowledge, sources = four_sources
         first = next(iter(sources))
-        # TimingObserver would be rejected on the true process path, so
-        # its acceptance proves the in-process fallback was taken.
-        outcome = make_runner(
-            domain, knowledge, observers=(TimingObserver(),),
-            max_workers=4, backend="process",
-        ).run_sources({first: sources[first]})
+        runner = make_runner(
+            domain, knowledge, max_workers=4, backend="process"
+        )
+        monkeypatch.setattr(
+            runner,
+            "_run_items_process",
+            lambda *a, **k: pytest.fail("process fan-out on a small batch"),
+        )
+        outcome = runner.run_sources({first: sources[first]})
         assert list(outcome.results) == [first]
 
     def test_params_validation(self):
